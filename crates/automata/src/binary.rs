@@ -1,0 +1,559 @@
+//! Tree variable automata on binary trees (`Λ,X`-TVAs, Section 2).
+//!
+//! A binary TVA reads variable annotations *only at leaf nodes*.  The initial
+//! relation `ι ⊆ Λ × 2^X × Q` fixes the possible states at an annotated leaf, and the
+//! transition relation `δ ⊆ Λ × Q × Q × Q` combines the states of the two children of
+//! an internal node.  Acceptance is reaching a final state at the root.
+//!
+//! This module also implements the *homogenization* of Lemma 2.1 (every state is
+//! either a 0-state or a 1-state, never both), which the circuit construction of
+//! Lemma 3.7 relies on, plus trimming and brute-force oracles used by tests.
+
+use crate::State;
+use std::collections::{HashMap, HashSet};
+use treenum_trees::binary::{BinaryNodeId, BinaryTree};
+use treenum_trees::valuation::{subsets, Var, VarSet};
+use treenum_trees::Label;
+
+/// A valuation of the leaves of a binary tree (only used by oracles and tests).
+pub type BinaryValuation = HashMap<BinaryNodeId, VarSet>;
+
+/// Classification of a state with respect to homogenization (Section 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateKind {
+    /// Reachable only under the empty valuation.
+    Zero,
+    /// Reachable only under some non-empty valuation.
+    One,
+    /// Reachable under both kinds of valuations (forbidden in a homogenized TVA).
+    Both,
+    /// Not reachable at all.
+    Neither,
+}
+
+/// A tree variable automaton on binary trees.
+#[derive(Clone, Debug, Default)]
+pub struct BinaryTva {
+    num_states: usize,
+    /// Universe of query variables.
+    vars: VarSet,
+    /// `initial[label] = [(Y, q), …]` meaning `(label, Y, q) ∈ ι`.
+    initial: Vec<Vec<(VarSet, State)>>,
+    /// `delta[label] = [(q1, q2, q), …]` meaning `(label, q1, q2, q) ∈ δ`.
+    delta: Vec<Vec<(State, State, State)>>,
+    final_states: Vec<State>,
+}
+
+impl BinaryTva {
+    /// Creates an automaton with `num_states` states over an alphabet of
+    /// `alphabet_len` labels and variable universe `vars`.
+    pub fn new(num_states: usize, alphabet_len: usize, vars: VarSet) -> Self {
+        BinaryTva {
+            num_states,
+            vars,
+            initial: vec![Vec::new(); alphabet_len],
+            delta: vec![Vec::new(); alphabet_len],
+            final_states: Vec::new(),
+        }
+    }
+
+    /// Number of states `|Q|`.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of labels the automaton knows about.
+    pub fn alphabet_len(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// The variable universe `X`.
+    pub fn vars(&self) -> VarSet {
+        self.vars
+    }
+
+    /// Variables as a vector, in index order.
+    pub fn var_list(&self) -> Vec<Var> {
+        self.vars.iter().collect()
+    }
+
+    /// Adds a fresh state and returns it.
+    pub fn add_state(&mut self) -> State {
+        let s = State(self.num_states as u32);
+        self.num_states += 1;
+        s
+    }
+
+    /// Adds `(label, varset, state)` to the initial relation `ι`.
+    pub fn add_initial(&mut self, label: Label, varset: VarSet, state: State) {
+        assert!(varset.is_subset_of(self.vars), "annotation outside the variable universe");
+        self.grow_alphabet(label);
+        self.initial[label.index()].push((varset, state));
+    }
+
+    /// Adds `(label, q1, q2, q)` to the transition relation `δ`.
+    pub fn add_transition(&mut self, label: Label, q1: State, q2: State, q: State) {
+        self.grow_alphabet(label);
+        self.delta[label.index()].push((q1, q2, q));
+    }
+
+    /// Declares `state` final.
+    pub fn add_final(&mut self, state: State) {
+        if !self.final_states.contains(&state) {
+            self.final_states.push(state);
+        }
+    }
+
+    fn grow_alphabet(&mut self, label: Label) {
+        if label.index() >= self.initial.len() {
+            self.initial.resize(label.index() + 1, Vec::new());
+            self.delta.resize(label.index() + 1, Vec::new());
+        }
+    }
+
+    /// The final states `F`.
+    pub fn final_states(&self) -> &[State] {
+        &self.final_states
+    }
+
+    /// Initial entries for `label`: pairs `(Y, q)` with `(label, Y, q) ∈ ι`.
+    pub fn initial_for(&self, label: Label) -> &[(VarSet, State)] {
+        self.initial.get(label.index()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Transitions for `label`: triples `(q1, q2, q)` with `(label, q1, q2, q) ∈ δ`.
+    pub fn transitions_for(&self, label: Label) -> &[(State, State, State)] {
+        self.delta.get(label.index()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Size `|A| = |Q| + |ι| + |δ|` as defined in the paper.
+    pub fn size(&self) -> usize {
+        self.num_states
+            + self.initial.iter().map(Vec::len).sum::<usize>()
+            + self.delta.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// States reachable at the root of `tree` under the given leaf `valuation`
+    /// (deterministic set simulation of the nondeterministic automaton).
+    pub fn run_states(&self, tree: &BinaryTree, valuation: &BinaryValuation) -> HashSet<State> {
+        let mut states: HashMap<BinaryNodeId, HashSet<State>> = HashMap::new();
+        for n in tree.postorder() {
+            let label = tree.label(n);
+            let mut here = HashSet::new();
+            match tree.children(n) {
+                None => {
+                    let ann = valuation.get(&n).copied().unwrap_or_default();
+                    for &(y, q) in self.initial_for(label) {
+                        if y == ann {
+                            here.insert(q);
+                        }
+                    }
+                }
+                Some((l, r)) => {
+                    let sl = &states[&l];
+                    let sr = &states[&r];
+                    for &(q1, q2, q) in self.transitions_for(label) {
+                        if sl.contains(&q1) && sr.contains(&q2) {
+                            here.insert(q);
+                        }
+                    }
+                }
+            }
+            states.insert(n, here);
+        }
+        states.remove(&tree.root()).unwrap_or_default()
+    }
+
+    /// `true` iff the automaton accepts `tree` under `valuation`.
+    pub fn accepts(&self, tree: &BinaryTree, valuation: &BinaryValuation) -> bool {
+        let root_states = self.run_states(tree, valuation);
+        self.final_states.iter().any(|f| root_states.contains(f))
+    }
+
+    /// Brute-force oracle: the set of satisfying assignments on `tree`, each
+    /// represented as a sorted vector of `(Var, leaf)` singletons.
+    ///
+    /// This enumerates sets of assignments bottom-up and is exponential in the output
+    /// size; it is only meant for validating the circuit-based pipeline on small
+    /// instances.
+    pub fn satisfying_assignments(&self, tree: &BinaryTree) -> HashSet<Vec<(Var, BinaryNodeId)>> {
+        // assignments[n][q] = set of assignments on the leaves of the subtree of n
+        // under which a run can map n to q.
+        let mut table: HashMap<BinaryNodeId, HashMap<State, HashSet<Vec<(Var, BinaryNodeId)>>>> = HashMap::new();
+        for n in tree.postorder() {
+            let label = tree.label(n);
+            let mut here: HashMap<State, HashSet<Vec<(Var, BinaryNodeId)>>> = HashMap::new();
+            match tree.children(n) {
+                None => {
+                    for &(y, q) in self.initial_for(label) {
+                        let mut a: Vec<(Var, BinaryNodeId)> = y.iter().map(|v| (v, n)).collect();
+                        a.sort_unstable();
+                        here.entry(q).or_default().insert(a);
+                    }
+                }
+                Some((l, r)) => {
+                    let tl = &table[&l];
+                    let tr = &table[&r];
+                    for &(q1, q2, q) in self.transitions_for(label) {
+                        if let (Some(sl), Some(sr)) = (tl.get(&q1), tr.get(&q2)) {
+                            let entry = here.entry(q).or_default();
+                            for a1 in sl {
+                                for a2 in sr {
+                                    let mut merged = a1.clone();
+                                    merged.extend_from_slice(a2);
+                                    merged.sort_unstable();
+                                    merged.dedup();
+                                    entry.insert(merged);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            table.insert(n, here);
+        }
+        let mut out = HashSet::new();
+        if let Some(root_table) = table.get(&tree.root()) {
+            for f in &self.final_states {
+                if let Some(set) = root_table.get(f) {
+                    out.extend(set.iter().cloned());
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes, for every state, whether it is a 0-state, 1-state, both or neither
+    /// (Section 2).
+    pub fn classify_states(&self) -> Vec<StateKind> {
+        let n = self.num_states;
+        let mut zero = vec![false; n];
+        let mut one = vec![false; n];
+        // Base cases from ι.
+        for entries in &self.initial {
+            for &(y, q) in entries {
+                if y.is_empty() {
+                    zero[q.index()] = true;
+                } else {
+                    one[q.index()] = true;
+                }
+            }
+        }
+        // Fixpoint over δ.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for entries in &self.delta {
+                for &(q1, q2, q) in entries {
+                    let r1 = zero[q1.index()] || one[q1.index()];
+                    let r2 = zero[q2.index()] || one[q2.index()];
+                    if zero[q1.index()] && zero[q2.index()] && !zero[q.index()] {
+                        zero[q.index()] = true;
+                        changed = true;
+                    }
+                    if r1 && r2 && (one[q1.index()] || one[q2.index()]) && !one[q.index()] {
+                        one[q.index()] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        (0..n)
+            .map(|i| match (zero[i], one[i]) {
+                (true, true) => StateKind::Both,
+                (true, false) => StateKind::Zero,
+                (false, true) => StateKind::One,
+                (false, false) => StateKind::Neither,
+            })
+            .collect()
+    }
+
+    /// `true` iff every state is either a 0-state or a 1-state (and not both).
+    pub fn is_homogenized(&self) -> bool {
+        self.classify_states()
+            .iter()
+            .all(|k| matches!(k, StateKind::Zero | StateKind::One))
+    }
+
+    /// Homogenization (Lemma 2.1): returns an equivalent automaton in which every
+    /// state is either a 0-state or a 1-state, together with the classification of
+    /// its states.  The result is also trimmed (unreachable states removed).
+    pub fn homogenize(&self) -> BinaryTva {
+        // Product with the two-state automaton remembering "seen a non-empty annotation".
+        let encode = |q: State, bit: usize| State((q.index() * 2 + bit) as u32);
+        let mut out = BinaryTva::new(self.num_states * 2, self.alphabet_len(), self.vars);
+        for (label_idx, entries) in self.initial.iter().enumerate() {
+            let label = Label(label_idx as u32);
+            for &(y, q) in entries {
+                let bit = usize::from(!y.is_empty());
+                out.add_initial(label, y, encode(q, bit));
+            }
+        }
+        for (label_idx, entries) in self.delta.iter().enumerate() {
+            let label = Label(label_idx as u32);
+            for &(q1, q2, q) in entries {
+                for b1 in 0..2 {
+                    for b2 in 0..2 {
+                        out.add_transition(label, encode(q1, b1), encode(q2, b2), encode(q, b1 | b2));
+                    }
+                }
+            }
+        }
+        for &f in &self.final_states {
+            out.add_final(encode(f, 0));
+            out.add_final(encode(f, 1));
+        }
+        out.trim()
+    }
+
+    /// Removes states that are not bottom-up reachable, remapping the rest densely.
+    pub fn trim(&self) -> BinaryTva {
+        let kinds = self.classify_states();
+        let reachable: Vec<bool> = kinds.iter().map(|k| !matches!(k, StateKind::Neither)).collect();
+        let mut remap: Vec<Option<State>> = vec![None; self.num_states];
+        let mut next = 0u32;
+        for (i, &r) in reachable.iter().enumerate() {
+            if r {
+                remap[i] = Some(State(next));
+                next += 1;
+            }
+        }
+        let mut out = BinaryTva::new(next as usize, self.alphabet_len(), self.vars);
+        for (label_idx, entries) in self.initial.iter().enumerate() {
+            let label = Label(label_idx as u32);
+            for &(y, q) in entries {
+                if let Some(nq) = remap[q.index()] {
+                    out.add_initial(label, y, nq);
+                }
+            }
+        }
+        for (label_idx, entries) in self.delta.iter().enumerate() {
+            let label = Label(label_idx as u32);
+            for &(q1, q2, q) in entries {
+                if let (Some(n1), Some(n2), Some(nq)) = (remap[q1.index()], remap[q2.index()], remap[q.index()]) {
+                    out.add_transition(label, n1, n2, nq);
+                }
+            }
+        }
+        for &f in &self.final_states {
+            if let Some(nf) = remap[f.index()] {
+                out.add_final(nf);
+            }
+        }
+        out
+    }
+
+    /// Brute-force check over *all* valuations of a (small) binary tree: the set of
+    /// accepted assignments, computed by iterating over every valuation.  Used to
+    /// cross-check [`BinaryTva::satisfying_assignments`] in tests.
+    pub fn satisfying_assignments_by_valuation_scan(&self, tree: &BinaryTree) -> HashSet<Vec<(Var, BinaryNodeId)>> {
+        let leaves = tree.leaves();
+        let var_subsets = subsets(self.vars);
+        let mut out = HashSet::new();
+        let mut counters = vec![0usize; leaves.len()];
+        loop {
+            // Build the valuation described by `counters`.
+            let mut valuation: BinaryValuation = HashMap::new();
+            for (i, &leaf) in leaves.iter().enumerate() {
+                valuation.insert(leaf, var_subsets[counters[i]]);
+            }
+            if self.accepts(tree, &valuation) {
+                let mut a: Vec<(Var, BinaryNodeId)> = valuation
+                    .iter()
+                    .flat_map(|(&n, &s)| s.iter().map(move |v| (v, n)))
+                    .collect();
+                a.sort_unstable();
+                out.insert(a);
+            }
+            // Advance the odometer.
+            let mut i = 0;
+            loop {
+                if i == counters.len() {
+                    return out;
+                }
+                counters[i] += 1;
+                if counters[i] < var_subsets.len() {
+                    break;
+                }
+                counters[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// A convenience builder for simple example automata used in tests: the automaton
+/// over labels `{a, b}` and one variable `x` that selects all leaves labelled `a`
+/// (i.e. assignments `{⟨x : n⟩}` for every `a`-leaf `n`).
+pub fn select_a_leaves(label_a: Label, label_internal: Label, x: Var) -> BinaryTva {
+    // States: 0 = "nothing selected below", 1 = "exactly the selected leaf below".
+    let vars = VarSet::singleton(x);
+    let mut tva = BinaryTva::new(2, label_a.index().max(label_internal.index()) + 1, vars);
+    let q0 = State(0);
+    let q1 = State(1);
+    // Any leaf can be unselected; `a`-leaves can be selected.
+    tva.add_initial(label_a, VarSet::empty(), q0);
+    tva.add_initial(label_a, VarSet::singleton(x), q1);
+    tva.add_initial(label_internal, VarSet::empty(), q0);
+    tva.add_initial(label_internal, VarSet::singleton(x), q1);
+    for label in [label_a, label_internal] {
+        tva.add_transition(label, q0, q0, q0);
+        tva.add_transition(label, q1, q0, q1);
+        tva.add_transition(label, q0, q1, q1);
+    }
+    // Restrict selection to `a`-leaves: only `a` leaves may go to q1.
+    // (Remove the q1 initial entry for the internal label.)
+    let mut fixed = BinaryTva::new(2, tva.alphabet_len(), vars);
+    fixed.add_initial(label_a, VarSet::empty(), q0);
+    fixed.add_initial(label_a, VarSet::singleton(x), q1);
+    fixed.add_initial(label_internal, VarSet::empty(), q0);
+    for label in [label_a, label_internal] {
+        fixed.add_transition(label, q0, q0, q0);
+        fixed.add_transition(label, q1, q0, q1);
+        fixed.add_transition(label, q0, q1, q1);
+    }
+    fixed.add_final(q1);
+    fixed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treenum_trees::Alphabet;
+
+    fn simple_tree() -> (Alphabet, BinaryTree) {
+        // f(f(a,b), a)
+        let sigma = Alphabet::from_names(["a", "b", "f"]);
+        let a = sigma.get("a").unwrap();
+        let b = sigma.get("b").unwrap();
+        let f = sigma.get("f").unwrap();
+        let mut t = BinaryTree::leaf(a);
+        let l1 = t.root();
+        let l2 = t.add_leaf(b);
+        let i1 = t.add_internal(f, l1, l2);
+        let l3 = t.add_leaf(a);
+        let root = t.add_internal(f, i1, l3);
+        t.set_root(root);
+        (sigma, t)
+    }
+
+    fn select_a(sigma: &Alphabet) -> BinaryTva {
+        let a = sigma.get("a").unwrap();
+        let b = sigma.get("b").unwrap();
+        let f = sigma.get("f").unwrap();
+        let x = Var(0);
+        let vars = VarSet::singleton(x);
+        let mut tva = BinaryTva::new(2, 3, vars);
+        let (q0, q1) = (State(0), State(1));
+        for leaf_label in [a, b] {
+            tva.add_initial(leaf_label, VarSet::empty(), q0);
+        }
+        tva.add_initial(a, VarSet::singleton(x), q1);
+        for label in [a, b, f] {
+            tva.add_transition(label, q0, q0, q0);
+            tva.add_transition(label, q1, q0, q1);
+            tva.add_transition(label, q0, q1, q1);
+        }
+        tva.add_final(q1);
+        tva
+    }
+
+    #[test]
+    fn accepts_checks_single_selection() {
+        let (sigma, t) = simple_tree();
+        let tva = select_a(&sigma);
+        let leaves = t.leaves();
+        // Select the first a-leaf.
+        let mut v: BinaryValuation = HashMap::new();
+        v.insert(leaves[0], VarSet::singleton(Var(0)));
+        assert!(tva.accepts(&t, &v));
+        // Selecting the b-leaf is rejected.
+        let mut v2: BinaryValuation = HashMap::new();
+        v2.insert(leaves[1], VarSet::singleton(Var(0)));
+        assert!(!tva.accepts(&t, &v2));
+        // Empty valuation rejected (q1 never reached).
+        assert!(!tva.accepts(&t, &HashMap::new()));
+    }
+
+    #[test]
+    fn brute_force_oracles_agree() {
+        let (sigma, t) = simple_tree();
+        let tva = select_a(&sigma);
+        let by_dp = tva.satisfying_assignments(&t);
+        let by_scan = tva.satisfying_assignments_by_valuation_scan(&t);
+        assert_eq!(by_dp, by_scan);
+        // Exactly the two a-leaves are selectable.
+        assert_eq!(by_dp.len(), 2);
+    }
+
+    #[test]
+    fn classify_states_on_select_a() {
+        let (sigma, _t) = simple_tree();
+        let tva = select_a(&sigma);
+        let kinds = tva.classify_states();
+        assert_eq!(kinds[0], StateKind::Zero);
+        assert_eq!(kinds[1], StateKind::One);
+        assert!(tva.is_homogenized());
+    }
+
+    #[test]
+    fn homogenize_splits_mixed_states() {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        let x = Var(0);
+        // One state reachable both with and without annotations.
+        let mut tva = BinaryTva::new(1, 2, VarSet::singleton(x));
+        let q = State(0);
+        tva.add_initial(a, VarSet::empty(), q);
+        tva.add_initial(a, VarSet::singleton(x), q);
+        tva.add_transition(f, q, q, q);
+        tva.add_final(q);
+        assert!(!tva.is_homogenized());
+        let hom = tva.homogenize();
+        assert!(hom.is_homogenized());
+        // Equivalence on a small tree.
+        let mut t = BinaryTree::leaf(a);
+        let l1 = t.root();
+        let l2 = t.add_leaf(a);
+        let root = t.add_internal(f, l1, l2);
+        t.set_root(root);
+        assert_eq!(tva.satisfying_assignments(&t), hom.satisfying_assignments(&t));
+    }
+
+    #[test]
+    fn trim_removes_unreachable_states() {
+        let sigma = Alphabet::from_names(["a"]);
+        let a = sigma.get("a").unwrap();
+        let mut tva = BinaryTva::new(3, 1, VarSet::empty());
+        tva.add_initial(a, VarSet::empty(), State(0));
+        tva.add_transition(a, State(0), State(0), State(1));
+        // State 2 is unreachable.
+        tva.add_final(State(1));
+        tva.add_final(State(2));
+        let trimmed = tva.trim();
+        assert_eq!(trimmed.num_states(), 2);
+        assert_eq!(trimmed.final_states().len(), 1);
+    }
+
+    #[test]
+    fn size_counts_states_and_relations() {
+        let (sigma, _) = simple_tree();
+        let tva = select_a(&sigma);
+        assert_eq!(tva.size(), 2 + 3 + 9);
+    }
+
+    #[test]
+    fn select_a_leaves_helper_is_consistent() {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        let tva = select_a_leaves(a, f, Var(0));
+        let mut t = BinaryTree::leaf(a);
+        let l1 = t.root();
+        let l2 = t.add_leaf(a);
+        let root = t.add_internal(f, l1, l2);
+        t.set_root(root);
+        assert_eq!(tva.satisfying_assignments(&t).len(), 2);
+    }
+}

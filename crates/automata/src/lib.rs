@@ -1,0 +1,49 @@
+//! # treenum-automata
+//!
+//! Automaton models used by the paper and this reproduction:
+//!
+//! * [`BinaryTva`]: tree variable automata on *binary* trees (Section 2) with
+//!   homogenization (Lemma 2.1), trimming, acceptance checks and a brute-force
+//!   enumeration oracle used to validate the circuit pipeline.
+//! * [`StepwiseTva`]: tree variable automata on *unranked* trees, in the stepwise
+//!   style of Section 7 (the children of a node are consumed state by state, like a
+//!   word automaton).
+//! * [`Wva`]: word variable automata — the document-spanner model of Section 8
+//!   (extended sequential variable-set automata).
+//! * [`ops`]: boolean operations (product, union, complement via determinization,
+//!   variable projection) on stepwise TVAs, which are the Thatcher–Wright building
+//!   blocks for compiling MSO-style queries to automata.
+//! * [`queries`]: a small query DSL producing stepwise TVAs for the query families
+//!   used by the examples and experiments (label selection, marked-ancestor,
+//!   ancestor–descendant pairs, sibling-distance families with exponential
+//!   determinization blow-up, …).
+
+pub mod binary;
+pub mod ops;
+pub mod queries;
+pub mod stepwise;
+pub mod wva;
+
+pub use binary::{BinaryTva, BinaryValuation, StateKind};
+pub use stepwise::StepwiseTva;
+pub use wva::Wva;
+
+use std::fmt;
+
+/// An automaton state, a dense index into the automaton's state space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct State(pub u32);
+
+impl State {
+    /// Dense index of this state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}

@@ -1,0 +1,334 @@
+//! Boolean operations on stepwise TVAs.
+//!
+//! These are the Thatcher–Wright building blocks for compiling MSO-style queries into
+//! tree automata: intersection (product), union (disjoint sum), complement (via the
+//! subset construction) and variable projection.  The paper assumes the query is
+//! *given* as a nondeterministic automaton; this module is how such automata are put
+//! together in practice — and the subset construction is exactly the exponential cost
+//! that the paper's combined-complexity result avoids paying (Experiment E4).
+
+use crate::stepwise::StepwiseTva;
+use crate::State;
+use std::collections::HashMap;
+use treenum_trees::valuation::{subsets, Var, VarSet};
+use treenum_trees::Label;
+
+/// Intersection: accepts exactly the (tree, valuation) pairs accepted by both inputs.
+///
+/// Both automata must share the same alphabet length and variable universe.
+pub fn product(a: &StepwiseTva, b: &StepwiseTva) -> StepwiseTva {
+    assert_eq!(a.vars(), b.vars(), "product requires the same variable universe");
+    let alphabet_len = a.alphabet_len().max(b.alphabet_len());
+    let nb = b.num_states();
+    let encode = |qa: State, qb: State| State((qa.index() * nb + qb.index()) as u32);
+    let mut out = StepwiseTva::new(a.num_states() * nb, alphabet_len, a.vars());
+    for label_idx in 0..alphabet_len {
+        let label = Label(label_idx as u32);
+        for &(ya, qa) in a.initial_for(label) {
+            for &(yb, qb) in b.initial_for(label) {
+                if ya == yb {
+                    out.add_initial(label, ya, encode(qa, qb));
+                }
+            }
+        }
+    }
+    for &(qa, ca, na) in a.transitions() {
+        for &(qb, cb, nb2) in b.transitions() {
+            out.add_transition(encode(qa, qb), encode(ca, cb), encode(na, nb2));
+        }
+    }
+    for &fa in a.final_states() {
+        for &fb in b.final_states() {
+            out.add_final(encode(fa, fb));
+        }
+    }
+    out
+}
+
+/// Union: accepts the (tree, valuation) pairs accepted by either input
+/// (disjoint sum of the two automata).
+pub fn union(a: &StepwiseTva, b: &StepwiseTva) -> StepwiseTva {
+    assert_eq!(a.vars(), b.vars(), "union requires the same variable universe");
+    let alphabet_len = a.alphabet_len().max(b.alphabet_len());
+    let offset = a.num_states() as u32;
+    let shift = |q: State| State(q.0 + offset);
+    let mut out = StepwiseTva::new(a.num_states() + b.num_states(), alphabet_len, a.vars());
+    for label_idx in 0..alphabet_len {
+        let label = Label(label_idx as u32);
+        for &(y, q) in a.initial_for(label) {
+            out.add_initial(label, y, q);
+        }
+        for &(y, q) in b.initial_for(label) {
+            out.add_initial(label, y, shift(q));
+        }
+    }
+    for &(q, c, n) in a.transitions() {
+        out.add_transition(q, c, n);
+    }
+    for &(q, c, n) in b.transitions() {
+        out.add_transition(shift(q), shift(c), shift(n));
+    }
+    for &f in a.final_states() {
+        out.add_final(f);
+    }
+    for &f in b.final_states() {
+        out.add_final(shift(f));
+    }
+    out
+}
+
+/// Result of determinizing a stepwise TVA via the subset construction.
+pub struct Determinized {
+    /// The (complete, deterministic) automaton whose states are subsets of the input's
+    /// states.
+    pub automaton: StepwiseTva,
+    /// For each new state, the subset of original states it represents (sorted).
+    pub subsets: Vec<Vec<State>>,
+}
+
+/// Subset construction: produces a *deterministic* stepwise TVA equivalent to the
+/// input.  The number of states can be exponential in the input — this is exactly the
+/// blow-up the paper's enumeration algorithm avoids (Experiment E4 measures it).
+pub fn determinize(a: &StepwiseTva) -> Determinized {
+    let var_subsets = subsets(a.vars());
+    let mut subset_index: HashMap<Vec<State>, State> = HashMap::new();
+    let mut subsets_list: Vec<Vec<State>> = Vec::new();
+    let intern = |set: Vec<State>, list: &mut Vec<Vec<State>>, idx: &mut HashMap<Vec<State>, State>| -> State {
+        if let Some(&s) = idx.get(&set) {
+            return s;
+        }
+        let s = State(list.len() as u32);
+        idx.insert(set.clone(), s);
+        list.push(set);
+        s
+    };
+
+    // Seed with every distinct initial subset ι(l, Y); they are the only states a node
+    // can start its fold in, and the fold is deterministic from there.
+    let mut initial_entries: Vec<(Label, VarSet, State)> = Vec::new();
+    for label_idx in 0..a.alphabet_len() {
+        let label = Label(label_idx as u32);
+        for &y in &var_subsets {
+            let mut set = a.initial_states(label, y);
+            set.sort_unstable();
+            set.dedup();
+            let s = intern(set, &mut subsets_list, &mut subset_index);
+            initial_entries.push((label, y, s));
+        }
+    }
+
+    // Saturate transitions: for every pair of discovered subsets, compute the step.
+    let mut transitions: Vec<(State, State, State)> = Vec::new();
+    let mut processed_pairs: usize = 0;
+    loop {
+        let n = subsets_list.len();
+        let mut added = false;
+        // Iterate over all pairs (i, j) not yet fully processed.  We simply redo all
+        // pairs whenever new subsets appear; fine for the moderate sizes of tests and
+        // benchmarks (the blow-up itself is the point).
+        let mut new_transitions = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i * n + j < processed_pairs {
+                    continue;
+                }
+                let current = &subsets_list[i];
+                let child = &subsets_list[j];
+                let mut next: Vec<State> = Vec::new();
+                for &(q, c, nq) in a.transitions() {
+                    if current.contains(&q) && child.contains(&c) {
+                        next.push(nq);
+                    }
+                }
+                next.sort_unstable();
+                next.dedup();
+                let s = intern(next, &mut subsets_list, &mut subset_index);
+                new_transitions.push((State(i as u32), State(j as u32), s));
+            }
+        }
+        processed_pairs = n * n;
+        transitions.extend(new_transitions);
+        if subsets_list.len() > n {
+            added = true;
+        }
+        if !added {
+            break;
+        }
+    }
+
+    let num_states = subsets_list.len();
+    let mut out = StepwiseTva::new(num_states, a.alphabet_len(), a.vars());
+    for (label, y, s) in initial_entries {
+        out.add_initial(label, y, s);
+    }
+    // Deduplicate transitions (pairs may have been recomputed).
+    transitions.sort_unstable();
+    transitions.dedup();
+    for (q, c, n) in transitions {
+        out.add_transition(q, c, n);
+    }
+    for (i, subset) in subsets_list.iter().enumerate() {
+        if subset.iter().any(|q| a.final_states().contains(q)) {
+            out.add_final(State(i as u32));
+        }
+    }
+    Determinized { automaton: out, subsets: subsets_list }
+}
+
+/// Complement: accepts exactly the (tree, valuation) pairs *not* accepted by `a`.
+///
+/// Implemented by determinizing and flipping the acceptance condition, so the result
+/// can be exponentially larger than the input.
+pub fn complement(a: &StepwiseTva) -> StepwiseTva {
+    let det = determinize(a);
+    let mut out = StepwiseTva::new(det.subsets.len(), a.alphabet_len(), a.vars());
+    for label_idx in 0..a.alphabet_len() {
+        let label = Label(label_idx as u32);
+        for &(y, q) in det.automaton.initial_for(label) {
+            out.add_initial(label, y, q);
+        }
+    }
+    for &(q, c, n) in det.automaton.transitions() {
+        out.add_transition(q, c, n);
+    }
+    for (i, subset) in det.subsets.iter().enumerate() {
+        if !subset.iter().any(|q| a.final_states().contains(q)) {
+            out.add_final(State(i as u32));
+        }
+    }
+    out
+}
+
+/// Existential projection of variable `v`: the result accepts `(T, ν)` iff `a`
+/// accepts `(T, ν')` for some `ν'` that agrees with `ν` on all variables except `v`.
+///
+/// Implemented by erasing `v` from every initial entry.
+pub fn project(a: &StepwiseTva, v: Var) -> StepwiseTva {
+    let new_vars = a.vars().without(v);
+    let mut out = StepwiseTva::new(a.num_states(), a.alphabet_len(), new_vars);
+    for label_idx in 0..a.alphabet_len() {
+        let label = Label(label_idx as u32);
+        for &(y, q) in a.initial_for(label) {
+            out.add_initial(label, y.without(v), q);
+        }
+    }
+    for &(q, c, n) in a.transitions() {
+        out.add_transition(q, c, n);
+    }
+    for &f in a.final_states() {
+        out.add_final(f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries;
+    use treenum_trees::generate::{random_tree, TreeShape};
+    use treenum_trees::valuation::Valuation;
+    use treenum_trees::Alphabet;
+
+    fn alphabet() -> Alphabet {
+        Alphabet::from_names(["a", "b", "c"])
+    }
+
+    #[test]
+    fn product_is_intersection_of_answers() {
+        let sigma = alphabet();
+        let mut sigma2 = sigma.clone();
+        let t = random_tree(&mut sigma2, 12, TreeShape::Random, 11);
+        let a = sigma.get("a").unwrap();
+        let b = sigma.get("b").unwrap();
+        let x = Var(0);
+        let qa = queries::select_label(sigma.len(), a, x);
+        let qb = queries::select_label(sigma.len(), b, x);
+        let both = product(&qa, &qb);
+        // A node cannot be labelled both a and b: the intersection is empty.
+        assert!(both.satisfying_assignments(&t).is_empty());
+        // Product with itself preserves the answers.
+        let same = product(&qa, &qa);
+        assert_eq!(same.satisfying_assignments(&t), qa.satisfying_assignments(&t));
+    }
+
+    #[test]
+    fn union_is_union_of_answers() {
+        let sigma = alphabet();
+        let mut sigma2 = sigma.clone();
+        let t = random_tree(&mut sigma2, 12, TreeShape::Random, 3);
+        let a = sigma.get("a").unwrap();
+        let b = sigma.get("b").unwrap();
+        let x = Var(0);
+        let qa = queries::select_label(sigma.len(), a, x);
+        let qb = queries::select_label(sigma.len(), b, x);
+        let either = union(&qa, &qb);
+        let mut expected = qa.satisfying_assignments(&t);
+        expected.extend(qb.satisfying_assignments(&t));
+        assert_eq!(either.satisfying_assignments(&t), expected);
+    }
+
+    #[test]
+    fn determinize_preserves_acceptance() {
+        let sigma = alphabet();
+        let mut sigma2 = sigma.clone();
+        let t = random_tree(&mut sigma2, 10, TreeShape::Random, 21);
+        let a = sigma.get("a").unwrap();
+        let x = Var(0);
+        let q = queries::select_label(sigma.len(), a, x);
+        let det = determinize(&q);
+        assert_eq!(det.automaton.satisfying_assignments(&t), q.satisfying_assignments(&t));
+    }
+
+    #[test]
+    fn complement_flips_acceptance() {
+        let sigma = alphabet();
+        let mut sigma2 = sigma.clone();
+        let t = random_tree(&mut sigma2, 6, TreeShape::Random, 5);
+        let a = sigma.get("a").unwrap();
+        let x = Var(0);
+        let q = queries::select_label(sigma.len(), a, x);
+        let not_q = complement(&q);
+        // Check on a handful of valuations.
+        let nodes = t.preorder();
+        for &n in nodes.iter().take(4) {
+            let mut v = Valuation::empty();
+            v.annotate(n, VarSet::singleton(x));
+            assert_ne!(q.accepts(&t, &v), not_q.accepts(&t, &v));
+        }
+        assert_ne!(q.accepts(&t, &Valuation::empty()), not_q.accepts(&t, &Valuation::empty()));
+    }
+
+    #[test]
+    fn project_erases_a_variable() {
+        let sigma = alphabet();
+        let mut sigma2 = sigma.clone();
+        let t = random_tree(&mut sigma2, 10, TreeShape::Random, 8);
+        let a = sigma.get("a").unwrap();
+        let x = Var(0);
+        let q = queries::select_label(sigma.len(), a, x);
+        let projected = project(&q, x);
+        // After projecting the only variable, the query becomes the Boolean query
+        // "there exists an a-node", with the empty assignment as its only answer when true.
+        let answers = projected.satisfying_assignments(&t);
+        let has_a = t.preorder().iter().any(|&n| t.label(n) == a);
+        assert_eq!(!answers.is_empty(), has_a);
+        if has_a {
+            assert!(answers.iter().all(|ass| ass.is_empty()));
+        }
+    }
+
+    #[test]
+    fn determinization_blows_up_for_kth_child_family() {
+        let sigma = alphabet();
+        let a = sigma.get("a").unwrap();
+        let x = Var(0);
+        let small = queries::kth_child_from_end(sigma.len(), 3, a, x);
+        let det = determinize(&small);
+        assert!(
+            det.subsets.len() > small.num_states(),
+            "subset construction should need more states ({} vs {})",
+            det.subsets.len(),
+            small.num_states()
+        );
+    }
+}

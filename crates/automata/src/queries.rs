@@ -1,0 +1,361 @@
+//! A small query DSL: constructors for the stepwise TVAs used by the examples,
+//! tests and benchmarks.
+//!
+//! Each constructor documents the MSO-style query it implements.  All constructors
+//! produce *nondeterministic* stepwise TVAs of size polynomial (usually linear) in
+//! their parameters; the corresponding deterministic automata can be exponentially
+//! larger (see [`crate::ops::determinize`] and Experiment E4).
+
+use crate::stepwise::StepwiseTva;
+use crate::State;
+use treenum_trees::valuation::{Var, VarSet};
+use treenum_trees::Label;
+
+fn all_labels(alphabet_len: usize) -> impl Iterator<Item = Label> {
+    (0..alphabet_len as u32).map(Label)
+}
+
+/// `Φ(x) ≡ label(x) = target`: selects every node with the given label.
+///
+/// One free first-order variable; every answer has size 1.
+pub fn select_label(alphabet_len: usize, target: Label, x: Var) -> StepwiseTva {
+    let vars = VarSet::singleton(x);
+    // q0 = no selection below, q1 = exactly one selected node below (or here).
+    let mut tva = StepwiseTva::new(2, alphabet_len, vars);
+    let (q0, q1) = (State(0), State(1));
+    for l in all_labels(alphabet_len) {
+        tva.add_initial(l, VarSet::empty(), q0);
+    }
+    tva.add_initial(target, VarSet::singleton(x), q1);
+    tva.add_transition(q0, q0, q0);
+    tva.add_transition(q0, q1, q1);
+    tva.add_transition(q1, q0, q1);
+    tva.add_final(q1);
+    tva
+}
+
+/// `Φ ≡ ∃x label(x) = target`: Boolean query "some node has the given label".
+///
+/// No free variables; the only answer (when true) is the empty assignment.
+pub fn exists_label(alphabet_len: usize, target: Label) -> StepwiseTva {
+    let mut tva = StepwiseTva::new(2, alphabet_len, VarSet::empty());
+    let (q0, q1) = (State(0), State(1));
+    for l in all_labels(alphabet_len) {
+        tva.add_initial(l, VarSet::empty(), q0);
+    }
+    tva.add_initial(target, VarSet::empty(), q1);
+    tva.add_transition(q0, q0, q0);
+    tva.add_transition(q0, q1, q1);
+    tva.add_transition(q1, q0, q1);
+    tva.add_transition(q1, q1, q1);
+    tva.add_final(q1);
+    tva
+}
+
+/// The marked-ancestor query of Theorem 9.2:
+/// `Φ(x) ≡ label(x) = special ∧ ∃y (y is a proper ancestor of x ∧ label(y) = marked)`.
+///
+/// Used by the lower-bound reduction (Section 9): marked-ancestor queries can be
+/// answered by relabeling a node to `special`, enumerating, and relabeling back.
+pub fn marked_ancestor(alphabet_len: usize, marked: Label, special: Label, x: Var) -> StepwiseTva {
+    let vars = VarSet::singleton(x);
+    // States:
+    //   zu = no x below, current node unmarked
+    //   zm = no x below, current node marked
+    //   pending = x below, no marked proper ancestor of x inside this subtree yet
+    //   ok = x below and a marked proper ancestor of x lies inside this subtree
+    let mut tva = StepwiseTva::new(4, alphabet_len, vars);
+    let (zu, zm, pending, ok) = (State(0), State(1), State(2), State(3));
+    for l in all_labels(alphabet_len) {
+        if l == marked {
+            tva.add_initial(l, VarSet::empty(), zm);
+        } else {
+            tva.add_initial(l, VarSet::empty(), zu);
+        }
+    }
+    tva.add_initial(special, VarSet::singleton(x), pending);
+    // Folding children that contain no x keeps the current state.
+    for &z in &[zu, zm, pending, ok] {
+        tva.add_transition(z, zu, z);
+        tva.add_transition(z, zm, z);
+    }
+    // A child containing a pending x: the current node becomes its proper ancestor.
+    tva.add_transition(zm, pending, ok);
+    tva.add_transition(zu, pending, pending);
+    // A child already satisfied stays satisfied.
+    tva.add_transition(zm, ok, ok);
+    tva.add_transition(zu, ok, ok);
+    tva.add_final(ok);
+    tva
+}
+
+/// `Φ(x, y) ≡ label(x) = a ∧ label(y) = b ∧ x is a proper ancestor of y`.
+///
+/// Two free first-order variables; answer sizes are 2, and the number of answers can
+/// be quadratic in the tree, which makes this a good workload for delay experiments.
+pub fn ancestor_descendant(alphabet_len: usize, a: Label, x: Var, b: Label, y: Var) -> StepwiseTva {
+    let vars = VarSet::singleton(x).with(y);
+    // States:
+    //   z  = nothing selected below
+    //   dy = y selected below, still waiting for its ancestor x
+    //   wx = current node is x, waiting for y below
+    //   both = both selected, with x an ancestor of y
+    let mut tva = StepwiseTva::new(4, alphabet_len, vars);
+    let (z, dy, wx, both) = (State(0), State(1), State(2), State(3));
+    for l in all_labels(alphabet_len) {
+        tva.add_initial(l, VarSet::empty(), z);
+    }
+    tva.add_initial(b, VarSet::singleton(y), dy);
+    tva.add_initial(a, VarSet::singleton(x), wx);
+    // Children with nothing selected never change the state.
+    for &s in &[z, dy, wx, both] {
+        tva.add_transition(s, z, s);
+    }
+    // Propagating a pending y upward.
+    tva.add_transition(z, dy, dy);
+    // The x-node finds its y below.
+    tva.add_transition(wx, dy, both);
+    // A satisfied pair propagates upward.
+    tva.add_transition(z, both, both);
+    tva.add_final(both);
+    tva
+}
+
+/// `Φ(x, y) ≡ x and y are distinct leaves` (both orders are produced).
+///
+/// The number of answers is `#leaves · (#leaves − 1)`, useful to stress enumeration
+/// with a large output.
+pub fn distinct_leaf_pairs(alphabet_len: usize, x: Var, y: Var) -> StepwiseTva {
+    let vars = VarSet::singleton(x).with(y);
+    // States:
+    //   z   = nothing selected below
+    //   lx  = this node is the x-leaf (no outgoing fold transitions: forces leaf)
+    //   ly  = this node is the y-leaf
+    //   sx  = x selected somewhere below
+    //   sy  = y selected somewhere below
+    //   sxy = both selected below
+    let mut tva = StepwiseTva::new(6, alphabet_len, vars);
+    let (z, lx, ly, sx, sy, sxy) = (State(0), State(1), State(2), State(3), State(4), State(5));
+    for l in all_labels(alphabet_len) {
+        tva.add_initial(l, VarSet::empty(), z);
+        tva.add_initial(l, VarSet::singleton(x), lx);
+        tva.add_initial(l, VarSet::singleton(y), ly);
+    }
+    // lx / ly have no outgoing transitions as horizontal states, so annotated nodes
+    // must be leaves.
+    tva.add_transition(z, z, z);
+    tva.add_transition(z, lx, sx);
+    tva.add_transition(z, ly, sy);
+    tva.add_transition(z, sx, sx);
+    tva.add_transition(z, sy, sy);
+    tva.add_transition(z, sxy, sxy);
+    tva.add_transition(sx, z, sx);
+    tva.add_transition(sy, z, sy);
+    tva.add_transition(sxy, z, sxy);
+    tva.add_transition(sx, ly, sxy);
+    tva.add_transition(sx, sy, sxy);
+    tva.add_transition(sy, lx, sxy);
+    tva.add_transition(sy, sx, sxy);
+    tva.add_final(sxy);
+    tva
+}
+
+/// `Φ(x) ≡ the k-th child *from the end* of x exists and has label a`.
+///
+/// The nondeterministic automaton has `Θ(k)` states (it guesses which child is the
+/// k-th from the end); any deterministic stepwise automaton needs `Ω(2^k)` states
+/// because it must remember the labels of the last `k` children seen.  This is the
+/// family used by Experiment E4 (combined complexity).
+pub fn kth_child_from_end(alphabet_len: usize, k: usize, a: Label, x: Var) -> StepwiseTva {
+    assert!(k >= 1);
+    let vars = VarSet::singleton(x);
+    // States:
+    //   0       = za   : no x below, root of subtree labelled a
+    //   1       = zo   : no x below, root of subtree not labelled a
+    //   2       = w    : this node is x, still scanning its children / guessing
+    //   3..3+k  = d_i  : guessed child seen, i more children must follow (i = k-1 .. 0)
+    //   3+k     = sat  : x satisfied somewhere below
+    let za = State(0);
+    let zo = State(1);
+    let w = State(2);
+    let d = |i: usize| State((3 + i) as u32); // d(i): i more children must follow
+    let sat = State((3 + k) as u32);
+    let mut tva = StepwiseTva::new(4 + k, alphabet_len, vars);
+    for l in all_labels(alphabet_len) {
+        if l == a {
+            tva.add_initial(l, VarSet::empty(), za);
+        } else {
+            tva.add_initial(l, VarSet::empty(), zo);
+        }
+        tva.add_initial(l, VarSet::singleton(x), w);
+    }
+    let zero_states = [za, zo];
+    // Plain subtrees ignore their children's labels.
+    for &z in &zero_states {
+        for &c in &zero_states {
+            tva.add_transition(z, c, z);
+        }
+    }
+    // The x node scans its children: skip, or guess "this a-child is the k-th from the end".
+    for &c in &zero_states {
+        tva.add_transition(w, c, w);
+    }
+    tva.add_transition(w, za, d(k - 1));
+    // After the guess, exactly k-1 more children must follow.
+    for i in (1..k).rev() {
+        for &c in &zero_states {
+            tva.add_transition(d(i), c, d(i - 1));
+        }
+    }
+    // Propagate satisfaction upward: a child whose fold ended in d(0) is satisfied.
+    for &z in &zero_states {
+        tva.add_transition(z, d(0), sat);
+        tva.add_transition(z, sat, sat);
+    }
+    for &c in &zero_states {
+        tva.add_transition(sat, c, sat);
+    }
+    tva.add_final(sat);
+    tva.add_final(d(0));
+    tva
+}
+
+/// `Φ(x) ≡ x has a child with label a`: selects every node with an `a`-child.
+pub fn has_child_with_label(alphabet_len: usize, a: Label, x: Var) -> StepwiseTva {
+    let vars = VarSet::singleton(x);
+    // States: za / zo as in `kth_child_from_end`, w = x scanning, found = x has an
+    // a-child, sat = satisfied below.
+    let (za, zo, w, found, sat) = (State(0), State(1), State(2), State(3), State(4));
+    let mut tva = StepwiseTva::new(5, alphabet_len, vars);
+    for l in all_labels(alphabet_len) {
+        if l == a {
+            tva.add_initial(l, VarSet::empty(), za);
+        } else {
+            tva.add_initial(l, VarSet::empty(), zo);
+        }
+        tva.add_initial(l, VarSet::singleton(x), w);
+    }
+    for &z in &[za, zo] {
+        for &c in &[za, zo] {
+            tva.add_transition(z, c, z);
+        }
+    }
+    for &c in &[za, zo] {
+        tva.add_transition(w, c, w);
+        tva.add_transition(found, c, found);
+        tva.add_transition(sat, c, sat);
+    }
+    tva.add_transition(w, za, found);
+    for &z in &[za, zo] {
+        tva.add_transition(z, found, sat);
+        tva.add_transition(z, sat, sat);
+    }
+    tva.add_final(found);
+    tva.add_final(sat);
+    tva
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treenum_trees::unranked::UnrankedTree;
+    use treenum_trees::Alphabet;
+
+    fn sigma() -> Alphabet {
+        Alphabet::from_names(["a", "b", "m", "s"])
+    }
+
+    /// b(a, b(s, a), m(s), a)
+    fn tree(sig: &Alphabet) -> (UnrankedTree, Vec<treenum_trees::NodeId>) {
+        let a = sig.get("a").unwrap();
+        let b = sig.get("b").unwrap();
+        let m = sig.get("m").unwrap();
+        let s = sig.get("s").unwrap();
+        let mut t = UnrankedTree::new(b);
+        let r = t.root();
+        let c1 = t.insert_last_child(r, a);
+        let c2 = t.insert_last_child(r, b);
+        let c3 = t.insert_last_child(r, m);
+        let c4 = t.insert_last_child(r, a);
+        let g1 = t.insert_last_child(c2, s);
+        let g2 = t.insert_last_child(c2, a);
+        let g3 = t.insert_last_child(c3, s);
+        (t, vec![r, c1, c2, c3, c4, g1, g2, g3])
+    }
+
+    #[test]
+    fn exists_label_is_boolean() {
+        let sig = sigma();
+        let (t, _) = tree(&sig);
+        let q = exists_label(sig.len(), sig.get("m").unwrap());
+        let answers = q.satisfying_assignments(&t);
+        assert_eq!(answers.len(), 1);
+        assert!(answers.iter().next().unwrap().is_empty());
+    }
+
+    #[test]
+    fn marked_ancestor_selects_only_covered_specials() {
+        let sig = sigma();
+        let (t, nodes) = tree(&sig);
+        let q = marked_ancestor(sig.len(), sig.get("m").unwrap(), sig.get("s").unwrap(), Var(0));
+        let answers = q.satisfying_assignments(&t);
+        // The s-node below m (g3) has a marked ancestor; the s-node below b (g1) does not.
+        assert_eq!(answers.len(), 1);
+        let only = answers.iter().next().unwrap();
+        assert_eq!(only.nodes_of(Var(0)), vec![nodes[7]]);
+    }
+
+    #[test]
+    fn ancestor_descendant_counts_pairs() {
+        let sig = sigma();
+        let (t, _) = tree(&sig);
+        let q = ancestor_descendant(sig.len(), sig.get("b").unwrap(), Var(0), sig.get("a").unwrap(), Var(1));
+        let answers = q.satisfying_assignments(&t);
+        // b-root has a-descendants: c1, c4, g2 (3 pairs); inner b (c2) has a-descendant g2 (1 pair).
+        assert_eq!(answers.len(), 4);
+        assert!(answers.iter().all(|ass| ass.len() == 2));
+    }
+
+    #[test]
+    fn distinct_leaf_pairs_counts() {
+        let sig = sigma();
+        let (t, _) = tree(&sig);
+        let q = distinct_leaf_pairs(sig.len(), Var(0), Var(1));
+        let leaves = t.leaves().len();
+        let answers = q.satisfying_assignments(&t);
+        assert_eq!(answers.len(), leaves * (leaves - 1));
+    }
+
+    #[test]
+    fn kth_child_from_end_selects_correct_nodes() {
+        let sig = sigma();
+        let (t, nodes) = tree(&sig);
+        let a = sig.get("a").unwrap();
+        // k = 1: last child labelled a — true for the root (c4) and for c2 (g2).
+        let q1 = kth_child_from_end(sig.len(), 1, a, Var(0));
+        let answers1 = q1.satisfying_assignments(&t);
+        let selected: std::collections::HashSet<_> =
+            answers1.iter().map(|ass| ass.nodes_of(Var(0))[0]).collect();
+        assert!(selected.contains(&nodes[0]));
+        assert!(selected.contains(&nodes[2]));
+        assert_eq!(selected.len(), 2);
+        // k = 4: the 4th child from the end of the root is c1, labelled a.
+        let q4 = kth_child_from_end(sig.len(), 4, a, Var(0));
+        let answers4 = q4.satisfying_assignments(&t);
+        assert_eq!(answers4.len(), 1);
+        // k = 2: 2nd from the end of root is m, of c2 is s: no answers.
+        let q2 = kth_child_from_end(sig.len(), 2, a, Var(0));
+        assert!(q2.satisfying_assignments(&t).is_empty());
+    }
+
+    #[test]
+    fn has_child_with_label_selects_parents() {
+        let sig = sigma();
+        let (t, nodes) = tree(&sig);
+        let q = has_child_with_label(sig.len(), sig.get("a").unwrap(), Var(0));
+        let answers = q.satisfying_assignments(&t);
+        let selected: std::collections::HashSet<_> =
+            answers.iter().map(|ass| ass.nodes_of(Var(0))[0]).collect();
+        assert_eq!(selected, [nodes[0], nodes[2]].into_iter().collect());
+    }
+}

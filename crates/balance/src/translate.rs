@@ -1,0 +1,338 @@
+//! The automaton translation of Lemma 7.4: from a stepwise unranked TVA with states
+//! `Q` to a binary TVA on forest-algebra terms.
+//!
+//! The binary automaton's states are (Figure 2 of the paper):
+//!
+//! * **forest states** `(q₁, q₂) ∈ Q²`: "there is a run of the stepwise automaton on
+//!   this forest whose root sequence transforms horizontal state `q₁` into `q₂`";
+//! * **context states** `((h₁, h₂), (o₁, o₂)) ∈ (Q²)²`: "if the hole is filled by a
+//!   forest transforming `h₁` into `h₂`, then the context's root sequence transforms
+//!   `o₁` into `o₂`".
+//!
+//! Acceptance uses the virtual-root normalization (fresh states `q₀`, `q_f` with
+//! `(q₀, f, q_f)` for every original final state `f`): the term is accepted iff its
+//! root forest state is `(q₀, q_f)`.
+//!
+//! The result is homogenized (Lemma 2.1) and trimmed, which is what the circuit
+//! construction of Lemma 3.7 requires and what keeps the practical width small.
+
+use crate::term::{TermAlphabet, TermOp};
+use treenum_automata::{BinaryTva, State, StepwiseTva};
+use treenum_trees::valuation::subsets;
+use treenum_trees::Label;
+
+/// The output of the Lemma 7.4 translation.
+#[derive(Clone, Debug)]
+pub struct TranslatedTva {
+    /// The homogenized, trimmed binary TVA on forest-algebra terms.
+    pub tva: BinaryTva,
+    /// The term alphabet the TVA reads.
+    pub alphabet: TermAlphabet,
+    /// The number of states of the (virtual-root-augmented) stepwise automaton.
+    pub stepwise_states: usize,
+}
+
+struct Encoder {
+    n: usize,
+}
+
+impl Encoder {
+    fn forest(&self, q1: usize, q2: usize) -> State {
+        State((q1 * self.n + q2) as u32)
+    }
+    fn context(&self, h1: usize, h2: usize, o1: usize, o2: usize) -> State {
+        let base = self.n * self.n;
+        State((base + (((h1 * self.n + h2) * self.n + o1) * self.n + o2)) as u32)
+    }
+    fn total(&self) -> usize {
+        self.n * self.n + self.n.pow(4)
+    }
+}
+
+/// Translates a stepwise unranked TVA into a binary TVA over forest-algebra terms
+/// (Lemma 7.4), then homogenizes and trims it.
+///
+/// `base_alphabet_len` is the number of labels of the unranked trees the stepwise
+/// automaton runs on.
+pub fn translate_stepwise(stepwise: &StepwiseTva, base_alphabet_len: usize) -> TranslatedTva {
+    // Normalize acceptance with virtual root states.
+    let mut a = stepwise.clone();
+    let (q0, qf) = a.add_virtual_root_states();
+    let n = a.num_states();
+    let enc = Encoder { n };
+    let alphabet = TermAlphabet::new(base_alphabet_len);
+    let mut out = BinaryTva::new(enc.total(), alphabet.len(), a.vars());
+
+    let var_subsets = subsets(a.vars());
+
+    // Leaf initial entries.
+    for base in 0..base_alphabet_len {
+        let base_label = Label(base as u32);
+        for &y in &var_subsets {
+            let inits = a.initial_states(base_label, y);
+            if inits.is_empty() {
+                continue;
+            }
+            // a_t: forest (q1, q2) iff ∃p ∈ ι(a, Y): (q1, p, q2) ∈ δ.
+            for &(q1, p, q2) in a.transitions() {
+                if inits.contains(&p) {
+                    out.add_initial(alphabet.tree_leaf_label(base_label), y, enc.forest(q1.index(), q2.index()));
+                }
+            }
+            // a_□: context ((h1, h2), (o1, o2)) iff h1 ∈ ι(a, Y) and (o1, h2, o2) ∈ δ.
+            for &h1 in &inits {
+                for &(o1, h2, o2) in a.transitions() {
+                    out.add_initial(
+                        alphabet.context_leaf_label(base_label),
+                        y,
+                        enc.context(h1.index(), h2.index(), o1.index(), o2.index()),
+                    );
+                }
+            }
+        }
+    }
+
+    // Operator transitions (Figure 2).
+    // ⊕HH: (q1,q2) ⊕ (q2,q3) → (q1,q3)
+    let hh = alphabet.op_label(TermOp::OplusHH);
+    for q1 in 0..n {
+        for q2 in 0..n {
+            for q3 in 0..n {
+                out.add_transition(hh, enc.forest(q1, q2), enc.forest(q2, q3), enc.forest(q1, q3));
+            }
+        }
+    }
+    // ⊕HV: forest (q1,q2), context ((h),(q2,q3)) → context ((h),(q1,q3))
+    let hv = alphabet.op_label(TermOp::OplusHV);
+    // ⊕VH: context ((h),(q1,q2)), forest (q2,q3) → context ((h),(q1,q3))
+    let vh = alphabet.op_label(TermOp::OplusVH);
+    for h1 in 0..n {
+        for h2 in 0..n {
+            for q1 in 0..n {
+                for q2 in 0..n {
+                    for q3 in 0..n {
+                        out.add_transition(
+                            hv,
+                            enc.forest(q1, q2),
+                            enc.context(h1, h2, q2, q3),
+                            enc.context(h1, h2, q1, q3),
+                        );
+                        out.add_transition(
+                            vh,
+                            enc.context(h1, h2, q1, q2),
+                            enc.forest(q2, q3),
+                            enc.context(h1, h2, q1, q3),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // ⊙VV: ((h1),(o1)) ⊙ ((h2),(o2)) with o2 = h1 → ((h2),(o1))
+    let vv = alphabet.op_label(TermOp::OdotVV);
+    for h1a in 0..n {
+        for h1b in 0..n {
+            for o1a in 0..n {
+                for o1b in 0..n {
+                    for h2a in 0..n {
+                        for h2b in 0..n {
+                            out.add_transition(
+                                vv,
+                                enc.context(h1a, h1b, o1a, o1b),
+                                enc.context(h2a, h2b, h1a, h1b),
+                                enc.context(h2a, h2b, o1a, o1b),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // ⊙VH: ((h1,h2),(o1,o2)) ⊙ forest (h1,h2) → forest (o1,o2)
+    let vhp = alphabet.op_label(TermOp::OdotVH);
+    for h1 in 0..n {
+        for h2 in 0..n {
+            for o1 in 0..n {
+                for o2 in 0..n {
+                    out.add_transition(vhp, enc.context(h1, h2, o1, o2), enc.forest(h1, h2), enc.forest(o1, o2));
+                }
+            }
+        }
+    }
+
+    // Acceptance: the root forest transforms q0 into qf.
+    out.add_final(enc.forest(q0.index(), qf.index()));
+
+    let tva = out.homogenize();
+    TranslatedTva { tva, alphabet, stepwise_states: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_balanced_term;
+    use crate::term::Term;
+    use std::collections::{BTreeSet, HashMap, HashSet};
+    use treenum_automata::binary::BinaryValuation;
+    use treenum_automata::queries;
+    use treenum_trees::binary::BinaryTree;
+    use treenum_trees::generate::{random_tree, TreeShape};
+    use treenum_trees::unranked::UnrankedTree;
+    use treenum_trees::valuation::Var;
+    use treenum_trees::Alphabet;
+
+    /// Converts a term into the plain binary tree the TVA runs on, remembering which
+    /// binary leaf encodes which unranked node.
+    fn term_to_binary(term: &Term, alphabet: &TermAlphabet) -> (BinaryTree, HashMap<treenum_trees::binary::BinaryNodeId, treenum_trees::NodeId>) {
+        use crate::term::TermNodeKind;
+        let mut mapping = HashMap::new();
+        fn go(
+            term: &Term,
+            n: crate::term::TermNodeId,
+            alphabet: &TermAlphabet,
+            out: &mut BinaryTree,
+            mapping: &mut HashMap<treenum_trees::binary::BinaryNodeId, treenum_trees::NodeId>,
+        ) -> treenum_trees::binary::BinaryNodeId {
+            match term.kind(n) {
+                TermNodeKind::Op(op) => {
+                    let (l, r) = term.children(n).unwrap();
+                    let bl = go(term, l, alphabet, out, mapping);
+                    let br = go(term, r, alphabet, out, mapping);
+                    out.add_internal(alphabet.op_label(op), bl, br)
+                }
+                kind => {
+                    let id = out.add_leaf(alphabet.label_of(kind));
+                    mapping.insert(id, term.leaf_tree_node(n).unwrap());
+                    id
+                }
+            }
+        }
+        let mut out = BinaryTree::leaf(Label(0));
+        let root = go(term, term.root(), alphabet, &mut out, &mut mapping);
+        out.set_root(root);
+        (out, mapping)
+    }
+
+    fn answers_via_translation(
+        stepwise: &StepwiseTva,
+        tree: &UnrankedTree,
+        base_alphabet_len: usize,
+    ) -> HashSet<BTreeSet<(Var, treenum_trees::NodeId)>> {
+        let translated = translate_stepwise(stepwise, base_alphabet_len);
+        let (term, _phi) = build_balanced_term(tree);
+        let (binary, mapping) = term_to_binary(&term, &translated.alphabet);
+        translated
+            .tva
+            .satisfying_assignments(&binary)
+            .into_iter()
+            .map(|ass| ass.into_iter().map(|(v, leaf)| (v, mapping[&leaf])).collect())
+            .collect()
+    }
+
+    fn answers_direct(stepwise: &StepwiseTva, tree: &UnrankedTree) -> HashSet<BTreeSet<(Var, treenum_trees::NodeId)>> {
+        stepwise
+            .satisfying_assignments(tree)
+            .into_iter()
+            .map(|a| a.singletons().iter().map(|s| (s.var, s.node)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn faithfulness_select_label() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let b = sigma.get("b").unwrap();
+        let q = queries::select_label(sigma.len(), b, Var(0));
+        for seed in 0..4u64 {
+            let t = random_tree(&mut sigma, 12, TreeShape::Random, seed);
+            assert_eq!(
+                answers_via_translation(&q, &t, sigma.len()),
+                answers_direct(&q, &t),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn faithfulness_marked_ancestor() {
+        let mut sigma = Alphabet::from_names(["a", "m", "s"]);
+        let m = sigma.get("m").unwrap();
+        let s = sigma.get("s").unwrap();
+        let q = queries::marked_ancestor(sigma.len(), m, s, Var(0));
+        for seed in 0..3u64 {
+            let t = random_tree(&mut sigma, 10, TreeShape::Deep, seed);
+            assert_eq!(
+                answers_via_translation(&q, &t, sigma.len()),
+                answers_direct(&q, &t),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn faithfulness_ancestor_descendant_pairs() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let a = sigma.get("a").unwrap();
+        let b = sigma.get("b").unwrap();
+        let q = queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1));
+        let t = random_tree(&mut sigma, 9, TreeShape::Random, 5);
+        assert_eq!(answers_via_translation(&q, &t, sigma.len()), answers_direct(&q, &t));
+    }
+
+    #[test]
+    fn faithfulness_boolean_query_empty_assignment() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let b = sigma.get("b").unwrap();
+        let q = queries::exists_label(sigma.len(), b);
+        let t = random_tree(&mut sigma, 8, TreeShape::Random, 2);
+        assert_eq!(answers_via_translation(&q, &t, sigma.len()), answers_direct(&q, &t));
+    }
+
+    #[test]
+    fn translated_automaton_is_homogenized_and_polynomial() {
+        let sigma = Alphabet::from_names(["a", "b"]);
+        let b = sigma.get("b").unwrap();
+        let q = queries::select_label(sigma.len(), b, Var(0));
+        let translated = translate_stepwise(&q, sigma.len());
+        assert!(translated.tva.is_homogenized());
+        let n = translated.stepwise_states;
+        // After trimming, the state count must stay within the Q² + Q⁴ bound
+        // (times 2 for homogenization).
+        assert!(translated.tva.num_states() <= 2 * (n * n + n * n * n * n));
+        // And in practice it should be drastically smaller.
+        assert!(translated.tva.num_states() < n * n + n * n * n * n);
+    }
+
+    #[test]
+    fn single_node_tree_is_handled() {
+        let sigma = Alphabet::from_names(["a", "b"]);
+        let a_lbl = sigma.get("a").unwrap();
+        let q = queries::select_label(sigma.len(), a_lbl, Var(0));
+        let t = UnrankedTree::new(a_lbl);
+        let via = answers_via_translation(&q, &t, sigma.len());
+        let direct = answers_direct(&q, &t);
+        assert_eq!(via, direct);
+        assert_eq!(via.len(), 1);
+    }
+
+    #[test]
+    fn acceptance_on_hand_built_term_matches() {
+        // Sanity-check the run semantics on a tiny hand-built term for a(b).
+        let sigma = Alphabet::from_names(["a", "b"]);
+        let a_lbl = sigma.get("a").unwrap();
+        let b_lbl = sigma.get("b").unwrap();
+        let q = queries::select_label(sigma.len(), b_lbl, Var(0));
+        let translated = translate_stepwise(&q, sigma.len());
+        let alphabet = translated.alphabet;
+        // Term: a_□ ⊙VH b_t
+        let mut bt = BinaryTree::leaf(alphabet.context_leaf_label(a_lbl));
+        let ctx = bt.root();
+        let leaf = bt.add_leaf(alphabet.tree_leaf_label(b_lbl));
+        let root = bt.add_internal(alphabet.op_label(TermOp::OdotVH), ctx, leaf);
+        bt.set_root(root);
+        // Selecting the b leaf must be accepted; empty valuation must be rejected.
+        let mut v: BinaryValuation = HashMap::new();
+        v.insert(leaf, treenum_trees::VarSet::singleton(Var(0)));
+        assert!(translated.tva.accepts(&bt, &v));
+        assert!(!translated.tva.accepts(&bt, &HashMap::new()));
+    }
+}

@@ -1,0 +1,494 @@
+//! Maintenance of balanced terms under the edit operations of Definition 7.1.
+//!
+//! Every edit is first realized by an `O(1)` splice of term nodes anchored at the
+//! term leaf of the edited tree node (this is the paper's *tree hollowing*: the new
+//! term reuses all untouched subterms).  The splice can degrade balance, so we then
+//! apply scapegoat-style partial rebuilding: if the spliced leaf ended up too deep
+//! relative to `log₂` of the term weight, the highest offending subterm is rebuilt
+//! from scratch with the balanced construction of [`crate::build`].  This gives
+//! amortized logarithmic work per edit and keeps the term height logarithmic, which
+//! is what the circuit-repair cost of Lemma 7.3 depends on.
+//!
+//! [`apply_edit`] reports every term node whose subterm changed (`dirty`, bottom-up)
+//! and every freed node, so the engine can repair the assignment circuit and the
+//! enumeration index for exactly those boxes.
+
+use crate::build::{build_context_subterm, build_forest_subterm};
+use crate::term::{Sort, Term, TermNodeId, TermNodeKind, TermOp};
+use std::collections::{HashMap, HashSet};
+use treenum_trees::edit::EditOp;
+use treenum_trees::unranked::{NodeId, UnrankedTree};
+
+/// Multiplier on `log₂(n)` above which a spliced leaf triggers a rebuild.
+const DEPTH_SLACK: usize = 4;
+
+/// The outcome of applying one edit to the term.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateReport {
+    /// Term nodes whose subterm changed, in bottom-up order (children before
+    /// parents).  The engine must recompute the circuit box and index entry of each.
+    pub dirty: Vec<TermNodeId>,
+    /// Term nodes that were removed from the term (their boxes must be freed).
+    pub freed: Vec<TermNodeId>,
+    /// The tree node created by an insertion, if any.
+    pub inserted: Option<NodeId>,
+}
+
+/// Applies `op` to both the unranked tree and its balanced term (keeping the `φ`
+/// mapping up to date), and reports the affected term nodes.
+pub fn apply_edit(
+    tree: &mut UnrankedTree,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+    op: &EditOp,
+) -> UpdateReport {
+    let mut report = match *op {
+        EditOp::Relabel { node, label } => {
+            tree.relabel(node, label);
+            let leaf = phi[&node];
+            let kind = match term.kind(leaf) {
+                TermNodeKind::TreeLeaf { node, .. } => TermNodeKind::TreeLeaf { label, node },
+                TermNodeKind::ContextLeaf { node, .. } => TermNodeKind::ContextLeaf { label, node },
+                TermNodeKind::Op(_) => unreachable!("φ maps tree nodes to term leaves"),
+            };
+            term.set_leaf_kind(leaf, kind);
+            UpdateReport {
+                dirty: ancestors_inclusive(term, leaf),
+                freed: Vec::new(),
+                inserted: None,
+            }
+        }
+        EditOp::InsertFirstChild { parent, label } => {
+            let was_leaf = tree.is_leaf(parent);
+            let fresh = tree.insert_first_child(parent, label);
+            let report = if was_leaf {
+                insert_below_leaf(tree, term, phi, parent, fresh)
+            } else {
+                // Anchor at the previous first child (now the second child).
+                let anchor = tree.children(parent).nth(1).expect("parent had children");
+                insert_left_of(tree, term, phi, anchor, fresh)
+            };
+            UpdateReport { inserted: Some(fresh), ..report }
+        }
+        EditOp::InsertRightSibling { sibling, label } => {
+            let fresh = tree.insert_right_sibling(sibling, label);
+            let report = insert_right_of(tree, term, phi, sibling, fresh);
+            UpdateReport { inserted: Some(fresh), ..report }
+        }
+        EditOp::DeleteLeaf { node } => delete_leaf(tree, term, phi, node),
+    };
+    // Rebalance if the splice left some touched node too deep.
+    let rebalance = rebalance_if_needed(tree, term, phi, &report.dirty);
+    if let Some(mut extra) = rebalance {
+        report.dirty.append(&mut extra.dirty);
+        report.freed.append(&mut extra.freed);
+    }
+    report
+}
+
+fn ancestors_inclusive(term: &Term, from: TermNodeId) -> Vec<TermNodeId> {
+    let mut out = vec![from];
+    let mut cur = from;
+    while let Some(p) = term.parent(cur) {
+        out.push(p);
+        cur = p;
+    }
+    out
+}
+
+fn ancestors_exclusive(term: &Term, from: TermNodeId) -> Vec<TermNodeId> {
+    let mut out = Vec::new();
+    let mut cur = from;
+    while let Some(p) = term.parent(cur) {
+        out.push(p);
+        cur = p;
+    }
+    out
+}
+
+/// Wraps `target` under a fresh `op` node whose other operand is `sibling`
+/// (`sibling_on_left` selects the operand order), keeping the term attached.
+/// Returns the new operator node.
+fn wrap_above(term: &mut Term, target: TermNodeId, op: TermOp, sibling: TermNodeId, sibling_on_left: bool) -> TermNodeId {
+    let parent = term.parent(target);
+    // Placeholder of the same kind as `target` so the sort checks in `add_op` pass.
+    let placeholder_kind = match term.kind(target) {
+        TermNodeKind::Op(o) => {
+            // An internal target: use a leaf of the same sort as a placeholder.
+            match o.result_sort() {
+                Sort::Forest => TermNodeKind::TreeLeaf {
+                    label: treenum_trees::Label(0),
+                    node: NodeId(u32::MAX),
+                },
+                Sort::Context => TermNodeKind::ContextLeaf {
+                    label: treenum_trees::Label(0),
+                    node: NodeId(u32::MAX),
+                },
+            }
+        }
+        k => k,
+    };
+    let placeholder = term.add_leaf(placeholder_kind);
+    let new_op = if sibling_on_left {
+        term.add_op(op, sibling, placeholder)
+    } else {
+        term.add_op(op, placeholder, sibling)
+    };
+    match parent {
+        Some(p) => term.replace_child(p, target, new_op),
+        None => term.replace_root(new_op),
+    }
+    term.replace_child(new_op, placeholder, target);
+    term.free_subtree(placeholder);
+    if let Some(p) = parent {
+        term.recompute_weights_upwards(p);
+    }
+    new_op
+}
+
+/// `fresh` becomes the only child of the (previous) tree leaf `parent`:
+/// `parent_t` turns into `⊙VH(parent_□, fresh_t)`.
+fn insert_below_leaf(
+    tree: &UnrankedTree,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+    parent: NodeId,
+    fresh: NodeId,
+) -> UpdateReport {
+    let old_leaf = phi[&parent];
+    term.set_leaf_kind(
+        old_leaf,
+        TermNodeKind::ContextLeaf { label: tree.label(parent), node: parent },
+    );
+    let fresh_leaf = term.add_leaf(TermNodeKind::TreeLeaf { label: tree.label(fresh), node: fresh });
+    let new_op = wrap_above(term, old_leaf, TermOp::OdotVH, fresh_leaf, false);
+    phi.insert(fresh, fresh_leaf);
+    let mut dirty = vec![old_leaf, fresh_leaf];
+    dirty.extend(ancestors_inclusive(term, new_op));
+    UpdateReport { dirty, freed: Vec::new(), inserted: None }
+}
+
+/// Inserts `fresh` (a new tree leaf) immediately left of `anchor` in sibling order.
+fn insert_left_of(
+    tree: &UnrankedTree,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+    anchor: NodeId,
+    fresh: NodeId,
+) -> UpdateReport {
+    let anchor_leaf = phi[&anchor];
+    let fresh_leaf = term.add_leaf(TermNodeKind::TreeLeaf { label: tree.label(fresh), node: fresh });
+    let op = match term.sort(anchor_leaf) {
+        Sort::Forest => TermOp::OplusHH,
+        Sort::Context => TermOp::OplusHV,
+    };
+    let new_op = wrap_above(term, anchor_leaf, op, fresh_leaf, true);
+    phi.insert(fresh, fresh_leaf);
+    let mut dirty = vec![fresh_leaf];
+    dirty.extend(ancestors_inclusive(term, new_op));
+    UpdateReport { dirty, freed: Vec::new(), inserted: None }
+}
+
+/// Inserts `fresh` (a new tree leaf) immediately right of `anchor` in sibling order.
+fn insert_right_of(
+    tree: &UnrankedTree,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+    anchor: NodeId,
+    fresh: NodeId,
+) -> UpdateReport {
+    let anchor_leaf = phi[&anchor];
+    let fresh_leaf = term.add_leaf(TermNodeKind::TreeLeaf { label: tree.label(fresh), node: fresh });
+    let op = match term.sort(anchor_leaf) {
+        Sort::Forest => TermOp::OplusHH,
+        Sort::Context => TermOp::OplusVH,
+    };
+    let new_op = wrap_above(term, anchor_leaf, op, fresh_leaf, false);
+    phi.insert(fresh, fresh_leaf);
+    let mut dirty = vec![fresh_leaf];
+    dirty.extend(ancestors_inclusive(term, new_op));
+    UpdateReport { dirty, freed: Vec::new(), inserted: None }
+}
+
+fn delete_leaf(
+    tree: &mut UnrankedTree,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+    node: NodeId,
+) -> UpdateReport {
+    let leaf = phi[&node];
+    let parent = term.parent(leaf).expect("the tree root cannot be deleted");
+    let kind = term.kind(parent);
+    tree.delete_leaf(node);
+    phi.remove(&node);
+    match kind {
+        TermNodeKind::Op(TermOp::OplusHH) | TermNodeKind::Op(TermOp::OplusHV) | TermNodeKind::Op(TermOp::OplusVH) => {
+            // Hoist the sibling operand over the ⊕ node.
+            let (l, r) = term.children(parent).unwrap();
+            let sibling = if l == leaf { r } else { l };
+            let sibling_sort = term.sort(sibling);
+            let placeholder_kind = match sibling_sort {
+                Sort::Forest => TermNodeKind::TreeLeaf { label: treenum_trees::Label(0), node: NodeId(u32::MAX) },
+                Sort::Context => TermNodeKind::ContextLeaf { label: treenum_trees::Label(0), node: NodeId(u32::MAX) },
+            };
+            let placeholder = term.add_leaf(placeholder_kind);
+            term.replace_child(parent, sibling, placeholder);
+            let grand = term.parent(parent);
+            match grand {
+                Some(g) => term.replace_child(g, parent, sibling),
+                None => term.replace_root(sibling),
+            }
+            term.free_subtree(parent);
+            let dirty = match grand {
+                Some(g) => ancestors_inclusive(term, g),
+                None => Vec::new(),
+            };
+            UpdateReport { dirty, freed: vec![parent, leaf, placeholder], inserted: None }
+        }
+        TermNodeKind::Op(TermOp::OdotVH) => {
+            // The deleted leaf was the entire hole filler: the hole-parent node loses
+            // its last child.  Rebuild the forest represented by the ⊙VH node from the
+            // (already edited) tree; the hole-parent automatically becomes an `a_t`.
+            rebuild_subterm(tree, term, phi, parent)
+        }
+        _ => unreachable!("a forest-sorted leaf cannot be an operand of {:?}", kind),
+    }
+}
+
+/// Rebuilds the subterm rooted at `z` from the current tree, replacing it in place.
+/// Returns the dirty (new) nodes and the freed (old) nodes.
+fn rebuild_subterm(
+    tree: &UnrankedTree,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+    z: TermNodeId,
+) -> UpdateReport {
+    let sort = term.sort(z);
+    // The tree nodes represented inside z.
+    let represented: HashSet<NodeId> = term
+        .subtree_leaves(z)
+        .iter()
+        .filter_map(|&l| term.leaf_tree_node(l))
+        .filter(|n| tree.is_live(*n))
+        .collect();
+    // The hole of a context-sorted subterm.
+    let hole = match sort {
+        Sort::Context => term.leaf_tree_node(term.hole_leaf(z)),
+        Sort::Forest => None,
+    };
+    // The forest roots: represented nodes whose parent is not represented, ordered by
+    // sibling order.
+    let mut roots: Vec<NodeId> = Vec::new();
+    let mut candidate_parent: Option<Option<NodeId>> = None;
+    for &n in &represented {
+        let p = tree.parent(n);
+        if p.map(|p| !represented.contains(&p)).unwrap_or(true) {
+            roots.push(n);
+            candidate_parent = Some(p);
+        }
+    }
+    debug_assert!(!roots.is_empty());
+    // Order roots by the sibling order under their (common) parent.
+    let ordered_roots: Vec<NodeId> = match candidate_parent.flatten() {
+        None => roots,
+        Some(p) => {
+            let set: HashSet<NodeId> = roots.into_iter().collect();
+            tree.children(p).filter(|c| set.contains(c)).collect()
+        }
+    };
+    let parent_of_z = term.parent(z);
+    let new_sub = match hole {
+        None => build_forest_subterm(tree, &ordered_roots, term, phi),
+        Some(h) => build_context_subterm(tree, &ordered_roots, h, term, phi),
+    };
+    match parent_of_z {
+        Some(p) => term.replace_child(p, z, new_sub),
+        None => term.replace_root(new_sub),
+    }
+    let freed = term.subtree_postorder(z);
+    term.free_subtree(z);
+    if let Some(p) = parent_of_z {
+        term.recompute_weights_upwards(p);
+    }
+    let mut dirty = term.subtree_postorder(new_sub);
+    dirty.extend(ancestors_exclusive(term, new_sub));
+    UpdateReport { dirty, freed, inserted: None }
+}
+
+/// Scapegoat-style rebalancing: if any touched node is deeper than
+/// `DEPTH_SLACK · (log₂(n) + 1)`, rebuild the highest ancestor whose subterm is too
+/// deep relative to its own weight.
+fn rebalance_if_needed(
+    tree: &UnrankedTree,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+    touched: &[TermNodeId],
+) -> Option<UpdateReport> {
+    let deepest = touched
+        .iter()
+        .copied()
+        .filter(|&n| term.is_live(n))
+        .max_by_key(|&n| term.depth(n))?;
+    let total = term.weight(term.root()).max(2);
+    let limit = DEPTH_SLACK * (total.ilog2() as usize + 1);
+    let depth = term.depth(deepest);
+    if depth <= limit {
+        return None;
+    }
+    // Find the highest ancestor z of the deepest touched node such that the depth of
+    // the touched node below z exceeds the budget for z's weight; rebuild it.
+    let mut z = deepest;
+    let mut below = 0usize;
+    let mut scapegoat = None;
+    let mut cur = deepest;
+    while let Some(p) = term.parent(cur) {
+        below += 1;
+        let w = term.weight(p).max(2);
+        if below > DEPTH_SLACK * (w.ilog2() as usize + 1) {
+            scapegoat = Some(p);
+        }
+        cur = p;
+        z = p;
+    }
+    let target = scapegoat.unwrap_or(z);
+    Some(rebuild_subterm(tree, term, phi, target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_balanced_term, decode_term};
+    use treenum_trees::generate::{EditStream, random_tree, TreeShape};
+    use treenum_trees::Alphabet;
+
+    fn check_consistency(tree: &UnrankedTree, term: &Term, phi: &HashMap<NodeId, TermNodeId>) {
+        term.check_invariants();
+        assert_eq!(phi.len(), tree.len(), "φ must stay a bijection");
+        assert_eq!(term.weight(term.root()), tree.len());
+        for (&n, &leaf) in phi {
+            assert!(term.is_live(leaf));
+            assert_eq!(term.leaf_tree_node(leaf), Some(n));
+            let is_context = matches!(term.kind(leaf), TermNodeKind::ContextLeaf { .. });
+            assert_eq!(is_context, !tree.is_leaf(n), "leaf kind mismatch for {:?}", n);
+        }
+        let decoded = decode_term(term, tree);
+        assert!(decoded.structurally_equal(tree), "term no longer represents the tree");
+    }
+
+    #[test]
+    fn single_edits_keep_the_term_consistent() {
+        let sigma = Alphabet::from_names(["a", "b", "c"]);
+        let a = sigma.get("a").unwrap();
+        let b = sigma.get("b").unwrap();
+        let mut tree = UnrankedTree::new(a);
+        let (mut term, mut phi) = build_balanced_term(&tree);
+        // insert below the (leaf) root
+        let r = tree.root();
+        let rep = apply_edit(&mut tree, &mut term, &mut phi, &EditOp::InsertFirstChild { parent: r, label: b });
+        let c1 = rep.inserted.unwrap();
+        check_consistency(&tree, &term, &phi);
+        // insert a right sibling
+        apply_edit(&mut tree, &mut term, &mut phi, &EditOp::InsertRightSibling { sibling: c1, label: b });
+        check_consistency(&tree, &term, &phi);
+        // insert a new first child (anchored left of c1)
+        apply_edit(&mut tree, &mut term, &mut phi, &EditOp::InsertFirstChild { parent: r, label: b });
+        check_consistency(&tree, &term, &phi);
+        // relabel
+        apply_edit(&mut tree, &mut term, &mut phi, &EditOp::Relabel { node: c1, label: a });
+        check_consistency(&tree, &term, &phi);
+        assert_eq!(tree.label(c1), a);
+        // delete a leaf whose parent keeps other children
+        apply_edit(&mut tree, &mut term, &mut phi, &EditOp::DeleteLeaf { node: c1 });
+        check_consistency(&tree, &term, &phi);
+        // delete down to a single node again
+        let remaining: Vec<NodeId> = tree.children(r).collect();
+        for n in remaining {
+            apply_edit(&mut tree, &mut term, &mut phi, &EditOp::DeleteLeaf { node: n });
+            check_consistency(&tree, &term, &phi);
+        }
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn random_edit_sequences_preserve_consistency() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let labels: Vec<_> = sigma.labels().collect();
+        for seed in 0..6u64 {
+            let mut tree = random_tree(&mut sigma, 25, TreeShape::Random, seed);
+            let (mut term, mut phi) = build_balanced_term(&tree);
+            let mut stream = EditStream::balanced_mix(labels.clone(), seed * 31 + 7);
+            for step in 0..120 {
+                let op = stream.next_for(&tree);
+                apply_edit(&mut tree, &mut term, &mut phi, &op);
+                if step % 20 == 19 {
+                    check_consistency(&tree, &term, &phi);
+                }
+            }
+            check_consistency(&tree, &term, &phi);
+        }
+    }
+
+    #[test]
+    fn repeated_insertions_keep_height_logarithmic() {
+        let sigma = Alphabet::from_names(["a"]);
+        let a = sigma.get("a").unwrap();
+        let mut tree = UnrankedTree::new(a);
+        let (mut term, mut phi) = build_balanced_term(&tree);
+        // Build a path of 400 nodes purely through updates.
+        let mut cur = tree.root();
+        for _ in 0..400 {
+            let op = EditOp::InsertFirstChild { parent: cur, label: a };
+            let rep = apply_edit(&mut tree, &mut term, &mut phi, &op);
+            cur = rep.inserted.unwrap();
+        }
+        check_consistency(&tree, &term, &phi);
+        let h = term.height();
+        let n = term.weight(term.root());
+        assert!(
+            h <= 6 * ((n as f64).log2() as usize + 1) + 8,
+            "height {h} too large for weight {n}"
+        );
+    }
+
+    #[test]
+    fn dirty_sets_cover_changed_structure() {
+        let sigma = Alphabet::from_names(["a", "b"]);
+        let a = sigma.get("a").unwrap();
+        let b = sigma.get("b").unwrap();
+        let mut tree = UnrankedTree::new(a);
+        let (mut term, mut phi) = build_balanced_term(&tree);
+        let root = tree.root();
+        let rep = apply_edit(
+            &mut tree,
+            &mut term,
+            &mut phi,
+            &EditOp::InsertFirstChild { parent: root, label: b },
+        );
+        // Every dirty node must be live, and the root must be dirty (its content
+        // depends on everything below).
+        for &d in &rep.dirty {
+            assert!(term.is_live(d));
+        }
+        assert!(rep.dirty.contains(&term.root()));
+        // Bottom-up order: a node never appears before one of its descendants appears.
+        for (i, &d) in rep.dirty.iter().enumerate() {
+            for &later in &rep.dirty[i + 1..] {
+                assert!(
+                    !(term.is_live(later) && term.is_live(d) && is_strict_descendant(&term, later, d)),
+                    "dirty list is not bottom-up"
+                );
+            }
+        }
+    }
+
+    fn is_strict_descendant(term: &Term, maybe_desc: TermNodeId, anc: TermNodeId) -> bool {
+        let mut cur = term.parent(maybe_desc);
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = term.parent(p);
+        }
+        false
+    }
+}

@@ -1,0 +1,44 @@
+//! E4-combined: combined complexity in the query automaton (contribution 2,
+//! Theorem 8.1).  The k-th-child-from-the-end family has Θ(k) nondeterministic
+//! states; the paper's pipeline stays polynomial in k while the determinization
+//! baseline pays the subset-construction blow-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treenum_automata::ops::determinize;
+use treenum_bench::{bench_tree, kth_child_query};
+use treenum_core::TreeEnumerator;
+use treenum_trees::generate::TreeShape;
+
+fn combined(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_combined_complexity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let tree = bench_tree(400, TreeShape::Wide, 5);
+    for &k in &[2usize, 4, 6, 8] {
+        let (query, alphabet_len) = kth_child_query(k);
+        group.bench_with_input(BenchmarkId::new("nondeterministic_pipeline", k), &k, |b, _| {
+            b.iter(|| {
+                let engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+                engine.count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("determinize_then_pipeline", k), &k, |b, _| {
+            b.iter(|| {
+                let det = determinize(&query);
+                let engine = TreeEnumerator::new(tree.clone(), &det.automaton, alphabet_len);
+                (det.subsets.len(), engine.count())
+            });
+        });
+        let det = determinize(&query);
+        eprintln!(
+            "[E4] k={k}: nfa_states={} dfa_states={}",
+            query.num_states(),
+            det.subsets.len()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, combined);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E2-delay: per-answer delay vs tree size (Table 1 row "this paper": delay O(1) /
+//! O(|S|)).  We enumerate the first K answers and report time per answer, for the
+//! paper's algorithm and for the naive box-enum reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::ops::ControlFlow;
+use treenum_bench::{bench_tree, pair_query, select_b_query};
+use treenum_core::TreeEnumerator;
+use treenum_enumeration::boxenum::BoxEnumMode;
+use treenum_trees::generate::TreeShape;
+
+fn first_k(engine: &TreeEnumerator, k: usize) -> usize {
+    let mut count = 0;
+    engine.for_each(&mut |_a| {
+        count += 1;
+        if count >= k {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    count
+}
+
+fn delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_delay");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let k = 200usize;
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let tree = bench_tree(n, TreeShape::Random, 7);
+        let (query, alphabet_len) = select_b_query();
+        let mut engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+        group.bench_with_input(BenchmarkId::new("first200_select_indexed", n), &n, |b, _| {
+            b.iter(|| first_k(&engine, k));
+        });
+        engine.set_box_enum_mode(BoxEnumMode::Reference);
+        group.bench_with_input(BenchmarkId::new("first200_select_reference", n), &n, |b, _| {
+            b.iter(|| first_k(&engine, k));
+        });
+        let (pairs, alen) = pair_query();
+        let pair_engine = TreeEnumerator::new(tree, &pairs, alen);
+        group.bench_with_input(BenchmarkId::new("first200_pairs_indexed", n), &n, |b, _| {
+            b.iter(|| first_k(&pair_engine, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, delay);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E6-lowerbound: the Theorem 9.2 reduction — marked-ancestor queries answered
+//! through the enumeration structure (two relabeling updates + one delay-bounded
+//! probe), compared with the naive parent-walk structure.  The measured probe cost
+//! tracks 2·t_u + t_e, the quantity the Ω(log n / log log n) bound constrains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use treenum_bench::bench_tree;
+use treenum_lowerbound::{EnumerationMarkedAncestor, NaiveMarkedAncestor};
+use treenum_trees::generate::TreeShape;
+
+fn lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_lower_bound");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &n in &[1_000usize, 4_000] {
+        let shape = bench_tree(n, TreeShape::Deep, 13);
+        let mut reduction = EnumerationMarkedAncestor::new(&shape);
+        let nodes = reduction.nodes();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..n / 10 {
+            let i = rng.gen_range(0..nodes.len());
+            reduction.mark(nodes[i]);
+        }
+        group.bench_with_input(BenchmarkId::new("reduction_query", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(23);
+            b.iter(|| {
+                let i = rng.gen_range(0..nodes.len());
+                reduction.has_marked_ancestor(nodes[i])
+            });
+        });
+        let mut naive = NaiveMarkedAncestor::new(shape.clone());
+        let naive_nodes = naive.tree().preorder();
+        let mut rng2 = StdRng::seed_from_u64(17);
+        for _ in 0..n / 10 {
+            let i = rng2.gen_range(0..naive_nodes.len());
+            naive.mark(naive_nodes[i]);
+        }
+        group.bench_with_input(BenchmarkId::new("naive_parent_walk_query", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(23);
+            b.iter(|| {
+                let i = rng.gen_range(0..naive_nodes.len());
+                naive.has_marked_ancestor(naive_nodes[i])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E1-preprocessing: preprocessing time vs tree size (Table 1 "linear time
+//! preprocessing", Theorem 8.1), plus the structural statistics (term height,
+//! circuit width) that drive the other bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treenum_bench::{bench_tree, select_b_query};
+use treenum_core::TreeEnumerator;
+use treenum_trees::generate::TreeShape;
+
+fn preprocessing(c: &mut Criterion) {
+    let (query, alphabet_len) = select_b_query();
+    let mut group = c.benchmark_group("E1_preprocessing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let tree = bench_tree(n, TreeShape::Random, 42);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| TreeEnumerator::new(tree.clone(), &query, alphabet_len));
+        });
+        let engine = TreeEnumerator::new(tree, &query, alphabet_len);
+        let stats = engine.stats();
+        eprintln!(
+            "[E1] n={n} term_height={} circuit_width={} automaton_states={} boxes={}",
+            stats.term_height, stats.circuit_width, stats.automaton_states, stats.circuit_boxes
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E5-words: document spanners on words with updates (Theorem 8.5, Corollary 8.4):
+//! preprocessing, enumeration and per-edit update time on synthetic log-like words.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use treenum_automata::wva::spanners;
+use treenum_core::words::{WordEdit, WordEnumerator};
+use treenum_trees::valuation::Var;
+use treenum_trees::{Alphabet, Label};
+use treenum_trees::generate::random_word;
+
+fn spanner_bench(c: &mut Criterion) {
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let a = Label(0);
+    let wva = spanners::runs_of(sigma.len(), a, Var(0), Var(1));
+    let mut group = c.benchmark_group("E5_spanners");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let word = random_word(&mut sigma, n, 11);
+        group.bench_with_input(BenchmarkId::new("preprocess", n), &n, |b, _| {
+            b.iter(|| WordEnumerator::new(&word, &wva, 3));
+        });
+        group.bench_with_input(BenchmarkId::new("update_replace", n), &n, |b, _| {
+            let mut engine = WordEnumerator::new(&word, &wva, 3);
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                let at = rng.gen_range(0..engine.len());
+                let letter = Label(rng.gen_range(0..3));
+                engine.apply(WordEdit::Replace { at, letter });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, spanner_bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! # treenum-bench
+//!
+//! Shared workload generators for the Criterion benches in `benches/`.  Each bench
+//! regenerates one experiment of `EXPERIMENTS.md` (E1–E6); see `DESIGN.md` §4 for the
+//! mapping from paper artefacts (Table 1, Theorems 8.1/8.5, Section 9) to benches.
+
+use treenum_automata::{queries, StepwiseTva};
+use treenum_trees::generate::{random_tree, TreeShape};
+use treenum_trees::unranked::UnrankedTree;
+use treenum_trees::valuation::Var;
+use treenum_trees::{Alphabet, Label};
+
+/// The standard benchmark alphabet: `a`, `b`, `m` (marked), `s` (special).
+pub fn bench_alphabet() -> Alphabet {
+    Alphabet::from_names(["a", "b", "m", "s"])
+}
+
+/// A random tree of the given size over the benchmark alphabet.
+pub fn bench_tree(size: usize, shape: TreeShape, seed: u64) -> UnrankedTree {
+    let mut sigma = bench_alphabet();
+    random_tree(&mut sigma, size, shape, seed)
+}
+
+/// The standard single-variable query: select every `b`-labelled node.
+pub fn select_b_query() -> (StepwiseTva, usize) {
+    let sigma = bench_alphabet();
+    let b = sigma.get("b").unwrap();
+    (queries::select_label(sigma.len(), b, Var(0)), sigma.len())
+}
+
+/// The two-variable ancestor/descendant query (quadratically many answers).
+pub fn pair_query() -> (StepwiseTva, usize) {
+    let sigma = bench_alphabet();
+    let a = sigma.get("a").unwrap();
+    let b = sigma.get("b").unwrap();
+    (queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1)), sigma.len())
+}
+
+/// The marked-ancestor query of Theorem 9.2.
+pub fn marked_ancestor_query() -> (StepwiseTva, usize) {
+    let sigma = bench_alphabet();
+    let m = sigma.get("m").unwrap();
+    let s = sigma.get("s").unwrap();
+    (queries::marked_ancestor(sigma.len(), m, s, Var(0)), sigma.len())
+}
+
+/// The `k`-parameterized nondeterministic family whose determinization blows up
+/// exponentially (Experiment E4).
+pub fn kth_child_query(k: usize) -> (StepwiseTva, usize) {
+    let sigma = bench_alphabet();
+    let a = sigma.get("a").unwrap();
+    (queries::kth_child_from_end(sigma.len(), k, a, Var(0)), sigma.len())
+}
+
+/// A label of the benchmark alphabet by name.
+pub fn label(name: &str) -> Label {
+    bench_alphabet().get(name).unwrap()
+}

@@ -1,0 +1,297 @@
+//! Construction of assignment circuits (Lemma 3.7 and its appendix refinement).
+//!
+//! The construction is strictly bottom-up: the content of a box depends only on the
+//! automaton, the label of the corresponding tree node, and the `γ` mappings of the
+//! two child boxes.  This is the property that makes the circuit updatable along tree
+//! hollowings (Lemma 7.3): after an update, only the boxes of the trunk need to be
+//! recomputed.
+
+use crate::circuit::{BoxContent, BoxId, Circuit, Side, StateGate, UnionGate, UnionInput};
+use std::collections::HashMap;
+use treenum_automata::BinaryTva;
+use treenum_trees::binary::{BinaryNodeId, BinaryTree};
+use treenum_trees::Label;
+
+/// An assignment circuit together with the mapping from tree nodes to boxes.
+///
+/// This is the output of the *static* construction over a [`BinaryTree`]; the
+/// incremental engine in `treenum-core` maintains the same structure keyed by
+/// forest-algebra term nodes instead.
+#[derive(Clone, Debug)]
+pub struct AssignmentCircuit {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// `box_of[n]` is the box built for binary tree node `n` (indexed by arena id).
+    pub box_of: HashMap<BinaryNodeId, BoxId>,
+}
+
+/// Builds the content of a *leaf* box for a leaf with the given `label` and leaf
+/// token, following the leaf case of the appendix proof of Lemma 3.7:
+///
+/// * a 0-state `q` gets `⊤` iff `(l, ∅, q) ∈ ι`, else `⊥`;
+/// * a 1-state `q` gets a ∪-gate over one var-gate `⟨Y : n⟩` per `(l, Y, q) ∈ ι`
+///   with `Y ≠ ∅`, or `⊥` if there is none.
+///
+/// The automaton must be homogenized; mixed entries trigger a debug assertion.
+pub fn leaf_box_content(tva: &BinaryTva, label: Label, leaf_token: u32) -> BoxContent {
+    let num_states = tva.num_states();
+    let mut gamma = vec![StateGate::Bot; num_states];
+    let mut union_gates: Vec<UnionGate> = Vec::new();
+    // Group the initial entries by state.
+    let mut empty_entry = vec![false; num_states];
+    let mut nonempty_inputs: Vec<Vec<UnionInput>> = vec![Vec::new(); num_states];
+    for &(y, q) in tva.initial_for(label) {
+        if y.is_empty() {
+            empty_entry[q.index()] = true;
+        } else {
+            nonempty_inputs[q.index()].push(UnionInput::Var { vars: y, leaf_token });
+        }
+    }
+    for q in 0..num_states {
+        debug_assert!(
+            !(empty_entry[q] && !nonempty_inputs[q].is_empty()),
+            "automaton is not homogenized: state {q} has both empty and non-empty initial entries"
+        );
+        if empty_entry[q] {
+            gamma[q] = StateGate::Top;
+        } else if !nonempty_inputs[q].is_empty() {
+            let gate_index = union_gates.len() as u32;
+            let mut inputs = std::mem::take(&mut nonempty_inputs[q]);
+            inputs.sort_unstable_by_key(|i| match i {
+                UnionInput::Var { vars, .. } => vars.0,
+                _ => unreachable!(),
+            });
+            inputs.dedup();
+            union_gates.push(UnionGate { inputs });
+            gamma[q] = StateGate::Union(gate_index);
+        }
+    }
+    BoxContent { union_gates, gamma }
+}
+
+/// Builds the content of an *internal* box for a node with the given `label`, from
+/// the `γ` mappings of its two child boxes, following the internal case of the
+/// appendix proof of Lemma 3.7:
+///
+/// * a 0-state `q` gets `⊤` iff some transition `(q₁, q₂, q) ∈ δ_l` has both children
+///   mapped to `⊤`, else `⊥`;
+/// * a 1-state `q` gets a ∪-gate over one input per transition `(q₁, q₂, q) ∈ δ_l`
+///   whose children gates are not `⊥`: a `×`-gate when both are ∪-gates, or a direct
+///   wire to the non-`⊤` side when the other side is `⊤` (this is how `⊤`-gates are
+///   kept out of gate inputs).
+pub fn internal_box_content(
+    tva: &BinaryTva,
+    label: Label,
+    left_gamma: &[StateGate],
+    right_gamma: &[StateGate],
+) -> BoxContent {
+    let num_states = tva.num_states();
+    debug_assert_eq!(left_gamma.len(), num_states);
+    debug_assert_eq!(right_gamma.len(), num_states);
+    let mut gamma = vec![StateGate::Bot; num_states];
+    let mut union_gates: Vec<UnionGate> = Vec::new();
+    let mut inputs_per_state: Vec<Vec<UnionInput>> = vec![Vec::new(); num_states];
+    let mut top_per_state = vec![false; num_states];
+    for &(q1, q2, q) in tva.transitions_for(label) {
+        let g1 = left_gamma[q1.index()];
+        let g2 = right_gamma[q2.index()];
+        match (g1, g2) {
+            (StateGate::Bot, _) | (_, StateGate::Bot) => {}
+            (StateGate::Top, StateGate::Top) => {
+                top_per_state[q.index()] = true;
+            }
+            (StateGate::Top, StateGate::Union(u)) => {
+                inputs_per_state[q.index()].push(UnionInput::Child { side: Side::Right, gate: u });
+            }
+            (StateGate::Union(u), StateGate::Top) => {
+                inputs_per_state[q.index()].push(UnionInput::Child { side: Side::Left, gate: u });
+            }
+            (StateGate::Union(u1), StateGate::Union(u2)) => {
+                inputs_per_state[q.index()].push(UnionInput::Times { left: u1, right: u2 });
+            }
+        }
+    }
+    for q in 0..num_states {
+        debug_assert!(
+            !(top_per_state[q] && !inputs_per_state[q].is_empty()),
+            "automaton is not homogenized: state {q} captures both the empty and a non-empty assignment"
+        );
+        if top_per_state[q] {
+            gamma[q] = StateGate::Top;
+        } else if !inputs_per_state[q].is_empty() {
+            let mut inputs = std::mem::take(&mut inputs_per_state[q]);
+            inputs.sort_unstable_by_key(|i| match *i {
+                UnionInput::Times { left, right } => (0u8, left, right),
+                UnionInput::Child { side: Side::Left, gate } => (1, gate, 0),
+                UnionInput::Child { side: Side::Right, gate } => (2, gate, 0),
+                UnionInput::Var { .. } => (3, 0, 0),
+            });
+            inputs.dedup();
+            let gate_index = union_gates.len() as u32;
+            union_gates.push(UnionGate { inputs });
+            gamma[q] = StateGate::Union(gate_index);
+        }
+    }
+    BoxContent { union_gates, gamma }
+}
+
+/// Builds the assignment circuit of a homogenized binary TVA on a binary tree
+/// (Lemma 3.7): one box per tree node, processed bottom-up, in time
+/// `O(|T| × |A|)`.  Leaf tokens are the binary node identifiers.
+pub fn build_assignment_circuit(tva: &BinaryTva, tree: &BinaryTree) -> AssignmentCircuit {
+    let mut circuit = Circuit::new(tva.num_states());
+    let mut box_of: HashMap<BinaryNodeId, BoxId> = HashMap::new();
+    for n in tree.postorder() {
+        let label = tree.label(n);
+        let b = match tree.children(n) {
+            None => {
+                let content = leaf_box_content(tva, label, n.0);
+                circuit.add_leaf_box(content, n.0)
+            }
+            Some((l, r)) => {
+                let bl = box_of[&l];
+                let br = box_of[&r];
+                let content = internal_box_content(tva, label, circuit.gamma(bl), circuit.gamma(br));
+                circuit.add_internal_box(content, bl, br)
+            }
+        };
+        box_of.insert(n, b);
+    }
+    let root_box = box_of[&tree.root()];
+    circuit.set_root(root_box);
+    AssignmentCircuit { circuit, box_of }
+}
+
+impl AssignmentCircuit {
+    /// The gates `γ(root, q)` for the final states of `tva`: the boxed set whose
+    /// captured assignments are exactly the non-empty satisfying assignments, plus a
+    /// flag telling whether the empty assignment is satisfying (some final 0-state has
+    /// a `⊤` root gate).
+    pub fn root_query(&self, tva: &BinaryTva, tree: &BinaryTree) -> (Vec<u32>, bool) {
+        let root_box = self.box_of[&tree.root()];
+        let gamma = self.circuit.gamma(root_box);
+        let mut gates = Vec::new();
+        let mut empty_accepted = false;
+        for &f in tva.final_states() {
+            match gamma[f.index()] {
+                StateGate::Top => empty_accepted = true,
+                StateGate::Bot => {}
+                StateGate::Union(u) => {
+                    if !gates.contains(&u) {
+                        gates.push(u);
+                    }
+                }
+            }
+        }
+        (gates, empty_accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::capture_state;
+    use treenum_automata::binary::select_a_leaves;
+    use treenum_automata::State;
+    use treenum_trees::valuation::{Var, VarSet};
+    use treenum_trees::Alphabet;
+
+    fn chain_tree(depth: usize, leaf_label: Label, internal_label: Label) -> BinaryTree {
+        let mut t = BinaryTree::leaf(leaf_label);
+        let mut current = t.root();
+        for _ in 0..depth {
+            let l = t.add_leaf(leaf_label);
+            current = t.add_internal(internal_label, current, l);
+        }
+        t.set_root(current);
+        t
+    }
+
+    #[test]
+    fn circuit_width_is_bounded_by_states_and_depth_by_height() {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        let tva = select_a_leaves(a, f, Var(0));
+        assert!(tva.is_homogenized());
+        let tree = chain_tree(6, a, f);
+        let ac = build_assignment_circuit(&tva, &tree);
+        ac.circuit.validate();
+        assert!(ac.circuit.width() <= tva.num_states());
+        assert_eq!(ac.circuit.num_boxes(), tree.len());
+        assert_eq!(ac.circuit.height(), tree.height());
+    }
+
+    #[test]
+    fn captured_sets_match_brute_force() {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        let tva = select_a_leaves(a, f, Var(0));
+        let tree = chain_tree(3, a, f);
+        let ac = build_assignment_circuit(&tva, &tree);
+        // The root gate for the final state q1 must capture exactly the singletons
+        // {⟨x : leaf⟩} for every a-leaf.
+        let root_box = ac.box_of[&tree.root()];
+        let captured = capture_state(&ac.circuit, root_box, State(1));
+        let expected: std::collections::HashSet<_> = tva
+            .satisfying_assignments(&tree)
+            .into_iter()
+            .map(|ass| {
+                ass.into_iter()
+                    .map(|(v, n)| (v, n.0))
+                    .collect::<std::collections::BTreeSet<(Var, u32)>>()
+            })
+            .collect();
+        assert_eq!(captured, expected);
+        assert_eq!(captured.len(), tree.leaves().len());
+    }
+
+    #[test]
+    fn leaf_box_content_respects_homogenization() {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        let tva = select_a_leaves(a, f, Var(0));
+        let content = leaf_box_content(&tva, a, 7);
+        // State 0 (zero-state) gets ⊤, state 1 gets a ∪-gate over one var-gate.
+        assert!(content.gamma[0].is_top());
+        assert_eq!(content.gamma[1], StateGate::Union(0));
+        assert_eq!(
+            content.union_gates[0].inputs,
+            vec![UnionInput::Var { vars: VarSet::singleton(Var(0)), leaf_token: 7 }]
+        );
+    }
+
+    #[test]
+    fn internal_box_uses_child_wires_for_top_sides() {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        let tva = select_a_leaves(a, f, Var(0));
+        let leaf = leaf_box_content(&tva, a, 0);
+        let content = internal_box_content(&tva, f, &leaf.gamma, &leaf.gamma);
+        // For the final state 1 the transitions are (q1,q0,q1) and (q0,q1,q1); both
+        // have one ⊤ side, so the gate has two Child inputs and no ×-gate.
+        let gate = &content.union_gates[content.gamma[1].union_index().unwrap() as usize];
+        assert_eq!(gate.inputs.len(), 2);
+        assert!(gate.inputs.iter().all(|i| matches!(i, UnionInput::Child { .. })));
+    }
+
+    #[test]
+    fn root_query_reports_empty_assignment_acceptance() {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        // An automaton that accepts everything with the empty valuation: one 0-state, final.
+        let mut tva = BinaryTva::new(1, 2, VarSet::empty());
+        tva.add_initial(a, VarSet::empty(), State(0));
+        tva.add_transition(f, State(0), State(0), State(0));
+        tva.add_final(State(0));
+        let tree = chain_tree(2, a, f);
+        let ac = build_assignment_circuit(&tva, &tree);
+        let (gates, empty) = ac.root_query(&tva, &tree);
+        assert!(gates.is_empty());
+        assert!(empty);
+    }
+}

@@ -1,0 +1,418 @@
+//! The incremental tree enumeration engine (Theorem 8.1).
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+use treenum_automata::{BinaryTva, StepwiseTva};
+use treenum_balance::build::build_balanced_term;
+use treenum_balance::term::{Term, TermAlphabet, TermNodeId};
+use treenum_balance::translate::translate_stepwise;
+use treenum_balance::update::apply_edit;
+use treenum_circuits::{internal_box_content, leaf_box_content, BoxContent, BoxId, Circuit, StateGate};
+use treenum_enumeration::boxenum::BoxEnumMode;
+use treenum_enumeration::dedup::enumerate_root;
+use treenum_enumeration::EnumIndex;
+use treenum_trees::edit::EditOp;
+use treenum_trees::unranked::{NodeId, UnrankedTree};
+use treenum_trees::valuation::{Assignment, Singleton};
+use treenum_trees::Label;
+
+/// Structural statistics of the enumeration structure (reported by benchmarks and
+/// examples to make the complexity parameters of the paper observable).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnumerationStats {
+    /// Number of nodes of the underlying unranked tree.
+    pub tree_size: usize,
+    /// Height of the balanced forest-algebra term (`O(log n)` by Section 7).
+    pub term_height: usize,
+    /// Number of states of the translated binary TVA (the paper's `|Q'| ≤ |Q|² + |Q|⁴`
+    /// after trimming).
+    pub automaton_states: usize,
+    /// Width of the assignment circuit (bounded by the automaton states, Lemma 3.7).
+    pub circuit_width: usize,
+    /// Number of circuit boxes (one per term node).
+    pub circuit_boxes: usize,
+}
+
+/// The update-aware enumeration structure for a stepwise TVA query on an unranked
+/// tree: linear-time preprocessing, delay independent of the tree, logarithmic-time
+/// updates (Theorem 8.1).
+pub struct TreeEnumerator {
+    tree: UnrankedTree,
+    term: Term,
+    phi: HashMap<NodeId, TermNodeId>,
+    tva: BinaryTva,
+    alphabet: TermAlphabet,
+    circuit: Circuit,
+    box_of: HashMap<TermNodeId, BoxId>,
+    index: EnumIndex,
+    mode: BoxEnumMode,
+}
+
+impl TreeEnumerator {
+    /// Preprocessing: builds the enumeration structure for `query` (a stepwise TVA
+    /// over `base_alphabet_len` labels) on `tree`.
+    pub fn new(tree: UnrankedTree, query: &StepwiseTva, base_alphabet_len: usize) -> Self {
+        let translated = translate_stepwise(query, base_alphabet_len);
+        let (term, phi) = build_balanced_term(&tree);
+        let mut engine = TreeEnumerator {
+            tree,
+            term,
+            phi,
+            tva: translated.tva,
+            alphabet: translated.alphabet,
+            circuit: Circuit::default(),
+            box_of: HashMap::new(),
+            index: EnumIndex::default(),
+            mode: BoxEnumMode::Indexed,
+        };
+        engine.circuit = Circuit::new(engine.tva.num_states());
+        let order = engine.term.subtree_postorder(engine.term.root());
+        for n in order {
+            engine.rebuild_box_for(n);
+        }
+        let root_box = engine.box_of[&engine.term.root()];
+        engine.circuit.set_root_force(root_box);
+        let mut index = EnumIndex::default();
+        for b in engine.circuit.boxes_postorder() {
+            index.rebuild_box(&engine.circuit, b);
+        }
+        engine.index = index;
+        engine
+    }
+
+    /// Switches between the jump-pointer `box-enum` of Algorithm 3 (default) and the
+    /// naive reference implementation (used by baselines and differential tests).
+    pub fn set_box_enum_mode(&mut self, mode: BoxEnumMode) {
+        self.mode = mode;
+    }
+
+    /// A read-only view of the current tree.
+    pub fn tree(&self) -> &UnrankedTree {
+        &self.tree
+    }
+
+    /// Structural statistics of the current enumeration structure.
+    pub fn stats(&self) -> EnumerationStats {
+        EnumerationStats {
+            tree_size: self.tree.len(),
+            term_height: self.term.height(),
+            automaton_states: self.tva.num_states(),
+            circuit_width: self.circuit.width(),
+            circuit_boxes: self.circuit.num_boxes(),
+        }
+    }
+
+    fn term_label(&self, n: TermNodeId) -> Label {
+        self.alphabet.label_of(self.term.kind(n))
+    }
+
+    /// (Re)computes the circuit box of term node `n` (children boxes must be current).
+    fn rebuild_box_for(&mut self, n: TermNodeId) {
+        let label = self.term_label(n);
+        let content: BoxContent = match self.term.children(n) {
+            None => {
+                let node = self.term.leaf_tree_node(n).expect("term leaves map to tree nodes");
+                leaf_box_content(&self.tva, label, node.0)
+            }
+            Some((l, r)) => {
+                let bl = self.box_of[&l];
+                let br = self.box_of[&r];
+                let (lg, rg) = (self.circuit.gamma(bl).to_vec(), self.circuit.gamma(br).to_vec());
+                internal_box_content(&self.tva, label, &lg, &rg)
+            }
+        };
+        let children = self
+            .term
+            .children(n)
+            .map(|(l, r)| (self.box_of[&l], self.box_of[&r]));
+        let leaf_token = self.term.leaf_tree_node(n).map(|node| node.0);
+        match self.box_of.get(&n).copied().filter(|&b| self.circuit.is_live(b)) {
+            Some(b) => {
+                self.circuit.replace_content(b, content);
+                self.circuit.set_children(b, children);
+            }
+            None => {
+                let b = self.circuit.add_orphan_box(content, leaf_token);
+                self.circuit.set_children(b, children);
+                self.box_of.insert(n, b);
+            }
+        }
+    }
+
+    /// The root ∪-gates of the final states and whether the empty assignment is
+    /// accepted.
+    fn root_query(&self) -> (BoxId, Vec<u32>, bool) {
+        let root_box = self.box_of[&self.term.root()];
+        let gamma = self.circuit.gamma(root_box);
+        let mut gates = Vec::new();
+        let mut empty = false;
+        for &f in self.tva.final_states() {
+            match gamma[f.index()] {
+                StateGate::Top => empty = true,
+                StateGate::Bot => {}
+                StateGate::Union(u) => {
+                    if !gates.contains(&u) {
+                        gates.push(u);
+                    }
+                }
+            }
+        }
+        (root_box, gates, empty)
+    }
+
+    /// Enumerates every satisfying assignment, invoking `sink` once per answer,
+    /// without duplicates.  Return [`ControlFlow::Break`] from the sink to stop early.
+    pub fn for_each(&self, sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>) {
+        let (root_box, gates, empty) = self.root_query();
+        let index = match self.mode {
+            BoxEnumMode::Indexed => Some(&self.index),
+            BoxEnumMode::Reference => None,
+        };
+        let _ = enumerate_root(&self.circuit, index, self.mode, root_box, &gates, empty, &mut |parts| {
+            let assignment = Assignment::from_singletons(parts.iter().flat_map(|&(vars, token)| {
+                vars.iter().map(move |v| Singleton::new(v, NodeId(token)))
+            }));
+            sink(assignment)
+        });
+    }
+
+    /// Collects all satisfying assignments (convenience wrapper around
+    /// [`TreeEnumerator::for_each`]).
+    pub fn assignments(&self) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        self.for_each(&mut |a| {
+            out.push(a);
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Counts the satisfying assignments by enumerating them.
+    pub fn count(&self) -> usize {
+        let mut count = 0;
+        self.for_each(&mut |_| {
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        count
+    }
+
+    /// Returns the first `k` assignments (exercising the early-termination path that
+    /// the delay guarantee is about).
+    pub fn first_k(&self, k: usize) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        if k == 0 {
+            return out;
+        }
+        self.for_each(&mut |a| {
+            out.push(a);
+            if out.len() >= k {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        out
+    }
+
+    /// Applies an edit operation (Definition 7.1) to the underlying tree and repairs
+    /// the term, the circuit boxes and the index entries of exactly the dirtied
+    /// nodes (Lemma 7.3).  Returns the node created by an insertion, if any.
+    pub fn apply(&mut self, op: &EditOp) -> Option<NodeId> {
+        let report = apply_edit(&mut self.tree, &mut self.term, &mut self.phi, op);
+        // Free the boxes of removed term nodes first (their arena slots may be reused
+        // by the new nodes created by the same edit).
+        for freed in &report.freed {
+            if let Some(b) = self.box_of.remove(freed) {
+                self.index.remove_box(b);
+                if self.circuit.is_live(b) {
+                    self.circuit.free_single(b);
+                }
+            }
+        }
+        // Repair the dirtied boxes bottom-up: content, child links, then index entry.
+        for &dirty in &report.dirty {
+            if !self.term.is_live(dirty) {
+                continue;
+            }
+            self.rebuild_box_for(dirty);
+        }
+        let root_box = self.box_of[&self.term.root()];
+        self.circuit.set_root_force(root_box);
+        for &dirty in &report.dirty {
+            if !self.term.is_live(dirty) {
+                continue;
+            }
+            let b = self.box_of[&dirty];
+            self.index.rebuild_box(&self.circuit, b);
+        }
+        report.inserted
+    }
+
+    /// Number of term nodes touched by the last kind of update on average is
+    /// logarithmic; this helper reports the current term height for inspection.
+    pub fn term_height(&self) -> usize {
+        self.term.height()
+    }
+
+    /// Checks internal consistency (box tree mirrors the term, index entries exist);
+    /// used by tests after update sequences.
+    pub fn check_consistency(&self) {
+        self.term.check_invariants();
+        assert_eq!(self.phi.len(), self.tree.len());
+        for n in self.term.subtree_postorder(self.term.root()) {
+            let b = *self.box_of.get(&n).expect("missing box for a live term node");
+            assert!(self.circuit.is_live(b));
+            assert!(self.index.has(b), "missing index entry for a live box");
+            match self.term.children(n) {
+                None => assert!(self.circuit.is_leaf(b)),
+                Some((l, r)) => {
+                    assert_eq!(self.circuit.children(b), Some((self.box_of[&l], self.box_of[&r])));
+                }
+            }
+        }
+        self.circuit.validate();
+    }
+
+    /// The satisfying assignments computed by the brute-force oracle on the current
+    /// tree (test helper; exponential, only for small trees).
+    pub fn brute_force_oracle(&self, query: &StepwiseTva) -> Vec<Assignment> {
+        let mut answers: Vec<Assignment> = query.satisfying_assignments(&self.tree).into_iter().collect();
+        answers.sort();
+        answers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treenum_automata::queries;
+    use treenum_trees::generate::{random_tree, EditStream, TreeShape};
+    use treenum_trees::valuation::Var;
+    use treenum_trees::Alphabet;
+
+    fn sorted(mut v: Vec<Assignment>) -> Vec<Assignment> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn enumerates_label_selection_on_random_trees() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let b = sigma.get("b").unwrap();
+        let query = queries::select_label(sigma.len(), b, Var(0));
+        for shape in [TreeShape::Random, TreeShape::Deep, TreeShape::Wide] {
+            let tree = random_tree(&mut sigma, 30, shape, 11);
+            let expected = sorted(query.satisfying_assignments(&tree).into_iter().collect());
+            let engine = TreeEnumerator::new(tree, &query, sigma.len());
+            assert_eq!(sorted(engine.assignments()), expected, "shape {:?}", shape);
+            assert_eq!(engine.count(), expected.len());
+        }
+    }
+
+    #[test]
+    fn enumerates_pair_queries() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let a = sigma.get("a").unwrap();
+        let b = sigma.get("b").unwrap();
+        let query = queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1));
+        let tree = random_tree(&mut sigma, 18, TreeShape::Random, 3);
+        let expected = sorted(query.satisfying_assignments(&tree).into_iter().collect());
+        let engine = TreeEnumerator::new(tree, &query, sigma.len());
+        assert_eq!(sorted(engine.assignments()), expected);
+    }
+
+    #[test]
+    fn boolean_query_yields_empty_assignment() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let b = sigma.get("b").unwrap();
+        let query = queries::exists_label(sigma.len(), b);
+        let tree = random_tree(&mut sigma, 12, TreeShape::Random, 9);
+        let expected = sorted(query.satisfying_assignments(&tree).into_iter().collect());
+        let engine = TreeEnumerator::new(tree, &query, sigma.len());
+        assert_eq!(sorted(engine.assignments()), expected);
+    }
+
+    #[test]
+    fn first_k_supports_early_termination() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let a = sigma.get("a").unwrap();
+        let query = queries::select_label(sigma.len(), a, Var(0));
+        let tree = random_tree(&mut sigma, 40, TreeShape::Random, 21);
+        let engine = TreeEnumerator::new(tree, &query, sigma.len());
+        let total = engine.count();
+        assert!(total > 3);
+        assert_eq!(engine.first_k(3).len(), 3);
+        assert_eq!(engine.first_k(0).len(), 0);
+    }
+
+    #[test]
+    fn updates_keep_answers_correct() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let labels: Vec<_> = sigma.labels().collect();
+        let b = sigma.get("b").unwrap();
+        let query = queries::select_label(sigma.len(), b, Var(0));
+        let tree = random_tree(&mut sigma, 15, TreeShape::Random, 4);
+        let mut engine = TreeEnumerator::new(tree, &query, sigma.len());
+        let mut stream = EditStream::balanced_mix(labels, 77);
+        for step in 0..60 {
+            let op = stream.next_for(engine.tree());
+            engine.apply(&op);
+            let expected = sorted(query.satisfying_assignments(engine.tree()).into_iter().collect());
+            assert_eq!(sorted(engine.assignments()), expected, "after step {step} ({op:?})");
+        }
+        engine.check_consistency();
+    }
+
+    #[test]
+    fn updates_keep_answers_correct_for_pair_query() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let labels: Vec<_> = sigma.labels().collect();
+        let a = sigma.get("a").unwrap();
+        let b = sigma.get("b").unwrap();
+        let query = queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1));
+        let tree = random_tree(&mut sigma, 10, TreeShape::Deep, 8);
+        let mut engine = TreeEnumerator::new(tree, &query, sigma.len());
+        let mut stream = EditStream::balanced_mix(labels, 13);
+        for step in 0..40 {
+            let op = stream.next_for(engine.tree());
+            engine.apply(&op);
+            let expected = sorted(query.satisfying_assignments(engine.tree()).into_iter().collect());
+            assert_eq!(sorted(engine.assignments()), expected, "after step {step} ({op:?})");
+        }
+        engine.check_consistency();
+    }
+
+    #[test]
+    fn stats_report_logarithmic_term_height() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let b = sigma.get("b").unwrap();
+        let query = queries::select_label(sigma.len(), b, Var(0));
+        let tree = random_tree(&mut sigma, 500, TreeShape::Deep, 2);
+        let engine = TreeEnumerator::new(tree, &query, sigma.len());
+        let stats = engine.stats();
+        assert_eq!(stats.tree_size, 500);
+        assert_eq!(stats.circuit_boxes, engine.term.len());
+        assert!(stats.term_height <= 70, "term height {} not logarithmic", stats.term_height);
+        assert!(stats.circuit_width <= stats.automaton_states);
+    }
+
+    #[test]
+    fn reference_and_indexed_modes_agree_after_updates() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let labels: Vec<_> = sigma.labels().collect();
+        let b = sigma.get("b").unwrap();
+        let query = queries::select_label(sigma.len(), b, Var(0));
+        let tree = random_tree(&mut sigma, 20, TreeShape::Random, 6);
+        let mut engine = TreeEnumerator::new(tree, &query, sigma.len());
+        let mut stream = EditStream::balanced_mix(labels, 5);
+        for _ in 0..30 {
+            let op = stream.next_for(engine.tree());
+            engine.apply(&op);
+        }
+        let indexed = sorted(engine.assignments());
+        engine.set_box_enum_mode(BoxEnumMode::Reference);
+        let reference = sorted(engine.assignments());
+        assert_eq!(indexed, reference);
+    }
+}

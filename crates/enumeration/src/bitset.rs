@@ -1,0 +1,158 @@
+//! Small dense bitsets over the ∪-gates of a box.
+
+/// A set of ∪-gate indices of one box, stored as a dense bitset.
+///
+/// Boxed sets (Section 5) and the rows/columns of reachability relations are
+/// represented this way; the widths involved are bounded by the circuit width, which
+/// only depends on the automaton.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct GateSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl GateSet {
+    /// The empty set over a universe of `len` gates.
+    pub fn empty(len: usize) -> Self {
+        GateSet { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// The full set `{0, …, len-1}`.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::empty(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// A singleton set.
+    pub fn singleton(len: usize, i: usize) -> Self {
+        let mut s = Self::empty(len);
+        s.insert(i);
+        s
+    }
+
+    /// Builds a set from an iterator of gate indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, iter: I) -> Self {
+        let mut s = Self::empty(len);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The size of the universe (number of ∪-gates of the box).
+    pub fn universe_len(&self) -> usize {
+        self.len
+    }
+
+    /// Adds gate `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes gate `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of gates in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &GateSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// `true` iff the two sets intersect.
+    pub fn intersects(&self, other: &GateSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the gate indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Raw words (used by [`crate::relation::Relation`] for blocked composition).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable raw words.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = GateSet::empty(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let a = GateSet::from_indices(70, [1, 65]);
+        let b = GateSet::from_indices(70, [2, 65]);
+        assert!(a.intersects(&b));
+        let mut c = a.clone();
+        c.union_with(&b);
+        assert_eq!(c.count(), 3);
+        let d = GateSet::from_indices(70, [3]);
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(GateSet::full(67).count(), 67);
+        assert!(GateSet::empty(10).is_empty());
+        assert!(!GateSet::singleton(10, 9).is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! The `box-enum` procedure (Sections 5–6).
+//!
+//! Given a boxed set `Γ` in a box `B`, `box-enum(Γ)` enumerates every box `B'` that
+//! contains a var- or ×-gate ∪-reachable from `Γ` ("interesting boxes"), and produces
+//! for each one the ∪-reachability relation `R(B', Γ)`.
+//!
+//! Two implementations are provided:
+//!
+//! * [`box_enum_reference`]: the straightforward walk of the box tree described at
+//!   the end of Section 5, with delay `O(depth(C) · w²/64)` — simple, certainly
+//!   correct, used as the differential-testing oracle;
+//! * [`box_enum_indexed`]: Algorithm 3, which uses the precomputed `fib`/`fbb`
+//!   jump pointers of the index (Definition 6.1) to skip uninteresting boxes, making
+//!   the delay essentially independent of the circuit depth (Lemma 6.4).
+
+use crate::bitset::GateSet;
+use crate::index::EnumIndex;
+use crate::relation::{child_relation, Relation};
+use std::ops::ControlFlow;
+use treenum_circuits::{BoxId, Circuit, Side, UnionInput};
+
+/// Which `box-enum` implementation the enumerator should use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BoxEnumMode {
+    /// Algorithm 3 with the jump-pointer index (the paper's algorithm).
+    #[default]
+    Indexed,
+    /// The naive depth-bounded walk (Section 5), used as reference.
+    Reference,
+}
+
+/// The callback type receiving `(B', R(B', Γ))` pairs.
+pub type BoxSink<'s> = dyn FnMut(BoxId, &Relation) -> ControlFlow<()> + 's;
+
+fn is_interesting(circuit: &Circuit, b: BoxId, sources: &GateSet) -> bool {
+    let gates = circuit.union_gates(b);
+    sources.iter().any(|gi| {
+        gates[gi]
+            .inputs
+            .iter()
+            .any(|i| matches!(i, UnionInput::Var { .. } | UnionInput::Times { .. }))
+    })
+}
+
+/// The initial relation `R(B, Γ) = {(g, g) | g ∈ Γ}` for a boxed set `Γ` of box `B`.
+pub fn initial_relation(circuit: &Circuit, b: BoxId, gamma: &GateSet) -> Relation {
+    let w = circuit.box_width(b);
+    Relation::from_pairs(w, w, gamma.iter().map(|g| (g, g)))
+}
+
+/// Reference implementation: walk the subtree of `box(Γ)` top-down, maintaining the
+/// reachability relation, and emit it at every interesting box.
+pub fn box_enum_reference(
+    circuit: &Circuit,
+    b: BoxId,
+    gamma: &GateSet,
+    sink: &mut BoxSink<'_>,
+) -> ControlFlow<()> {
+    let r = initial_relation(circuit, b, gamma);
+    walk_reference(circuit, b, &r, sink)
+}
+
+fn walk_reference(circuit: &Circuit, b: BoxId, r: &Relation, sink: &mut BoxSink<'_>) -> ControlFlow<()> {
+    let sources = r.project_sources();
+    if sources.is_empty() {
+        return ControlFlow::Continue(());
+    }
+    if is_interesting(circuit, b, &sources) {
+        sink(b, r)?;
+    }
+    if let Some((l, rt)) = circuit.children(b) {
+        let rl = child_relation(circuit, b, Side::Left).compose(r);
+        if !rl.is_empty() {
+            walk_reference(circuit, l, &rl, sink)?;
+        }
+        let rr = child_relation(circuit, b, Side::Right).compose(r);
+        if !rr.is_empty() {
+            walk_reference(circuit, rt, &rr, sink)?;
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Algorithm 3: jump to the first interesting box with `fib`, cover its subtree, then
+/// walk the bidirectional boxes on the path with `fbb`, recursing into their right
+/// subtrees.
+pub fn box_enum_indexed(
+    circuit: &Circuit,
+    index: &EnumIndex,
+    b: BoxId,
+    gamma: &GateSet,
+    sink: &mut BoxSink<'_>,
+) -> ControlFlow<()> {
+    let r = initial_relation(circuit, b, gamma);
+    if r.is_empty() {
+        return ControlFlow::Continue(());
+    }
+    b_enum(circuit, index, b, r, sink)
+}
+
+fn b_enum(
+    circuit: &Circuit,
+    index: &EnumIndex,
+    b: BoxId,
+    r: Relation,
+    sink: &mut BoxSink<'_>,
+) -> ControlFlow<()> {
+    let sources = r.project_sources();
+    debug_assert!(!sources.is_empty(), "b-enum called with an empty relation");
+    let bi = index.of(b);
+    // Line 4–6: jump to the first interesting box and output its relation.
+    let b1_slot = bi
+        .fib_of_set(sources.iter())
+        .expect("every ∪-gate reaches an interesting box");
+    let b1 = bi.closure[b1_slot as usize];
+    let r1 = bi.rel[b1_slot as usize].compose(&r);
+    sink(b1, &r1)?;
+    // Lines 7–10: recurse into both subtrees of the first interesting box.
+    if let Some((bl, br)) = circuit.children(b1) {
+        let rl = child_relation(circuit, b1, Side::Left).compose(&r1);
+        if !rl.is_empty() {
+            b_enum(circuit, index, bl, rl, sink)?;
+        }
+        let rr = child_relation(circuit, b1, Side::Right).compose(&r1);
+        if !rr.is_empty() {
+            b_enum(circuit, index, br, rr, sink)?;
+        }
+    }
+    // Lines 11–17 of Algorithm 3 jump between the *bidirectional* boxes on the path
+    // from `b` to `b1` and recurse into their off-path subtrees.  We implement the
+    // same traversal as a walk down that path: path boxes strictly above `b1` are
+    // never interesting (otherwise `fib` would have returned them), so the only work
+    // is to recurse into the off-path side wherever the ∪-reachable wavefront
+    // branches away from the path.  The walk costs `O(w²/64)` per path box; with the
+    // balanced terms of Section 7 the path has length `O(log n)`.
+    let mut current_box = b;
+    let mut current_rel = r;
+    while current_box != b1 {
+        if current_rel.is_empty() {
+            break;
+        }
+        let (bl, br) = circuit
+            .children(current_box)
+            .expect("a strict ancestor of the first interesting box is internal");
+        let towards_left = circuit.is_ancestor(bl, b1);
+        let (path_child, path_side, off_child, off_side) = if towards_left {
+            (bl, Side::Left, br, Side::Right)
+        } else {
+            (br, Side::Right, bl, Side::Left)
+        };
+        let off_rel = child_relation(circuit, current_box, off_side).compose(&current_rel);
+        if !off_rel.is_empty() {
+            b_enum(circuit, index, off_child, off_rel, sink)?;
+        }
+        current_rel = child_relation(circuit, current_box, path_side).compose(&current_rel);
+        current_box = path_child;
+    }
+    ControlFlow::Continue(())
+}
+
+/// Runs either implementation depending on `mode` (the index may be `None` only in
+/// reference mode).
+pub fn box_enum(
+    circuit: &Circuit,
+    index: Option<&EnumIndex>,
+    mode: BoxEnumMode,
+    b: BoxId,
+    gamma: &GateSet,
+    sink: &mut BoxSink<'_>,
+) -> ControlFlow<()> {
+    match mode {
+        BoxEnumMode::Reference => box_enum_reference(circuit, b, gamma, sink),
+        BoxEnumMode::Indexed => {
+            let index = index.expect("indexed box-enum requires the index structure");
+            box_enum_indexed(circuit, index, b, gamma, sink)
+        }
+    }
+}
+
+/// Collects the output of a `box-enum` run (for tests).
+pub fn collect_box_enum(
+    circuit: &Circuit,
+    index: Option<&EnumIndex>,
+    mode: BoxEnumMode,
+    b: BoxId,
+    gamma: &GateSet,
+) -> Vec<(BoxId, Relation)> {
+    let mut out = Vec::new();
+    let _ = box_enum(circuit, index, mode, b, gamma, &mut |bx, r| {
+        out.push((bx, r.clone()));
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use treenum_automata::binary::select_a_leaves;
+    use treenum_automata::BinaryTva;
+    use treenum_automata::State;
+    use treenum_circuits::build_assignment_circuit;
+    use treenum_trees::binary::BinaryTree;
+    use treenum_trees::valuation::VarSet;
+    use treenum_trees::{Alphabet, Label, Var};
+
+    fn random_binary_tree(size: usize, num_labels: usize, seed: u64) -> BinaryTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let label = |rng: &mut StdRng| Label(rng.gen_range(0..num_labels as u32));
+        let l0 = label(&mut rng);
+        let mut t = BinaryTree::leaf(l0);
+        let mut roots = vec![t.root()];
+        while roots.len() < size {
+            if roots.len() >= 2 && rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..roots.len());
+                let a = roots.swap_remove(i);
+                let j = rng.gen_range(0..roots.len());
+                let b = roots.swap_remove(j);
+                roots.push(t.add_internal(label(&mut rng), a, b));
+            } else {
+                roots.push(t.add_leaf(label(&mut rng)));
+            }
+        }
+        // Join the remaining roots into a single tree.
+        while roots.len() > 1 {
+            let a = roots.pop().unwrap();
+            let b = roots.pop().unwrap();
+            roots.push(t.add_internal(label(&mut rng), a, b));
+        }
+        t.set_root(roots[0]);
+        t
+    }
+
+    /// A small random homogenized TVA over `num_labels` labels and one variable.
+    fn random_tva(num_labels: usize, num_states: usize, seed: u64) -> BinaryTva {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Var(0);
+        let mut tva = BinaryTva::new(num_states, num_labels, VarSet::singleton(x));
+        for l in 0..num_labels as u32 {
+            for q in 0..num_states as u32 {
+                if rng.gen_bool(0.5) {
+                    tva.add_initial(Label(l), VarSet::empty(), State(q));
+                }
+                if rng.gen_bool(0.4) {
+                    tva.add_initial(Label(l), VarSet::singleton(x), State(q));
+                }
+            }
+            for _ in 0..(num_states * num_states) {
+                let q1 = State(rng.gen_range(0..num_states as u32));
+                let q2 = State(rng.gen_range(0..num_states as u32));
+                let q = State(rng.gen_range(0..num_states as u32));
+                tva.add_transition(Label(l), q1, q2, q);
+            }
+        }
+        for q in 0..num_states as u32 {
+            if rng.gen_bool(0.5) {
+                tva.add_final(State(q));
+            }
+        }
+        tva.homogenize()
+    }
+
+    #[test]
+    fn reference_and_indexed_agree_on_chain_circuits() {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        let tva = select_a_leaves(a, f, Var(0));
+        let mut t = BinaryTree::leaf(a);
+        let mut cur = t.root();
+        for _ in 0..8 {
+            let l = t.add_leaf(a);
+            cur = t.add_internal(f, cur, l);
+        }
+        t.set_root(cur);
+        let ac = build_assignment_circuit(&tva, &t);
+        let index = EnumIndex::build(&ac.circuit);
+        let root = ac.circuit.root();
+        for g in 0..ac.circuit.box_width(root) {
+            let gamma = GateSet::singleton(ac.circuit.box_width(root), g);
+            let reference = collect_box_enum(&ac.circuit, None, BoxEnumMode::Reference, root, &gamma);
+            let indexed = collect_box_enum(&ac.circuit, Some(&index), BoxEnumMode::Indexed, root, &gamma);
+            let mut ref_sorted: Vec<_> = reference.clone();
+            let mut idx_sorted: Vec<_> = indexed.clone();
+            ref_sorted.sort_by_key(|(b, _)| *b);
+            idx_sorted.sort_by_key(|(b, _)| *b);
+            assert_eq!(ref_sorted, idx_sorted, "box sets differ for gate {g}");
+        }
+    }
+
+    #[test]
+    fn reference_and_indexed_agree_on_random_circuits() {
+        for seed in 0..30u64 {
+            let num_states = 2 + (seed % 3) as usize;
+            let tva = random_tva(2, num_states, seed);
+            if tva.num_states() == 0 {
+                continue;
+            }
+            let tree = random_binary_tree(15 + (seed % 10) as usize, 2, seed * 7 + 1);
+            let ac = build_assignment_circuit(&tva, &tree);
+            ac.circuit.validate();
+            let index = EnumIndex::build(&ac.circuit);
+            let root = ac.circuit.root();
+            let width = ac.circuit.box_width(root);
+            if width == 0 {
+                continue;
+            }
+            // All non-empty subsets over up to the first 4 gates.
+            let limit = width.min(4);
+            for mask in 1u32..(1 << limit) {
+                let gamma = GateSet::from_indices(width, (0..limit).filter(|i| mask & (1 << i) != 0));
+                let mut reference = collect_box_enum(&ac.circuit, None, BoxEnumMode::Reference, root, &gamma);
+                let mut indexed = collect_box_enum(&ac.circuit, Some(&index), BoxEnumMode::Indexed, root, &gamma);
+                reference.sort_by_key(|(b, _)| *b);
+                indexed.sort_by_key(|(b, _)| *b);
+                assert_eq!(
+                    reference, indexed,
+                    "seed {seed}, mask {mask}: box-enum implementations disagree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_emits_each_box_once() {
+        let tva = random_tva(2, 3, 99);
+        let tree = random_binary_tree(25, 2, 100);
+        let ac = build_assignment_circuit(&tva, &tree);
+        let index = EnumIndex::build(&ac.circuit);
+        let root = ac.circuit.root();
+        let width = ac.circuit.box_width(root);
+        if width == 0 {
+            return;
+        }
+        let gamma = GateSet::full(width);
+        let boxes: Vec<BoxId> = collect_box_enum(&ac.circuit, Some(&index), BoxEnumMode::Indexed, root, &gamma)
+            .into_iter()
+            .map(|(b, _)| b)
+            .collect();
+        let mut dedup = boxes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), boxes.len(), "a box was emitted twice");
+    }
+}

@@ -1,0 +1,394 @@
+//! Duplicate-free enumeration with provenance (Algorithm 2, Theorem 5.3).
+//!
+//! Given a boxed set `Γ`, [`enumerate_boxed_set`] enumerates `S(Γ)` without
+//! duplicates.  For every produced assignment `S` it also reports the provenance
+//! `Prov(S, Γ) = {g ∈ Γ | S ∈ S(g)}`, which is what the recursive calls on the inputs
+//! of ×-gates need in order to avoid duplicates across multiple ×-gates
+//! (see Section 5 of the paper).
+//!
+//! The enumeration is callback-driven: the caller supplies a sink that may stop the
+//! enumeration early by returning [`ControlFlow::Break`].
+
+use crate::bitset::GateSet;
+use crate::boxenum::{box_enum, BoxEnumMode};
+use crate::index::EnumIndex;
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+use treenum_circuits::{BoxId, Circuit, UnionInput};
+use treenum_trees::valuation::VarSet;
+
+/// An assignment as produced by the enumerator: a list of `⟨Y : leaf_token⟩` parts.
+/// Leaf tokens are distinct across parts (decomposability), so the total size `|S|`
+/// is the sum of the `VarSet` sizes.
+pub type OutputAssignment = Vec<(VarSet, u32)>;
+
+/// The sink type receiving `(assignment, provenance)` pairs.
+pub type AssignmentSink<'s> = dyn FnMut(&OutputAssignment, &GateSet) -> ControlFlow<()> + 's;
+
+/// Context shared by the recursive calls.
+struct Ctx<'a> {
+    circuit: &'a Circuit,
+    index: Option<&'a EnumIndex>,
+    mode: BoxEnumMode,
+}
+
+/// Enumerates `S(Γ)` for the boxed set `gamma` of box `b`, without duplicates,
+/// reporting each assignment together with its provenance relative to `gamma`.
+pub fn enumerate_boxed_set(
+    circuit: &Circuit,
+    index: Option<&EnumIndex>,
+    mode: BoxEnumMode,
+    b: BoxId,
+    gamma: &GateSet,
+    sink: &mut AssignmentSink<'_>,
+) -> ControlFlow<()> {
+    let ctx = Ctx { circuit, index, mode };
+    enum_s(&ctx, b, gamma, sink)
+}
+
+/// Enumerates all satisfying assignments represented by the root of an assignment
+/// circuit: the empty assignment first when `empty_accepted` holds, then the
+/// assignments captured by the root gates `root_gates` (the ∪-gates `γ(root, q_f)`
+/// of the final states).
+pub fn enumerate_root(
+    circuit: &Circuit,
+    index: Option<&EnumIndex>,
+    mode: BoxEnumMode,
+    root_box: BoxId,
+    root_gates: &[u32],
+    empty_accepted: bool,
+    sink: &mut dyn FnMut(&OutputAssignment) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    if empty_accepted {
+        sink(&Vec::new())?;
+    }
+    if root_gates.is_empty() {
+        return ControlFlow::Continue(());
+    }
+    let gamma = GateSet::from_indices(circuit.box_width(root_box), root_gates.iter().map(|&g| g as usize));
+    enumerate_boxed_set(circuit, index, mode, root_box, &gamma, &mut |s, _prov| sink(s))
+}
+
+/// Convenience wrapper collecting all assignments into a vector (tests, baselines,
+/// small outputs).
+pub fn collect_all(
+    circuit: &Circuit,
+    index: Option<&EnumIndex>,
+    mode: BoxEnumMode,
+    root_box: BoxId,
+    root_gates: &[u32],
+    empty_accepted: bool,
+) -> Vec<OutputAssignment> {
+    let mut out = Vec::new();
+    let _ = enumerate_root(circuit, index, mode, root_box, root_gates, empty_accepted, &mut |s| {
+        out.push(s.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+fn enum_s(ctx: &Ctx<'_>, b: BoxId, gamma: &GateSet, sink: &mut AssignmentSink<'_>) -> ControlFlow<()> {
+    if gamma.is_empty() {
+        return ControlFlow::Continue(());
+    }
+    box_enum(ctx.circuit, ctx.index, ctx.mode, b, gamma, &mut |bprime, r| {
+        // `r` relates the ∪-gates of `bprime` (rows) to the gates of `gamma`'s box
+        // (columns); only columns in `gamma` are populated.
+        let sources = r.project_sources();
+        let width_prime = ctx.circuit.box_width(bprime);
+        let gates = ctx.circuit.union_gates(bprime);
+
+        // --- var-gates (line 5–7 of Algorithm 2) ---
+        // Var inputs with identical labels are the same var-gate (S_var is injective),
+        // so group them and union the owners for the provenance.
+        let mut var_groups: HashMap<(VarSet, u32), GateSet> = HashMap::new();
+        // --- ×-gates (lines 8–16) ---
+        let mut triples: Vec<(u32, u32, usize)> = Vec::new(); // (left, right, owner)
+        for gi in sources.iter() {
+            for input in &gates[gi].inputs {
+                match *input {
+                    UnionInput::Var { vars, leaf_token } => {
+                        var_groups
+                            .entry((vars, leaf_token))
+                            .or_insert_with(|| GateSet::empty(width_prime))
+                            .insert(gi);
+                    }
+                    UnionInput::Times { left, right } => triples.push((left, right, gi)),
+                    UnionInput::Child { .. } => {}
+                }
+            }
+        }
+
+        // Deterministic iteration order for reproducible output.
+        let mut var_list: Vec<((VarSet, u32), GateSet)> = var_groups.into_iter().collect();
+        var_list.sort_by_key(|((vars, token), _)| (*token, vars.0));
+        for ((vars, token), owners) in var_list {
+            let prov = r.image_of(&owners);
+            let assignment: OutputAssignment = vec![(vars, token)];
+            sink(&assignment, &prov)?;
+        }
+
+        if triples.is_empty() {
+            return ControlFlow::Continue(());
+        }
+        let (bl, br) = ctx
+            .circuit
+            .children(bprime)
+            .expect("×-gates can only appear in internal boxes");
+        let left_width = ctx.circuit.box_width(bl);
+        let right_width = ctx.circuit.box_width(br);
+        let gamma_left = GateSet::from_indices(left_width, triples.iter().map(|&(l, _, _)| l as usize));
+
+        enum_s(ctx, bl, &gamma_left, &mut |sl, prov_l| {
+            // ×-gates whose left input captures `sl`.
+            let surviving: Vec<(u32, u32, usize)> = triples
+                .iter()
+                .copied()
+                .filter(|&(l, _, _)| prov_l.contains(l as usize))
+                .collect();
+            if surviving.is_empty() {
+                return ControlFlow::Continue(());
+            }
+            let gamma_right = GateSet::from_indices(right_width, surviving.iter().map(|&(_, rr, _)| rr as usize));
+            enum_s(ctx, br, &gamma_right, &mut |sr, prov_r| {
+                let mut owners = GateSet::empty(width_prime);
+                for &(_, rr, owner) in &surviving {
+                    if prov_r.contains(rr as usize) {
+                        owners.insert(owner);
+                    }
+                }
+                if owners.is_empty() {
+                    return ControlFlow::Continue(());
+                }
+                let prov = r.image_of(&owners);
+                let mut assignment = sl.clone();
+                assignment.extend(sr.iter().copied());
+                sink(&assignment, &prov)
+            })
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxenum::BoxEnumMode;
+    use crate::index::EnumIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+    use std::collections::HashSet;
+    use treenum_automata::binary::select_a_leaves;
+    use treenum_automata::{BinaryTva, State};
+    use treenum_circuits::build_assignment_circuit;
+    use treenum_circuits::semantics::capture_boxed_set;
+    use treenum_trees::binary::BinaryTree;
+    use treenum_trees::valuation::{Var, VarSet};
+    use treenum_trees::{Alphabet, Label};
+
+    fn to_explicit(s: &OutputAssignment) -> BTreeSet<(Var, u32)> {
+        s.iter()
+            .flat_map(|&(vars, token)| vars.iter().map(move |v| (v, token)))
+            .collect()
+    }
+
+    fn random_binary_tree(size: usize, num_labels: usize, seed: u64) -> BinaryTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let label = |rng: &mut StdRng| Label(rng.gen_range(0..num_labels as u32));
+        let l0 = label(&mut rng);
+        let mut t = BinaryTree::leaf(l0);
+        let mut roots = vec![t.root()];
+        while roots.len() < size {
+            if roots.len() >= 2 && rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..roots.len());
+                let a = roots.swap_remove(i);
+                let j = rng.gen_range(0..roots.len());
+                let b = roots.swap_remove(j);
+                roots.push(t.add_internal(label(&mut rng), a, b));
+            } else {
+                roots.push(t.add_leaf(label(&mut rng)));
+            }
+        }
+        while roots.len() > 1 {
+            let a = roots.pop().unwrap();
+            let b = roots.pop().unwrap();
+            roots.push(t.add_internal(label(&mut rng), a, b));
+        }
+        t.set_root(roots[0]);
+        t
+    }
+
+    fn random_tva(num_labels: usize, num_states: usize, num_vars: usize, seed: u64) -> BinaryTva {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vars = VarSet::first_n(num_vars);
+        let var_subsets = treenum_trees::valuation::subsets(vars);
+        let mut tva = BinaryTva::new(num_states, num_labels, vars);
+        for l in 0..num_labels as u32 {
+            for q in 0..num_states as u32 {
+                for &y in &var_subsets {
+                    if rng.gen_bool(0.35) {
+                        tva.add_initial(Label(l), y, State(q));
+                    }
+                }
+            }
+            for _ in 0..(num_states * num_states) {
+                let q1 = State(rng.gen_range(0..num_states as u32));
+                let q2 = State(rng.gen_range(0..num_states as u32));
+                let q = State(rng.gen_range(0..num_states as u32));
+                tva.add_transition(Label(l), q1, q2, q);
+            }
+        }
+        for q in 0..num_states as u32 {
+            if rng.gen_bool(0.5) {
+                tva.add_final(State(q));
+            }
+        }
+        tva.homogenize()
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_on_select_query() {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        let tva = select_a_leaves(a, f, Var(0));
+        let tree = random_binary_tree(21, 1, 7);
+        // Relabel internal nodes to f, leaves to a (random tree uses only label 0).
+        let mut tree2 = BinaryTree::leaf(a);
+        fn rebuild(src: &BinaryTree, n: treenum_trees::binary::BinaryNodeId, dst: &mut BinaryTree, a: Label, f: Label) -> treenum_trees::binary::BinaryNodeId {
+            match src.children(n) {
+                None => dst.add_leaf(a),
+                Some((l, r)) => {
+                    let nl = rebuild(src, l, dst, a, f);
+                    let nr = rebuild(src, r, dst, a, f);
+                    dst.add_internal(f, nl, nr)
+                }
+            }
+        }
+        let root = rebuild(&tree, tree.root(), &mut tree2, a, f);
+        tree2.set_root(root);
+
+        let ac = build_assignment_circuit(&tva, &tree2);
+        let index = EnumIndex::build(&ac.circuit);
+        let (gates, empty) = ac.root_query(&tva, &tree2);
+        for mode in [BoxEnumMode::Reference, BoxEnumMode::Indexed] {
+            let produced = collect_all(&ac.circuit, Some(&index), mode, ac.circuit.root(), &gates, empty);
+            let as_sets: HashSet<_> = produced.iter().map(|s| to_explicit(s)).collect();
+            assert_eq!(as_sets.len(), produced.len(), "duplicates produced in mode {:?}", mode);
+            let expected: HashSet<_> = tva
+                .satisfying_assignments(&tree2)
+                .into_iter()
+                .map(|ass| ass.into_iter().map(|(v, n)| (v, n.0)).collect::<BTreeSet<_>>())
+                .collect();
+            assert_eq!(as_sets, expected, "mode {:?}", mode);
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_circuit_semantics_on_random_instances() {
+        let mut tested = 0;
+        for seed in 0..40u64 {
+            let tva = random_tva(2, 2 + (seed % 2) as usize, 1 + (seed % 2) as usize, seed);
+            if tva.num_states() == 0 {
+                continue;
+            }
+            let tree = random_binary_tree(8 + (seed % 8) as usize, 2, seed + 1000);
+            let ac = build_assignment_circuit(&tva, &tree);
+            let index = EnumIndex::build(&ac.circuit);
+            let root = ac.circuit.root();
+            let width = ac.circuit.box_width(root);
+            if width == 0 {
+                continue;
+            }
+            tested += 1;
+            let gamma = GateSet::full(width);
+            let expected: HashSet<BTreeSet<(Var, u32)>> =
+                capture_boxed_set(&ac.circuit, root, &(0..width as u32).collect::<Vec<_>>())
+                    .into_iter()
+                    .collect();
+            for mode in [BoxEnumMode::Reference, BoxEnumMode::Indexed] {
+                let mut produced: Vec<OutputAssignment> = Vec::new();
+                let _ = enumerate_boxed_set(&ac.circuit, Some(&index), mode, root, &gamma, &mut |s, _p| {
+                    produced.push(s.clone());
+                    ControlFlow::Continue(())
+                });
+                let as_sets: HashSet<_> = produced.iter().map(|s| to_explicit(s)).collect();
+                assert_eq!(as_sets.len(), produced.len(), "duplicates (seed {seed}, mode {:?})", mode);
+                assert_eq!(as_sets, expected, "wrong answer set (seed {seed}, mode {:?})", mode);
+            }
+        }
+        assert!(tested > 10, "too few random instances were exercised");
+    }
+
+    #[test]
+    fn provenance_is_correct_on_random_instances() {
+        for seed in [3u64, 11, 17, 23] {
+            let tva = random_tva(2, 3, 1, seed);
+            let tree = random_binary_tree(10, 2, seed + 5);
+            let ac = build_assignment_circuit(&tva, &tree);
+            let index = EnumIndex::build(&ac.circuit);
+            let root = ac.circuit.root();
+            let width = ac.circuit.box_width(root);
+            if width == 0 {
+                continue;
+            }
+            let gamma = GateSet::full(width);
+            let _ = enumerate_boxed_set(
+                &ac.circuit,
+                Some(&index),
+                BoxEnumMode::Indexed,
+                root,
+                &gamma,
+                &mut |s, prov| {
+                    let explicit = to_explicit(s);
+                    for g in 0..width {
+                        let captured = capture_boxed_set(&ac.circuit, root, &[g as u32]);
+                        let in_gate = captured.contains(&explicit);
+                        assert_eq!(
+                            prov.contains(g),
+                            in_gate,
+                            "provenance wrong for gate {g} (seed {seed})"
+                        );
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn early_termination_stops_enumeration() {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        let tva = select_a_leaves(a, f, Var(0));
+        let mut t = BinaryTree::leaf(a);
+        let mut cur = t.root();
+        for _ in 0..10 {
+            let l = t.add_leaf(a);
+            cur = t.add_internal(f, cur, l);
+        }
+        t.set_root(cur);
+        let ac = build_assignment_circuit(&tva, &t);
+        let index = EnumIndex::build(&ac.circuit);
+        let (gates, empty) = ac.root_query(&tva, &t);
+        let mut count = 0;
+        let _ = enumerate_root(
+            &ac.circuit,
+            Some(&index),
+            BoxEnumMode::Indexed,
+            ac.circuit.root(),
+            &gates,
+            empty,
+            &mut |_s| {
+                count += 1;
+                if count == 3 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        assert_eq!(count, 3);
+    }
+}

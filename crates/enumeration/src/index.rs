@@ -1,0 +1,328 @@
+//! The index structure `I(C)` of Definition 6.1, computed bottom-up per box
+//! (Lemma 6.3).
+//!
+//! For every box `B` the index stores, for each ∪-gate `g` of `B`:
+//!
+//! * `fib(g)` — the first *interesting* box in the preorder traversal of the subtree
+//!   of `box(g)` (a box is interesting for `g` if it contains a var- or ×-gate
+//!   ∪-reachable from `g`);
+//! * `fbb(g)` — the first *bidirectional* box for `{g}` (a box where the ∪-reachable
+//!   wavefront of `g` has wires into both child boxes), when it exists;
+//!
+//! together with the set of target boxes (`closure`: all `fib`/`fbb` values, closed
+//! under pairwise lca and sorted by preorder) and the reachability relation
+//! `R(D, B)` for every target box `D`.
+//!
+//! Because every quantity of a box depends only on the box's own wires and on the
+//! indexes of its two children, the index can be recomputed for exactly the boxes
+//! that a tree hollowing dirties (Lemma 7.3).
+
+use crate::relation::{child_relation, relation_by_walking, Relation};
+use std::collections::HashMap;
+use treenum_circuits::{BoxId, Circuit, Side, UnionInput};
+
+/// Sentinel for "undefined" (`fbb` of a gate with no bidirectional box below it).
+pub const UNDEFINED: u32 = u32::MAX;
+
+/// The per-box part of the index.
+#[derive(Clone, Debug, Default)]
+pub struct BoxIndex {
+    /// Target boxes (descendants of this box, including possibly the box itself),
+    /// sorted by preorder and closed under pairwise lca of the `fib`/`fbb` values.
+    pub closure: Vec<BoxId>,
+    /// `rel[i]` is the reachability relation `R(closure[i], B)`.
+    pub rel: Vec<Relation>,
+    /// `fib[g]`: index into `closure` of the first interesting box of gate `g`.
+    pub fib: Vec<u32>,
+    /// `fbb[g]`: index into `closure` of the first bidirectional box of gate `g`, or
+    /// [`UNDEFINED`].
+    pub fbb: Vec<u32>,
+}
+
+impl BoxIndex {
+    /// The first interesting box of a non-empty gate set (Equation (1)): the
+    /// preorder-minimal `fib(g)` over the set.  Returns the closure slot.
+    pub fn fib_of_set(&self, gates: impl Iterator<Item = usize>) -> Option<u32> {
+        gates.map(|g| self.fib[g]).min()
+    }
+
+    /// The first bidirectional box of a gate set following Equation (2): the lca of
+    /// the defined `fbb(g)` values, which (because the closure is lca-closed and
+    /// preorder-sorted) is the preorder-minimal defined `fbb(g)` slot when all the
+    /// values lie on a root-to-leaf chain, and is resolved through the stored lca
+    /// closure otherwise.  Returns the closure slot, or `None` when undefined.
+    pub fn fbb_of_set(&self, circuit: &Circuit, this_box: BoxId, gates: impl Iterator<Item = usize>) -> Option<u32> {
+        let mut boxes: Vec<BoxId> = gates
+            .map(|g| self.fbb[g])
+            .filter(|&i| i != UNDEFINED)
+            .map(|i| self.closure[i as usize])
+            .collect();
+        if boxes.is_empty() {
+            return None;
+        }
+        boxes.sort_unstable();
+        boxes.dedup();
+        let mut lca = boxes[0];
+        for &b in &boxes[1..] {
+            lca = circuit.lca(lca, b);
+        }
+        let _ = this_box;
+        self.closure.iter().position(|&b| b == lca).map(|i| i as u32)
+    }
+}
+
+/// The index structure `I(C)` for a whole circuit.
+#[derive(Clone, Debug, Default)]
+pub struct EnumIndex {
+    boxes: HashMap<BoxId, BoxIndex>,
+}
+
+impl EnumIndex {
+    /// Builds the index for every box of the circuit, bottom-up.
+    pub fn build(circuit: &Circuit) -> Self {
+        let mut index = EnumIndex::default();
+        for b in circuit.boxes_postorder() {
+            index.rebuild_box(circuit, b);
+        }
+        index
+    }
+
+    /// The index of box `b`.
+    ///
+    /// # Panics
+    /// Panics if the box has no index entry (it was never built or was removed).
+    pub fn of(&self, b: BoxId) -> &BoxIndex {
+        &self.boxes[&b]
+    }
+
+    /// `true` iff `b` has an index entry.
+    pub fn has(&self, b: BoxId) -> bool {
+        self.boxes.contains_key(&b)
+    }
+
+    /// Removes the index entry of `b` (used when a box is freed by an update).
+    pub fn remove_box(&mut self, b: BoxId) {
+        self.boxes.remove(&b);
+    }
+
+    /// Number of boxes with an index entry.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// `true` iff the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Recomputes the index entry of box `b`.  The entries of its children (if any)
+    /// must already be up to date.  Returns the number of reachability relations
+    /// stored for the box.
+    pub fn rebuild_box(&mut self, circuit: &Circuit, b: BoxId) -> usize {
+        let width = circuit.box_width(b);
+        let gates = circuit.union_gates(b);
+
+        // Per-gate wire summaries.
+        let mut left_targets: Vec<Vec<u32>> = vec![Vec::new(); width];
+        let mut right_targets: Vec<Vec<u32>> = vec![Vec::new(); width];
+        let mut has_own: Vec<bool> = vec![false; width];
+        for (gi, gate) in gates.iter().enumerate() {
+            for input in &gate.inputs {
+                match *input {
+                    UnionInput::Var { .. } | UnionInput::Times { .. } => has_own[gi] = true,
+                    UnionInput::Child { side: Side::Left, gate } => left_targets[gi].push(gate),
+                    UnionInput::Child { side: Side::Right, gate } => right_targets[gi].push(gate),
+                }
+            }
+        }
+
+        let children = circuit.children(b);
+        let left_index = children.map(|(l, _)| self.boxes.get(&l).expect("child index missing").clone());
+        let right_index = children.map(|(_, r)| self.boxes.get(&r).expect("child index missing").clone());
+
+        // fib(g), Equation (3): the box itself if the gate has a non-∪ input, else the
+        // preorder-minimal fib over its ∪-inputs.  All left-subtree boxes precede all
+        // right-subtree boxes in preorder.
+        let mut fib_box: Vec<Option<BoxId>> = vec![None; width];
+        let mut fbb_box: Vec<Option<BoxId>> = vec![None; width];
+        for gi in 0..width {
+            if has_own[gi] {
+                fib_box[gi] = Some(b);
+            } else if !left_targets[gi].is_empty() {
+                let li = left_index.as_ref().expect("left child wires without a left child");
+                let slot = left_targets[gi].iter().map(|&g| li.fib[g as usize]).min().unwrap();
+                fib_box[gi] = Some(li.closure[slot as usize]);
+            } else if !right_targets[gi].is_empty() {
+                let ri = right_index.as_ref().expect("right child wires without a right child");
+                let slot = right_targets[gi].iter().map(|&g| ri.fib[g as usize]).min().unwrap();
+                fib_box[gi] = Some(ri.closure[slot as usize]);
+            }
+            // fbb(g), Equation (4): the box itself if the gate has wires into both
+            // children; otherwise the lca of the fbb values of its wire targets
+            // (which all live in a single child).
+            if !left_targets[gi].is_empty() && !right_targets[gi].is_empty() {
+                fbb_box[gi] = Some(b);
+            } else if !left_targets[gi].is_empty() {
+                let li = left_index.as_ref().unwrap();
+                fbb_box[gi] = lca_of_slots(circuit, li, &left_targets[gi]);
+            } else if !right_targets[gi].is_empty() {
+                let ri = right_index.as_ref().unwrap();
+                fbb_box[gi] = lca_of_slots(circuit, ri, &right_targets[gi]);
+            }
+        }
+
+        // The closure: all fib/fbb targets plus pairwise lcas, sorted by preorder.
+        let mut targets: Vec<BoxId> = fib_box
+            .iter()
+            .chain(fbb_box.iter())
+            .filter_map(|o| *o)
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let mut closure = targets.clone();
+        for i in 0..targets.len() {
+            for j in (i + 1)..targets.len() {
+                closure.push(circuit.lca(targets[i], targets[j]));
+            }
+        }
+        closure.sort_unstable();
+        closure.dedup();
+        closure.sort_by(|&x, &y| circuit.preorder_cmp(x, y));
+
+        // Reachability relations to every closure box.
+        let rel: Vec<Relation> = closure
+            .iter()
+            .map(|&d| self.relation_to(circuit, b, d))
+            .collect();
+
+        let slot_of = |target: Option<BoxId>| -> u32 {
+            match target {
+                None => UNDEFINED,
+                Some(t) => closure.iter().position(|&c| c == t).expect("closure misses a target") as u32,
+            }
+        };
+        let fib: Vec<u32> = fib_box.iter().map(|&t| slot_of(t)).collect();
+        let fbb: Vec<u32> = fbb_box.iter().map(|&t| slot_of(t)).collect();
+
+        let entry = BoxIndex { closure, rel, fib, fbb };
+        let stored = entry.rel.len();
+        self.boxes.insert(b, entry);
+        stored
+    }
+
+    /// `R(target, from)` for a descendant `target` of `from`: identity if equal, the
+    /// child relation if `target` is a child, otherwise the composition through the
+    /// child of `from` towards `target`, reusing the child's stored relation when
+    /// available (Lemma 6.3) and falling back to walking otherwise.
+    pub fn relation_to(&self, circuit: &Circuit, from: BoxId, target: BoxId) -> Relation {
+        if from == target {
+            return Relation::identity(circuit.box_width(from));
+        }
+        let (l, r) = circuit
+            .children(from)
+            .expect("relation_to: target is not a descendant of from");
+        let (child, side) = if circuit.is_ancestor(l, target) {
+            (l, Side::Left)
+        } else {
+            (r, Side::Right)
+        };
+        let step = child_relation(circuit, from, side);
+        if child == target {
+            return step;
+        }
+        if let Some(child_index) = self.boxes.get(&child) {
+            if let Some(pos) = child_index.closure.iter().position(|&c| c == target) {
+                return child_index.rel[pos].compose(&step);
+            }
+        }
+        relation_by_walking(circuit, child, target).compose(&step)
+    }
+}
+
+fn lca_of_slots(circuit: &Circuit, child_index: &BoxIndex, targets: &[u32]) -> Option<BoxId> {
+    let mut boxes: Vec<BoxId> = targets
+        .iter()
+        .map(|&g| child_index.fbb[g as usize])
+        .filter(|&slot| slot != UNDEFINED)
+        .map(|slot| child_index.closure[slot as usize])
+        .collect();
+    if boxes.is_empty() {
+        return None;
+    }
+    boxes.sort_unstable();
+    boxes.dedup();
+    let mut lca = boxes[0];
+    for &b in &boxes[1..] {
+        lca = circuit.lca(lca, b);
+    }
+    Some(lca)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treenum_automata::binary::select_a_leaves;
+    use treenum_circuits::build_assignment_circuit;
+    use treenum_trees::binary::BinaryTree;
+    use treenum_trees::{Alphabet, Var};
+
+    fn build_sample(depth: usize) -> (treenum_circuits::AssignmentCircuit, BinaryTree) {
+        let sigma = Alphabet::from_names(["a", "f"]);
+        let a = sigma.get("a").unwrap();
+        let f = sigma.get("f").unwrap();
+        let tva = select_a_leaves(a, f, Var(0));
+        let mut t = BinaryTree::leaf(a);
+        let mut cur = t.root();
+        for _ in 0..depth {
+            let l = t.add_leaf(a);
+            cur = t.add_internal(f, cur, l);
+        }
+        t.set_root(cur);
+        (build_assignment_circuit(&tva, &t), t)
+    }
+
+    #[test]
+    fn index_builds_for_every_box() {
+        let (ac, _t) = build_sample(5);
+        let index = EnumIndex::build(&ac.circuit);
+        assert_eq!(index.len(), ac.circuit.num_boxes());
+        for b in ac.circuit.boxes_preorder() {
+            let bi = index.of(b);
+            assert_eq!(bi.fib.len(), ac.circuit.box_width(b));
+            assert_eq!(bi.fbb.len(), ac.circuit.box_width(b));
+            assert_eq!(bi.rel.len(), bi.closure.len());
+            // Every fib must be defined (every ∪-gate reaches some var/× gate).
+            assert!(bi.fib.iter().all(|&f| f != UNDEFINED));
+            // The closure is preorder-sorted.
+            for w in bi.closure.windows(2) {
+                assert_eq!(ac.circuit.preorder_cmp(w[0], w[1]), std::cmp::Ordering::Less);
+            }
+        }
+    }
+
+    #[test]
+    fn relations_in_index_match_walking() {
+        let (ac, _t) = build_sample(6);
+        let index = EnumIndex::build(&ac.circuit);
+        for b in ac.circuit.boxes_preorder() {
+            let bi = index.of(b);
+            for (i, &d) in bi.closure.iter().enumerate() {
+                let expected = relation_by_walking(&ac.circuit, b, d);
+                assert_eq!(bi.rel[i], expected, "relation mismatch for {:?} -> {:?}", d, b);
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_box_is_idempotent() {
+        let (ac, _t) = build_sample(4);
+        let mut index = EnumIndex::build(&ac.circuit);
+        let root = ac.circuit.root();
+        let before = index.of(root).clone();
+        index.rebuild_box(&ac.circuit, root);
+        let after = index.of(root);
+        assert_eq!(before.closure, after.closure);
+        assert_eq!(before.fib, after.fib);
+        assert_eq!(before.fbb, after.fbb);
+    }
+}

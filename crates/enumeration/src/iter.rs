@@ -1,0 +1,113 @@
+//! An `Iterator` adapter over the callback-driven enumerator.
+//!
+//! The paper presents the recursive enumeration as running "in another thread" that
+//! pauses after each output until the next value is requested (Section 4).  We follow
+//! the same idea: the producer runs on a worker thread and pushes each assignment
+//! into a bounded channel of capacity 1; dropping the iterator disconnects the
+//! channel, which makes the producer stop at its next output.
+
+use crate::dedup::OutputAssignment;
+use crossbeam::channel::{bounded, Receiver};
+use std::ops::ControlFlow;
+use std::thread::JoinHandle;
+
+/// A pull-based iterator over assignments produced by a callback-driven producer.
+pub struct AssignmentIter {
+    receiver: Option<Receiver<OutputAssignment>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AssignmentIter {
+    /// Spawns `producer` on a worker thread.  The producer receives a sink to push
+    /// assignments into; it must stop when the sink returns [`ControlFlow::Break`]
+    /// (which happens when the iterator is dropped).
+    pub fn spawn<F>(producer: F) -> Self
+    where
+        F: FnOnce(&mut dyn FnMut(&OutputAssignment) -> ControlFlow<()>) + Send + 'static,
+    {
+        let (tx, rx) = bounded::<OutputAssignment>(1);
+        let handle = std::thread::spawn(move || {
+            let mut sink = |s: &OutputAssignment| {
+                if tx.send(s.clone()).is_err() {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            };
+            producer(&mut sink);
+        });
+        AssignmentIter { receiver: Some(rx), handle: Some(handle) }
+    }
+}
+
+impl Iterator for AssignmentIter {
+    type Item = OutputAssignment;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let rx = self.receiver.as_ref()?;
+        match rx.recv() {
+            Ok(item) => Some(item),
+            Err(_) => {
+                // Producer finished; join it.
+                self.receiver = None;
+                if let Some(h) = self.handle.take() {
+                    let _ = h.join();
+                }
+                None
+            }
+        }
+    }
+}
+
+impl Drop for AssignmentIter {
+    fn drop(&mut self) {
+        // Disconnect first so the producer unblocks, then join.
+        self.receiver = None;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treenum_trees::valuation::VarSet;
+
+    #[test]
+    fn yields_all_items_then_ends() {
+        let iter = AssignmentIter::spawn(|sink| {
+            for i in 0..5u32 {
+                if sink(&vec![(VarSet::first_n(1), i)]).is_break() {
+                    return;
+                }
+            }
+        });
+        let items: Vec<_> = iter.collect();
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[3][0].1, 3);
+    }
+
+    #[test]
+    fn dropping_the_iterator_stops_the_producer() {
+        let mut iter = AssignmentIter::spawn(|sink| {
+            // An "infinite" producer: must be stopped by the consumer.
+            let mut i = 0u32;
+            loop {
+                if sink(&vec![(VarSet::first_n(1), i)]).is_break() {
+                    return;
+                }
+                i += 1;
+            }
+        });
+        assert!(iter.next().is_some());
+        assert!(iter.next().is_some());
+        drop(iter); // must not hang
+    }
+
+    #[test]
+    fn empty_producer_yields_nothing() {
+        let iter = AssignmentIter::spawn(|_sink| {});
+        assert_eq!(iter.count(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # treenum-enumeration
+//!
+//! The enumeration machinery of Sections 4–6 of the paper, operating on the
+//! box-structured assignment circuits of `treenum-circuits`:
+//!
+//! * [`relation`]: ∪-reachability relations between boxes, represented as boolean
+//!   bit-matrices with word-blocked composition (the `O(w^ω)` step of Theorem 6.5).
+//! * [`index`]: the index structure `I(C)` of Definition 6.1 — first interesting box
+//!   (`fib`), first bidirectional box (`fbb`), their lca closure and the associated
+//!   reachability relations, computed bottom-up per box (Lemma 6.3) so that it can be
+//!   maintained under tree hollowings (Lemma 7.3).
+//! * [`boxenum`]: the `box-enum` procedure — a naive depth-bounded reference
+//!   implementation (Section 5) and the indexed jump-pointer implementation of
+//!   Algorithm 3 (Lemma 6.4).
+//! * [`simple`]: Algorithm 1 — enumeration *with* duplicates, kept as a baseline and
+//!   test oracle.
+//! * [`dedup`]: Algorithm 2 — duplicate-free enumeration with provenance tracking
+//!   (Theorem 5.3), callback-driven for tight delay measurement.
+//! * [`iter`]: an `Iterator` adapter backed by a bounded channel on a worker thread,
+//!   mirroring the paper's "run the recursive enumeration in another thread"
+//!   presentation.
+
+pub mod bitset;
+pub mod boxenum;
+pub mod dedup;
+pub mod index;
+pub mod iter;
+pub mod relation;
+pub mod simple;
+
+pub use bitset::GateSet;
+pub use dedup::{enumerate_boxed_set, enumerate_root, OutputAssignment};
+pub use index::EnumIndex;
+pub use iter::AssignmentIter;
+pub use relation::Relation;

@@ -1,0 +1,231 @@
+//! ∪-reachability relations between boxes (Section 5–6).
+//!
+//! `R(B', B)` relates the ∪-gates of a descendant box `B'` to the ∪-gates of `B`:
+//! `(g', g) ∈ R(B', B)` iff there is a path of ∪-gates from `g'` up to `g`.
+//! Relations are boolean matrices; composition is the bottleneck operation, bounded
+//! by `O(w^ω)` in the paper.  We implement the word-blocked product (`w³/64`), which
+//! is the practical analogue.
+
+use crate::bitset::GateSet;
+use treenum_circuits::{Circuit, BoxId, Side, UnionInput};
+
+/// A boolean matrix relating `rows` source gates (a descendant box, or Γ itself) to
+/// `cols` target gates (an ancestor box, or the boxed set Γ).
+///
+/// `bits` is row-major: row `i` is a bitset over the columns.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Relation {
+    rows: usize,
+    cols: usize,
+    bits: Vec<GateSet>,
+}
+
+impl Relation {
+    /// The empty (all-zero) relation.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Relation { rows, cols, bits: vec![GateSet::empty(cols); rows] }
+    }
+
+    /// The identity relation on `n` gates.
+    pub fn identity(n: usize) -> Self {
+        let mut r = Self::zero(n, n);
+        for i in 0..n {
+            r.set(i, i);
+        }
+        r
+    }
+
+    /// Builds a relation from `(source, target)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(rows: usize, cols: usize, pairs: I) -> Self {
+        let mut r = Self::zero(rows, cols);
+        for (i, j) in pairs {
+            r.set(i, j);
+        }
+        r
+    }
+
+    /// Number of source gates.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of target gates.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Adds the pair `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize) {
+        self.bits[i].insert(j);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.bits[i].contains(j)
+    }
+
+    /// Row `i` as a set of target gates.
+    pub fn row(&self, i: usize) -> &GateSet {
+        &self.bits[i]
+    }
+
+    /// `true` iff the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(GateSet::is_empty)
+    }
+
+    /// The projection to the first component: the source gates related to at least one
+    /// target gate (`π₁(R)` in the paper).
+    pub fn project_sources(&self) -> GateSet {
+        GateSet::from_indices(self.rows, (0..self.rows).filter(|&i| !self.bits[i].is_empty()))
+    }
+
+    /// The projection to the second component: the target gates related to at least
+    /// one source gate.
+    pub fn project_targets(&self) -> GateSet {
+        let mut out = GateSet::empty(self.cols);
+        for row in &self.bits {
+            out.union_with(row);
+        }
+        out
+    }
+
+    /// The union of the rows selected by `sources` (used to compute provenance sets
+    /// `G ∘ W ∘ R`).
+    pub fn image_of(&self, sources: &GateSet) -> GateSet {
+        let mut out = GateSet::empty(self.cols);
+        for i in sources.iter() {
+            out.union_with(&self.bits[i]);
+        }
+        out
+    }
+
+    /// Relational composition: `self` relates `A → B`, `upper` relates `B → C`; the
+    /// result relates `A → C`.  This is a boolean matrix product with 64-bit word
+    /// blocking over the columns of `upper`.
+    pub fn compose(&self, upper: &Relation) -> Relation {
+        assert_eq!(self.cols, upper.rows, "composition dimension mismatch");
+        let mut out = Relation::zero(self.rows, upper.cols);
+        for i in 0..self.rows {
+            let row = &self.bits[i];
+            let out_row = &mut out.bits[i];
+            for j in row.iter() {
+                let upper_row = upper.bits[j].words();
+                for (w, &bits) in out_row.words_mut().iter_mut().zip(upper_row.iter()) {
+                    *w |= bits;
+                }
+            }
+        }
+        out
+    }
+
+    /// Restricts the columns to the given target set (keeping dimensions): pairs whose
+    /// target is not in `targets` are dropped.
+    pub fn restrict_targets(&self, targets: &GateSet) -> Relation {
+        let mut out = self.clone();
+        for row in &mut out.bits {
+            let words: Vec<u64> = row
+                .words()
+                .iter()
+                .zip(targets.words().iter())
+                .map(|(a, b)| a & b)
+                .collect();
+            row.words_mut().copy_from_slice(&words);
+        }
+        out
+    }
+}
+
+/// The single-step relation `R(child, B)` from the ∪-gates of the `side` child box of
+/// `b` to the ∪-gates of `b`: `(g', g)` iff `g` has a `Child { side, g' }` input.
+pub fn child_relation(circuit: &Circuit, b: BoxId, side: Side) -> Relation {
+    let (l, r) = circuit.children(b).expect("child_relation on a leaf box");
+    let child = match side {
+        Side::Left => l,
+        Side::Right => r,
+    };
+    let rows = circuit.box_width(child);
+    let cols = circuit.box_width(b);
+    let mut rel = Relation::zero(rows, cols);
+    for (gi, gate) in circuit.union_gates(b).iter().enumerate() {
+        for input in &gate.inputs {
+            if let UnionInput::Child { side: s, gate: g } = *input {
+                if s == side {
+                    rel.set(g as usize, gi);
+                }
+            }
+        }
+    }
+    rel
+}
+
+/// Computes `R(target, from)` for a descendant box `target` of `from` by walking down
+/// the box tree and composing child relations (`O(distance · w³/64)`).  Used as a
+/// fallback and by the index construction.
+pub fn relation_by_walking(circuit: &Circuit, from: BoxId, target: BoxId) -> Relation {
+    // Build the path from `target` up to `from`.
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != from {
+        cur = circuit
+            .parent(cur)
+            .expect("relation_by_walking: target is not a descendant of from");
+        path.push(cur);
+    }
+    // Compose child relations from the bottom up: R(target, from) =
+    // R(target, p1) ∘ R(p1, p2) ∘ … ∘ R(pk, from).
+    let mut rel = Relation::identity(circuit.box_width(target));
+    for pair in path.windows(2) {
+        let (lower, upper) = (pair[0], pair[1]);
+        let (l, _r) = circuit.children(upper).expect("path is broken");
+        let side = if l == lower { Side::Left } else { Side::Right };
+        let step = child_relation(circuit, upper, side);
+        rel = rel.compose(&step);
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_compose() {
+        let id = Relation::identity(4);
+        let r = Relation::from_pairs(4, 3, [(0, 1), (2, 2), (3, 0)]);
+        assert_eq!(id.compose(&r), r);
+        let s = Relation::from_pairs(3, 2, [(1, 0), (2, 1)]);
+        let rs = r.compose(&s);
+        assert!(rs.contains(0, 0)); // 0 -> 1 -> 0
+        assert!(rs.contains(2, 1)); // 2 -> 2 -> 1
+        assert!(!rs.contains(3, 0)); // 3 -> 0 -> nothing
+        assert_eq!(rs.rows(), 4);
+        assert_eq!(rs.cols(), 2);
+    }
+
+    #[test]
+    fn projections_and_image() {
+        let r = Relation::from_pairs(3, 3, [(0, 1), (0, 2), (2, 0)]);
+        assert_eq!(r.project_sources().iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(r.project_targets().iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let img = r.image_of(&GateSet::from_indices(3, [0]));
+        assert_eq!(img.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn restrict_targets_drops_columns() {
+        let r = Relation::from_pairs(2, 3, [(0, 0), (0, 2), (1, 1)]);
+        let restricted = r.restrict_targets(&GateSet::from_indices(3, [0, 1]));
+        assert!(restricted.contains(0, 0));
+        assert!(!restricted.contains(0, 2));
+        assert!(restricted.contains(1, 1));
+    }
+
+    #[test]
+    fn empty_relation_detection() {
+        assert!(Relation::zero(3, 3).is_empty());
+        assert!(!Relation::identity(1).is_empty());
+    }
+}

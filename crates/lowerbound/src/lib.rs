@@ -1,0 +1,208 @@
+//! # treenum-lowerbound
+//!
+//! The lower-bound machinery of Section 9 of the paper.
+//!
+//! Theorem 9.2 reduces the *existential marked-ancestor problem* (Alstrup, Husfeldt,
+//! Rauhe) to MSO enumeration under relabelings: to decide whether a node has a marked
+//! ancestor, relabel it `special`, enumerate the answers of the fixed query
+//! `Φ(x) = "x is special and has a marked proper ancestor"`, and relabel it back.
+//! Consequently any enumeration structure with update time `t_u` and delay `t_e`
+//! yields a marked-ancestor structure with query time `2·t_u + t_e`, and the known
+//! `Ω(log n / log log n)` cell-probe bound transfers.
+//!
+//! This crate provides:
+//!
+//! * [`NaiveMarkedAncestor`]: a simple direct structure (mark bits + parent walks,
+//!   `O(1)` updates / `O(depth)` queries) used as a correctness oracle;
+//! * [`EnumerationMarkedAncestor`]: the reduction of Theorem 9.2, answering
+//!   marked-ancestor queries through a [`TreeEnumerator`];
+//!
+//! so the benchmark harness (`E6-lowerbound`) can measure the reduction's costs and
+//! exhibit the update/query trade-off the lower bound is about.
+
+use std::collections::HashSet;
+use treenum_automata::{queries, StepwiseTva};
+use treenum_core::TreeEnumerator;
+use treenum_trees::edit::EditOp;
+use treenum_trees::unranked::{NodeId, UnrankedTree};
+use treenum_trees::valuation::Var;
+use treenum_trees::Label;
+
+/// A direct marked-ancestor structure: constant-time (un)marking, queries by walking
+/// to the root.  Serves as the correctness oracle in tests and benchmarks.
+pub struct NaiveMarkedAncestor {
+    tree: UnrankedTree,
+    marked: HashSet<NodeId>,
+}
+
+impl NaiveMarkedAncestor {
+    /// Wraps a tree with no node marked.
+    pub fn new(tree: UnrankedTree) -> Self {
+        NaiveMarkedAncestor { tree, marked: HashSet::new() }
+    }
+
+    /// Marks `node`.
+    pub fn mark(&mut self, node: NodeId) {
+        self.marked.insert(node);
+    }
+
+    /// Unmarks `node`.
+    pub fn unmark(&mut self, node: NodeId) {
+        self.marked.remove(&node);
+    }
+
+    /// `true` iff some *proper* ancestor of `node` is marked.
+    pub fn has_marked_ancestor(&self, node: NodeId) -> bool {
+        let mut cur = self.tree.parent(node);
+        while let Some(p) = cur {
+            if self.marked.contains(&p) {
+                return true;
+            }
+            cur = self.tree.parent(p);
+        }
+        false
+    }
+
+    /// Read-only view of the tree.
+    pub fn tree(&self) -> &UnrankedTree {
+        &self.tree
+    }
+}
+
+/// The reduction of Theorem 9.2: a marked-ancestor structure implemented on top of
+/// the enumeration engine, using only relabeling updates and enumeration queries.
+///
+/// Labels: `0 = unmarked`, `1 = marked`, `2 = special` (the alphabet is fixed by the
+/// reduction).  The MSO query is the fixed `marked_ancestor` query of
+/// [`treenum_automata::queries`].
+pub struct EnumerationMarkedAncestor {
+    engine: TreeEnumerator,
+    unmarked: Label,
+    marked: Label,
+    special: Label,
+    /// Current label of every node (so queries can restore it after the probe).
+    is_marked: HashSet<NodeId>,
+}
+
+impl EnumerationMarkedAncestor {
+    /// The fixed query automaton used by the reduction.
+    pub fn query() -> StepwiseTva {
+        queries::marked_ancestor(3, Label(1), Label(2), Var(0))
+    }
+
+    /// Builds the reduction structure over a tree *shape*: all labels are reset to
+    /// `unmarked` regardless of the input labels (the marked-ancestor problem only
+    /// cares about the shape).
+    pub fn new(shape: &UnrankedTree) -> Self {
+        let unmarked = Label(0);
+        let marked = Label(1);
+        let special = Label(2);
+        // Rebuild the shape with every node unmarked.
+        let mut tree = UnrankedTree::new(unmarked);
+        let root = tree.root();
+        fn copy(src: &UnrankedTree, s: NodeId, dst: &mut UnrankedTree, d: NodeId, unmarked: Label) {
+            for c in src.children(s) {
+                let nd = dst.insert_last_child(d, unmarked);
+                copy(src, c, dst, nd, unmarked);
+            }
+        }
+        copy(shape, shape.root(), &mut tree, root, unmarked);
+        let engine = TreeEnumerator::new(tree, &Self::query(), 3);
+        EnumerationMarkedAncestor {
+            engine,
+            unmarked,
+            marked,
+            special,
+            is_marked: HashSet::new(),
+        }
+    }
+
+    /// Marks `node` (one relabeling update on the enumeration structure).
+    pub fn mark(&mut self, node: NodeId) {
+        self.is_marked.insert(node);
+        self.engine.apply(&EditOp::Relabel { node, label: self.marked });
+    }
+
+    /// Unmarks `node` (one relabeling update).
+    pub fn unmark(&mut self, node: NodeId) {
+        self.is_marked.remove(&node);
+        self.engine.apply(&EditOp::Relabel { node, label: self.unmarked });
+    }
+
+    /// Existential marked-ancestor query via the Theorem 9.2 probe:
+    /// relabel `node` to `special`, ask for the first answer of the enumeration,
+    /// relabel back.  Exactly two updates plus one delay-bounded enumeration step.
+    pub fn has_marked_ancestor(&mut self, node: NodeId) -> bool {
+        self.engine.apply(&EditOp::Relabel { node, label: self.special });
+        let answer = !self.engine.first_k(1).is_empty();
+        let restore = if self.is_marked.contains(&node) { self.marked } else { self.unmarked };
+        self.engine.apply(&EditOp::Relabel { node, label: restore });
+        answer
+    }
+
+    /// Read-only view of the tree.
+    pub fn tree(&self) -> &UnrankedTree {
+        self.engine.tree()
+    }
+
+    /// The node identifiers of the tree, in preorder (for driving workloads).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.engine.tree().preorder()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use treenum_trees::generate::{random_tree, TreeShape};
+    use treenum_trees::Alphabet;
+
+    #[test]
+    fn reduction_agrees_with_naive_structure() {
+        let mut sigma = Alphabet::from_names(["u", "m", "s"]);
+        let shape = random_tree(&mut sigma, 30, TreeShape::Random, 3);
+        let mut naive = NaiveMarkedAncestor::new(shape.clone());
+        let mut reduction = EnumerationMarkedAncestor::new(&shape);
+        // The two structures use different node-id spaces only if ids differ; the
+        // shape copy preserves preorder, so align them through preorder positions.
+        let naive_nodes = naive.tree().preorder();
+        let red_nodes = reduction.nodes();
+        assert_eq!(naive_nodes.len(), red_nodes.len());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..60 {
+            let i = rng.gen_range(0..naive_nodes.len());
+            match rng.gen_range(0..3) {
+                0 => {
+                    naive.mark(naive_nodes[i]);
+                    reduction.mark(red_nodes[i]);
+                }
+                1 => {
+                    naive.unmark(naive_nodes[i]);
+                    reduction.unmark(red_nodes[i]);
+                }
+                _ => {
+                    assert_eq!(
+                        naive.has_marked_ancestor(naive_nodes[i]),
+                        reduction.has_marked_ancestor(red_nodes[i]),
+                        "disagreement at preorder position {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_never_has_a_marked_ancestor() {
+        let mut sigma = Alphabet::from_names(["u"]);
+        let shape = random_tree(&mut sigma, 10, TreeShape::Random, 1);
+        let mut reduction = EnumerationMarkedAncestor::new(&shape);
+        let root = reduction.tree().root();
+        reduction.mark(root);
+        assert!(!reduction.has_marked_ancestor(root));
+        // But children of the root do.
+        let child = reduction.tree().children(root).next().unwrap();
+        assert!(reduction.has_marked_ancestor(child));
+    }
+}

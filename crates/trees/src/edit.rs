@@ -1,0 +1,65 @@
+//! Edit operations on unranked trees (Definition 7.1).
+
+use crate::label::Label;
+use crate::unranked::NodeId;
+
+/// An edit operation on an unranked tree, as in Definition 7.1 of the paper.
+///
+/// * `InsertFirstChild { parent, label }` is the paper's `insert(n, l)`.
+/// * `InsertRightSibling { sibling, label }` is the paper's `insertR(n, l)`.
+/// * `DeleteLeaf { node }` is the paper's `delete(n)` (only applies to leaves).
+/// * `Relabel { node, label }` is the paper's `relabel(n, l)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// Insert a fresh `label`-labelled leaf as the first child of `parent`.
+    InsertFirstChild { parent: NodeId, label: Label },
+    /// Insert a fresh `label`-labelled leaf as the right sibling of `sibling`.
+    InsertRightSibling { sibling: NodeId, label: Label },
+    /// Delete the leaf `node`.
+    DeleteLeaf { node: NodeId },
+    /// Change the label of `node` to `label`.
+    Relabel { node: NodeId, label: Label },
+}
+
+impl EditOp {
+    /// `true` iff this operation changes the shape of the tree
+    /// (as opposed to a relabeling, the only update supported by prior work [4]).
+    pub fn is_structural(&self) -> bool {
+        !matches!(self, EditOp::Relabel { .. })
+    }
+
+    /// The node the operation is anchored at.
+    pub fn anchor(&self) -> NodeId {
+        match *self {
+            EditOp::InsertFirstChild { parent, .. } => parent,
+            EditOp::InsertRightSibling { sibling, .. } => sibling,
+            EditOp::DeleteLeaf { node } => node,
+            EditOp::Relabel { node, .. } => node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_classification() {
+        let n = NodeId(0);
+        let l = Label(0);
+        assert!(EditOp::InsertFirstChild { parent: n, label: l }.is_structural());
+        assert!(EditOp::InsertRightSibling { sibling: n, label: l }.is_structural());
+        assert!(EditOp::DeleteLeaf { node: n }.is_structural());
+        assert!(!EditOp::Relabel { node: n, label: l }.is_structural());
+    }
+
+    #[test]
+    fn anchor_is_reported() {
+        let n = NodeId(7);
+        assert_eq!(EditOp::DeleteLeaf { node: n }.anchor(), n);
+        assert_eq!(
+            EditOp::InsertFirstChild { parent: n, label: Label(1) }.anchor(),
+            n
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Random tree and workload generators used by tests, property tests and benchmarks.
+
+use crate::edit::EditOp;
+use crate::label::{Alphabet, Label};
+use crate::unranked::{NodeId, UnrankedTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of randomly generated trees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeShape {
+    /// Each new node attaches to a uniformly random existing node (random recursive
+    /// tree: logarithmic expected height, moderate fan-out).
+    Random,
+    /// Each new node attaches to the most recently inserted node with probability
+    /// `3/4`, otherwise to a random node: produces deep, path-like trees.
+    Deep,
+    /// Each new node attaches to the root or one of its children: produces shallow,
+    /// bushy trees with huge fan-out.
+    Wide,
+    /// A perfectly balanced `arity`-ary tree.
+    Balanced { arity: usize },
+}
+
+/// Deterministic random tree generator.
+///
+/// ```
+/// use treenum_trees::generate::{random_tree, TreeShape};
+/// use treenum_trees::Alphabet;
+/// let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+/// let t = random_tree(&mut sigma, 100, TreeShape::Random, 42);
+/// assert_eq!(t.len(), 100);
+/// ```
+pub fn random_tree(alphabet: &mut Alphabet, size: usize, shape: TreeShape, seed: u64) -> UnrankedTree {
+    assert!(size >= 1);
+    if alphabet.is_empty() {
+        alphabet.intern("a");
+    }
+    let labels: Vec<Label> = alphabet.labels().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pick = |rng: &mut StdRng| labels[rng.gen_range(0..labels.len())];
+
+    let mut tree = UnrankedTree::new(labels[0]);
+
+    match shape {
+        TreeShape::Balanced { arity } => {
+            let arity = arity.max(1);
+            let mut frontier = vec![tree.root()];
+            while tree.len() < size {
+                let mut next = Vec::new();
+                for &node in &frontier {
+                    for _ in 0..arity {
+                        if tree.len() >= size {
+                            break;
+                        }
+                        let label = pick(&mut rng);
+                        next.push(tree.insert_last_child(node, label));
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                frontier = next;
+            }
+        }
+        _ => {
+            let mut nodes: Vec<NodeId> = vec![tree.root()];
+            while tree.len() < size {
+                let parent = match shape {
+                    TreeShape::Random => nodes[rng.gen_range(0..nodes.len())],
+                    TreeShape::Deep => {
+                        if rng.gen_bool(0.75) {
+                            *nodes.last().unwrap()
+                        } else {
+                            nodes[rng.gen_range(0..nodes.len())]
+                        }
+                    }
+                    TreeShape::Wide => {
+                        if nodes.len() == 1 || rng.gen_bool(0.5) {
+                            tree.root()
+                        } else {
+                            // one of the root's children
+                            let children: Vec<NodeId> = tree.children(tree.root()).collect();
+                            children[rng.gen_range(0..children.len())]
+                        }
+                    }
+                    TreeShape::Balanced { .. } => unreachable!(),
+                };
+                let label = pick(&mut rng);
+                let fresh = tree.insert_last_child(parent, label);
+                nodes.push(fresh);
+            }
+        }
+    }
+    tree
+}
+
+/// A stream of valid random edit operations for a tree, applying each operation as it
+/// is generated so that successive operations stay consistent.
+pub struct EditStream {
+    rng: StdRng,
+    labels: Vec<Label>,
+    /// Probability weights: (insert, delete, relabel).
+    weights: (f64, f64, f64),
+}
+
+impl EditStream {
+    /// Creates a stream with the given label pool, mix of operations and seed.
+    pub fn new(labels: Vec<Label>, weights: (f64, f64, f64), seed: u64) -> Self {
+        assert!(!labels.is_empty());
+        EditStream {
+            rng: StdRng::seed_from_u64(seed),
+            labels,
+            weights,
+        }
+    }
+
+    /// An even mix of insertions, deletions and relabelings.
+    pub fn balanced_mix(labels: Vec<Label>, seed: u64) -> Self {
+        Self::new(labels, (1.0, 1.0, 1.0), seed)
+    }
+
+    /// Generates the next edit operation valid for `tree` and applies it, returning
+    /// the operation (with the concrete node it targeted).
+    pub fn next_applied(&mut self, tree: &mut UnrankedTree) -> EditOp {
+        let op = self.next_for(tree);
+        tree.apply(&op);
+        op
+    }
+
+    /// Generates (without applying) the next edit operation valid for `tree`.
+    pub fn next_for(&mut self, tree: &UnrankedTree) -> EditOp {
+        let (wi, wd, wr) = self.weights;
+        // Deletion requires a non-root leaf.
+        let leaves: Vec<NodeId> = tree
+            .leaves()
+            .into_iter()
+            .filter(|&n| n != tree.root())
+            .collect();
+        let can_delete = !leaves.is_empty();
+        let total = wi + if can_delete { wd } else { 0.0 } + wr;
+        let x: f64 = self.rng.gen_range(0.0..total);
+        let label = self.labels[self.rng.gen_range(0..self.labels.len())];
+        let nodes = tree.preorder();
+        let any_node = nodes[self.rng.gen_range(0..nodes.len())];
+        if x < wi {
+            // Choose between first-child and right-sibling insertion.
+            if any_node != tree.root() && self.rng.gen_bool(0.5) {
+                EditOp::InsertRightSibling { sibling: any_node, label }
+            } else {
+                EditOp::InsertFirstChild { parent: any_node, label }
+            }
+        } else if can_delete && x < wi + wd {
+            let node = leaves[self.rng.gen_range(0..leaves.len())];
+            EditOp::DeleteLeaf { node }
+        } else {
+            EditOp::Relabel { node: any_node, label }
+        }
+    }
+}
+
+/// Generates a long word (a unary-depth tree is *not* used; words are separate) as a
+/// vector of labels over `alphabet`, for the spanner experiments.
+pub fn random_word(alphabet: &mut Alphabet, len: usize, seed: u64) -> Vec<Label> {
+    if alphabet.is_empty() {
+        alphabet.intern("a");
+    }
+    let labels: Vec<Label> = alphabet.labels().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| labels[rng.gen_range(0..labels.len())]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_has_requested_size() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        for &shape in &[TreeShape::Random, TreeShape::Deep, TreeShape::Wide, TreeShape::Balanced { arity: 3 }] {
+            let t = random_tree(&mut sigma, 57, shape, 7);
+            assert_eq!(t.len(), 57, "shape {:?}", shape);
+        }
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_in_seed() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let t1 = random_tree(&mut sigma, 40, TreeShape::Random, 123);
+        let t2 = random_tree(&mut sigma, 40, TreeShape::Random, 123);
+        assert!(t1.structurally_equal(&t2));
+    }
+
+    #[test]
+    fn deep_trees_are_deeper_than_wide_trees() {
+        let mut sigma = Alphabet::from_names(["a"]);
+        let deep = random_tree(&mut sigma, 300, TreeShape::Deep, 1);
+        let wide = random_tree(&mut sigma, 300, TreeShape::Wide, 1);
+        assert!(deep.height() > wide.height());
+    }
+
+    #[test]
+    fn edit_stream_keeps_tree_valid() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        let mut tree = random_tree(&mut sigma, 30, TreeShape::Random, 5);
+        let mut stream = EditStream::balanced_mix(labels, 9);
+        for _ in 0..200 {
+            let before = tree.len();
+            let op = stream.next_applied(&mut tree);
+            match op {
+                EditOp::DeleteLeaf { .. } => assert_eq!(tree.len(), before - 1),
+                EditOp::Relabel { .. } => assert_eq!(tree.len(), before),
+                _ => assert_eq!(tree.len(), before + 1),
+            }
+        }
+        assert!(tree.len() >= 1);
+    }
+
+    #[test]
+    fn random_word_length_and_determinism() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let w1 = random_word(&mut sigma, 100, 3);
+        let w2 = random_word(&mut sigma, 100, 3);
+        assert_eq!(w1.len(), 100);
+        assert_eq!(w1, w2);
+    }
+}

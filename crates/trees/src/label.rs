@@ -1,0 +1,138 @@
+//! Interned tree labels.
+//!
+//! The paper works with an abstract finite alphabet `Λ`.  We intern label names into
+//! dense `u32` identifiers so that automata transition tables can be indexed by label.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A tree label, an interned identifier into an [`Alphabet`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// Returns the dense index of this label.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// An interner mapping label names to dense [`Label`] identifiers.
+///
+/// ```
+/// use treenum_trees::Alphabet;
+/// let mut sigma = Alphabet::new();
+/// let a = sigma.intern("a");
+/// let b = sigma.intern("b");
+/// assert_ne!(a, b);
+/// assert_eq!(sigma.intern("a"), a);
+/// assert_eq!(sigma.name(a), "a");
+/// assert_eq!(sigma.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    by_name: HashMap<String, Label>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet containing the given names, in order.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut alphabet = Self::new();
+        for name in names {
+            alphabet.intern(name.as_ref());
+        }
+        alphabet
+    }
+
+    /// Interns `name`, returning its label (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&label) = self.by_name.get(name) {
+            return label;
+        }
+        let label = Label(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), label);
+        label
+    }
+
+    /// Looks up a label by name without interning.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `label`.
+    ///
+    /// # Panics
+    /// Panics if the label does not belong to this alphabet.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all labels in interning order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.names.len() as u32).map(Label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut sigma = Alphabet::new();
+        let a = sigma.intern("a");
+        assert_eq!(sigma.intern("a"), a);
+        assert_eq!(sigma.len(), 1);
+    }
+
+    #[test]
+    fn from_names_orders_labels() {
+        let sigma = Alphabet::from_names(["x", "y", "z"]);
+        assert_eq!(sigma.get("x"), Some(Label(0)));
+        assert_eq!(sigma.get("y"), Some(Label(1)));
+        assert_eq!(sigma.get("z"), Some(Label(2)));
+        assert_eq!(sigma.get("w"), None);
+    }
+
+    #[test]
+    fn labels_iterates_all() {
+        let sigma = Alphabet::from_names(["a", "b"]);
+        let all: Vec<_> = sigma.labels().collect();
+        assert_eq!(all, vec![Label(0), Label(1)]);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut sigma = Alphabet::new();
+        let l = sigma.intern("hello");
+        assert_eq!(sigma.name(l), "hello");
+    }
+}

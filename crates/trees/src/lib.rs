@@ -1,0 +1,30 @@
+//! # treenum-trees
+//!
+//! Tree data structures used throughout the `treenum` workspace:
+//!
+//! * [`UnrankedTree`]: rooted, ordered, labelled unranked trees — the input model of
+//!   the paper (Section 7).  Supports the edit operations of Definition 7.1
+//!   (leaf insertion, leaf deletion, relabeling).
+//! * [`BinaryTree`]: rooted, ordered, labelled binary trees — the model on which
+//!   assignment circuits are built (Sections 2–6) and the shape of forest-algebra
+//!   terms and v-trees.
+//! * [`Alphabet`] / [`Label`]: interned tree labels.
+//! * [`valuation`]: valuations, assignments and singletons (`⟨Z : n⟩`).
+//! * [`generate`]: random tree / workload generators used by tests and benchmarks.
+//!
+//! All trees are arena-allocated with `u32` node identifiers so that subtrees can be
+//! shared across versions cheaply (needed by the update machinery in
+//! `treenum-balance`).
+
+pub mod binary;
+pub mod edit;
+pub mod generate;
+pub mod label;
+pub mod unranked;
+pub mod valuation;
+
+pub use binary::{BinaryNodeId, BinaryTree};
+pub use edit::EditOp;
+pub use label::{Alphabet, Label};
+pub use unranked::{NodeId, UnrankedTree};
+pub use valuation::{Assignment, Singleton, Valuation, Var, VarSet};

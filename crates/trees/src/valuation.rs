@@ -1,0 +1,436 @@
+//! Valuations, assignments and singletons (Section 2 of the paper).
+//!
+//! A query has a finite set of second-order variables `X`.  An `X`-valuation of a tree
+//! maps each node to a subset of `X`; the corresponding *assignment* is the set of
+//! singletons `⟨Z : n⟩` with `Z ∈ ν(n)`.  We cap `|X|` at 64 and represent subsets of
+//! `X` as bitmasks ([`VarSet`]).
+
+use crate::unranked::NodeId;
+use std::fmt;
+
+/// A second-order query variable, identified by its index `0..64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u8);
+
+impl Var {
+    /// The index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// A set of query variables, represented as a 64-bit bitmask.
+///
+/// ```
+/// use treenum_trees::{Var, VarSet};
+/// let s = VarSet::empty().with(Var(0)).with(Var(3));
+/// assert!(s.contains(Var(0)));
+/// assert!(!s.contains(Var(1)));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![Var(0), Var(3)]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VarSet(pub u64);
+
+impl VarSet {
+    /// The empty variable set.
+    #[inline]
+    pub const fn empty() -> Self {
+        VarSet(0)
+    }
+
+    /// The singleton set `{v}`.
+    #[inline]
+    pub fn singleton(v: Var) -> Self {
+        VarSet(1u64 << v.0)
+    }
+
+    /// The set of the first `n` variables `{X0, …, X_{n-1}}`.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= 64, "at most 64 variables are supported");
+        if n == 64 {
+            VarSet(u64::MAX)
+        } else {
+            VarSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Returns this set with `v` added.
+    #[inline]
+    pub fn with(self, v: Var) -> Self {
+        VarSet(self.0 | (1u64 << v.0))
+    }
+
+    /// Returns this set with `v` removed.
+    #[inline]
+    pub fn without(self, v: Var) -> Self {
+        VarSet(self.0 & !(1u64 << v.0))
+    }
+
+    /// Set membership.
+    #[inline]
+    pub fn contains(self, v: Var) -> bool {
+        self.0 & (1u64 << v.0) != 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: Self) -> Self {
+        VarSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: Self) -> Self {
+        VarSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(self, other: Self) -> Self {
+        VarSet(self.0 & !other.0)
+    }
+
+    /// `true` iff this set is a subset of `other`.
+    #[inline]
+    pub fn is_subset_of(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Number of variables in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` iff the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the variables of the set in increasing index order.
+    pub fn iter(self) -> impl Iterator<Item = Var> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                Some(Var(i))
+            }
+        })
+    }
+
+    /// Enumerates all subsets of `universe` (including the empty set).
+    ///
+    /// This is exponential in `universe.len()` and only intended for small variable
+    /// sets (automaton construction, brute-force test oracles).
+    pub fn subsets_of(universe: VarSet) -> impl Iterator<Item = VarSet> {
+        subsets(universe).into_iter()
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{:?}", v)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Enumerates all subsets of `universe` using the standard sub-mask recurrence.
+///
+/// Produces `2^{|universe|}` sets, starting from the empty set.
+pub fn subsets(universe: VarSet) -> Vec<VarSet> {
+    let u = universe.0;
+    let mut out = Vec::with_capacity(1usize << universe.len().min(20));
+    let mut sub = 0u64;
+    loop {
+        out.push(VarSet(sub));
+        if sub == u {
+            break;
+        }
+        sub = (sub.wrapping_sub(u)) & u;
+    }
+    out
+}
+
+/// A singleton `⟨Z : n⟩`: variable `Z` holds node `n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Singleton {
+    /// The variable.
+    pub var: Var,
+    /// The node annotated with the variable.
+    pub node: NodeId,
+}
+
+impl Singleton {
+    /// Creates a singleton `⟨var : node⟩`.
+    pub fn new(var: Var, node: NodeId) -> Self {
+        Singleton { var, node }
+    }
+}
+
+impl fmt::Debug for Singleton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{:?}:{:?}⟩", self.var, self.node)
+    }
+}
+
+/// An `X`-assignment: a set of singletons, stored sorted and deduplicated.
+///
+/// Assignments are the objects enumerated by the algorithms of the paper; `|S|` (the
+/// number of singletons) is the quantity the per-answer delay is measured against.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Assignment {
+    singletons: Vec<Singleton>,
+}
+
+impl Assignment {
+    /// The empty assignment (corresponding to the empty valuation).
+    pub fn empty() -> Self {
+        Assignment { singletons: Vec::new() }
+    }
+
+    /// Builds an assignment from an arbitrary iterator of singletons
+    /// (sorting and deduplicating).
+    pub fn from_singletons<I: IntoIterator<Item = Singleton>>(iter: I) -> Self {
+        let mut singletons: Vec<Singleton> = iter.into_iter().collect();
+        singletons.sort_unstable();
+        singletons.dedup();
+        Assignment { singletons }
+    }
+
+    /// The singletons of this assignment, sorted.
+    pub fn singletons(&self) -> &[Singleton] {
+        &self.singletons
+    }
+
+    /// Size `|S|` of the assignment.
+    pub fn len(&self) -> usize {
+        self.singletons.len()
+    }
+
+    /// `true` iff this is the empty assignment.
+    pub fn is_empty(&self) -> bool {
+        self.singletons.is_empty()
+    }
+
+    /// Union of two assignments.
+    pub fn union(&self, other: &Assignment) -> Assignment {
+        Assignment::from_singletons(self.singletons.iter().chain(other.singletons.iter()).copied())
+    }
+
+    /// Returns the nodes bound to `var`, in increasing node order.
+    pub fn nodes_of(&self, var: Var) -> Vec<NodeId> {
+        self.singletons.iter().filter(|s| s.var == var).map(|s| s.node).collect()
+    }
+
+    /// If every variable in `vars` is bound to exactly one node, returns the tuple of
+    /// nodes in variable order (the "answer tuple" view for free first-order variables).
+    pub fn as_tuple(&self, vars: &[Var]) -> Option<Vec<NodeId>> {
+        let mut out = Vec::with_capacity(vars.len());
+        for &v in vars {
+            let nodes = self.nodes_of(v);
+            if nodes.len() != 1 {
+                return None;
+            }
+            out.push(nodes[0]);
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.singletons.iter()).finish()
+    }
+}
+
+impl FromIterator<Singleton> for Assignment {
+    fn from_iter<T: IntoIterator<Item = Singleton>>(iter: T) -> Self {
+        Assignment::from_singletons(iter)
+    }
+}
+
+/// An `X`-valuation of a tree: a map from node to the set of variables annotating it.
+///
+/// Only nodes with a non-empty annotation are stored.  The correspondence with
+/// [`Assignment`] (`α(ν)` in the paper) is given by [`Valuation::to_assignment`] and
+/// [`Valuation::from_assignment`].
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct Valuation {
+    entries: Vec<(NodeId, VarSet)>,
+}
+
+impl Valuation {
+    /// The empty valuation `ν_∅`.
+    pub fn empty() -> Self {
+        Valuation { entries: Vec::new() }
+    }
+
+    /// Builds a valuation from `(node, varset)` pairs; later pairs for the same node
+    /// are unioned in.
+    pub fn from_entries<I: IntoIterator<Item = (NodeId, VarSet)>>(iter: I) -> Self {
+        let mut v = Valuation::empty();
+        for (node, set) in iter {
+            v.annotate(node, set);
+        }
+        v
+    }
+
+    /// Adds `set` to the annotation of `node`.
+    pub fn annotate(&mut self, node: NodeId, set: VarSet) {
+        if set.is_empty() {
+            return;
+        }
+        match self.entries.binary_search_by_key(&node, |(n, _)| *n) {
+            Ok(i) => self.entries[i].1 = self.entries[i].1.union(set),
+            Err(i) => self.entries.insert(i, (node, set)),
+        }
+    }
+
+    /// The annotation `ν(node)` (empty if the node is not annotated).
+    pub fn annotation(&self, node: NodeId) -> VarSet {
+        match self.entries.binary_search_by_key(&node, |(n, _)| *n) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => VarSet::empty(),
+        }
+    }
+
+    /// Iterates over the annotated nodes and their (non-empty) annotations.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, VarSet)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// `true` iff no node carries a non-empty annotation.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|(_, s)| s.is_empty())
+    }
+
+    /// The assignment `α(ν)`.
+    pub fn to_assignment(&self) -> Assignment {
+        Assignment::from_singletons(
+            self.entries
+                .iter()
+                .flat_map(|&(node, set)| set.iter().map(move |var| Singleton { var, node })),
+        )
+    }
+
+    /// The valuation corresponding to an assignment.
+    pub fn from_assignment(assignment: &Assignment) -> Self {
+        let mut v = Valuation::empty();
+        for s in assignment.singletons() {
+            v.annotate(s.node, VarSet::singleton(s.var));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn varset_basic_ops() {
+        let s = VarSet::empty().with(Var(1)).with(Var(5));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Var(1)));
+        assert!(s.contains(Var(5)));
+        assert!(!s.contains(Var(0)));
+        assert!(s.without(Var(1)) == VarSet::singleton(Var(5)));
+        assert!(VarSet::singleton(Var(5)).is_subset_of(s));
+        assert!(!s.is_subset_of(VarSet::singleton(Var(5))));
+    }
+
+    #[test]
+    fn varset_first_n() {
+        assert_eq!(VarSet::first_n(0), VarSet::empty());
+        assert_eq!(VarSet::first_n(3).len(), 3);
+        assert_eq!(VarSet::first_n(64).len(), 64);
+    }
+
+    #[test]
+    fn subsets_enumerates_powerset() {
+        let u = VarSet::first_n(3);
+        let all = subsets(u);
+        assert_eq!(all.len(), 8);
+        assert!(all.contains(&VarSet::empty()));
+        assert!(all.contains(&u));
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    fn subsets_of_empty_universe() {
+        assert_eq!(subsets(VarSet::empty()), vec![VarSet::empty()]);
+    }
+
+    #[test]
+    fn assignment_dedups_and_sorts() {
+        let a = Assignment::from_singletons(vec![
+            Singleton::new(Var(1), n(3)),
+            Singleton::new(Var(0), n(2)),
+            Singleton::new(Var(1), n(3)),
+        ]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.singletons()[0], Singleton::new(Var(0), n(2)));
+    }
+
+    #[test]
+    fn assignment_tuple_view() {
+        let a = Assignment::from_singletons(vec![
+            Singleton::new(Var(0), n(7)),
+            Singleton::new(Var(1), n(9)),
+        ]);
+        assert_eq!(a.as_tuple(&[Var(0), Var(1)]), Some(vec![n(7), n(9)]));
+        assert_eq!(a.as_tuple(&[Var(2)]), None);
+    }
+
+    #[test]
+    fn valuation_round_trips_assignment() {
+        let mut v = Valuation::empty();
+        v.annotate(n(4), VarSet::singleton(Var(0)));
+        v.annotate(n(2), VarSet::singleton(Var(1)).with(Var(0)));
+        let a = v.to_assignment();
+        assert_eq!(a.len(), 3);
+        let v2 = Valuation::from_assignment(&a);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn valuation_annotation_merges() {
+        let mut v = Valuation::empty();
+        v.annotate(n(1), VarSet::singleton(Var(0)));
+        v.annotate(n(1), VarSet::singleton(Var(2)));
+        assert_eq!(v.annotation(n(1)).len(), 2);
+        assert!(v.annotation(n(9)).is_empty());
+    }
+
+    #[test]
+    fn empty_valuation_is_empty_assignment() {
+        assert!(Valuation::empty().to_assignment().is_empty());
+        assert!(Valuation::empty().is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Document spanners on a dynamic word (Theorem 8.5): extract runs of the letter `a`
+//! from a synthetic log, then keep the matches fresh while the log is appended to
+//! and edited in place.
+//!
+//! Run with: `cargo run --example log_spanner`
+
+use treenum::automata::wva::spanners;
+use treenum::core::words::{WordEdit, WordEnumerator};
+use treenum::trees::generate::random_word;
+use treenum::trees::{Alphabet, Label, Var};
+
+fn main() {
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let a = Label(0);
+
+    // The spanner: bind x to the start and y to the end of runs of `a`.
+    let spanner = spanners::runs_of(sigma.len(), a, Var(0), Var(1));
+
+    let word = random_word(&mut sigma, 5000, 7);
+    let mut engine = WordEnumerator::new(&word, &spanner, sigma.len());
+    println!("word length {}, matches: {}", engine.len(), engine.count());
+
+    // Append 20 letters (log growth) and re-count after each append.
+    for i in 0..20 {
+        let letter = Label((i % 3) as u32);
+        let at = engine.len();
+        engine.apply(WordEdit::Insert { at, letter });
+    }
+    println!("after appending 20 letters: {} matches", engine.count());
+
+    // In-place corrections.
+    engine.apply(WordEdit::Replace { at: 0, letter: a });
+    engine.apply(WordEdit::Delete { at: 1 });
+    println!("after a replace and a delete: {} matches", engine.count());
+
+    let stats = engine.stats();
+    println!(
+        "underlying term height {} (logarithmic in the word), circuit width {}",
+        stats.term_height, stats.circuit_width
+    );
+}

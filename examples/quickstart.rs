@@ -1,0 +1,49 @@
+//! Quickstart: build a small XML-like tree, ask an MSO-style query given as a
+//! nondeterministic stepwise tree automaton, enumerate the answers, edit the tree,
+//! and enumerate again — the full Theorem 8.1 workflow in ~40 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use treenum::automata::queries;
+use treenum::core::TreeEnumerator;
+use treenum::trees::{Alphabet, EditOp, UnrankedTree, Var};
+
+fn main() {
+    // A small document tree: catalog(book(title, author), book(title)).
+    let mut sigma = Alphabet::from_names(["catalog", "book", "title", "author"]);
+    let catalog = sigma.intern("catalog");
+    let book = sigma.intern("book");
+    let title = sigma.intern("title");
+    let author = sigma.intern("author");
+
+    let mut doc = UnrankedTree::new(catalog);
+    let root = doc.root();
+    let b1 = doc.insert_last_child(root, book);
+    doc.insert_last_child(b1, title);
+    doc.insert_last_child(b1, author);
+    let b2 = doc.insert_last_child(root, book);
+    doc.insert_last_child(b2, title);
+
+    // Query: select every node labelled `title` (one free first-order variable).
+    let query = queries::select_label(sigma.len(), title, Var(0));
+
+    // Linear-time preprocessing, then constant-delay enumeration.
+    let mut engine = TreeEnumerator::new(doc, &query, sigma.len());
+    println!("titles before update: {}", engine.count());
+    for answer in engine.assignments() {
+        println!("  answer: {:?}", answer);
+    }
+
+    // Logarithmic-time update: add a third book with a title, then re-enumerate.
+    let b3 = engine
+        .apply(&EditOp::InsertRightSibling { sibling: b2, label: book })
+        .expect("insertion yields a node");
+    engine.apply(&EditOp::InsertFirstChild { parent: b3, label: title });
+    println!("titles after inserting a book: {}", engine.count());
+
+    let stats = engine.stats();
+    println!(
+        "tree size {}, balanced term height {}, circuit width {}",
+        stats.tree_size, stats.term_height, stats.circuit_width
+    );
+}

@@ -1,0 +1,56 @@
+//! Ancestor/descendant joins on a document hierarchy: enumerate all
+//! (section, figure) pairs where the figure is nested below the section, keep the
+//! result set fresh while the document is edited, and show early termination
+//! (top-k) which the constant-delay guarantee makes meaningful.
+//!
+//! Run with: `cargo run --example xml_hierarchy`
+
+use std::ops::ControlFlow;
+use treenum::automata::queries;
+use treenum::core::TreeEnumerator;
+use treenum::trees::generate::{random_tree, TreeShape};
+use treenum::trees::{Alphabet, EditOp, Var};
+
+fn main() {
+    let mut sigma = Alphabet::from_names(["doc", "section", "figure", "para"]);
+    let section = sigma.get("section").unwrap();
+    let figure = sigma.get("figure").unwrap();
+
+    // A synthetic 2000-node document.
+    let doc = random_tree(&mut sigma, 2000, TreeShape::Random, 2024);
+
+    // Φ(x, y): x is a section, y is a figure, x is a proper ancestor of y.
+    let query = queries::ancestor_descendant(sigma.len(), section, Var(0), figure, Var(1));
+    let mut engine = TreeEnumerator::new(doc, &query, sigma.len());
+
+    println!("section/figure pairs: {}", engine.count());
+
+    // Top-5 answers with early termination.
+    let mut shown = 0;
+    engine.for_each(&mut |answer| {
+        println!("  pair: {:?}", answer);
+        shown += 1;
+        if shown == 5 {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+
+    // Edit the document: insert a new figure under the first section we can find.
+    let some_section = engine
+        .tree()
+        .preorder()
+        .into_iter()
+        .find(|&n| engine.tree().label(n) == section);
+    if let Some(s) = some_section {
+        engine.apply(&EditOp::InsertFirstChild { parent: s, label: figure });
+        println!("pairs after inserting one figure: {}", engine.count());
+    }
+
+    let stats = engine.stats();
+    println!(
+        "term height {} for {} nodes (logarithmic), circuit width {}",
+        stats.term_height, stats.tree_size, stats.circuit_width
+    );
+}

@@ -1,0 +1,16 @@
+//! # treenum
+//!
+//! Umbrella crate re-exporting the public API of the `treenum` workspace: an
+//! implementation of *"Enumeration on Trees with Tractable Combined Complexity and
+//! Efficient Updates"* (Amarilli, Bourhis, Mengel, Niewerth — PODS 2019).
+//!
+//! See the README for a guided tour and `DESIGN.md` for the system inventory.
+
+pub use treenum_automata as automata;
+pub use treenum_balance as balance;
+pub use treenum_baselines as baselines;
+pub use treenum_circuits as circuits;
+pub use treenum_core as core;
+pub use treenum_enumeration as enumeration;
+pub use treenum_lowerbound as lowerbound;
+pub use treenum_trees as trees;

@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: the full pipeline (tree → balanced term →
+//! translated automaton → circuit → index → enumeration → updates) against the
+//! brute-force automaton oracle, across query families, tree shapes and edit mixes.
+
+use std::collections::BTreeSet;
+use treenum::automata::queries;
+use treenum::automata::StepwiseTva;
+use treenum::core::TreeEnumerator;
+use treenum::trees::generate::{random_tree, EditStream, TreeShape};
+use treenum::trees::valuation::Assignment;
+use treenum::trees::{Alphabet, Var};
+
+fn sorted(engine_answers: Vec<Assignment>) -> Vec<Assignment> {
+    let mut v = engine_answers;
+    v.sort();
+    v
+}
+
+fn oracle(query: &StepwiseTva, tree: &treenum::trees::UnrankedTree) -> Vec<Assignment> {
+    let mut v: Vec<Assignment> = query.satisfying_assignments(tree).into_iter().collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn all_query_families_match_the_oracle_on_all_shapes() {
+    let sigma = Alphabet::from_names(["a", "b", "m", "s"]);
+    let a = sigma.get("a").unwrap();
+    let b = sigma.get("b").unwrap();
+    let m = sigma.get("m").unwrap();
+    let s = sigma.get("s").unwrap();
+    let queries: Vec<(&str, StepwiseTva)> = vec![
+        ("select_label", queries::select_label(sigma.len(), b, Var(0))),
+        ("exists_label", queries::exists_label(sigma.len(), m)),
+        ("marked_ancestor", queries::marked_ancestor(sigma.len(), m, s, Var(0))),
+        ("ancestor_descendant", queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1))),
+        ("has_child", queries::has_child_with_label(sigma.len(), b, Var(0))),
+        ("kth_child_from_end", queries::kth_child_from_end(sigma.len(), 2, a, Var(0))),
+        ("leaf_pairs", queries::distinct_leaf_pairs(sigma.len(), Var(0), Var(1))),
+    ];
+    for shape in [TreeShape::Random, TreeShape::Deep, TreeShape::Wide, TreeShape::Balanced { arity: 3 }] {
+        let mut sigma2 = sigma.clone();
+        let tree = random_tree(&mut sigma2, 14, shape, 5);
+        for (name, q) in &queries {
+            let engine = TreeEnumerator::new(tree.clone(), q, sigma.len());
+            assert_eq!(
+                sorted(engine.assignments()),
+                oracle(q, &tree),
+                "query {name} on shape {shape:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn long_edit_sequences_stay_correct() {
+    let sigma = Alphabet::from_names(["a", "b", "m", "s"]);
+    let labels: Vec<_> = sigma.labels().collect();
+    let b = sigma.get("b").unwrap();
+    let m = sigma.get("m").unwrap();
+    let s = sigma.get("s").unwrap();
+    let families: Vec<StepwiseTva> = vec![
+        queries::select_label(sigma.len(), b, Var(0)),
+        queries::marked_ancestor(sigma.len(), m, s, Var(0)),
+    ];
+    for (qi, query) in families.iter().enumerate() {
+        let mut sigma2 = sigma.clone();
+        let tree = random_tree(&mut sigma2, 12, TreeShape::Random, qi as u64);
+        let mut engine = TreeEnumerator::new(tree, query, sigma.len());
+        let mut stream = EditStream::balanced_mix(labels.clone(), 100 + qi as u64);
+        for step in 0..80 {
+            let op = stream.next_for(engine.tree());
+            engine.apply(&op);
+            if step % 10 == 9 {
+                assert_eq!(
+                    sorted(engine.assignments()),
+                    oracle(query, engine.tree()),
+                    "family {qi} after step {step}"
+                );
+                engine.check_consistency();
+            }
+        }
+    }
+}
+
+#[test]
+fn growing_and_shrinking_a_tree_through_updates_only() {
+    let sigma = Alphabet::from_names(["a", "b"]);
+    let b = sigma.get("b").unwrap();
+    let query = queries::select_label(sigma.len(), b, Var(0));
+    let tree = treenum::trees::UnrankedTree::new(b);
+    let mut engine = TreeEnumerator::new(tree, &query, sigma.len());
+    assert_eq!(engine.count(), 1);
+    // Grow a comb of 100 b-nodes.
+    let mut frontier = engine.tree().root();
+    for i in 0..100 {
+        let op = treenum::trees::EditOp::InsertFirstChild { parent: frontier, label: b };
+        let inserted = engine.apply(&op).unwrap();
+        if i % 2 == 0 {
+            frontier = inserted;
+        }
+        assert_eq!(engine.count(), i + 2, "after insertion {i}");
+    }
+    // Delete leaves until only the root remains.
+    loop {
+        let tree = engine.tree();
+        let victim = tree.leaves().into_iter().find(|&n| n != tree.root());
+        match victim {
+            None => break,
+            Some(v) => {
+                let before = engine.count();
+                engine.apply(&treenum::trees::EditOp::DeleteLeaf { node: v });
+                assert_eq!(engine.count(), before - 1);
+            }
+        }
+    }
+    assert_eq!(engine.count(), 1);
+    engine.check_consistency();
+}
+
+#[test]
+fn answers_have_no_duplicates_even_with_many_runs() {
+    // `leaf_pairs` produces quadratically many answers through several automaton runs
+    // per answer; the enumeration must still be duplicate-free.
+    let sigma = Alphabet::from_names(["a", "b"]);
+    let query = queries::distinct_leaf_pairs(sigma.len(), Var(0), Var(1));
+    let mut sigma2 = sigma.clone();
+    let tree = random_tree(&mut sigma2, 20, TreeShape::Wide, 8);
+    let engine = TreeEnumerator::new(tree.clone(), &query, sigma.len());
+    let answers = engine.assignments();
+    let unique: BTreeSet<_> = answers.iter().cloned().collect();
+    assert_eq!(unique.len(), answers.len(), "duplicates in the output");
+    let leaves = tree.leaves().len();
+    assert_eq!(answers.len(), leaves * (leaves - 1));
+}

@@ -1,0 +1,44 @@
+//! Integration tests for the word / document-spanner pipeline (Theorem 8.5).
+
+use std::collections::HashSet;
+use treenum::automata::wva::spanners;
+use treenum::core::words::{WordEdit, WordEnumerator};
+use treenum::trees::generate::random_word;
+use treenum::trees::{Alphabet, Label, Var};
+
+#[test]
+fn spanner_matches_stay_correct_under_random_edits() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let a = Label(0);
+    let spanner = spanners::runs_of(sigma.len(), a, Var(0), Var(1));
+    let word = random_word(&mut sigma, 25, 3);
+    let mut engine = WordEnumerator::new(&word, &spanner, sigma.len());
+    let mut rng = StdRng::seed_from_u64(42);
+    for step in 0..60 {
+        let len = engine.len();
+        let edit = match rng.gen_range(0..3) {
+            0 => WordEdit::Insert { at: rng.gen_range(0..=len), letter: Label(rng.gen_range(0..3)) },
+            1 if len > 1 => WordEdit::Delete { at: rng.gen_range(0..len) },
+            _ => WordEdit::Replace { at: rng.gen_range(0..len), letter: Label(rng.gen_range(0..3)) },
+        };
+        engine.apply(edit);
+        let produced: HashSet<_> = engine.matches().into_iter().collect();
+        let expected = spanner.satisfying_assignments(&engine.word());
+        assert_eq!(produced, expected, "after step {step} ({edit:?})");
+    }
+}
+
+#[test]
+fn kth_from_end_family_is_handled() {
+    let mut sigma = Alphabet::from_names(["a", "b"]);
+    let a = Label(0);
+    for k in 1..=4 {
+        let spanner = spanners::kth_from_end(sigma.len(), k, a, Var(0));
+        let word = random_word(&mut sigma, 30, k as u64);
+        let engine = WordEnumerator::new(&word, &spanner, sigma.len());
+        let produced: HashSet<_> = engine.matches().into_iter().collect();
+        assert_eq!(produced, spanner.satisfying_assignments(&word), "k = {k}");
+    }
+}
