@@ -86,7 +86,10 @@ impl BinaryTva {
 
     /// Adds `(label, varset, state)` to the initial relation `ι`.
     pub fn add_initial(&mut self, label: Label, varset: VarSet, state: State) {
-        assert!(varset.is_subset_of(self.vars), "annotation outside the variable universe");
+        assert!(
+            varset.is_subset_of(self.vars),
+            "annotation outside the variable universe"
+        );
         self.grow_alphabet(label);
         self.initial[label.index()].push((varset, state));
     }
@@ -118,12 +121,18 @@ impl BinaryTva {
 
     /// Initial entries for `label`: pairs `(Y, q)` with `(label, Y, q) ∈ ι`.
     pub fn initial_for(&self, label: Label) -> &[(VarSet, State)] {
-        self.initial.get(label.index()).map(|v| v.as_slice()).unwrap_or(&[])
+        self.initial
+            .get(label.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Transitions for `label`: triples `(q1, q2, q)` with `(label, q1, q2, q) ∈ δ`.
     pub fn transitions_for(&self, label: Label) -> &[(State, State, State)] {
-        self.delta.get(label.index()).map(|v| v.as_slice()).unwrap_or(&[])
+        self.delta
+            .get(label.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Size `|A| = |Q| + |ι| + |δ|` as defined in the paper.
@@ -179,10 +188,11 @@ impl BinaryTva {
     pub fn satisfying_assignments(&self, tree: &BinaryTree) -> HashSet<Vec<(Var, BinaryNodeId)>> {
         // assignments[n][q] = set of assignments on the leaves of the subtree of n
         // under which a run can map n to q.
-        let mut table: HashMap<BinaryNodeId, HashMap<State, HashSet<Vec<(Var, BinaryNodeId)>>>> = HashMap::new();
+        type PerState = HashMap<State, HashSet<Vec<(Var, BinaryNodeId)>>>;
+        let mut table: HashMap<BinaryNodeId, PerState> = HashMap::new();
         for n in tree.postorder() {
             let label = tree.label(n);
-            let mut here: HashMap<State, HashSet<Vec<(Var, BinaryNodeId)>>> = HashMap::new();
+            let mut here: PerState = HashMap::new();
             match tree.children(n) {
                 None => {
                     for &(y, q) in self.initial_for(label) {
@@ -294,7 +304,12 @@ impl BinaryTva {
             for &(q1, q2, q) in entries {
                 for b1 in 0..2 {
                     for b2 in 0..2 {
-                        out.add_transition(label, encode(q1, b1), encode(q2, b2), encode(q, b1 | b2));
+                        out.add_transition(
+                            label,
+                            encode(q1, b1),
+                            encode(q2, b2),
+                            encode(q, b1 | b2),
+                        );
                     }
                 }
             }
@@ -309,7 +324,10 @@ impl BinaryTva {
     /// Removes states that are not bottom-up reachable, remapping the rest densely.
     pub fn trim(&self) -> BinaryTva {
         let kinds = self.classify_states();
-        let reachable: Vec<bool> = kinds.iter().map(|k| !matches!(k, StateKind::Neither)).collect();
+        let reachable: Vec<bool> = kinds
+            .iter()
+            .map(|k| !matches!(k, StateKind::Neither))
+            .collect();
         let mut remap: Vec<Option<State>> = vec![None; self.num_states];
         let mut next = 0u32;
         for (i, &r) in reachable.iter().enumerate() {
@@ -330,7 +348,9 @@ impl BinaryTva {
         for (label_idx, entries) in self.delta.iter().enumerate() {
             let label = Label(label_idx as u32);
             for &(q1, q2, q) in entries {
-                if let (Some(n1), Some(n2), Some(nq)) = (remap[q1.index()], remap[q2.index()], remap[q.index()]) {
+                if let (Some(n1), Some(n2), Some(nq)) =
+                    (remap[q1.index()], remap[q2.index()], remap[q.index()])
+                {
                     out.add_transition(label, n1, n2, nq);
                 }
             }
@@ -346,7 +366,10 @@ impl BinaryTva {
     /// Brute-force check over *all* valuations of a (small) binary tree: the set of
     /// accepted assignments, computed by iterating over every valuation.  Used to
     /// cross-check [`BinaryTva::satisfying_assignments`] in tests.
-    pub fn satisfying_assignments_by_valuation_scan(&self, tree: &BinaryTree) -> HashSet<Vec<(Var, BinaryNodeId)>> {
+    pub fn satisfying_assignments_by_valuation_scan(
+        &self,
+        tree: &BinaryTree,
+    ) -> HashSet<Vec<(Var, BinaryNodeId)>> {
         let leaves = tree.leaves();
         let var_subsets = subsets(self.vars);
         let mut out = HashSet::new();
@@ -518,7 +541,10 @@ mod tests {
         let l2 = t.add_leaf(a);
         let root = t.add_internal(f, l1, l2);
         t.set_root(root);
-        assert_eq!(tva.satisfying_assignments(&t), hom.satisfying_assignments(&t));
+        assert_eq!(
+            tva.satisfying_assignments(&t),
+            hom.satisfying_assignments(&t)
+        );
     }
 
     #[test]

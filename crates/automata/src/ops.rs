@@ -9,7 +9,7 @@
 
 use crate::stepwise::StepwiseTva;
 use crate::State;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use treenum_trees::valuation::{subsets, Var, VarSet};
 use treenum_trees::Label;
 
@@ -17,7 +17,11 @@ use treenum_trees::Label;
 ///
 /// Both automata must share the same alphabet length and variable universe.
 pub fn product(a: &StepwiseTva, b: &StepwiseTva) -> StepwiseTva {
-    assert_eq!(a.vars(), b.vars(), "product requires the same variable universe");
+    assert_eq!(
+        a.vars(),
+        b.vars(),
+        "product requires the same variable universe"
+    );
     let alphabet_len = a.alphabet_len().max(b.alphabet_len());
     let nb = b.num_states();
     let encode = |qa: State, qb: State| State((qa.index() * nb + qb.index()) as u32);
@@ -48,7 +52,11 @@ pub fn product(a: &StepwiseTva, b: &StepwiseTva) -> StepwiseTva {
 /// Union: accepts the (tree, valuation) pairs accepted by either input
 /// (disjoint sum of the two automata).
 pub fn union(a: &StepwiseTva, b: &StepwiseTva) -> StepwiseTva {
-    assert_eq!(a.vars(), b.vars(), "union requires the same variable universe");
+    assert_eq!(
+        a.vars(),
+        b.vars(),
+        "union requires the same variable universe"
+    );
     let alphabet_len = a.alphabet_len().max(b.alphabet_len());
     let offset = a.num_states() as u32;
     let shift = |q: State| State(q.0 + offset);
@@ -93,7 +101,10 @@ pub fn determinize(a: &StepwiseTva) -> Determinized {
     let var_subsets = subsets(a.vars());
     let mut subset_index: HashMap<Vec<State>, State> = HashMap::new();
     let mut subsets_list: Vec<Vec<State>> = Vec::new();
-    let intern = |set: Vec<State>, list: &mut Vec<Vec<State>>, idx: &mut HashMap<Vec<State>, State>| -> State {
+    let intern = |set: Vec<State>,
+                  list: &mut Vec<Vec<State>>,
+                  idx: &mut HashMap<Vec<State>, State>|
+     -> State {
         if let Some(&s) = idx.get(&set) {
             return s;
         }
@@ -118,18 +129,15 @@ pub fn determinize(a: &StepwiseTva) -> Determinized {
     }
 
     // Saturate transitions: for every pair of discovered subsets, compute the step.
+    // Pairs are memoized individually — interning can discover new subsets mid-pass,
+    // so a flat "pairs processed so far" counter would skip pairs involving them.
     let mut transitions: Vec<(State, State, State)> = Vec::new();
-    let mut processed_pairs: usize = 0;
+    let mut processed: HashSet<(usize, usize)> = HashSet::new();
     loop {
         let n = subsets_list.len();
-        let mut added = false;
-        // Iterate over all pairs (i, j) not yet fully processed.  We simply redo all
-        // pairs whenever new subsets appear; fine for the moderate sizes of tests and
-        // benchmarks (the blow-up itself is the point).
-        let mut new_transitions = Vec::new();
         for i in 0..n {
             for j in 0..n {
-                if i * n + j < processed_pairs {
+                if processed.contains(&(i, j)) {
                     continue;
                 }
                 let current = &subsets_list[i];
@@ -143,15 +151,13 @@ pub fn determinize(a: &StepwiseTva) -> Determinized {
                 next.sort_unstable();
                 next.dedup();
                 let s = intern(next, &mut subsets_list, &mut subset_index);
-                new_transitions.push((State(i as u32), State(j as u32), s));
+                transitions.push((State(i as u32), State(j as u32), s));
+                processed.insert((i, j));
             }
         }
-        processed_pairs = n * n;
-        transitions.extend(new_transitions);
-        if subsets_list.len() > n {
-            added = true;
-        }
-        if !added {
+        // A pass that discovered no subsets has also processed every pair of the
+        // final state set: fixpoint.
+        if subsets_list.len() == n {
             break;
         }
     }
@@ -172,7 +178,10 @@ pub fn determinize(a: &StepwiseTva) -> Determinized {
             out.add_final(State(i as u32));
         }
     }
-    Determinized { automaton: out, subsets: subsets_list }
+    Determinized {
+        automaton: out,
+        subsets: subsets_list,
+    }
 }
 
 /// Complement: accepts exactly the (tree, valuation) pairs *not* accepted by `a`.
@@ -248,7 +257,10 @@ mod tests {
         assert!(both.satisfying_assignments(&t).is_empty());
         // Product with itself preserves the answers.
         let same = product(&qa, &qa);
-        assert_eq!(same.satisfying_assignments(&t), qa.satisfying_assignments(&t));
+        assert_eq!(
+            same.satisfying_assignments(&t),
+            qa.satisfying_assignments(&t)
+        );
     }
 
     #[test]
@@ -276,7 +288,10 @@ mod tests {
         let x = Var(0);
         let q = queries::select_label(sigma.len(), a, x);
         let det = determinize(&q);
-        assert_eq!(det.automaton.satisfying_assignments(&t), q.satisfying_assignments(&t));
+        assert_eq!(
+            det.automaton.satisfying_assignments(&t),
+            q.satisfying_assignments(&t)
+        );
     }
 
     #[test]
@@ -295,7 +310,10 @@ mod tests {
             v.annotate(n, VarSet::singleton(x));
             assert_ne!(q.accepts(&t, &v), not_q.accepts(&t, &v));
         }
-        assert_ne!(q.accepts(&t, &Valuation::empty()), not_q.accepts(&t, &Valuation::empty()));
+        assert_ne!(
+            q.accepts(&t, &Valuation::empty()),
+            not_q.accepts(&t, &Valuation::empty())
+        );
     }
 
     #[test]
@@ -314,6 +332,31 @@ mod tests {
         assert_eq!(!answers.is_empty(), has_a);
         if has_a {
             assert!(answers.iter().all(|ass| ass.is_empty()));
+        }
+    }
+
+    #[test]
+    fn determinize_preserves_answers_for_kth_child_family() {
+        // Regression: the transition saturation used to track processed subset pairs
+        // by a flat `i * n + j` counter; `n` grows as interning discovers subsets
+        // mid-pass, so pairs involving fresh subsets could be skipped entirely,
+        // silently dropping transitions and undercounting answers on wider trees.
+        let sigma = Alphabet::from_names(["a", "b", "m", "s"]);
+        let a = sigma.get("a").unwrap();
+        let x = Var(0);
+        for k in [2usize, 3] {
+            for seed in [1u64, 2, 3] {
+                let mut sigma2 = sigma.clone();
+                // Kept small: the oracle below enumerates every valuation of the tree.
+                let t = random_tree(&mut sigma2, 12, TreeShape::Wide, seed);
+                let q = queries::kth_child_from_end(sigma.len(), k, a, x);
+                let det = determinize(&q);
+                assert_eq!(
+                    det.automaton.satisfying_assignments(&t),
+                    q.satisfying_assignments(&t),
+                    "k = {k}, seed = {seed}"
+                );
+            }
         }
     }
 

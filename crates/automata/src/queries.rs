@@ -297,7 +297,12 @@ mod tests {
     fn marked_ancestor_selects_only_covered_specials() {
         let sig = sigma();
         let (t, nodes) = tree(&sig);
-        let q = marked_ancestor(sig.len(), sig.get("m").unwrap(), sig.get("s").unwrap(), Var(0));
+        let q = marked_ancestor(
+            sig.len(),
+            sig.get("m").unwrap(),
+            sig.get("s").unwrap(),
+            Var(0),
+        );
         let answers = q.satisfying_assignments(&t);
         // The s-node below m (g3) has a marked ancestor; the s-node below b (g1) does not.
         assert_eq!(answers.len(), 1);
@@ -309,7 +314,13 @@ mod tests {
     fn ancestor_descendant_counts_pairs() {
         let sig = sigma();
         let (t, _) = tree(&sig);
-        let q = ancestor_descendant(sig.len(), sig.get("b").unwrap(), Var(0), sig.get("a").unwrap(), Var(1));
+        let q = ancestor_descendant(
+            sig.len(),
+            sig.get("b").unwrap(),
+            Var(0),
+            sig.get("a").unwrap(),
+            Var(1),
+        );
         let answers = q.satisfying_assignments(&t);
         // b-root has a-descendants: c1, c4, g2 (3 pairs); inner b (c2) has a-descendant g2 (1 pair).
         assert_eq!(answers.len(), 4);

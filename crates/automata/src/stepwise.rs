@@ -64,7 +64,10 @@ impl StepwiseTva {
 
     /// Adds `q ∈ ι(label, varset)`.
     pub fn add_initial(&mut self, label: Label, varset: VarSet, state: State) {
-        assert!(varset.is_subset_of(self.vars), "annotation outside the variable universe");
+        assert!(
+            varset.is_subset_of(self.vars),
+            "annotation outside the variable universe"
+        );
         if label.index() >= self.initial.len() {
             self.initial.resize(label.index() + 1, Vec::new());
             self.alphabet_len = self.initial.len();
@@ -96,7 +99,10 @@ impl StepwiseTva {
 
     /// The initial entries `(Y, q)` for `label`.
     pub fn initial_for(&self, label: Label) -> &[(VarSet, State)] {
-        self.initial.get(label.index()).map(|v| v.as_slice()).unwrap_or(&[])
+        self.initial
+            .get(label.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Initial states for `(label, varset)`.
@@ -142,7 +148,11 @@ impl StepwiseTva {
 
     /// The set of states the automaton can assign to each node of `tree` under
     /// `valuation` (deterministic set simulation).
-    pub fn node_states(&self, tree: &UnrankedTree, valuation: &Valuation) -> HashMap<NodeId, HashSet<State>> {
+    pub fn node_states(
+        &self,
+        tree: &UnrankedTree,
+        valuation: &Valuation,
+    ) -> HashMap<NodeId, HashSet<State>> {
         let mut result: HashMap<NodeId, HashSet<State>> = HashMap::new();
         // Process nodes in reverse preorder so children come before parents.
         let mut order = tree.preorder();

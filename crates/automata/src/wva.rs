@@ -270,7 +270,12 @@ pub mod spanners {
         wva.add_transition(q0, target, VarSet::singleton(x), State(1));
         for i in 1..k {
             for l in 0..alphabet_len as u32 {
-                wva.add_transition(State(i as u32), Label(l), VarSet::empty(), State(i as u32 + 1));
+                wva.add_transition(
+                    State(i as u32),
+                    Label(l),
+                    VarSet::empty(),
+                    State(i as u32 + 1),
+                );
             }
         }
         wva

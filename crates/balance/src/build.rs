@@ -95,7 +95,10 @@ pub fn build_forest_subterm(
     term: &mut Term,
     phi: &mut HashMap<NodeId, TermNodeId>,
 ) -> TermNodeId {
-    assert!(!roots.is_empty(), "a forest subterm needs at least one tree");
+    assert!(
+        !roots.is_empty(),
+        "a forest subterm needs at least one tree"
+    );
     let weights = Weights::new(tree, roots, None);
     build_forest(tree, &weights, roots, term, phi)
 }
@@ -239,7 +242,14 @@ fn build_context_inner(
         // Split off the plain trees left and right of the hole tree; each side is a
         // balanced forest, the hole tree is a single-tree context handled below.
         let (left, right) = (&roots[..hole_root_pos], &roots[hole_root_pos + 1..]);
-        let mut ctx = build_context_inner(tree, weights, &roots[hole_root_pos..=hole_root_pos], hole, term, phi);
+        let mut ctx = build_context_inner(
+            tree,
+            weights,
+            &roots[hole_root_pos..=hole_root_pos],
+            hole,
+            term,
+            phi,
+        );
         if !right.is_empty() {
             let rf = build_forest(tree, weights, right, term, phi);
             ctx = term.add_op(TermOp::OplusVH, ctx, rf);
@@ -267,7 +277,11 @@ fn build_context_inner(
     for (i, &m) in path.iter().enumerate() {
         let cw = weights.children_weight(m);
         if cw * 3 <= 2 * w {
-            split = if cw * 3 >= w || i == 0 { m } else { path[i - 1] };
+            split = if cw * 3 >= w || i == 0 {
+                m
+            } else {
+                path[i - 1]
+            };
             break;
         }
         split = m;
@@ -319,7 +333,9 @@ fn path_to(tree: &UnrankedTree, from: NodeId, to: NodeId) -> Vec<NodeId> {
     let mut path = vec![to];
     let mut cur = to;
     while cur != from {
-        cur = tree.parent(cur).expect("`to` is not a descendant of `from`");
+        cur = tree
+            .parent(cur)
+            .expect("`to` is not a descendant of `from`");
         path.push(cur);
     }
     path.reverse();
@@ -343,10 +359,18 @@ pub fn decode_term(term: &Term, original: &UnrankedTree) -> UnrankedTree {
     }
     fn eval(term: &Term, n: TermNodeId) -> Piece {
         match term.kind(n) {
-            TermNodeKind::TreeLeaf { node, .. } => Piece::Forest(vec![Shape { node, children: vec![], is_hole: false }]),
+            TermNodeKind::TreeLeaf { node, .. } => Piece::Forest(vec![Shape {
+                node,
+                children: vec![],
+                is_hole: false,
+            }]),
             TermNodeKind::ContextLeaf { node, .. } => Piece::Context(vec![Shape {
                 node,
-                children: vec![Shape { node: NodeId(u32::MAX), children: vec![], is_hole: true }],
+                children: vec![Shape {
+                    node: NodeId(u32::MAX),
+                    children: vec![],
+                    is_hole: true,
+                }],
                 is_hole: false,
             }]),
             TermNodeKind::Op(op) => {
@@ -457,7 +481,7 @@ mod tests {
 
     #[test]
     fn deep_trees_get_logarithmic_height() {
-        let mut sigma = Alphabet::from_names(["a"]);
+        let sigma = Alphabet::from_names(["a"]);
         let a = sigma.get("a").unwrap();
         // A pure path of length 512.
         let mut t = UnrankedTree::new(a);
@@ -468,13 +492,16 @@ mod tests {
         let (term, _) = build_balanced_term(&t);
         term.check_invariants();
         let h = term.height();
-        assert!(h <= 6 * 10, "height {h} is not logarithmic for a path of 512 nodes");
+        assert!(
+            h <= 6 * 10,
+            "height {h} is not logarithmic for a path of 512 nodes"
+        );
         assert!(decode_term(&term, &t).structurally_equal(&t));
     }
 
     #[test]
     fn wide_trees_get_logarithmic_height() {
-        let mut sigma = Alphabet::from_names(["a"]);
+        let sigma = Alphabet::from_names(["a"]);
         let a = sigma.get("a").unwrap();
         // A star with 512 leaves.
         let mut t = UnrankedTree::new(a);
@@ -483,7 +510,10 @@ mod tests {
         }
         let (term, _) = build_balanced_term(&t);
         let h = term.height();
-        assert!(h <= 60, "height {h} is not logarithmic for a star of 513 nodes");
+        assert!(
+            h <= 60,
+            "height {h} is not logarithmic for a star of 513 nodes"
+        );
         assert!(decode_term(&term, &t).structurally_equal(&t));
     }
 

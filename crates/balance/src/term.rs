@@ -223,17 +223,42 @@ impl Term {
 
     /// Adds a leaf node.
     pub fn add_leaf(&mut self, kind: TermNodeKind) -> TermNodeId {
-        assert!(!matches!(kind, TermNodeKind::Op(_)), "leaves cannot be operators");
-        self.alloc(Node { kind, parent: None, children: None, weight: 1, free: false })
+        assert!(
+            !matches!(kind, TermNodeKind::Op(_)),
+            "leaves cannot be operators"
+        );
+        self.alloc(Node {
+            kind,
+            parent: None,
+            children: None,
+            weight: 1,
+            free: false,
+        })
     }
 
     /// Adds an operator node over two detached operands, checking sorts.
     pub fn add_op(&mut self, op: TermOp, left: TermNodeId, right: TermNodeId) -> TermNodeId {
-        assert!(self.node(left).parent.is_none(), "left operand already attached");
-        assert!(self.node(right).parent.is_none(), "right operand already attached");
+        assert!(
+            self.node(left).parent.is_none(),
+            "left operand already attached"
+        );
+        assert!(
+            self.node(right).parent.is_none(),
+            "right operand already attached"
+        );
         let (sl, sr) = op.operand_sorts();
-        debug_assert_eq!(self.sort(left), sl, "left operand of {:?} has the wrong sort", op);
-        debug_assert_eq!(self.sort(right), sr, "right operand of {:?} has the wrong sort", op);
+        debug_assert_eq!(
+            self.sort(left),
+            sl,
+            "left operand of {:?} has the wrong sort",
+            op
+        );
+        debug_assert_eq!(
+            self.sort(right),
+            sr,
+            "right operand of {:?} has the wrong sort",
+            op
+        );
         let weight = self.node(left).weight + self.node(right).weight;
         let id = self.alloc(Node {
             kind: TermNodeKind::Op(op),
@@ -255,7 +280,10 @@ impl Term {
     /// Changes the kind of a *leaf* node (used by relabeling and by leaf deletions
     /// that turn an `a_□` back into an `a_t`).
     pub fn set_leaf_kind(&mut self, n: TermNodeId, kind: TermNodeKind) {
-        assert!(self.node(n).children.is_none(), "set_leaf_kind on an internal node");
+        assert!(
+            self.node(n).children.is_none(),
+            "set_leaf_kind on an internal node"
+        );
         assert!(!matches!(kind, TermNodeKind::Op(_)));
         self.node_mut(n).kind = kind;
     }
@@ -327,7 +355,10 @@ impl Term {
     /// Replaces child `old` of node `parent` by `new` (which must be detached),
     /// updating weights up to the root.
     pub fn replace_child(&mut self, parent: TermNodeId, old: TermNodeId, new: TermNodeId) {
-        assert!(self.node(new).parent.is_none(), "replacement must be detached");
+        assert!(
+            self.node(new).parent.is_none(),
+            "replacement must be detached"
+        );
         let (l, r) = self.node(parent).children.expect("replace_child on a leaf");
         let children = if l == old {
             (new, r)
@@ -361,7 +392,10 @@ impl Term {
 
     /// Frees the subterm rooted at `n` (which must be detached).
     pub fn free_subtree(&mut self, n: TermNodeId) {
-        assert!(self.node(n).parent.is_none(), "free_subtree on an attached node");
+        assert!(
+            self.node(n).parent.is_none(),
+            "free_subtree on an attached node"
+        );
         let mut stack = vec![n];
         while let Some(x) = stack.pop() {
             if let Some((l, r)) = self.node(x).children {
@@ -410,12 +444,18 @@ impl Term {
     /// The hole leaf (`a_□`) of a context-sorted subterm: reached by always descending
     /// into the context-sorted operand.
     pub fn hole_leaf(&self, n: TermNodeId) -> TermNodeId {
-        debug_assert_eq!(self.sort(n), Sort::Context, "hole_leaf of a forest-sorted term");
+        debug_assert_eq!(
+            self.sort(n),
+            Sort::Context,
+            "hole_leaf of a forest-sorted term"
+        );
         let mut cur = n;
         loop {
             match self.kind(cur) {
                 TermNodeKind::ContextLeaf { .. } => return cur,
-                TermNodeKind::TreeLeaf { .. } => unreachable!("forest leaf reached while chasing the hole"),
+                TermNodeKind::TreeLeaf { .. } => {
+                    unreachable!("forest leaf reached while chasing the hole")
+                }
                 TermNodeKind::Op(op) => {
                     let (l, r) = self.children(cur).unwrap();
                     cur = match op {
@@ -437,7 +477,11 @@ impl Term {
     /// Panics on any violation.
     pub fn check_invariants(&self) {
         let root = self.root();
-        assert_eq!(self.sort(root), Sort::Forest, "the root of a term must be a forest");
+        assert_eq!(
+            self.sort(root),
+            Sort::Forest,
+            "the root of a term must be a forest"
+        );
         for n in self.subtree_postorder(root) {
             if let Some((l, r)) = self.children(n) {
                 assert_eq!(self.parent(l), Some(n));
@@ -463,7 +507,9 @@ impl Term {
     /// The `φ` mapping: term leaf → encoded tree node.
     pub fn leaf_tree_node(&self, n: TermNodeId) -> Option<NodeId> {
         match self.kind(n) {
-            TermNodeKind::TreeLeaf { node, .. } | TermNodeKind::ContextLeaf { node, .. } => Some(node),
+            TermNodeKind::TreeLeaf { node, .. } | TermNodeKind::ContextLeaf { node, .. } => {
+                Some(node)
+            }
             TermNodeKind::Op(_) => None,
         }
     }
@@ -474,11 +520,17 @@ mod tests {
     use super::*;
 
     fn leaf_t(term: &mut Term, l: u32, n: u32) -> TermNodeId {
-        term.add_leaf(TermNodeKind::TreeLeaf { label: Label(l), node: NodeId(n) })
+        term.add_leaf(TermNodeKind::TreeLeaf {
+            label: Label(l),
+            node: NodeId(n),
+        })
     }
 
     fn leaf_c(term: &mut Term, l: u32, n: u32) -> TermNodeId {
-        term.add_leaf(TermNodeKind::ContextLeaf { label: Label(l), node: NodeId(n) })
+        term.add_leaf(TermNodeKind::ContextLeaf {
+            label: Label(l),
+            node: NodeId(n),
+        })
     }
 
     #[test]
@@ -537,8 +589,14 @@ mod tests {
         for op in TermOp::ALL {
             assert_eq!(ta.decode(ta.op_label(op)), Ok(op));
         }
-        assert_eq!(ta.decode(ta.tree_leaf_label(Label(2))), Err((Label(2), false)));
-        assert_eq!(ta.decode(ta.context_leaf_label(Label(1))), Err((Label(1), true)));
+        assert_eq!(
+            ta.decode(ta.tree_leaf_label(Label(2))),
+            Err((Label(2), false))
+        );
+        assert_eq!(
+            ta.decode(ta.context_leaf_label(Label(1))),
+            Err((Label(1), true))
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ pub fn translate_stepwise(stepwise: &StepwiseTva, base_alphabet_len: usize) -> T
             // a_t: forest (q1, q2) iff ∃p ∈ ι(a, Y): (q1, p, q2) ∈ δ.
             for &(q1, p, q2) in a.transitions() {
                 if inits.contains(&p) {
-                    out.add_initial(alphabet.tree_leaf_label(base_label), y, enc.forest(q1.index(), q2.index()));
+                    out.add_initial(
+                        alphabet.tree_leaf_label(base_label),
+                        y,
+                        enc.forest(q1.index(), q2.index()),
+                    );
                 }
             }
             // a_□: context ((h1, h2), (o1, o2)) iff h1 ∈ ι(a, Y) and (o1, h2, o2) ∈ δ.
@@ -98,7 +102,12 @@ pub fn translate_stepwise(stepwise: &StepwiseTva, base_alphabet_len: usize) -> T
     for q1 in 0..n {
         for q2 in 0..n {
             for q3 in 0..n {
-                out.add_transition(hh, enc.forest(q1, q2), enc.forest(q2, q3), enc.forest(q1, q3));
+                out.add_transition(
+                    hh,
+                    enc.forest(q1, q2),
+                    enc.forest(q2, q3),
+                    enc.forest(q1, q3),
+                );
             }
         }
     }
@@ -154,7 +163,12 @@ pub fn translate_stepwise(stepwise: &StepwiseTva, base_alphabet_len: usize) -> T
         for h2 in 0..n {
             for o1 in 0..n {
                 for o2 in 0..n {
-                    out.add_transition(vhp, enc.context(h1, h2, o1, o2), enc.forest(h1, h2), enc.forest(o1, o2));
+                    out.add_transition(
+                        vhp,
+                        enc.context(h1, h2, o1, o2),
+                        enc.forest(h1, h2),
+                        enc.forest(o1, o2),
+                    );
                 }
             }
         }
@@ -164,7 +178,11 @@ pub fn translate_stepwise(stepwise: &StepwiseTva, base_alphabet_len: usize) -> T
     out.add_final(enc.forest(q0.index(), qf.index()));
 
     let tva = out.homogenize();
-    TranslatedTva { tva, alphabet, stepwise_states: n }
+    TranslatedTva {
+        tva,
+        alphabet,
+        stepwise_states: n,
+    }
 }
 
 #[cfg(test)]
@@ -183,7 +201,13 @@ mod tests {
 
     /// Converts a term into the plain binary tree the TVA runs on, remembering which
     /// binary leaf encodes which unranked node.
-    fn term_to_binary(term: &Term, alphabet: &TermAlphabet) -> (BinaryTree, HashMap<treenum_trees::binary::BinaryNodeId, treenum_trees::NodeId>) {
+    fn term_to_binary(
+        term: &Term,
+        alphabet: &TermAlphabet,
+    ) -> (
+        BinaryTree,
+        HashMap<treenum_trees::binary::BinaryNodeId, treenum_trees::NodeId>,
+    ) {
         use crate::term::TermNodeKind;
         let mut mapping = HashMap::new();
         fn go(
@@ -225,11 +249,18 @@ mod tests {
             .tva
             .satisfying_assignments(&binary)
             .into_iter()
-            .map(|ass| ass.into_iter().map(|(v, leaf)| (v, mapping[&leaf])).collect())
+            .map(|ass| {
+                ass.into_iter()
+                    .map(|(v, leaf)| (v, mapping[&leaf]))
+                    .collect()
+            })
             .collect()
     }
 
-    fn answers_direct(stepwise: &StepwiseTva, tree: &UnrankedTree) -> HashSet<BTreeSet<(Var, treenum_trees::NodeId)>> {
+    fn answers_direct(
+        stepwise: &StepwiseTva,
+        tree: &UnrankedTree,
+    ) -> HashSet<BTreeSet<(Var, treenum_trees::NodeId)>> {
         stepwise
             .satisfying_assignments(tree)
             .into_iter()
@@ -275,7 +306,10 @@ mod tests {
         let b = sigma.get("b").unwrap();
         let q = queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1));
         let t = random_tree(&mut sigma, 9, TreeShape::Random, 5);
-        assert_eq!(answers_via_translation(&q, &t, sigma.len()), answers_direct(&q, &t));
+        assert_eq!(
+            answers_via_translation(&q, &t, sigma.len()),
+            answers_direct(&q, &t)
+        );
     }
 
     #[test]
@@ -284,7 +318,10 @@ mod tests {
         let b = sigma.get("b").unwrap();
         let q = queries::exists_label(sigma.len(), b);
         let t = random_tree(&mut sigma, 8, TreeShape::Random, 2);
-        assert_eq!(answers_via_translation(&q, &t, sigma.len()), answers_direct(&q, &t));
+        assert_eq!(
+            answers_via_translation(&q, &t, sigma.len()),
+            answers_direct(&q, &t)
+        );
     }
 
     #[test]

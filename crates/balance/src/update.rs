@@ -68,12 +68,18 @@ pub fn apply_edit(
                 let anchor = tree.children(parent).nth(1).expect("parent had children");
                 insert_left_of(tree, term, phi, anchor, fresh)
             };
-            UpdateReport { inserted: Some(fresh), ..report }
+            UpdateReport {
+                inserted: Some(fresh),
+                ..report
+            }
         }
         EditOp::InsertRightSibling { sibling, label } => {
             let fresh = tree.insert_right_sibling(sibling, label);
             let report = insert_right_of(tree, term, phi, sibling, fresh);
-            UpdateReport { inserted: Some(fresh), ..report }
+            UpdateReport {
+                inserted: Some(fresh),
+                ..report
+            }
         }
         EditOp::DeleteLeaf { node } => delete_leaf(tree, term, phi, node),
     };
@@ -109,7 +115,13 @@ fn ancestors_exclusive(term: &Term, from: TermNodeId) -> Vec<TermNodeId> {
 /// Wraps `target` under a fresh `op` node whose other operand is `sibling`
 /// (`sibling_on_left` selects the operand order), keeping the term attached.
 /// Returns the new operator node.
-fn wrap_above(term: &mut Term, target: TermNodeId, op: TermOp, sibling: TermNodeId, sibling_on_left: bool) -> TermNodeId {
+fn wrap_above(
+    term: &mut Term,
+    target: TermNodeId,
+    op: TermOp,
+    sibling: TermNodeId,
+    sibling_on_left: bool,
+) -> TermNodeId {
     let parent = term.parent(target);
     // Placeholder of the same kind as `target` so the sort checks in `add_op` pass.
     let placeholder_kind = match term.kind(target) {
@@ -158,14 +170,24 @@ fn insert_below_leaf(
     let old_leaf = phi[&parent];
     term.set_leaf_kind(
         old_leaf,
-        TermNodeKind::ContextLeaf { label: tree.label(parent), node: parent },
+        TermNodeKind::ContextLeaf {
+            label: tree.label(parent),
+            node: parent,
+        },
     );
-    let fresh_leaf = term.add_leaf(TermNodeKind::TreeLeaf { label: tree.label(fresh), node: fresh });
+    let fresh_leaf = term.add_leaf(TermNodeKind::TreeLeaf {
+        label: tree.label(fresh),
+        node: fresh,
+    });
     let new_op = wrap_above(term, old_leaf, TermOp::OdotVH, fresh_leaf, false);
     phi.insert(fresh, fresh_leaf);
     let mut dirty = vec![old_leaf, fresh_leaf];
     dirty.extend(ancestors_inclusive(term, new_op));
-    UpdateReport { dirty, freed: Vec::new(), inserted: None }
+    UpdateReport {
+        dirty,
+        freed: Vec::new(),
+        inserted: None,
+    }
 }
 
 /// Inserts `fresh` (a new tree leaf) immediately left of `anchor` in sibling order.
@@ -177,7 +199,10 @@ fn insert_left_of(
     fresh: NodeId,
 ) -> UpdateReport {
     let anchor_leaf = phi[&anchor];
-    let fresh_leaf = term.add_leaf(TermNodeKind::TreeLeaf { label: tree.label(fresh), node: fresh });
+    let fresh_leaf = term.add_leaf(TermNodeKind::TreeLeaf {
+        label: tree.label(fresh),
+        node: fresh,
+    });
     let op = match term.sort(anchor_leaf) {
         Sort::Forest => TermOp::OplusHH,
         Sort::Context => TermOp::OplusHV,
@@ -186,7 +211,11 @@ fn insert_left_of(
     phi.insert(fresh, fresh_leaf);
     let mut dirty = vec![fresh_leaf];
     dirty.extend(ancestors_inclusive(term, new_op));
-    UpdateReport { dirty, freed: Vec::new(), inserted: None }
+    UpdateReport {
+        dirty,
+        freed: Vec::new(),
+        inserted: None,
+    }
 }
 
 /// Inserts `fresh` (a new tree leaf) immediately right of `anchor` in sibling order.
@@ -198,7 +227,10 @@ fn insert_right_of(
     fresh: NodeId,
 ) -> UpdateReport {
     let anchor_leaf = phi[&anchor];
-    let fresh_leaf = term.add_leaf(TermNodeKind::TreeLeaf { label: tree.label(fresh), node: fresh });
+    let fresh_leaf = term.add_leaf(TermNodeKind::TreeLeaf {
+        label: tree.label(fresh),
+        node: fresh,
+    });
     let op = match term.sort(anchor_leaf) {
         Sort::Forest => TermOp::OplusHH,
         Sort::Context => TermOp::OplusVH,
@@ -207,7 +239,11 @@ fn insert_right_of(
     phi.insert(fresh, fresh_leaf);
     let mut dirty = vec![fresh_leaf];
     dirty.extend(ancestors_inclusive(term, new_op));
-    UpdateReport { dirty, freed: Vec::new(), inserted: None }
+    UpdateReport {
+        dirty,
+        freed: Vec::new(),
+        inserted: None,
+    }
 }
 
 fn delete_leaf(
@@ -222,14 +258,22 @@ fn delete_leaf(
     tree.delete_leaf(node);
     phi.remove(&node);
     match kind {
-        TermNodeKind::Op(TermOp::OplusHH) | TermNodeKind::Op(TermOp::OplusHV) | TermNodeKind::Op(TermOp::OplusVH) => {
+        TermNodeKind::Op(TermOp::OplusHH)
+        | TermNodeKind::Op(TermOp::OplusHV)
+        | TermNodeKind::Op(TermOp::OplusVH) => {
             // Hoist the sibling operand over the ⊕ node.
             let (l, r) = term.children(parent).unwrap();
             let sibling = if l == leaf { r } else { l };
             let sibling_sort = term.sort(sibling);
             let placeholder_kind = match sibling_sort {
-                Sort::Forest => TermNodeKind::TreeLeaf { label: treenum_trees::Label(0), node: NodeId(u32::MAX) },
-                Sort::Context => TermNodeKind::ContextLeaf { label: treenum_trees::Label(0), node: NodeId(u32::MAX) },
+                Sort::Forest => TermNodeKind::TreeLeaf {
+                    label: treenum_trees::Label(0),
+                    node: NodeId(u32::MAX),
+                },
+                Sort::Context => TermNodeKind::ContextLeaf {
+                    label: treenum_trees::Label(0),
+                    node: NodeId(u32::MAX),
+                },
             };
             let placeholder = term.add_leaf(placeholder_kind);
             term.replace_child(parent, sibling, placeholder);
@@ -243,7 +287,11 @@ fn delete_leaf(
                 Some(g) => ancestors_inclusive(term, g),
                 None => Vec::new(),
             };
-            UpdateReport { dirty, freed: vec![parent, leaf, placeholder], inserted: None }
+            UpdateReport {
+                dirty,
+                freed: vec![parent, leaf, placeholder],
+                inserted: None,
+            }
         }
         TermNodeKind::Op(TermOp::OdotVH) => {
             // The deleted leaf was the entire hole filler: the hole-parent node loses
@@ -312,7 +360,11 @@ fn rebuild_subterm(
     }
     let mut dirty = term.subtree_postorder(new_sub);
     dirty.extend(ancestors_exclusive(term, new_sub));
-    UpdateReport { dirty, freed, inserted: None }
+    UpdateReport {
+        dirty,
+        freed,
+        inserted: None,
+    }
 }
 
 /// Scapegoat-style rebalancing: if any touched node is deeper than
@@ -358,7 +410,7 @@ fn rebalance_if_needed(
 mod tests {
     use super::*;
     use crate::build::{build_balanced_term, decode_term};
-    use treenum_trees::generate::{EditStream, random_tree, TreeShape};
+    use treenum_trees::generate::{random_tree, EditStream, TreeShape};
     use treenum_trees::Alphabet;
 
     fn check_consistency(tree: &UnrankedTree, term: &Term, phi: &HashMap<NodeId, TermNodeId>) {
@@ -369,10 +421,18 @@ mod tests {
             assert!(term.is_live(leaf));
             assert_eq!(term.leaf_tree_node(leaf), Some(n));
             let is_context = matches!(term.kind(leaf), TermNodeKind::ContextLeaf { .. });
-            assert_eq!(is_context, !tree.is_leaf(n), "leaf kind mismatch for {:?}", n);
+            assert_eq!(
+                is_context,
+                !tree.is_leaf(n),
+                "leaf kind mismatch for {:?}",
+                n
+            );
         }
         let decoded = decode_term(term, tree);
-        assert!(decoded.structurally_equal(tree), "term no longer represents the tree");
+        assert!(
+            decoded.structurally_equal(tree),
+            "term no longer represents the tree"
+        );
     }
 
     #[test]
@@ -384,26 +444,65 @@ mod tests {
         let (mut term, mut phi) = build_balanced_term(&tree);
         // insert below the (leaf) root
         let r = tree.root();
-        let rep = apply_edit(&mut tree, &mut term, &mut phi, &EditOp::InsertFirstChild { parent: r, label: b });
+        let rep = apply_edit(
+            &mut tree,
+            &mut term,
+            &mut phi,
+            &EditOp::InsertFirstChild {
+                parent: r,
+                label: b,
+            },
+        );
         let c1 = rep.inserted.unwrap();
         check_consistency(&tree, &term, &phi);
         // insert a right sibling
-        apply_edit(&mut tree, &mut term, &mut phi, &EditOp::InsertRightSibling { sibling: c1, label: b });
+        apply_edit(
+            &mut tree,
+            &mut term,
+            &mut phi,
+            &EditOp::InsertRightSibling {
+                sibling: c1,
+                label: b,
+            },
+        );
         check_consistency(&tree, &term, &phi);
         // insert a new first child (anchored left of c1)
-        apply_edit(&mut tree, &mut term, &mut phi, &EditOp::InsertFirstChild { parent: r, label: b });
+        apply_edit(
+            &mut tree,
+            &mut term,
+            &mut phi,
+            &EditOp::InsertFirstChild {
+                parent: r,
+                label: b,
+            },
+        );
         check_consistency(&tree, &term, &phi);
         // relabel
-        apply_edit(&mut tree, &mut term, &mut phi, &EditOp::Relabel { node: c1, label: a });
+        apply_edit(
+            &mut tree,
+            &mut term,
+            &mut phi,
+            &EditOp::Relabel { node: c1, label: a },
+        );
         check_consistency(&tree, &term, &phi);
         assert_eq!(tree.label(c1), a);
         // delete a leaf whose parent keeps other children
-        apply_edit(&mut tree, &mut term, &mut phi, &EditOp::DeleteLeaf { node: c1 });
+        apply_edit(
+            &mut tree,
+            &mut term,
+            &mut phi,
+            &EditOp::DeleteLeaf { node: c1 },
+        );
         check_consistency(&tree, &term, &phi);
         // delete down to a single node again
         let remaining: Vec<NodeId> = tree.children(r).collect();
         for n in remaining {
-            apply_edit(&mut tree, &mut term, &mut phi, &EditOp::DeleteLeaf { node: n });
+            apply_edit(
+                &mut tree,
+                &mut term,
+                &mut phi,
+                &EditOp::DeleteLeaf { node: n },
+            );
             check_consistency(&tree, &term, &phi);
         }
         assert_eq!(tree.len(), 1);
@@ -437,7 +536,10 @@ mod tests {
         // Build a path of 400 nodes purely through updates.
         let mut cur = tree.root();
         for _ in 0..400 {
-            let op = EditOp::InsertFirstChild { parent: cur, label: a };
+            let op = EditOp::InsertFirstChild {
+                parent: cur,
+                label: a,
+            };
             let rep = apply_edit(&mut tree, &mut term, &mut phi, &op);
             cur = rep.inserted.unwrap();
         }
@@ -462,7 +564,10 @@ mod tests {
             &mut tree,
             &mut term,
             &mut phi,
-            &EditOp::InsertFirstChild { parent: root, label: b },
+            &EditOp::InsertFirstChild {
+                parent: root,
+                label: b,
+            },
         );
         // Every dirty node must be live, and the root must be dirty (its content
         // depends on everything below).
@@ -474,7 +579,9 @@ mod tests {
         for (i, &d) in rep.dirty.iter().enumerate() {
             for &later in &rep.dirty[i + 1..] {
                 assert!(
-                    !(term.is_live(later) && term.is_live(d) && is_strict_descendant(&term, later, d)),
+                    !(term.is_live(later)
+                        && term.is_live(d)
+                        && is_strict_descendant(&term, later, d)),
                     "dirty list is not bottom-up"
                 );
             }

@@ -98,7 +98,11 @@ impl UnbalancedBaseline {
     /// The query must be a *binary* TVA over the lcrs encoding alphabet (the original
     /// labels plus a `nil` label); use [`lcrs_query_from_stepwise`] to obtain one for
     /// the query families used in the experiments, or construct it directly.
-    pub fn new(tree: UnrankedTree, binary_tva: treenum_automata::BinaryTva, nil_label: Label) -> Self {
+    pub fn new(
+        tree: UnrankedTree,
+        binary_tva: treenum_automata::BinaryTva,
+        nil_label: Label,
+    ) -> Self {
         let (binary, mapping) = left_child_right_sibling(&tree, nil_label);
         let ac = treenum_circuits::build_assignment_circuit(&binary_tva, &binary);
         let index = EnumIndex::build(&ac.circuit);
@@ -147,14 +151,16 @@ impl UnbalancedBaseline {
             &gates,
             empty,
             &mut |parts| {
-                out.push(Assignment::from_singletons(parts.iter().flat_map(|&(vars, token)| {
-                    let node = self
-                        .node_of
-                        .get(&BinaryNodeId(token))
-                        .copied()
-                        .unwrap_or(NodeId(token));
-                    vars.iter().map(move |v| Singleton::new(v, node))
-                })));
+                out.push(Assignment::from_singletons(parts.iter().flat_map(
+                    |&(vars, token)| {
+                        let node = self
+                            .node_of
+                            .get(&BinaryNodeId(token))
+                            .copied()
+                            .unwrap_or(NodeId(token));
+                        vars.iter().map(move |v| Singleton::new(v, node))
+                    },
+                )));
                 ControlFlow::Continue(())
             },
         );
@@ -182,7 +188,10 @@ impl UnbalancedBaseline {
                 None => leaf_box_content(&self.binary_tva, self.binary.label(n), n.0),
                 Some((l, r)) => {
                     let (bl, br) = (self.box_of[&l], self.box_of[&r]);
-                    let (lg, rg) = (self.circuit.gamma(bl).to_vec(), self.circuit.gamma(br).to_vec());
+                    let (lg, rg) = (
+                        self.circuit.gamma(bl).to_vec(),
+                        self.circuit.gamma(br).to_vec(),
+                    );
                     internal_box_content(&self.binary_tva, self.binary.label(n), &lg, &rg)
                 }
             };
@@ -219,7 +228,10 @@ impl DeterminizedBaseline {
     pub fn new(tree: UnrankedTree, query: &StepwiseTva, alphabet_len: usize) -> Self {
         let det = determinize(query).automaton;
         let engine = TreeEnumerator::new(tree, &det, alphabet_len);
-        DeterminizedBaseline { determinized: det, engine }
+        DeterminizedBaseline {
+            determinized: det,
+            engine,
+        }
     }
 
     /// Number of states after determinization.
@@ -269,8 +281,14 @@ mod tests {
         let mut baseline = RecomputeBaseline::new(tree.clone(), &query, sigma.len());
         let mut engine = TreeEnumerator::new(tree, &query, sigma.len());
         let ops = [
-            EditOp::InsertFirstChild { parent: baseline.tree().root(), label: b },
-            EditOp::Relabel { node: baseline.tree().root(), label: b },
+            EditOp::InsertFirstChild {
+                parent: baseline.tree().root(),
+                label: b,
+            },
+            EditOp::Relabel {
+                node: baseline.tree().root(),
+                label: b,
+            },
         ];
         for op in ops {
             baseline.apply(&op);
@@ -289,7 +307,10 @@ mod tests {
         let baseline = DeterminizedBaseline::new(tree.clone(), &query, sigma.len());
         assert!(baseline.num_states() > query.num_states());
         assert_eq!(sorted(baseline.assignments()), sorted(engine.assignments()));
-        assert_eq!(sorted(materialize_all(&tree, &query)), sorted(engine.assignments()));
+        assert_eq!(
+            sorted(materialize_all(&tree, &query)),
+            sorted(engine.assignments())
+        );
     }
 
     #[test]

@@ -17,19 +17,34 @@ fn combined(c: &mut Criterion) {
     let tree = bench_tree(400, TreeShape::Wide, 5);
     for &k in &[2usize, 4, 6, 8] {
         let (query, alphabet_len) = kth_child_query(k);
-        group.bench_with_input(BenchmarkId::new("nondeterministic_pipeline", k), &k, |b, _| {
-            b.iter(|| {
-                let engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
-                engine.count()
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("determinize_then_pipeline", k), &k, |b, _| {
-            b.iter(|| {
-                let det = determinize(&query);
-                let engine = TreeEnumerator::new(tree.clone(), &det.automaton, alphabet_len);
-                (det.subsets.len(), engine.count())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("nondeterministic_pipeline", k),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+                    engine.count()
+                });
+            },
+        );
+        // The determinized pipeline is only feasible for small k: the Lemma 7.4
+        // translation is quartic in the automaton states, so the subset blow-up
+        // makes k ≥ 5 take minutes-to-hours per build.  The blow-up itself is
+        // still reported for every k via the state counts below.
+        if k <= 4 {
+            group.bench_with_input(
+                BenchmarkId::new("determinize_then_pipeline", k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let det = determinize(&query);
+                        let engine =
+                            TreeEnumerator::new(tree.clone(), &det.automaton, alphabet_len);
+                        (det.subsets.len(), engine.count())
+                    });
+                },
+            );
+        }
         let det = determinize(&query);
         eprintln!(
             "[E4] k={k}: nfa_states={} dfa_states={}",

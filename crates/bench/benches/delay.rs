@@ -32,13 +32,21 @@ fn delay(c: &mut Criterion) {
         let tree = bench_tree(n, TreeShape::Random, 7);
         let (query, alphabet_len) = select_b_query();
         let mut engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
-        group.bench_with_input(BenchmarkId::new("first200_select_indexed", n), &n, |b, _| {
-            b.iter(|| first_k(&engine, k));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("first200_select_indexed", n),
+            &n,
+            |b, _| {
+                b.iter(|| first_k(&engine, k));
+            },
+        );
         engine.set_box_enum_mode(BoxEnumMode::Reference);
-        group.bench_with_input(BenchmarkId::new("first200_select_reference", n), &n, |b, _| {
-            b.iter(|| first_k(&engine, k));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("first200_select_reference", n),
+            &n,
+            |b, _| {
+                b.iter(|| first_k(&engine, k));
+            },
+        );
         let (pairs, alen) = pair_query();
         let pair_engine = TreeEnumerator::new(tree, &pairs, alen);
         group.bench_with_input(BenchmarkId::new("first200_pairs_indexed", n), &n, |b, _| {

@@ -38,13 +38,17 @@ fn lower_bound(c: &mut Criterion) {
             let i = rng2.gen_range(0..naive_nodes.len());
             naive.mark(naive_nodes[i]);
         }
-        group.bench_with_input(BenchmarkId::new("naive_parent_walk_query", n), &n, |b, _| {
-            let mut rng = StdRng::seed_from_u64(23);
-            b.iter(|| {
-                let i = rng.gen_range(0..naive_nodes.len());
-                naive.has_marked_ancestor(naive_nodes[i])
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("naive_parent_walk_query", n),
+            &n,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(23);
+                b.iter(|| {
+                    let i = rng.gen_range(0..naive_nodes.len());
+                    naive.has_marked_ancestor(naive_nodes[i])
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -6,9 +6,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use treenum_automata::wva::spanners;
 use treenum_core::words::{WordEdit, WordEnumerator};
+use treenum_trees::generate::random_word;
 use treenum_trees::valuation::Var;
 use treenum_trees::{Alphabet, Label};
-use treenum_trees::generate::random_word;
 
 fn spanner_bench(c: &mut Criterion) {
     let mut sigma = Alphabet::from_names(["a", "b", "c"]);

@@ -30,14 +30,18 @@ fn updates(c: &mut Criterion) {
     // terminates quickly while still exhibiting the linear growth.
     for &n in &[250usize, 1_000, 4_000] {
         let tree = bench_tree(n, TreeShape::Random, 3);
-        group.bench_with_input(BenchmarkId::new("recompute_baseline_update", n), &n, |b, _| {
-            let mut baseline = RecomputeBaseline::new(tree.clone(), &query, alphabet_len);
-            let mut stream = EditStream::balanced_mix(labels.clone(), 9);
-            b.iter(|| {
-                let op = stream.next_for(baseline.tree());
-                baseline.apply(&op)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("recompute_baseline_update", n),
+            &n,
+            |b, _| {
+                let mut baseline = RecomputeBaseline::new(tree.clone(), &query, alphabet_len);
+                let mut stream = EditStream::balanced_mix(labels.clone(), 9);
+                b.iter(|| {
+                    let op = stream.next_for(baseline.tree());
+                    baseline.apply(&op)
+                });
+            },
+        );
     }
     group.finish();
 }

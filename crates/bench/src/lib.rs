@@ -1,8 +1,8 @@
 //! # treenum-bench
 //!
 //! Shared workload generators for the Criterion benches in `benches/`.  Each bench
-//! regenerates one experiment of `EXPERIMENTS.md` (E1–E6); see `DESIGN.md` §4 for the
-//! mapping from paper artefacts (Table 1, Theorems 8.1/8.5, Section 9) to benches.
+//! regenerates one experiment of the repository-root `EXPERIMENTS.md` (E1–E6), which
+//! maps paper artefacts (Table 1, Theorems 8.1/8.5, Section 9) to benches.
 
 use treenum_automata::{queries, StepwiseTva};
 use treenum_trees::generate::{random_tree, TreeShape};
@@ -33,7 +33,10 @@ pub fn pair_query() -> (StepwiseTva, usize) {
     let sigma = bench_alphabet();
     let a = sigma.get("a").unwrap();
     let b = sigma.get("b").unwrap();
-    (queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1)), sigma.len())
+    (
+        queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1)),
+        sigma.len(),
+    )
 }
 
 /// The marked-ancestor query of Theorem 9.2.
@@ -41,7 +44,10 @@ pub fn marked_ancestor_query() -> (StepwiseTva, usize) {
     let sigma = bench_alphabet();
     let m = sigma.get("m").unwrap();
     let s = sigma.get("s").unwrap();
-    (queries::marked_ancestor(sigma.len(), m, s, Var(0)), sigma.len())
+    (
+        queries::marked_ancestor(sigma.len(), m, s, Var(0)),
+        sigma.len(),
+    )
 }
 
 /// The `k`-parameterized nondeterministic family whose determinization blows up
@@ -49,7 +55,10 @@ pub fn marked_ancestor_query() -> (StepwiseTva, usize) {
 pub fn kth_child_query(k: usize) -> (StepwiseTva, usize) {
     let sigma = bench_alphabet();
     let a = sigma.get("a").unwrap();
-    (queries::kth_child_from_end(sigma.len(), k, a, Var(0)), sigma.len())
+    (
+        queries::kth_child_from_end(sigma.len(), k, a, Var(0)),
+        sigma.len(),
+    )
 }
 
 /// A label of the benchmark alphabet by name.

@@ -44,12 +44,15 @@ pub fn leaf_box_content(tva: &BinaryTva, label: Label, leaf_token: u32) -> BoxCo
         if y.is_empty() {
             empty_entry[q.index()] = true;
         } else {
-            nonempty_inputs[q.index()].push(UnionInput::Var { vars: y, leaf_token });
+            nonempty_inputs[q.index()].push(UnionInput::Var {
+                vars: y,
+                leaf_token,
+            });
         }
     }
     for q in 0..num_states {
         debug_assert!(
-            !(empty_entry[q] && !nonempty_inputs[q].is_empty()),
+            !empty_entry[q] || nonempty_inputs[q].is_empty(),
             "automaton is not homogenized: state {q} has both empty and non-empty initial entries"
         );
         if empty_entry[q] {
@@ -101,19 +104,28 @@ pub fn internal_box_content(
                 top_per_state[q.index()] = true;
             }
             (StateGate::Top, StateGate::Union(u)) => {
-                inputs_per_state[q.index()].push(UnionInput::Child { side: Side::Right, gate: u });
+                inputs_per_state[q.index()].push(UnionInput::Child {
+                    side: Side::Right,
+                    gate: u,
+                });
             }
             (StateGate::Union(u), StateGate::Top) => {
-                inputs_per_state[q.index()].push(UnionInput::Child { side: Side::Left, gate: u });
+                inputs_per_state[q.index()].push(UnionInput::Child {
+                    side: Side::Left,
+                    gate: u,
+                });
             }
             (StateGate::Union(u1), StateGate::Union(u2)) => {
-                inputs_per_state[q.index()].push(UnionInput::Times { left: u1, right: u2 });
+                inputs_per_state[q.index()].push(UnionInput::Times {
+                    left: u1,
+                    right: u2,
+                });
             }
         }
     }
     for q in 0..num_states {
         debug_assert!(
-            !(top_per_state[q] && !inputs_per_state[q].is_empty()),
+            !top_per_state[q] || inputs_per_state[q].is_empty(),
             "automaton is not homogenized: state {q} captures both the empty and a non-empty assignment"
         );
         if top_per_state[q] {
@@ -122,8 +134,14 @@ pub fn internal_box_content(
             let mut inputs = std::mem::take(&mut inputs_per_state[q]);
             inputs.sort_unstable_by_key(|i| match *i {
                 UnionInput::Times { left, right } => (0u8, left, right),
-                UnionInput::Child { side: Side::Left, gate } => (1, gate, 0),
-                UnionInput::Child { side: Side::Right, gate } => (2, gate, 0),
+                UnionInput::Child {
+                    side: Side::Left,
+                    gate,
+                } => (1, gate, 0),
+                UnionInput::Child {
+                    side: Side::Right,
+                    gate,
+                } => (2, gate, 0),
                 UnionInput::Var { .. } => (3, 0, 0),
             });
             inputs.dedup();
@@ -151,7 +169,8 @@ pub fn build_assignment_circuit(tva: &BinaryTva, tree: &BinaryTree) -> Assignmen
             Some((l, r)) => {
                 let bl = box_of[&l];
                 let br = box_of[&r];
-                let content = internal_box_content(tva, label, circuit.gamma(bl), circuit.gamma(br));
+                let content =
+                    internal_box_content(tva, label, circuit.gamma(bl), circuit.gamma(br));
                 circuit.add_internal_box(content, bl, br)
             }
         };
@@ -259,7 +278,10 @@ mod tests {
         assert_eq!(content.gamma[1], StateGate::Union(0));
         assert_eq!(
             content.union_gates[0].inputs,
-            vec![UnionInput::Var { vars: VarSet::singleton(Var(0)), leaf_token: 7 }]
+            vec![UnionInput::Var {
+                vars: VarSet::singleton(Var(0)),
+                leaf_token: 7
+            }]
         );
     }
 
@@ -275,7 +297,10 @@ mod tests {
         // have one ⊤ side, so the gate has two Child inputs and no ×-gate.
         let gate = &content.union_gates[content.gamma[1].union_index().unwrap() as usize];
         assert_eq!(gate.inputs.len(), 2);
-        assert!(gate.inputs.iter().all(|i| matches!(i, UnionInput::Child { .. })));
+        assert!(gate
+            .inputs
+            .iter()
+            .all(|i| matches!(i, UnionInput::Child { .. })));
     }
 
     #[test]

@@ -151,7 +151,10 @@ impl Circuit {
 
     /// Declares `b` as the root box.
     pub fn set_root(&mut self, b: BoxId) {
-        assert!(self.slot(b).parent.is_none(), "the root box cannot have a parent");
+        assert!(
+            self.slot(b).parent.is_none(),
+            "the root box cannot have a parent"
+        );
         self.root = Some(b);
     }
 
@@ -206,8 +209,14 @@ impl Circuit {
     /// Panics if either child already has a parent.
     pub fn add_internal_box(&mut self, content: BoxContent, left: BoxId, right: BoxId) -> BoxId {
         debug_assert_eq!(content.gamma.len(), self.num_states);
-        assert!(self.slot(left).parent.is_none(), "left child box already attached");
-        assert!(self.slot(right).parent.is_none(), "right child box already attached");
+        assert!(
+            self.slot(left).parent.is_none(),
+            "left child box already attached"
+        );
+        assert!(
+            self.slot(right).parent.is_none(),
+            "right child box already attached"
+        );
         let id = self.alloc(BoxSlot {
             content,
             parent: None,
@@ -338,7 +347,11 @@ impl Circuit {
 
     /// Height of the box tree.
     pub fn height(&self) -> usize {
-        self.boxes_preorder().iter().map(|&b| self.depth(b)).max().unwrap_or(0)
+        self.boxes_preorder()
+            .iter()
+            .map(|&b| self.depth(b))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates over all live boxes (arena order, includes floating boxes).
@@ -352,7 +365,9 @@ impl Circuit {
 
     /// The boxes of the tree rooted at the root box, in preorder.
     pub fn boxes_preorder(&self) -> Vec<BoxId> {
-        let Some(root) = self.root else { return Vec::new() };
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
         self.subtree_preorder(root)
     }
 
@@ -372,7 +387,9 @@ impl Circuit {
 
     /// The boxes of the tree rooted at the root box, in postorder (children first).
     pub fn boxes_postorder(&self) -> Vec<BoxId> {
-        let Some(root) = self.root else { return Vec::new() };
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         let mut stack = vec![root];
         while let Some(x) = stack.pop() {
@@ -445,7 +462,9 @@ impl Circuit {
         };
         let ca = child_towards(a);
         let cb = child_towards(b);
-        let (l, _r) = self.children(lca).expect("lca with two distinct descendants must be internal");
+        let (l, _r) = self
+            .children(lca)
+            .expect("lca with two distinct descendants must be internal");
         if ca == l {
             debug_assert_ne!(cb, l);
             Ordering::Less
@@ -462,7 +481,10 @@ impl Circuit {
                 let c = self.content(b);
                 c.union_gates.len()
                     + c.union_gates.iter().map(|g| g.inputs.len()).sum::<usize>()
-                    + c.gamma.iter().filter(|g| !matches!(g, StateGate::Union(_))).count()
+                    + c.gamma
+                        .iter()
+                        .filter(|g| !matches!(g, StateGate::Union(_)))
+                        .count()
             })
             .sum()
     }
@@ -478,18 +500,32 @@ impl Circuit {
     pub fn validate(&self) {
         for b in self.boxes_preorder() {
             let content = self.content(b);
-            assert_eq!(content.gamma.len(), self.num_states, "gamma has wrong arity in {:?}", b);
+            assert_eq!(
+                content.gamma.len(),
+                self.num_states,
+                "gamma has wrong arity in {:?}",
+                b
+            );
             if let Some((l, r)) = self.children(b) {
                 assert_eq!(self.parent(l), Some(b));
                 assert_eq!(self.parent(r), Some(b));
             }
             for gate in &content.gamma {
                 if let StateGate::Union(i) = gate {
-                    assert!((*i as usize) < content.union_gates.len(), "gamma references missing gate in {:?}", b);
+                    assert!(
+                        (*i as usize) < content.union_gates.len(),
+                        "gamma references missing gate in {:?}",
+                        b
+                    );
                 }
             }
             for (gi, gate) in content.union_gates.iter().enumerate() {
-                assert!(!gate.inputs.is_empty(), "∪-gate {} of {:?} has no inputs", gi, b);
+                assert!(
+                    !gate.inputs.is_empty(),
+                    "∪-gate {} of {:?} has no inputs",
+                    gi,
+                    b
+                );
                 for input in &gate.inputs {
                     match *input {
                         UnionInput::Var { .. } => {
@@ -497,8 +533,16 @@ impl Circuit {
                         }
                         UnionInput::Times { left, right } => {
                             let (l, r) = self.children(b).expect("×-gate in a leaf box");
-                            assert!((left as usize) < self.box_width(l), "dangling × left wire in {:?}", b);
-                            assert!((right as usize) < self.box_width(r), "dangling × right wire in {:?}", b);
+                            assert!(
+                                (left as usize) < self.box_width(l),
+                                "dangling × left wire in {:?}",
+                                b
+                            );
+                            assert!(
+                                (right as usize) < self.box_width(r),
+                                "dangling × right wire in {:?}",
+                                b
+                            );
                         }
                         UnionInput::Child { side, gate } => {
                             let (l, r) = self.children(b).expect("child wire in a leaf box");
@@ -506,98 +550,16 @@ impl Circuit {
                                 Side::Left => l,
                                 Side::Right => r,
                             };
-                            assert!((gate as usize) < self.box_width(target), "dangling child wire in {:?}", b);
+                            assert!(
+                                (gate as usize) < self.box_width(target),
+                                "dangling child wire in {:?}",
+                                b
+                            );
                         }
                     }
                 }
             }
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tiny_content(num_states: usize) -> BoxContent {
-        BoxContent {
-            union_gates: vec![UnionGate {
-                inputs: vec![UnionInput::Var { vars: VarSet::singleton(treenum_trees::Var(0)), leaf_token: 0 }],
-            }],
-            gamma: {
-                let mut g = vec![StateGate::Bot; num_states];
-                g[0] = StateGate::Top;
-                if num_states > 1 {
-                    g[1] = StateGate::Union(0);
-                }
-                g
-            },
-        }
-    }
-
-    #[test]
-    fn build_a_small_box_tree() {
-        let mut c = Circuit::new(2);
-        let l1 = c.add_leaf_box(tiny_content(2), 10);
-        let l2 = c.add_leaf_box(tiny_content(2), 11);
-        let root_content = BoxContent {
-            union_gates: vec![UnionGate { inputs: vec![UnionInput::Times { left: 0, right: 0 }] }],
-            gamma: vec![StateGate::Bot, StateGate::Union(0)],
-        };
-        let root = c.add_internal_box(root_content, l1, l2);
-        c.set_root(root);
-        c.validate();
-        assert_eq!(c.num_boxes(), 3);
-        assert_eq!(c.width(), 1);
-        assert_eq!(c.height(), 1);
-        assert_eq!(c.boxes_preorder(), vec![root, l1, l2]);
-        assert_eq!(c.boxes_postorder(), vec![l1, l2, root]);
-        assert_eq!(c.leaf_token(l1), Some(10));
-        assert!(c.is_leaf(l2));
-        assert_eq!(c.lca(l1, l2), root);
-        assert_eq!(c.preorder_cmp(l1, l2), std::cmp::Ordering::Less);
-        assert_eq!(c.preorder_cmp(root, l2), std::cmp::Ordering::Less);
-        assert_eq!(c.preorder_cmp(l2, l1), std::cmp::Ordering::Greater);
-    }
-
-    #[test]
-    fn detach_and_free_subtrees() {
-        let mut c = Circuit::new(1);
-        let mk = || BoxContent {
-            union_gates: vec![],
-            gamma: vec![StateGate::Top],
-        };
-        let l1 = c.add_leaf_box(mk(), 0);
-        let l2 = c.add_leaf_box(mk(), 1);
-        let root = c.add_internal_box(
-            BoxContent { union_gates: vec![], gamma: vec![StateGate::Top] },
-            l1,
-            l2,
-        );
-        c.set_root(root);
-        assert_eq!(c.num_boxes(), 3);
-        c.detach(l2);
-        assert_eq!(c.parent(l2), None);
-        c.free_subtree(l2);
-        assert_eq!(c.num_boxes(), 2);
-        // The freed slot is reused.
-        let l3 = c.add_leaf_box(mk(), 2);
-        assert_eq!(l3, l2);
-    }
-
-    #[test]
-    #[should_panic]
-    fn validate_rejects_dangling_wires() {
-        let mut c = Circuit::new(1);
-        let l1 = c.add_leaf_box(BoxContent { union_gates: vec![], gamma: vec![StateGate::Top] }, 0);
-        let l2 = c.add_leaf_box(BoxContent { union_gates: vec![], gamma: vec![StateGate::Top] }, 1);
-        let bad = BoxContent {
-            union_gates: vec![UnionGate { inputs: vec![UnionInput::Times { left: 3, right: 0 }] }],
-            gamma: vec![StateGate::Union(0)],
-        };
-        let root = c.add_internal_box(bad, l1, l2);
-        c.set_root(root);
-        c.validate();
     }
 }
 
@@ -655,5 +617,113 @@ impl Circuit {
     pub fn set_root_force(&mut self, b: BoxId) {
         self.slot_mut(b).parent = None;
         self.root = Some(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_content(num_states: usize) -> BoxContent {
+        BoxContent {
+            union_gates: vec![UnionGate {
+                inputs: vec![UnionInput::Var {
+                    vars: VarSet::singleton(treenum_trees::Var(0)),
+                    leaf_token: 0,
+                }],
+            }],
+            gamma: {
+                let mut g = vec![StateGate::Bot; num_states];
+                g[0] = StateGate::Top;
+                if num_states > 1 {
+                    g[1] = StateGate::Union(0);
+                }
+                g
+            },
+        }
+    }
+
+    #[test]
+    fn build_a_small_box_tree() {
+        let mut c = Circuit::new(2);
+        let l1 = c.add_leaf_box(tiny_content(2), 10);
+        let l2 = c.add_leaf_box(tiny_content(2), 11);
+        let root_content = BoxContent {
+            union_gates: vec![UnionGate {
+                inputs: vec![UnionInput::Times { left: 0, right: 0 }],
+            }],
+            gamma: vec![StateGate::Bot, StateGate::Union(0)],
+        };
+        let root = c.add_internal_box(root_content, l1, l2);
+        c.set_root(root);
+        c.validate();
+        assert_eq!(c.num_boxes(), 3);
+        assert_eq!(c.width(), 1);
+        assert_eq!(c.height(), 1);
+        assert_eq!(c.boxes_preorder(), vec![root, l1, l2]);
+        assert_eq!(c.boxes_postorder(), vec![l1, l2, root]);
+        assert_eq!(c.leaf_token(l1), Some(10));
+        assert!(c.is_leaf(l2));
+        assert_eq!(c.lca(l1, l2), root);
+        assert_eq!(c.preorder_cmp(l1, l2), std::cmp::Ordering::Less);
+        assert_eq!(c.preorder_cmp(root, l2), std::cmp::Ordering::Less);
+        assert_eq!(c.preorder_cmp(l2, l1), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn detach_and_free_subtrees() {
+        let mut c = Circuit::new(1);
+        let mk = || BoxContent {
+            union_gates: vec![],
+            gamma: vec![StateGate::Top],
+        };
+        let l1 = c.add_leaf_box(mk(), 0);
+        let l2 = c.add_leaf_box(mk(), 1);
+        let root = c.add_internal_box(
+            BoxContent {
+                union_gates: vec![],
+                gamma: vec![StateGate::Top],
+            },
+            l1,
+            l2,
+        );
+        c.set_root(root);
+        assert_eq!(c.num_boxes(), 3);
+        c.detach(l2);
+        assert_eq!(c.parent(l2), None);
+        c.free_subtree(l2);
+        assert_eq!(c.num_boxes(), 2);
+        // The freed slot is reused.
+        let l3 = c.add_leaf_box(mk(), 2);
+        assert_eq!(l3, l2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_dangling_wires() {
+        let mut c = Circuit::new(1);
+        let l1 = c.add_leaf_box(
+            BoxContent {
+                union_gates: vec![],
+                gamma: vec![StateGate::Top],
+            },
+            0,
+        );
+        let l2 = c.add_leaf_box(
+            BoxContent {
+                union_gates: vec![],
+                gamma: vec![StateGate::Top],
+            },
+            1,
+        );
+        let bad = BoxContent {
+            union_gates: vec![UnionGate {
+                inputs: vec![UnionInput::Times { left: 3, right: 0 }],
+            }],
+            gamma: vec![StateGate::Union(0)],
+        };
+        let root = c.add_internal_box(bad, l1, l2);
+        c.set_root(root);
+        c.validate();
     }
 }

@@ -27,5 +27,7 @@ pub mod build;
 pub mod circuit;
 pub mod semantics;
 
-pub use build::{build_assignment_circuit, internal_box_content, leaf_box_content, AssignmentCircuit};
+pub use build::{
+    build_assignment_circuit, internal_box_content, leaf_box_content, AssignmentCircuit,
+};
 pub use circuit::{BoxContent, BoxId, Circuit, Side, StateGate, UnionGate, UnionInput};

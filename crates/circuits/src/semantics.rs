@@ -61,7 +61,11 @@ pub fn capture_state(circuit: &Circuit, b: BoxId, q: State) -> HashSet<ExplicitA
 
 /// The captured set of a *boxed set*: the union over a set of ∪-gates of the same box
 /// (Section 5).
-pub fn capture_boxed_set(circuit: &Circuit, b: BoxId, gates: &[u32]) -> HashSet<ExplicitAssignment> {
+pub fn capture_boxed_set(
+    circuit: &Circuit,
+    b: BoxId,
+    gates: &[u32],
+) -> HashSet<ExplicitAssignment> {
     let mut out = HashSet::new();
     for &g in gates {
         out.extend(capture_union(circuit, b, g));

@@ -7,7 +7,9 @@ use treenum_balance::build::build_balanced_term;
 use treenum_balance::term::{Term, TermAlphabet, TermNodeId};
 use treenum_balance::translate::translate_stepwise;
 use treenum_balance::update::apply_edit;
-use treenum_circuits::{internal_box_content, leaf_box_content, BoxContent, BoxId, Circuit, StateGate};
+use treenum_circuits::{
+    internal_box_content, leaf_box_content, BoxContent, BoxId, Circuit, StateGate,
+};
 use treenum_enumeration::boxenum::BoxEnumMode;
 use treenum_enumeration::dedup::enumerate_root;
 use treenum_enumeration::EnumIndex;
@@ -111,13 +113,19 @@ impl TreeEnumerator {
         let label = self.term_label(n);
         let content: BoxContent = match self.term.children(n) {
             None => {
-                let node = self.term.leaf_tree_node(n).expect("term leaves map to tree nodes");
+                let node = self
+                    .term
+                    .leaf_tree_node(n)
+                    .expect("term leaves map to tree nodes");
                 leaf_box_content(&self.tva, label, node.0)
             }
             Some((l, r)) => {
                 let bl = self.box_of[&l];
                 let br = self.box_of[&r];
-                let (lg, rg) = (self.circuit.gamma(bl).to_vec(), self.circuit.gamma(br).to_vec());
+                let (lg, rg) = (
+                    self.circuit.gamma(bl).to_vec(),
+                    self.circuit.gamma(br).to_vec(),
+                );
                 internal_box_content(&self.tva, label, &lg, &rg)
             }
         };
@@ -126,7 +134,12 @@ impl TreeEnumerator {
             .children(n)
             .map(|(l, r)| (self.box_of[&l], self.box_of[&r]));
         let leaf_token = self.term.leaf_tree_node(n).map(|node| node.0);
-        match self.box_of.get(&n).copied().filter(|&b| self.circuit.is_live(b)) {
+        match self
+            .box_of
+            .get(&n)
+            .copied()
+            .filter(|&b| self.circuit.is_live(b))
+        {
             Some(b) => {
                 self.circuit.replace_content(b, content);
                 self.circuit.set_children(b, children);
@@ -168,12 +181,21 @@ impl TreeEnumerator {
             BoxEnumMode::Indexed => Some(&self.index),
             BoxEnumMode::Reference => None,
         };
-        let _ = enumerate_root(&self.circuit, index, self.mode, root_box, &gates, empty, &mut |parts| {
-            let assignment = Assignment::from_singletons(parts.iter().flat_map(|&(vars, token)| {
-                vars.iter().map(move |v| Singleton::new(v, NodeId(token)))
-            }));
-            sink(assignment)
-        });
+        let _ = enumerate_root(
+            &self.circuit,
+            index,
+            self.mode,
+            root_box,
+            &gates,
+            empty,
+            &mut |parts| {
+                let assignment =
+                    Assignment::from_singletons(parts.iter().flat_map(|&(vars, token)| {
+                        vars.iter().map(move |v| Singleton::new(v, NodeId(token)))
+                    }));
+                sink(assignment)
+            },
+        );
     }
 
     /// Collects all satisfying assignments (convenience wrapper around
@@ -261,13 +283,19 @@ impl TreeEnumerator {
         self.term.check_invariants();
         assert_eq!(self.phi.len(), self.tree.len());
         for n in self.term.subtree_postorder(self.term.root()) {
-            let b = *self.box_of.get(&n).expect("missing box for a live term node");
+            let b = *self
+                .box_of
+                .get(&n)
+                .expect("missing box for a live term node");
             assert!(self.circuit.is_live(b));
             assert!(self.index.has(b), "missing index entry for a live box");
             match self.term.children(n) {
                 None => assert!(self.circuit.is_leaf(b)),
                 Some((l, r)) => {
-                    assert_eq!(self.circuit.children(b), Some((self.box_of[&l], self.box_of[&r])));
+                    assert_eq!(
+                        self.circuit.children(b),
+                        Some((self.box_of[&l], self.box_of[&r]))
+                    );
                 }
             }
         }
@@ -277,7 +305,10 @@ impl TreeEnumerator {
     /// The satisfying assignments computed by the brute-force oracle on the current
     /// tree (test helper; exponential, only for small trees).
     pub fn brute_force_oracle(&self, query: &StepwiseTva) -> Vec<Assignment> {
-        let mut answers: Vec<Assignment> = query.satisfying_assignments(&self.tree).into_iter().collect();
+        let mut answers: Vec<Assignment> = query
+            .satisfying_assignments(&self.tree)
+            .into_iter()
+            .collect();
         answers.sort();
         answers
     }
@@ -358,8 +389,17 @@ mod tests {
         for step in 0..60 {
             let op = stream.next_for(engine.tree());
             engine.apply(&op);
-            let expected = sorted(query.satisfying_assignments(engine.tree()).into_iter().collect());
-            assert_eq!(sorted(engine.assignments()), expected, "after step {step} ({op:?})");
+            let expected = sorted(
+                query
+                    .satisfying_assignments(engine.tree())
+                    .into_iter()
+                    .collect(),
+            );
+            assert_eq!(
+                sorted(engine.assignments()),
+                expected,
+                "after step {step} ({op:?})"
+            );
         }
         engine.check_consistency();
     }
@@ -377,8 +417,17 @@ mod tests {
         for step in 0..40 {
             let op = stream.next_for(engine.tree());
             engine.apply(&op);
-            let expected = sorted(query.satisfying_assignments(engine.tree()).into_iter().collect());
-            assert_eq!(sorted(engine.assignments()), expected, "after step {step} ({op:?})");
+            let expected = sorted(
+                query
+                    .satisfying_assignments(engine.tree())
+                    .into_iter()
+                    .collect(),
+            );
+            assert_eq!(
+                sorted(engine.assignments()),
+                expected,
+                "after step {step} ({op:?})"
+            );
         }
         engine.check_consistency();
     }
@@ -393,7 +442,11 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.tree_size, 500);
         assert_eq!(stats.circuit_boxes, engine.term.len());
-        assert!(stats.term_height <= 70, "term height {} not logarithmic", stats.term_height);
+        assert!(
+            stats.term_height <= 70,
+            "term height {} not logarithmic",
+            stats.term_height
+        );
         assert!(stats.circuit_width <= stats.automaton_states);
     }
 

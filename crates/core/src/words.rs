@@ -49,7 +49,11 @@ impl WordEnumerator {
             positions.push(tree.insert_last_child(root, letter));
         }
         let engine = TreeEnumerator::new(tree, &stepwise, alphabet_len + 1);
-        WordEnumerator { engine, positions, root_label }
+        WordEnumerator {
+            engine,
+            positions,
+            root_label,
+        }
     }
 
     /// Current word length.
@@ -64,7 +68,10 @@ impl WordEnumerator {
 
     /// The current word.
     pub fn word(&self) -> Vec<Label> {
-        self.positions.iter().map(|&n| self.engine.tree().label(n)).collect()
+        self.positions
+            .iter()
+            .map(|&n| self.engine.tree().label(n))
+            .collect()
     }
 
     /// Structural statistics of the underlying enumeration structure.
@@ -76,8 +83,12 @@ impl WordEnumerator {
     /// without duplicates.
     pub fn for_each(&self, sink: &mut dyn FnMut(Vec<(Var, usize)>) -> ControlFlow<()>) {
         // Map node ids back to current positions.
-        let position_of: HashMap<NodeId, usize> =
-            self.positions.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let position_of: HashMap<NodeId, usize> = self
+            .positions
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
         self.engine.for_each(&mut |assignment| {
             let mut tuple: Vec<(Var, usize)> = assignment
                 .singletons()
@@ -114,7 +125,10 @@ impl WordEnumerator {
         match edit {
             WordEdit::Replace { at, letter } => {
                 let node = self.positions[at];
-                self.engine.apply(&EditOp::Relabel { node, label: letter });
+                self.engine.apply(&EditOp::Relabel {
+                    node,
+                    label: letter,
+                });
             }
             WordEdit::Delete { at } => {
                 let node = self.positions.remove(at);
@@ -123,11 +137,20 @@ impl WordEnumerator {
             WordEdit::Insert { at, letter } => {
                 assert!(at <= self.positions.len());
                 let op = if at == 0 {
-                    EditOp::InsertFirstChild { parent: self.engine.tree().root(), label: letter }
+                    EditOp::InsertFirstChild {
+                        parent: self.engine.tree().root(),
+                        label: letter,
+                    }
                 } else {
-                    EditOp::InsertRightSibling { sibling: self.positions[at - 1], label: letter }
+                    EditOp::InsertRightSibling {
+                        sibling: self.positions[at - 1],
+                        label: letter,
+                    }
                 };
-                let fresh = self.engine.apply(&op).expect("insertion returns the new node");
+                let fresh = self
+                    .engine
+                    .apply(&op)
+                    .expect("insertion returns the new node");
                 self.positions.insert(at, fresh);
             }
         }
@@ -188,7 +211,9 @@ mod tests {
         let len = engine.len();
         engine.apply(WordEdit::Insert { at: len, letter: b });
         assert_eq!(engine.count(), 4);
-        engine.apply(WordEdit::Delete { at: engine.len() - 1 });
+        engine.apply(WordEdit::Delete {
+            at: engine.len() - 1,
+        });
         assert_eq!(engine.count(), 4);
         // Cross-check against the oracle on the final word.
         let produced: HashSet<_> = engine.matches().into_iter().collect();

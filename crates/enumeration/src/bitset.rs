@@ -14,7 +14,10 @@ pub struct GateSet {
 impl GateSet {
     /// The empty set over a universe of `len` gates.
     pub fn empty(len: usize) -> Self {
-        GateSet { len, words: vec![0; len.div_ceil(64)] }
+        GateSet {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// The full set `{0, …, len-1}`.
@@ -89,7 +92,10 @@ impl GateSet {
     /// `true` iff the two sets intersect.
     pub fn intersects(&self, other: &GateSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(other.words.iter()).any(|(a, b)| a & b != 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Iterates over the gate indices in increasing order.

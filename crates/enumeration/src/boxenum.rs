@@ -60,7 +60,12 @@ pub fn box_enum_reference(
     walk_reference(circuit, b, &r, sink)
 }
 
-fn walk_reference(circuit: &Circuit, b: BoxId, r: &Relation, sink: &mut BoxSink<'_>) -> ControlFlow<()> {
+fn walk_reference(
+    circuit: &Circuit,
+    b: BoxId,
+    r: &Relation,
+    sink: &mut BoxSink<'_>,
+) -> ControlFlow<()> {
     let sources = r.project_sources();
     if sources.is_empty() {
         return ControlFlow::Continue(());
@@ -280,8 +285,15 @@ mod tests {
         let root = ac.circuit.root();
         for g in 0..ac.circuit.box_width(root) {
             let gamma = GateSet::singleton(ac.circuit.box_width(root), g);
-            let reference = collect_box_enum(&ac.circuit, None, BoxEnumMode::Reference, root, &gamma);
-            let indexed = collect_box_enum(&ac.circuit, Some(&index), BoxEnumMode::Indexed, root, &gamma);
+            let reference =
+                collect_box_enum(&ac.circuit, None, BoxEnumMode::Reference, root, &gamma);
+            let indexed = collect_box_enum(
+                &ac.circuit,
+                Some(&index),
+                BoxEnumMode::Indexed,
+                root,
+                &gamma,
+            );
             let mut ref_sorted: Vec<_> = reference.clone();
             let mut idx_sorted: Vec<_> = indexed.clone();
             ref_sorted.sort_by_key(|(b, _)| *b);
@@ -310,9 +322,17 @@ mod tests {
             // All non-empty subsets over up to the first 4 gates.
             let limit = width.min(4);
             for mask in 1u32..(1 << limit) {
-                let gamma = GateSet::from_indices(width, (0..limit).filter(|i| mask & (1 << i) != 0));
-                let mut reference = collect_box_enum(&ac.circuit, None, BoxEnumMode::Reference, root, &gamma);
-                let mut indexed = collect_box_enum(&ac.circuit, Some(&index), BoxEnumMode::Indexed, root, &gamma);
+                let gamma =
+                    GateSet::from_indices(width, (0..limit).filter(|i| mask & (1 << i) != 0));
+                let mut reference =
+                    collect_box_enum(&ac.circuit, None, BoxEnumMode::Reference, root, &gamma);
+                let mut indexed = collect_box_enum(
+                    &ac.circuit,
+                    Some(&index),
+                    BoxEnumMode::Indexed,
+                    root,
+                    &gamma,
+                );
                 reference.sort_by_key(|(b, _)| *b);
                 indexed.sort_by_key(|(b, _)| *b);
                 assert_eq!(
@@ -335,10 +355,16 @@ mod tests {
             return;
         }
         let gamma = GateSet::full(width);
-        let boxes: Vec<BoxId> = collect_box_enum(&ac.circuit, Some(&index), BoxEnumMode::Indexed, root, &gamma)
-            .into_iter()
-            .map(|(b, _)| b)
-            .collect();
+        let boxes: Vec<BoxId> = collect_box_enum(
+            &ac.circuit,
+            Some(&index),
+            BoxEnumMode::Indexed,
+            root,
+            &gamma,
+        )
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
         let mut dedup = boxes.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -42,7 +42,11 @@ pub fn enumerate_boxed_set(
     gamma: &GateSet,
     sink: &mut AssignmentSink<'_>,
 ) -> ControlFlow<()> {
-    let ctx = Ctx { circuit, index, mode };
+    let ctx = Ctx {
+        circuit,
+        index,
+        mode,
+    };
     enum_s(&ctx, b, gamma, sink)
 }
 
@@ -65,8 +69,13 @@ pub fn enumerate_root(
     if root_gates.is_empty() {
         return ControlFlow::Continue(());
     }
-    let gamma = GateSet::from_indices(circuit.box_width(root_box), root_gates.iter().map(|&g| g as usize));
-    enumerate_boxed_set(circuit, index, mode, root_box, &gamma, &mut |s, _prov| sink(s))
+    let gamma = GateSet::from_indices(
+        circuit.box_width(root_box),
+        root_gates.iter().map(|&g| g as usize),
+    );
+    enumerate_boxed_set(circuit, index, mode, root_box, &gamma, &mut |s, _prov| {
+        sink(s)
+    })
 }
 
 /// Convenience wrapper collecting all assignments into a vector (tests, baselines,
@@ -80,93 +89,117 @@ pub fn collect_all(
     empty_accepted: bool,
 ) -> Vec<OutputAssignment> {
     let mut out = Vec::new();
-    let _ = enumerate_root(circuit, index, mode, root_box, root_gates, empty_accepted, &mut |s| {
-        out.push(s.clone());
-        ControlFlow::Continue(())
-    });
+    let _ = enumerate_root(
+        circuit,
+        index,
+        mode,
+        root_box,
+        root_gates,
+        empty_accepted,
+        &mut |s| {
+            out.push(s.clone());
+            ControlFlow::Continue(())
+        },
+    );
     out
 }
 
-fn enum_s(ctx: &Ctx<'_>, b: BoxId, gamma: &GateSet, sink: &mut AssignmentSink<'_>) -> ControlFlow<()> {
+fn enum_s(
+    ctx: &Ctx<'_>,
+    b: BoxId,
+    gamma: &GateSet,
+    sink: &mut AssignmentSink<'_>,
+) -> ControlFlow<()> {
     if gamma.is_empty() {
         return ControlFlow::Continue(());
     }
-    box_enum(ctx.circuit, ctx.index, ctx.mode, b, gamma, &mut |bprime, r| {
-        // `r` relates the ∪-gates of `bprime` (rows) to the gates of `gamma`'s box
-        // (columns); only columns in `gamma` are populated.
-        let sources = r.project_sources();
-        let width_prime = ctx.circuit.box_width(bprime);
-        let gates = ctx.circuit.union_gates(bprime);
+    box_enum(
+        ctx.circuit,
+        ctx.index,
+        ctx.mode,
+        b,
+        gamma,
+        &mut |bprime, r| {
+            // `r` relates the ∪-gates of `bprime` (rows) to the gates of `gamma`'s box
+            // (columns); only columns in `gamma` are populated.
+            let sources = r.project_sources();
+            let width_prime = ctx.circuit.box_width(bprime);
+            let gates = ctx.circuit.union_gates(bprime);
 
-        // --- var-gates (line 5–7 of Algorithm 2) ---
-        // Var inputs with identical labels are the same var-gate (S_var is injective),
-        // so group them and union the owners for the provenance.
-        let mut var_groups: HashMap<(VarSet, u32), GateSet> = HashMap::new();
-        // --- ×-gates (lines 8–16) ---
-        let mut triples: Vec<(u32, u32, usize)> = Vec::new(); // (left, right, owner)
-        for gi in sources.iter() {
-            for input in &gates[gi].inputs {
-                match *input {
-                    UnionInput::Var { vars, leaf_token } => {
-                        var_groups
-                            .entry((vars, leaf_token))
-                            .or_insert_with(|| GateSet::empty(width_prime))
-                            .insert(gi);
+            // --- var-gates (line 5–7 of Algorithm 2) ---
+            // Var inputs with identical labels are the same var-gate (S_var is injective),
+            // so group them and union the owners for the provenance.
+            let mut var_groups: HashMap<(VarSet, u32), GateSet> = HashMap::new();
+            // --- ×-gates (lines 8–16) ---
+            let mut triples: Vec<(u32, u32, usize)> = Vec::new(); // (left, right, owner)
+            for gi in sources.iter() {
+                for input in &gates[gi].inputs {
+                    match *input {
+                        UnionInput::Var { vars, leaf_token } => {
+                            var_groups
+                                .entry((vars, leaf_token))
+                                .or_insert_with(|| GateSet::empty(width_prime))
+                                .insert(gi);
+                        }
+                        UnionInput::Times { left, right } => triples.push((left, right, gi)),
+                        UnionInput::Child { .. } => {}
                     }
-                    UnionInput::Times { left, right } => triples.push((left, right, gi)),
-                    UnionInput::Child { .. } => {}
                 }
             }
-        }
 
-        // Deterministic iteration order for reproducible output.
-        let mut var_list: Vec<((VarSet, u32), GateSet)> = var_groups.into_iter().collect();
-        var_list.sort_by_key(|((vars, token), _)| (*token, vars.0));
-        for ((vars, token), owners) in var_list {
-            let prov = r.image_of(&owners);
-            let assignment: OutputAssignment = vec![(vars, token)];
-            sink(&assignment, &prov)?;
-        }
+            // Deterministic iteration order for reproducible output.
+            let mut var_list: Vec<((VarSet, u32), GateSet)> = var_groups.into_iter().collect();
+            var_list.sort_by_key(|((vars, token), _)| (*token, vars.0));
+            for ((vars, token), owners) in var_list {
+                let prov = r.image_of(&owners);
+                let assignment: OutputAssignment = vec![(vars, token)];
+                sink(&assignment, &prov)?;
+            }
 
-        if triples.is_empty() {
-            return ControlFlow::Continue(());
-        }
-        let (bl, br) = ctx
-            .circuit
-            .children(bprime)
-            .expect("×-gates can only appear in internal boxes");
-        let left_width = ctx.circuit.box_width(bl);
-        let right_width = ctx.circuit.box_width(br);
-        let gamma_left = GateSet::from_indices(left_width, triples.iter().map(|&(l, _, _)| l as usize));
-
-        enum_s(ctx, bl, &gamma_left, &mut |sl, prov_l| {
-            // ×-gates whose left input captures `sl`.
-            let surviving: Vec<(u32, u32, usize)> = triples
-                .iter()
-                .copied()
-                .filter(|&(l, _, _)| prov_l.contains(l as usize))
-                .collect();
-            if surviving.is_empty() {
+            if triples.is_empty() {
                 return ControlFlow::Continue(());
             }
-            let gamma_right = GateSet::from_indices(right_width, surviving.iter().map(|&(_, rr, _)| rr as usize));
-            enum_s(ctx, br, &gamma_right, &mut |sr, prov_r| {
-                let mut owners = GateSet::empty(width_prime);
-                for &(_, rr, owner) in &surviving {
-                    if prov_r.contains(rr as usize) {
-                        owners.insert(owner);
-                    }
-                }
-                if owners.is_empty() {
+            let (bl, br) = ctx
+                .circuit
+                .children(bprime)
+                .expect("×-gates can only appear in internal boxes");
+            let left_width = ctx.circuit.box_width(bl);
+            let right_width = ctx.circuit.box_width(br);
+            let gamma_left =
+                GateSet::from_indices(left_width, triples.iter().map(|&(l, _, _)| l as usize));
+
+            enum_s(ctx, bl, &gamma_left, &mut |sl, prov_l| {
+                // ×-gates whose left input captures `sl`.
+                let surviving: Vec<(u32, u32, usize)> = triples
+                    .iter()
+                    .copied()
+                    .filter(|&(l, _, _)| prov_l.contains(l as usize))
+                    .collect();
+                if surviving.is_empty() {
                     return ControlFlow::Continue(());
                 }
-                let prov = r.image_of(&owners);
-                let mut assignment = sl.clone();
-                assignment.extend(sr.iter().copied());
-                sink(&assignment, &prov)
+                let gamma_right = GateSet::from_indices(
+                    right_width,
+                    surviving.iter().map(|&(_, rr, _)| rr as usize),
+                );
+                enum_s(ctx, br, &gamma_right, &mut |sr, prov_r| {
+                    let mut owners = GateSet::empty(width_prime);
+                    for &(_, rr, owner) in &surviving {
+                        if prov_r.contains(rr as usize) {
+                            owners.insert(owner);
+                        }
+                    }
+                    if owners.is_empty() {
+                        return ControlFlow::Continue(());
+                    }
+                    let prov = r.image_of(&owners);
+                    let mut assignment = sl.clone();
+                    assignment.extend(sr.iter().copied());
+                    sink(&assignment, &prov)
+                })
             })
-        })
-    })
+        },
+    )
 }
 
 #[cfg(test)]
@@ -255,7 +288,13 @@ mod tests {
         let tree = random_binary_tree(21, 1, 7);
         // Relabel internal nodes to f, leaves to a (random tree uses only label 0).
         let mut tree2 = BinaryTree::leaf(a);
-        fn rebuild(src: &BinaryTree, n: treenum_trees::binary::BinaryNodeId, dst: &mut BinaryTree, a: Label, f: Label) -> treenum_trees::binary::BinaryNodeId {
+        fn rebuild(
+            src: &BinaryTree,
+            n: treenum_trees::binary::BinaryNodeId,
+            dst: &mut BinaryTree,
+            a: Label,
+            f: Label,
+        ) -> treenum_trees::binary::BinaryNodeId {
             match src.children(n) {
                 None => dst.add_leaf(a),
                 Some((l, r)) => {
@@ -272,27 +311,84 @@ mod tests {
         let index = EnumIndex::build(&ac.circuit);
         let (gates, empty) = ac.root_query(&tva, &tree2);
         for mode in [BoxEnumMode::Reference, BoxEnumMode::Indexed] {
-            let produced = collect_all(&ac.circuit, Some(&index), mode, ac.circuit.root(), &gates, empty);
-            let as_sets: HashSet<_> = produced.iter().map(|s| to_explicit(s)).collect();
-            assert_eq!(as_sets.len(), produced.len(), "duplicates produced in mode {:?}", mode);
+            let produced = collect_all(
+                &ac.circuit,
+                Some(&index),
+                mode,
+                ac.circuit.root(),
+                &gates,
+                empty,
+            );
+            let as_sets: HashSet<_> = produced.iter().map(to_explicit).collect();
+            assert_eq!(
+                as_sets.len(),
+                produced.len(),
+                "duplicates produced in mode {:?}",
+                mode
+            );
             let expected: HashSet<_> = tva
                 .satisfying_assignments(&tree2)
                 .into_iter()
-                .map(|ass| ass.into_iter().map(|(v, n)| (v, n.0)).collect::<BTreeSet<_>>())
+                .map(|ass| {
+                    ass.into_iter()
+                        .map(|(v, n)| (v, n.0))
+                        .collect::<BTreeSet<_>>()
+                })
                 .collect();
             assert_eq!(as_sets, expected, "mode {:?}", mode);
         }
     }
 
+    /// Random automata occasionally capture a combinatorially exploding answer
+    /// set, and the oracle cross-checks materialize every assignment — so the
+    /// tests below probe with a capped reference enumeration first and skip
+    /// instances too large to check exhaustively.
+    fn answer_count_exceeds(
+        circuit: &treenum_circuits::Circuit,
+        index: &EnumIndex,
+        root: treenum_circuits::BoxId,
+        gamma: &GateSet,
+        cap: usize,
+    ) -> bool {
+        let mut count = 0usize;
+        enumerate_boxed_set(
+            circuit,
+            Some(index),
+            BoxEnumMode::Reference,
+            root,
+            gamma,
+            &mut |_s, _p| {
+                count += 1;
+                if count > cap {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        )
+        .is_break()
+    }
+
+    const MAX_ORACLE_ANSWERS: usize = 5_000;
+
     #[test]
     fn enumeration_matches_circuit_semantics_on_random_instances() {
         let mut tested = 0;
-        for seed in 0..40u64 {
-            let tva = random_tva(2, 2 + (seed % 2) as usize, 1 + (seed % 2) as usize, seed);
+        for seed in 0..60u64 {
+            let num_vars = 1 + (seed % 2) as usize;
+            let tva = random_tva(2, 2 + (seed % 2) as usize, num_vars, seed);
             if tva.num_states() == 0 {
                 continue;
             }
-            let tree = random_binary_tree(8 + (seed % 8) as usize, 2, seed + 1000);
+            // Sizes are kept small: the answer set grows combinatorially in the
+            // number of leaves (sharply so with two free variables), and the
+            // oracle below is exhaustive.
+            let size = if num_vars == 2 {
+                5 + (seed % 3) as usize
+            } else {
+                7 + (seed % 5) as usize
+            };
+            let tree = random_binary_tree(size, 2, seed + 1000);
             let ac = build_assignment_circuit(&tva, &tree);
             let index = EnumIndex::build(&ac.circuit);
             let root = ac.circuit.root();
@@ -300,21 +396,40 @@ mod tests {
             if width == 0 {
                 continue;
             }
-            tested += 1;
             let gamma = GateSet::full(width);
+            if answer_count_exceeds(&ac.circuit, &index, root, &gamma, MAX_ORACLE_ANSWERS) {
+                continue;
+            }
+            tested += 1;
             let expected: HashSet<BTreeSet<(Var, u32)>> =
                 capture_boxed_set(&ac.circuit, root, &(0..width as u32).collect::<Vec<_>>())
                     .into_iter()
                     .collect();
             for mode in [BoxEnumMode::Reference, BoxEnumMode::Indexed] {
                 let mut produced: Vec<OutputAssignment> = Vec::new();
-                let _ = enumerate_boxed_set(&ac.circuit, Some(&index), mode, root, &gamma, &mut |s, _p| {
-                    produced.push(s.clone());
-                    ControlFlow::Continue(())
-                });
-                let as_sets: HashSet<_> = produced.iter().map(|s| to_explicit(s)).collect();
-                assert_eq!(as_sets.len(), produced.len(), "duplicates (seed {seed}, mode {:?})", mode);
-                assert_eq!(as_sets, expected, "wrong answer set (seed {seed}, mode {:?})", mode);
+                let _ = enumerate_boxed_set(
+                    &ac.circuit,
+                    Some(&index),
+                    mode,
+                    root,
+                    &gamma,
+                    &mut |s, _p| {
+                        produced.push(s.clone());
+                        ControlFlow::Continue(())
+                    },
+                );
+                let as_sets: HashSet<_> = produced.iter().map(to_explicit).collect();
+                assert_eq!(
+                    as_sets.len(),
+                    produced.len(),
+                    "duplicates (seed {seed}, mode {:?})",
+                    mode
+                );
+                assert_eq!(
+                    as_sets, expected,
+                    "wrong answer set (seed {seed}, mode {:?})",
+                    mode
+                );
             }
         }
         assert!(tested > 10, "too few random instances were exercised");
@@ -322,9 +437,10 @@ mod tests {
 
     #[test]
     fn provenance_is_correct_on_random_instances() {
-        for seed in [3u64, 11, 17, 23] {
+        let mut tested = 0;
+        for seed in [3u64, 11, 17, 23, 29, 31, 37, 41, 43, 47] {
             let tva = random_tva(2, 3, 1, seed);
-            let tree = random_binary_tree(10, 2, seed + 5);
+            let tree = random_binary_tree(8, 2, seed + 5);
             let ac = build_assignment_circuit(&tva, &tree);
             let index = EnumIndex::build(&ac.circuit);
             let root = ac.circuit.root();
@@ -333,6 +449,19 @@ mod tests {
                 continue;
             }
             let gamma = GateSet::full(width);
+            if answer_count_exceeds(&ac.circuit, &index, root, &gamma, MAX_ORACLE_ANSWERS) {
+                continue;
+            }
+            tested += 1;
+            // Hoist the oracle out of the sink: one set-semantics evaluation per
+            // gate, then constant-time membership checks per produced answer.
+            let per_gate: Vec<HashSet<BTreeSet<(Var, u32)>>> = (0..width)
+                .map(|g| {
+                    capture_boxed_set(&ac.circuit, root, &[g as u32])
+                        .into_iter()
+                        .collect()
+                })
+                .collect();
             let _ = enumerate_boxed_set(
                 &ac.circuit,
                 Some(&index),
@@ -341,12 +470,10 @@ mod tests {
                 &gamma,
                 &mut |s, prov| {
                     let explicit = to_explicit(s);
-                    for g in 0..width {
-                        let captured = capture_boxed_set(&ac.circuit, root, &[g as u32]);
-                        let in_gate = captured.contains(&explicit);
+                    for (g, captured) in per_gate.iter().enumerate() {
                         assert_eq!(
                             prov.contains(g),
-                            in_gate,
+                            captured.contains(&explicit),
                             "provenance wrong for gate {g} (seed {seed})"
                         );
                     }
@@ -354,6 +481,7 @@ mod tests {
                 },
             );
         }
+        assert!(tested >= 2, "too few random instances were exercised");
     }
 
     #[test]

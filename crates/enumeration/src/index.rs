@@ -51,7 +51,12 @@ impl BoxIndex {
     /// preorder-sorted) is the preorder-minimal defined `fbb(g)` slot when all the
     /// values lie on a root-to-leaf chain, and is resolved through the stored lca
     /// closure otherwise.  Returns the closure slot, or `None` when undefined.
-    pub fn fbb_of_set(&self, circuit: &Circuit, this_box: BoxId, gates: impl Iterator<Item = usize>) -> Option<u32> {
+    pub fn fbb_of_set(
+        &self,
+        circuit: &Circuit,
+        this_box: BoxId,
+        gates: impl Iterator<Item = usize>,
+    ) -> Option<u32> {
         let mut boxes: Vec<BoxId> = gates
             .map(|g| self.fbb[g])
             .filter(|&i| i != UNDEFINED)
@@ -67,7 +72,10 @@ impl BoxIndex {
             lca = circuit.lca(lca, b);
         }
         let _ = this_box;
-        self.closure.iter().position(|&b| b == lca).map(|i| i as u32)
+        self.closure
+            .iter()
+            .position(|&b| b == lca)
+            .map(|i| i as u32)
     }
 }
 
@@ -130,15 +138,23 @@ impl EnumIndex {
             for input in &gate.inputs {
                 match *input {
                     UnionInput::Var { .. } | UnionInput::Times { .. } => has_own[gi] = true,
-                    UnionInput::Child { side: Side::Left, gate } => left_targets[gi].push(gate),
-                    UnionInput::Child { side: Side::Right, gate } => right_targets[gi].push(gate),
+                    UnionInput::Child {
+                        side: Side::Left,
+                        gate,
+                    } => left_targets[gi].push(gate),
+                    UnionInput::Child {
+                        side: Side::Right,
+                        gate,
+                    } => right_targets[gi].push(gate),
                 }
             }
         }
 
         let children = circuit.children(b);
-        let left_index = children.map(|(l, _)| self.boxes.get(&l).expect("child index missing").clone());
-        let right_index = children.map(|(_, r)| self.boxes.get(&r).expect("child index missing").clone());
+        let left_index =
+            children.map(|(l, _)| self.boxes.get(&l).expect("child index missing").clone());
+        let right_index =
+            children.map(|(_, r)| self.boxes.get(&r).expect("child index missing").clone());
 
         // fib(g), Equation (3): the box itself if the gate has a non-∪ input, else the
         // preorder-minimal fib over its ∪-inputs.  All left-subtree boxes precede all
@@ -149,12 +165,24 @@ impl EnumIndex {
             if has_own[gi] {
                 fib_box[gi] = Some(b);
             } else if !left_targets[gi].is_empty() {
-                let li = left_index.as_ref().expect("left child wires without a left child");
-                let slot = left_targets[gi].iter().map(|&g| li.fib[g as usize]).min().unwrap();
+                let li = left_index
+                    .as_ref()
+                    .expect("left child wires without a left child");
+                let slot = left_targets[gi]
+                    .iter()
+                    .map(|&g| li.fib[g as usize])
+                    .min()
+                    .unwrap();
                 fib_box[gi] = Some(li.closure[slot as usize]);
             } else if !right_targets[gi].is_empty() {
-                let ri = right_index.as_ref().expect("right child wires without a right child");
-                let slot = right_targets[gi].iter().map(|&g| ri.fib[g as usize]).min().unwrap();
+                let ri = right_index
+                    .as_ref()
+                    .expect("right child wires without a right child");
+                let slot = right_targets[gi]
+                    .iter()
+                    .map(|&g| ri.fib[g as usize])
+                    .min()
+                    .unwrap();
                 fib_box[gi] = Some(ri.closure[slot as usize]);
             }
             // fbb(g), Equation (4): the box itself if the gate has wires into both
@@ -198,13 +226,21 @@ impl EnumIndex {
         let slot_of = |target: Option<BoxId>| -> u32 {
             match target {
                 None => UNDEFINED,
-                Some(t) => closure.iter().position(|&c| c == t).expect("closure misses a target") as u32,
+                Some(t) => closure
+                    .iter()
+                    .position(|&c| c == t)
+                    .expect("closure misses a target") as u32,
             }
         };
         let fib: Vec<u32> = fib_box.iter().map(|&t| slot_of(t)).collect();
         let fbb: Vec<u32> = fbb_box.iter().map(|&t| slot_of(t)).collect();
 
-        let entry = BoxIndex { closure, rel, fib, fbb };
+        let entry = BoxIndex {
+            closure,
+            rel,
+            fib,
+            fbb,
+        };
         let stored = entry.rel.len();
         self.boxes.insert(b, entry);
         stored
@@ -295,7 +331,10 @@ mod tests {
             assert!(bi.fib.iter().all(|&f| f != UNDEFINED));
             // The closure is preorder-sorted.
             for w in bi.closure.windows(2) {
-                assert_eq!(ac.circuit.preorder_cmp(w[0], w[1]), std::cmp::Ordering::Less);
+                assert_eq!(
+                    ac.circuit.preorder_cmp(w[0], w[1]),
+                    std::cmp::Ordering::Less
+                );
             }
         }
     }
@@ -308,7 +347,11 @@ mod tests {
             let bi = index.of(b);
             for (i, &d) in bi.closure.iter().enumerate() {
                 let expected = relation_by_walking(&ac.circuit, b, d);
-                assert_eq!(bi.rel[i], expected, "relation mismatch for {:?} -> {:?}", d, b);
+                assert_eq!(
+                    bi.rel[i], expected,
+                    "relation mismatch for {:?} -> {:?}",
+                    d, b
+                );
             }
         }
     }

@@ -36,7 +36,10 @@ impl AssignmentIter {
             };
             producer(&mut sink);
         });
-        AssignmentIter { receiver: Some(rx), handle: Some(handle) }
+        AssignmentIter {
+            receiver: Some(rx),
+            handle: Some(handle),
+        }
     }
 }
 

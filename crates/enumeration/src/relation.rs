@@ -7,7 +7,7 @@
 //! is the practical analogue.
 
 use crate::bitset::GateSet;
-use treenum_circuits::{Circuit, BoxId, Side, UnionInput};
+use treenum_circuits::{BoxId, Circuit, Side, UnionInput};
 
 /// A boolean matrix relating `rows` source gates (a descendant box, or Γ itself) to
 /// `cols` target gates (an ancestor box, or the boxed set Γ).
@@ -23,7 +23,11 @@ pub struct Relation {
 impl Relation {
     /// The empty (all-zero) relation.
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Relation { rows, cols, bits: vec![GateSet::empty(cols); rows] }
+        Relation {
+            rows,
+            cols,
+            bits: vec![GateSet::empty(cols); rows],
+        }
     }
 
     /// The identity relation on `n` gates.
@@ -36,7 +40,11 @@ impl Relation {
     }
 
     /// Builds a relation from `(source, target)` pairs.
-    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(rows: usize, cols: usize, pairs: I) -> Self {
+    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(
+        rows: usize,
+        cols: usize,
+        pairs: I,
+    ) -> Self {
         let mut r = Self::zero(rows, cols);
         for (i, j) in pairs {
             r.set(i, j);
@@ -79,7 +87,10 @@ impl Relation {
     /// The projection to the first component: the source gates related to at least one
     /// target gate (`π₁(R)` in the paper).
     pub fn project_sources(&self) -> GateSet {
-        GateSet::from_indices(self.rows, (0..self.rows).filter(|&i| !self.bits[i].is_empty()))
+        GateSet::from_indices(
+            self.rows,
+            (0..self.rows).filter(|&i| !self.bits[i].is_empty()),
+        )
     }
 
     /// The projection to the second component: the target gates related to at least
@@ -209,7 +220,10 @@ mod tests {
     fn projections_and_image() {
         let r = Relation::from_pairs(3, 3, [(0, 1), (0, 2), (2, 0)]);
         assert_eq!(r.project_sources().iter().collect::<Vec<_>>(), vec![0, 2]);
-        assert_eq!(r.project_targets().iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            r.project_targets().iter().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         let img = r.image_of(&GateSet::from_indices(3, [0]));
         assert_eq!(img.iter().collect::<Vec<_>>(), vec![1, 2]);
     }

@@ -10,7 +10,11 @@ use treenum_circuits::{BoxId, Circuit, Side, StateGate, UnionInput};
 
 /// Enumerates (by collecting) the assignments captured by ∪-gate `gate` of box `b`,
 /// *with duplicates*, following Algorithm 1.
-pub fn enumerate_union_with_duplicates(circuit: &Circuit, b: BoxId, gate: u32) -> Vec<OutputAssignment> {
+pub fn enumerate_union_with_duplicates(
+    circuit: &Circuit,
+    b: BoxId,
+    gate: u32,
+) -> Vec<OutputAssignment> {
     let mut out = Vec::new();
     let g = &circuit.union_gates(b)[gate as usize];
     for input in &g.inputs {
@@ -43,7 +47,11 @@ pub fn enumerate_union_with_duplicates(circuit: &Circuit, b: BoxId, gate: u32) -
 
 /// Enumerates (with duplicates) the assignments captured by the gate `γ(b, q)` of a
 /// state, including the `⊤` / `⊥` cases.
-pub fn enumerate_state_with_duplicates(circuit: &Circuit, b: BoxId, gamma_entry: StateGate) -> Vec<OutputAssignment> {
+pub fn enumerate_state_with_duplicates(
+    circuit: &Circuit,
+    b: BoxId,
+    gamma_entry: StateGate,
+) -> Vec<OutputAssignment> {
     match gamma_entry {
         StateGate::Bot => Vec::new(),
         StateGate::Top => vec![Vec::new()],
@@ -68,7 +76,9 @@ mod tests {
     use treenum_trees::Alphabet;
 
     fn to_set(s: &OutputAssignment) -> BTreeSet<(Var, u32)> {
-        s.iter().flat_map(|&(vs, t)| vs.iter().map(move |v| (v, t))).collect()
+        s.iter()
+            .flat_map(|&(vs, t)| vs.iter().map(move |v| (v, t)))
+            .collect()
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub struct NaiveMarkedAncestor {
 impl NaiveMarkedAncestor {
     /// Wraps a tree with no node marked.
     pub fn new(tree: UnrankedTree) -> Self {
-        NaiveMarkedAncestor { tree, marked: HashSet::new() }
+        NaiveMarkedAncestor {
+            tree,
+            marked: HashSet::new(),
+        }
     }
 
     /// Marks `node`.
@@ -120,23 +123,39 @@ impl EnumerationMarkedAncestor {
     /// Marks `node` (one relabeling update on the enumeration structure).
     pub fn mark(&mut self, node: NodeId) {
         self.is_marked.insert(node);
-        self.engine.apply(&EditOp::Relabel { node, label: self.marked });
+        self.engine.apply(&EditOp::Relabel {
+            node,
+            label: self.marked,
+        });
     }
 
     /// Unmarks `node` (one relabeling update).
     pub fn unmark(&mut self, node: NodeId) {
         self.is_marked.remove(&node);
-        self.engine.apply(&EditOp::Relabel { node, label: self.unmarked });
+        self.engine.apply(&EditOp::Relabel {
+            node,
+            label: self.unmarked,
+        });
     }
 
     /// Existential marked-ancestor query via the Theorem 9.2 probe:
     /// relabel `node` to `special`, ask for the first answer of the enumeration,
     /// relabel back.  Exactly two updates plus one delay-bounded enumeration step.
     pub fn has_marked_ancestor(&mut self, node: NodeId) -> bool {
-        self.engine.apply(&EditOp::Relabel { node, label: self.special });
+        self.engine.apply(&EditOp::Relabel {
+            node,
+            label: self.special,
+        });
         let answer = !self.engine.first_k(1).is_empty();
-        let restore = if self.is_marked.contains(&node) { self.marked } else { self.unmarked };
-        self.engine.apply(&EditOp::Relabel { node, label: restore });
+        let restore = if self.is_marked.contains(&node) {
+            self.marked
+        } else {
+            self.unmarked
+        };
+        self.engine.apply(&EditOp::Relabel {
+            node,
+            label: restore,
+        });
         answer
     }
 

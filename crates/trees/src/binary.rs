@@ -46,7 +46,11 @@ impl BinaryTree {
     /// Creates a binary tree consisting of a single leaf.
     pub fn leaf(label: Label) -> Self {
         BinaryTree {
-            nodes: vec![BNode { label, parent: None, children: None }],
+            nodes: vec![BNode {
+                label,
+                parent: None,
+                children: None,
+            }],
             root: BinaryNodeId(0),
         }
     }
@@ -109,7 +113,11 @@ impl BinaryTree {
 
     /// Adds a fresh leaf (detached; becomes part of the tree once used as a child).
     pub fn add_leaf(&mut self, label: Label) -> BinaryNodeId {
-        self.nodes.push(BNode { label, parent: None, children: None });
+        self.nodes.push(BNode {
+            label,
+            parent: None,
+            children: None,
+        });
         BinaryNodeId(self.nodes.len() as u32 - 1)
     }
 
@@ -117,9 +125,20 @@ impl BinaryTree {
     ///
     /// # Panics
     /// Panics if either child already has a parent.
-    pub fn add_internal(&mut self, label: Label, left: BinaryNodeId, right: BinaryNodeId) -> BinaryNodeId {
-        assert!(self.nodes[left.index()].parent.is_none(), "left child already attached");
-        assert!(self.nodes[right.index()].parent.is_none(), "right child already attached");
+    pub fn add_internal(
+        &mut self,
+        label: Label,
+        left: BinaryNodeId,
+        right: BinaryNodeId,
+    ) -> BinaryNodeId {
+        assert!(
+            self.nodes[left.index()].parent.is_none(),
+            "left child already attached"
+        );
+        assert!(
+            self.nodes[right.index()].parent.is_none(),
+            "right child already attached"
+        );
         self.nodes.push(BNode {
             label,
             parent: None,
@@ -136,7 +155,10 @@ impl BinaryTree {
     /// # Panics
     /// Panics if `n` has a parent.
     pub fn set_root(&mut self, n: BinaryNodeId) {
-        assert!(self.nodes[n.index()].parent.is_none(), "the root cannot have a parent");
+        assert!(
+            self.nodes[n.index()].parent.is_none(),
+            "the root cannot have a parent"
+        );
         self.root = n;
     }
 
@@ -172,7 +194,10 @@ impl BinaryTree {
 
     /// Leaves of the tree in left-to-right order.
     pub fn leaves(&self) -> Vec<BinaryNodeId> {
-        self.preorder().into_iter().filter(|&n| self.is_leaf(n)).collect()
+        self.preorder()
+            .into_iter()
+            .filter(|&n| self.is_leaf(n))
+            .collect()
     }
 
     /// Number of nodes reachable from the root (should equal `len()` when all nodes
@@ -194,7 +219,11 @@ impl BinaryTree {
 
     /// Height of the tree (a single leaf has height 0).
     pub fn height(&self) -> usize {
-        self.preorder().iter().map(|&n| self.depth(n)).max().unwrap_or(0)
+        self.preorder()
+            .iter()
+            .map(|&n| self.depth(n))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Size of the subtree rooted at `n`.
@@ -264,12 +293,18 @@ impl LeafMap {
 
     /// The unranked node encoded by `leaf`, if any.
     pub fn to_unranked(&self, leaf: BinaryNodeId) -> Option<NodeId> {
-        self.entries.iter().find(|(l, _)| *l == leaf).map(|&(_, n)| n)
+        self.entries
+            .iter()
+            .find(|(l, _)| *l == leaf)
+            .map(|&(_, n)| n)
     }
 
     /// The binary leaf encoding `node`, if any.
     pub fn to_binary(&self, node: NodeId) -> Option<BinaryNodeId> {
-        self.entries.iter().find(|(_, n)| *n == node).map(|&(l, _)| l)
+        self.entries
+            .iter()
+            .find(|(_, n)| *n == node)
+            .map(|&(l, _)| l)
     }
 
     /// Iterates over all `(leaf, node)` pairs.
@@ -303,7 +338,10 @@ impl LeafMap {
 /// This encoding is **unbalanced** (its height is linear in the worst case) and is
 /// used by the `unbalanced` baseline to demonstrate why the forest-algebra balancing
 /// of Section 7 matters.
-pub fn left_child_right_sibling(tree: &UnrankedTree, nil_label: Label) -> (BinaryTree, Vec<(BinaryNodeId, NodeId)>) {
+pub fn left_child_right_sibling(
+    tree: &UnrankedTree,
+    nil_label: Label,
+) -> (BinaryTree, Vec<(BinaryNodeId, NodeId)>) {
     // We build bottom-up: encode(n) returns the binary node encoding the forest of
     // `n` and its following siblings.
     let mut out = BinaryTree::leaf(nil_label);
@@ -358,7 +396,10 @@ mod tests {
         assert_eq!(t.leaves(), vec![l1, l2, l3]);
         assert_eq!(t.preorder(), vec![root, i1, l1, l2, l3]);
         assert_eq!(t.postorder(), vec![l1, l2, i1, l3, root]);
-        assert_eq!(t.to_term_string(|l| sigma.name(l).to_owned()), "f(f(a,b),a)");
+        assert_eq!(
+            t.to_term_string(|l| sigma.name(l).to_owned()),
+            "f(f(a,b),a)"
+        );
     }
 
     #[test]
@@ -374,7 +415,8 @@ mod tests {
         }
         t.set_root(current);
         let post = t.postorder();
-        let pos: std::collections::HashMap<_, _> = post.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: std::collections::HashMap<_, _> =
+            post.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for n in t.preorder() {
             if let Some((l, r)) = t.children(n) {
                 assert!(pos[&l] < pos[&n]);

@@ -47,8 +47,16 @@ mod tests {
     fn structural_classification() {
         let n = NodeId(0);
         let l = Label(0);
-        assert!(EditOp::InsertFirstChild { parent: n, label: l }.is_structural());
-        assert!(EditOp::InsertRightSibling { sibling: n, label: l }.is_structural());
+        assert!(EditOp::InsertFirstChild {
+            parent: n,
+            label: l
+        }
+        .is_structural());
+        assert!(EditOp::InsertRightSibling {
+            sibling: n,
+            label: l
+        }
+        .is_structural());
         assert!(EditOp::DeleteLeaf { node: n }.is_structural());
         assert!(!EditOp::Relabel { node: n, label: l }.is_structural());
     }
@@ -58,7 +66,11 @@ mod tests {
         let n = NodeId(7);
         assert_eq!(EditOp::DeleteLeaf { node: n }.anchor(), n);
         assert_eq!(
-            EditOp::InsertFirstChild { parent: n, label: Label(1) }.anchor(),
+            EditOp::InsertFirstChild {
+                parent: n,
+                label: Label(1)
+            }
+            .anchor(),
             n
         );
     }

@@ -31,7 +31,12 @@ pub enum TreeShape {
 /// let t = random_tree(&mut sigma, 100, TreeShape::Random, 42);
 /// assert_eq!(t.len(), 100);
 /// ```
-pub fn random_tree(alphabet: &mut Alphabet, size: usize, shape: TreeShape, seed: u64) -> UnrankedTree {
+pub fn random_tree(
+    alphabet: &mut Alphabet,
+    size: usize,
+    shape: TreeShape,
+    seed: u64,
+) -> UnrankedTree {
     assert!(size >= 1);
     if alphabet.is_empty() {
         alphabet.intern("a");
@@ -146,15 +151,24 @@ impl EditStream {
         if x < wi {
             // Choose between first-child and right-sibling insertion.
             if any_node != tree.root() && self.rng.gen_bool(0.5) {
-                EditOp::InsertRightSibling { sibling: any_node, label }
+                EditOp::InsertRightSibling {
+                    sibling: any_node,
+                    label,
+                }
             } else {
-                EditOp::InsertFirstChild { parent: any_node, label }
+                EditOp::InsertFirstChild {
+                    parent: any_node,
+                    label,
+                }
             }
         } else if can_delete && x < wi + wd {
             let node = leaves[self.rng.gen_range(0..leaves.len())];
             EditOp::DeleteLeaf { node }
         } else {
-            EditOp::Relabel { node: any_node, label }
+            EditOp::Relabel {
+                node: any_node,
+                label,
+            }
         }
     }
 }
@@ -167,7 +181,9 @@ pub fn random_word(alphabet: &mut Alphabet, len: usize, seed: u64) -> Vec<Label>
     }
     let labels: Vec<Label> = alphabet.labels().collect();
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| labels[rng.gen_range(0..labels.len())]).collect()
+    (0..len)
+        .map(|_| labels[rng.gen_range(0..labels.len())])
+        .collect()
 }
 
 #[cfg(test)]
@@ -177,7 +193,12 @@ mod tests {
     #[test]
     fn random_tree_has_requested_size() {
         let mut sigma = Alphabet::from_names(["a", "b"]);
-        for &shape in &[TreeShape::Random, TreeShape::Deep, TreeShape::Wide, TreeShape::Balanced { arity: 3 }] {
+        for &shape in &[
+            TreeShape::Random,
+            TreeShape::Deep,
+            TreeShape::Wide,
+            TreeShape::Balanced { arity: 3 },
+        ] {
             let t = random_tree(&mut sigma, 57, shape, 7);
             assert_eq!(t.len(), 57, "shape {:?}", shape);
         }
@@ -214,7 +235,7 @@ mod tests {
                 _ => assert_eq!(tree.len(), before + 1),
             }
         }
-        assert!(tree.len() >= 1);
+        assert!(!tree.is_empty());
     }
 
     #[test]

@@ -195,7 +195,10 @@ impl UnrankedTree {
 
     /// Leaves of the tree, in preorder.
     pub fn leaves(&self) -> Vec<NodeId> {
-        self.preorder().into_iter().filter(|&n| self.is_leaf(n)).collect()
+        self.preorder()
+            .into_iter()
+            .filter(|&n| self.is_leaf(n))
+            .collect()
     }
 
     /// Depth of `n` (root has depth 0).
@@ -211,7 +214,11 @@ impl UnrankedTree {
 
     /// Height of the tree (a single node has height 0).
     pub fn height(&self) -> usize {
-        self.preorder().iter().map(|&n| self.depth(n)).max().unwrap_or(0)
+        self.preorder()
+            .iter()
+            .map(|&n| self.depth(n))
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` iff `ancestor` is an ancestor of `n` (a node is an ancestor of itself).
@@ -333,8 +340,12 @@ impl UnrankedTree {
     /// Applies an [`EditOp`], returning the identifier of the inserted node if any.
     pub fn apply(&mut self, op: &EditOp) -> Option<NodeId> {
         match *op {
-            EditOp::InsertFirstChild { parent, label } => Some(self.insert_first_child(parent, label)),
-            EditOp::InsertRightSibling { sibling, label } => Some(self.insert_right_sibling(sibling, label)),
+            EditOp::InsertFirstChild { parent, label } => {
+                Some(self.insert_first_child(parent, label))
+            }
+            EditOp::InsertRightSibling { sibling, label } => {
+                Some(self.insert_right_sibling(sibling, label))
+            }
             EditOp::DeleteLeaf { node } => {
                 self.delete_leaf(node);
                 None
@@ -545,10 +556,16 @@ mod tests {
         let c = sigma.get("c").unwrap();
         let r = t.root();
         let n1 = t
-            .apply(&EditOp::InsertFirstChild { parent: r, label: b })
+            .apply(&EditOp::InsertFirstChild {
+                parent: r,
+                label: b,
+            })
             .unwrap();
         let n2 = t
-            .apply(&EditOp::InsertRightSibling { sibling: n1, label: c })
+            .apply(&EditOp::InsertRightSibling {
+                sibling: n1,
+                label: c,
+            })
             .unwrap();
         t.apply(&EditOp::Relabel { node: n2, label: b });
         assert_eq!(t.label(n2), b);

@@ -204,7 +204,9 @@ pub struct Assignment {
 impl Assignment {
     /// The empty assignment (corresponding to the empty valuation).
     pub fn empty() -> Self {
-        Assignment { singletons: Vec::new() }
+        Assignment {
+            singletons: Vec::new(),
+        }
     }
 
     /// Builds an assignment from an arbitrary iterator of singletons
@@ -233,12 +235,21 @@ impl Assignment {
 
     /// Union of two assignments.
     pub fn union(&self, other: &Assignment) -> Assignment {
-        Assignment::from_singletons(self.singletons.iter().chain(other.singletons.iter()).copied())
+        Assignment::from_singletons(
+            self.singletons
+                .iter()
+                .chain(other.singletons.iter())
+                .copied(),
+        )
     }
 
     /// Returns the nodes bound to `var`, in increasing node order.
     pub fn nodes_of(&self, var: Var) -> Vec<NodeId> {
-        self.singletons.iter().filter(|s| s.var == var).map(|s| s.node).collect()
+        self.singletons
+            .iter()
+            .filter(|s| s.var == var)
+            .map(|s| s.node)
+            .collect()
     }
 
     /// If every variable in `vars` is bound to exactly one node, returns the tuple of
@@ -281,7 +292,9 @@ pub struct Valuation {
 impl Valuation {
     /// The empty valuation `ν_∅`.
     pub fn empty() -> Self {
-        Valuation { entries: Vec::new() }
+        Valuation {
+            entries: Vec::new(),
+        }
     }
 
     /// Builds a valuation from `(node, varset)` pairs; later pairs for the same node

@@ -9,7 +9,7 @@ use treenum::core::words::{WordEdit, WordEnumerator};
 use treenum::trees::generate::random_word;
 use treenum::trees::{Alphabet, Label, Var};
 
-fn main() {
+pub fn main() {
     let mut sigma = Alphabet::from_names(["a", "b", "c"]);
     let a = Label(0);
 

@@ -8,7 +8,7 @@ use treenum::lowerbound::{EnumerationMarkedAncestor, NaiveMarkedAncestor};
 use treenum::trees::generate::{random_tree, TreeShape};
 use treenum::trees::Alphabet;
 
-fn main() {
+pub fn main() {
     let mut sigma = Alphabet::from_names(["u", "m", "s"]);
     let shape = random_tree(&mut sigma, 1000, TreeShape::Deep, 99);
 

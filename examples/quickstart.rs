@@ -8,7 +8,7 @@ use treenum::automata::queries;
 use treenum::core::TreeEnumerator;
 use treenum::trees::{Alphabet, EditOp, UnrankedTree, Var};
 
-fn main() {
+pub fn main() {
     // A small document tree: catalog(book(title, author), book(title)).
     let mut sigma = Alphabet::from_names(["catalog", "book", "title", "author"]);
     let catalog = sigma.intern("catalog");
@@ -36,9 +36,15 @@ fn main() {
 
     // Logarithmic-time update: add a third book with a title, then re-enumerate.
     let b3 = engine
-        .apply(&EditOp::InsertRightSibling { sibling: b2, label: book })
+        .apply(&EditOp::InsertRightSibling {
+            sibling: b2,
+            label: book,
+        })
         .expect("insertion yields a node");
-    engine.apply(&EditOp::InsertFirstChild { parent: b3, label: title });
+    engine.apply(&EditOp::InsertFirstChild {
+        parent: b3,
+        label: title,
+    });
     println!("titles after inserting a book: {}", engine.count());
 
     let stats = engine.stats();

@@ -11,7 +11,7 @@ use treenum::core::TreeEnumerator;
 use treenum::trees::generate::{random_tree, TreeShape};
 use treenum::trees::{Alphabet, EditOp, Var};
 
-fn main() {
+pub fn main() {
     let mut sigma = Alphabet::from_names(["doc", "section", "figure", "para"]);
     let section = sigma.get("section").unwrap();
     let figure = sigma.get("figure").unwrap();
@@ -44,7 +44,10 @@ fn main() {
         .into_iter()
         .find(|&n| engine.tree().label(n) == section);
     if let Some(s) = some_section {
-        engine.apply(&EditOp::InsertFirstChild { parent: s, label: figure });
+        engine.apply(&EditOp::InsertFirstChild {
+            parent: s,
+            label: figure,
+        });
         println!("pairs after inserting one figure: {}", engine.count());
     }
 

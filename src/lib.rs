@@ -4,7 +4,8 @@
 //! implementation of *"Enumeration on Trees with Tractable Combined Complexity and
 //! Efficient Updates"* (Amarilli, Bourhis, Mengel, Niewerth — PODS 2019).
 //!
-//! See the README for a guided tour and `DESIGN.md` for the system inventory.
+//! See `README.md` for a guided tour and crate map, and `EXPERIMENTS.md` for the
+//! benchmark catalogue (E1–E6).
 
 pub use treenum_automata as automata;
 pub use treenum_balance as balance;

@@ -30,15 +30,38 @@ fn all_query_families_match_the_oracle_on_all_shapes() {
     let m = sigma.get("m").unwrap();
     let s = sigma.get("s").unwrap();
     let queries: Vec<(&str, StepwiseTva)> = vec![
-        ("select_label", queries::select_label(sigma.len(), b, Var(0))),
+        (
+            "select_label",
+            queries::select_label(sigma.len(), b, Var(0)),
+        ),
         ("exists_label", queries::exists_label(sigma.len(), m)),
-        ("marked_ancestor", queries::marked_ancestor(sigma.len(), m, s, Var(0))),
-        ("ancestor_descendant", queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1))),
-        ("has_child", queries::has_child_with_label(sigma.len(), b, Var(0))),
-        ("kth_child_from_end", queries::kth_child_from_end(sigma.len(), 2, a, Var(0))),
-        ("leaf_pairs", queries::distinct_leaf_pairs(sigma.len(), Var(0), Var(1))),
+        (
+            "marked_ancestor",
+            queries::marked_ancestor(sigma.len(), m, s, Var(0)),
+        ),
+        (
+            "ancestor_descendant",
+            queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1)),
+        ),
+        (
+            "has_child",
+            queries::has_child_with_label(sigma.len(), b, Var(0)),
+        ),
+        (
+            "kth_child_from_end",
+            queries::kth_child_from_end(sigma.len(), 2, a, Var(0)),
+        ),
+        (
+            "leaf_pairs",
+            queries::distinct_leaf_pairs(sigma.len(), Var(0), Var(1)),
+        ),
     ];
-    for shape in [TreeShape::Random, TreeShape::Deep, TreeShape::Wide, TreeShape::Balanced { arity: 3 }] {
+    for shape in [
+        TreeShape::Random,
+        TreeShape::Deep,
+        TreeShape::Wide,
+        TreeShape::Balanced { arity: 3 },
+    ] {
         let mut sigma2 = sigma.clone();
         let tree = random_tree(&mut sigma2, 14, shape, 5);
         for (name, q) in &queries {
@@ -94,7 +117,10 @@ fn growing_and_shrinking_a_tree_through_updates_only() {
     // Grow a comb of 100 b-nodes.
     let mut frontier = engine.tree().root();
     for i in 0..100 {
-        let op = treenum::trees::EditOp::InsertFirstChild { parent: frontier, label: b };
+        let op = treenum::trees::EditOp::InsertFirstChild {
+            parent: frontier,
+            label: b,
+        };
         let inserted = engine.apply(&op).unwrap();
         if i % 2 == 0 {
             frontier = inserted;

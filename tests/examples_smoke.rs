@@ -1,0 +1,39 @@
+//! Smoke tests that compile and run the four `examples/` programs, so examples
+//! can never silently rot.
+//!
+//! Each example is included as a module via `#[path]` and its `main` invoked
+//! directly — the examples only use the public `treenum` API, print to stdout and
+//! assert internally, so "runs to completion" is exactly the guarantee we want.
+//! CI additionally runs them as real `cargo run --release --example` invocations.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../examples/xml_hierarchy.rs"]
+mod xml_hierarchy;
+
+#[path = "../examples/log_spanner.rs"]
+mod log_spanner;
+
+#[path = "../examples/marked_ancestor.rs"]
+mod marked_ancestor;
+
+#[test]
+fn quickstart_runs() {
+    quickstart::main();
+}
+
+#[test]
+fn xml_hierarchy_runs() {
+    xml_hierarchy::main();
+}
+
+#[test]
+fn log_spanner_runs() {
+    log_spanner::main();
+}
+
+#[test]
+fn marked_ancestor_runs() {
+    marked_ancestor::main();
+}

@@ -19,9 +19,17 @@ fn spanner_matches_stay_correct_under_random_edits() {
     for step in 0..60 {
         let len = engine.len();
         let edit = match rng.gen_range(0..3) {
-            0 => WordEdit::Insert { at: rng.gen_range(0..=len), letter: Label(rng.gen_range(0..3)) },
-            1 if len > 1 => WordEdit::Delete { at: rng.gen_range(0..len) },
-            _ => WordEdit::Replace { at: rng.gen_range(0..len), letter: Label(rng.gen_range(0..3)) },
+            0 => WordEdit::Insert {
+                at: rng.gen_range(0..=len),
+                letter: Label(rng.gen_range(0..3)),
+            },
+            1 if len > 1 => WordEdit::Delete {
+                at: rng.gen_range(0..len),
+            },
+            _ => WordEdit::Replace {
+                at: rng.gen_range(0..len),
+                letter: Label(rng.gen_range(0..3)),
+            },
         };
         engine.apply(edit);
         let produced: HashSet<_> = engine.matches().into_iter().collect();

@@ -1,0 +1,96 @@
+//! Offline drop-in subset of the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! channel API, backed by `std::sync::mpsc`.
+//!
+//! The workspace only uses `crossbeam::channel::{bounded, Sender, Receiver}` with
+//! the semantics "send blocks while the buffer is full; send/recv error out once
+//! the other side is dropped" — exactly what `std::sync::mpsc::sync_channel`
+//! provides, so the wrapper is a thin rename.
+
+pub mod channel {
+    //! Bounded MPMC-style channels (subset: bounded SPSC over `std::sync::mpsc`).
+
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; carries the
+    /// unsent value like crossbeam's.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and all
+    /// senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates a bounded channel of the given capacity (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is accepted or the receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` if the channel is currently empty or closed.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn values_cross_threads_in_order() {
+        let (tx, rx) = bounded::<u32>(1);
+        let handle = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        handle.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_fails_after_sender_drops() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().ok(), Some(9));
+        assert!(rx.recv().is_err());
+    }
+}
