@@ -32,7 +32,7 @@ pub enum StateKind {
 }
 
 /// A tree variable automaton on binary trees.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BinaryTva {
     num_states: usize,
     /// Universe of query variables.

@@ -8,9 +8,94 @@
 
 use crate::State;
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 use treenum_trees::unranked::{NodeId, UnrankedTree};
 use treenum_trees::valuation::{subsets, Assignment, Singleton, Valuation, VarSet};
 use treenum_trees::Label;
+
+/// Precomputed lookup tables over `δ` and `ι` (built once per automaton by
+/// [`StepwiseTva::delta_index`], invalidated by any mutation).
+///
+/// The translation of Lemma 7.4 and the simulation oracles used to scan the
+/// full `transitions()` list at every step; these buckets replace those linear
+/// scans with direct indexing:
+///
+/// * per-*child* buckets `(q, q'')` for each `q'` — "which transitions consume a
+///   child in state `q'`";
+/// * per-`(q, q')` buckets — "which horizontal states follow `q` after a child
+///   in state `q'`";
+/// * per-`(label, Y)` initial buckets — `ι(label, Y)` without filtering.
+///
+/// (The binary automaton needs no analogue: [`crate::BinaryTva`] already stores
+/// `ι` and `δ` bucketed per label, which is what `circuits::build` consumes.)
+#[derive(Clone, Debug, Default)]
+pub struct StepwiseDeltaIndex {
+    num_states: usize,
+    /// `by_child[q'.index()] = [(q, q''), …]` for every `(q, q', q'') ∈ δ`.
+    by_child: Vec<Vec<(State, State)>>,
+    /// `by_pair[q.index() * n + q'.index()] = [q'', …]`.
+    by_pair: Vec<Vec<State>>,
+    /// `initial[label] = sorted [(Y, [q, …]), …]`, binary-searched by `Y`.
+    initial: Vec<Vec<(VarSet, Vec<State>)>>,
+}
+
+impl StepwiseDeltaIndex {
+    fn build(tva: &StepwiseTva) -> Self {
+        let n = tva.num_states;
+        let mut by_child: Vec<Vec<(State, State)>> = vec![Vec::new(); n];
+        let mut by_pair: Vec<Vec<State>> = vec![Vec::new(); n * n];
+        for &(q, child, next) in &tva.delta {
+            debug_assert!(q.index() < n && child.index() < n && next.index() < n);
+            by_child[child.index()].push((q, next));
+            by_pair[q.index() * n + child.index()].push(next);
+        }
+        let initial: Vec<Vec<(VarSet, Vec<State>)>> = tva
+            .initial
+            .iter()
+            .map(|entries| {
+                let mut buckets: Vec<(VarSet, Vec<State>)> = Vec::new();
+                for &(y, q) in entries {
+                    match buckets.binary_search_by_key(&y, |&(b, _)| b) {
+                        Ok(i) => buckets[i].1.push(q),
+                        Err(i) => buckets.insert(i, (y, vec![q])),
+                    }
+                }
+                buckets
+            })
+            .collect();
+        StepwiseDeltaIndex {
+            num_states: n,
+            by_child,
+            by_pair,
+            initial,
+        }
+    }
+
+    /// Transitions `(q, q'')` consuming a child in state `child`.
+    #[inline]
+    pub fn by_child(&self, child: State) -> &[(State, State)] {
+        &self.by_child[child.index()]
+    }
+
+    /// Horizontal successors of `q` after consuming a child in state `child`.
+    #[inline]
+    pub fn successors(&self, q: State, child: State) -> &[State] {
+        &self.by_pair[q.index() * self.num_states + child.index()]
+    }
+
+    /// The states of `ι(label, varset)`.
+    pub fn initial_states(&self, label: Label, varset: VarSet) -> &[State] {
+        self.initial
+            .get(label.index())
+            .and_then(|buckets| {
+                buckets
+                    .binary_search_by_key(&varset, |&(y, _)| y)
+                    .ok()
+                    .map(|i| buckets[i].1.as_slice())
+            })
+            .unwrap_or(&[])
+    }
+}
 
 /// A tree variable automaton on unranked trees in the stepwise style.
 #[derive(Clone, Debug, Default)]
@@ -24,6 +109,8 @@ pub struct StepwiseTva {
     /// move to horizontal state `q''`.
     delta: Vec<(State, State, State)>,
     final_states: Vec<State>,
+    /// Lazily-built lookup tables; reset by every mutation.
+    index: OnceLock<StepwiseDeltaIndex>,
 }
 
 impl StepwiseTva {
@@ -37,7 +124,14 @@ impl StepwiseTva {
             initial: vec![Vec::new(); alphabet_len],
             delta: Vec::new(),
             final_states: Vec::new(),
+            index: OnceLock::new(),
         }
+    }
+
+    /// The precomputed `δ`/`ι` lookup tables, built on first use and shared by
+    /// all subsequent reads.  Any mutation of the automaton invalidates them.
+    pub fn delta_index(&self) -> &StepwiseDeltaIndex {
+        self.index.get_or_init(|| StepwiseDeltaIndex::build(self))
     }
 
     /// Number of states `|Q|`.
@@ -59,6 +153,7 @@ impl StepwiseTva {
     pub fn add_state(&mut self) -> State {
         let s = State(self.num_states as u32);
         self.num_states += 1;
+        self.index = OnceLock::new();
         s
     }
 
@@ -73,11 +168,13 @@ impl StepwiseTva {
             self.alphabet_len = self.initial.len();
         }
         self.initial[label.index()].push((varset, state));
+        self.index = OnceLock::new();
     }
 
     /// Adds the horizontal transition `(q, q', q'')`.
     pub fn add_transition(&mut self, q: State, child: State, next: State) {
         self.delta.push((q, child, next));
+        self.index = OnceLock::new();
     }
 
     /// Declares `state` final.
@@ -105,13 +202,10 @@ impl StepwiseTva {
             .unwrap_or(&[])
     }
 
-    /// Initial states for `(label, varset)`.
+    /// Initial states for `(label, varset)`, served from the per-`(label, Y)`
+    /// buckets of [`StepwiseTva::delta_index`].
     pub fn initial_states(&self, label: Label, varset: VarSet) -> Vec<State> {
-        self.initial_for(label)
-            .iter()
-            .filter(|&&(y, _)| y == varset)
-            .map(|&(_, q)| q)
-            .collect()
+        self.delta_index().initial_states(label, varset).to_vec()
     }
 
     /// Size `|A| = |Q| + |ι| + |δ|`.
@@ -137,10 +231,13 @@ impl StepwiseTva {
     }
 
     fn delta_step(&self, current: &HashSet<State>, child: &HashSet<State>) -> HashSet<State> {
+        let index = self.delta_index();
         let mut out = HashSet::new();
-        for &(q, c, next) in &self.delta {
-            if current.contains(&q) && child.contains(&c) {
-                out.insert(next);
+        for &c in child {
+            for &(q, next) in index.by_child(c) {
+                if current.contains(&q) {
+                    out.insert(next);
+                }
             }
         }
         out
@@ -153,6 +250,7 @@ impl StepwiseTva {
         tree: &UnrankedTree,
         valuation: &Valuation,
     ) -> HashMap<NodeId, HashSet<State>> {
+        let index = self.delta_index();
         let mut result: HashMap<NodeId, HashSet<State>> = HashMap::new();
         // Process nodes in reverse preorder so children come before parents.
         let mut order = tree.preorder();
@@ -160,7 +258,8 @@ impl StepwiseTva {
         for n in order {
             let label = tree.label(n);
             let ann = valuation.annotation(n);
-            let mut current: HashSet<State> = self.initial_states(label, ann).into_iter().collect();
+            let mut current: HashSet<State> =
+                index.initial_states(label, ann).iter().copied().collect();
             for c in tree.children(n) {
                 let child_states = &result[&c];
                 current = self.delta_step(&current, child_states);
@@ -184,6 +283,7 @@ impl StepwiseTva {
     ///
     /// Exponential in the number of answers; only for validation on small inputs.
     pub fn satisfying_assignments(&self, tree: &UnrankedTree) -> HashSet<Assignment> {
+        let index = self.delta_index();
         // For each node, a map state -> set of assignments over the subtree.
         let mut table: HashMap<NodeId, HashMap<State, HashSet<Assignment>>> = HashMap::new();
         let mut order = tree.preorder();
@@ -205,14 +305,14 @@ impl StepwiseTva {
                     }
                     let child_table = &table[&c];
                     let mut next: HashMap<State, HashSet<Assignment>> = HashMap::new();
-                    for &(q, cq, nq) in &self.delta {
-                        if let (Some(cur_assignments), Some(child_assignments)) =
-                            (current.get(&q), child_table.get(&cq))
-                        {
-                            let entry = next.entry(nq).or_default();
-                            for a in cur_assignments {
-                                for b in child_assignments {
-                                    entry.insert(a.union(b));
+                    for (&cq, child_assignments) in child_table {
+                        for &(q, nq) in index.by_child(cq) {
+                            if let Some(cur_assignments) = current.get(&q) {
+                                let entry = next.entry(nq).or_default();
+                                for a in cur_assignments {
+                                    for b in child_assignments {
+                                        entry.insert(a.union(b));
+                                    }
                                 }
                             }
                         }
@@ -312,6 +412,66 @@ mod tests {
         // (the new final state is only reachable through the virtual fold), so we only
         // check that the original assignments were not lost conceptually.
         assert_eq!(before.len(), 3);
+    }
+
+    #[test]
+    fn delta_index_agrees_with_linear_scans() {
+        let (sigma, _tree, _) = sample_tree();
+        let b = sigma.get("b").unwrap();
+        let tva = queries::select_label(sigma.len(), b, Var(0));
+        let index = tva.delta_index();
+        let n = tva.num_states();
+        for q in 0..n {
+            for c in 0..n {
+                let (q, c) = (State(q as u32), State(c as u32));
+                let mut expected: Vec<State> = tva
+                    .transitions()
+                    .iter()
+                    .filter(|&&(tq, tc, _)| tq == q && tc == c)
+                    .map(|&(_, _, next)| next)
+                    .collect();
+                expected.sort_unstable();
+                let mut got: Vec<State> = index.successors(q, c).to_vec();
+                got.sort_unstable();
+                assert_eq!(got, expected, "successors({q:?}, {c:?})");
+                for &(fq, fnext) in index.by_child(c) {
+                    assert!(tva.transitions().contains(&(fq, c, fnext)));
+                }
+            }
+        }
+        for label_idx in 0..tva.alphabet_len() {
+            let label = Label(label_idx as u32);
+            for &(y, _) in tva.initial_for(label) {
+                let mut expected: Vec<State> = tva
+                    .initial_for(label)
+                    .iter()
+                    .filter(|&&(iy, _)| iy == y)
+                    .map(|&(_, q)| q)
+                    .collect();
+                expected.sort_unstable();
+                let mut got = index.initial_states(label, y).to_vec();
+                got.sort_unstable();
+                assert_eq!(got, expected, "initial({label:?}, {y:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_index_is_invalidated_by_mutation() {
+        let sigma = Alphabet::from_names(["a"]);
+        let a = sigma.get("a").unwrap();
+        let mut tva = StepwiseTva::new(2, sigma.len(), VarSet::empty());
+        tva.add_initial(a, VarSet::empty(), State(0));
+        tva.add_transition(State(0), State(0), State(1));
+        assert_eq!(tva.delta_index().by_child(State(0)).len(), 1);
+        tva.add_transition(State(1), State(0), State(1));
+        assert_eq!(tva.delta_index().by_child(State(0)).len(), 2);
+        let q = tva.add_state();
+        tva.add_initial(a, VarSet::empty(), q);
+        assert_eq!(
+            tva.delta_index().initial_states(a, VarSet::empty()).len(),
+            2
+        );
     }
 
     #[test]

@@ -100,7 +100,7 @@ impl fmt::Debug for TermNodeId {
 /// The alphabet `Λ'` of forest-algebra terms over a base alphabet `Λ`:
 /// labels `0..5` are the operators (in the order of [`TermOp::ALL`]), then `a_t` and
 /// `a_□` for every base label `a`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TermAlphabet {
     base_len: usize,
 }
@@ -246,14 +246,17 @@ impl Term {
             self.node(right).parent.is_none(),
             "right operand already attached"
         );
+        // A real assert (not debug_assert): the sort discipline is what keeps
+        // the hole-chasing and update splices sound, and checking it is two
+        // O(1) matches per node — negligible next to the allocation below.
         let (sl, sr) = op.operand_sorts();
-        debug_assert_eq!(
+        assert_eq!(
             self.sort(left),
             sl,
             "left operand of {:?} has the wrong sort",
             op
         );
-        debug_assert_eq!(
+        assert_eq!(
             self.sort(right),
             sr,
             "right operand of {:?} has the wrong sort",
@@ -320,6 +323,13 @@ impl Term {
     /// `true` iff the slot is live.
     pub fn is_live(&self, n: TermNodeId) -> bool {
         n.index() < self.nodes.len() && !self.nodes[n.index()].free
+    }
+
+    /// The arena capacity: one more than the largest `TermNodeId` ever
+    /// allocated (freed slots included).  Parallel dense structures — the
+    /// engine's term-to-box slab and dirty bitmaps — size themselves by this.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Number of live nodes.

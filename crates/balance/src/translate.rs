@@ -17,12 +17,15 @@
 //! construction of Lemma 3.7 requires and what keeps the practical width small.
 
 use crate::term::{TermAlphabet, TermOp};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use treenum_automata::{BinaryTva, State, StepwiseTva};
 use treenum_trees::valuation::subsets;
 use treenum_trees::Label;
 
 /// The output of the Lemma 7.4 translation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TranslatedTva {
     /// The homogenized, trimmed binary TVA on forest-algebra terms.
     pub tva: BinaryTva,
@@ -30,6 +33,116 @@ pub struct TranslatedTva {
     pub alphabet: TermAlphabet,
     /// The number of states of the (virtual-root-augmented) stepwise automaton.
     pub stepwise_states: usize,
+}
+
+/// A canonical, order-insensitive fingerprint of a stepwise query automaton
+/// (plus the base alphabet size it runs over).  Two automata with the same
+/// states, `ι`, `δ` and final states — regardless of the order the relations
+/// were inserted in — get equal keys, so they share one cached translation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TranslationKey {
+    base_alphabet_len: usize,
+    num_states: usize,
+    vars: u64,
+    /// `(label, Y, q)` triples of `ι`, sorted.
+    initial: Vec<(u32, u64, u32)>,
+    /// `(q, q', q'')` triples of `δ`, sorted.
+    delta: Vec<(u32, u32, u32)>,
+    /// Final states, sorted.
+    finals: Vec<u32>,
+}
+
+impl TranslationKey {
+    /// Fingerprints `stepwise` over a `base_alphabet_len`-letter alphabet.
+    pub fn new(stepwise: &StepwiseTva, base_alphabet_len: usize) -> Self {
+        let mut initial: Vec<(u32, u64, u32)> = (0..stepwise.alphabet_len())
+            .flat_map(|l| {
+                stepwise
+                    .initial_for(Label(l as u32))
+                    .iter()
+                    .map(move |&(y, q)| (l as u32, y.0, q.0))
+            })
+            .collect();
+        initial.sort_unstable();
+        initial.dedup();
+        let mut delta: Vec<(u32, u32, u32)> = stepwise
+            .transitions()
+            .iter()
+            .map(|&(q, c, n)| (q.0, c.0, n.0))
+            .collect();
+        delta.sort_unstable();
+        delta.dedup();
+        let mut finals: Vec<u32> = stepwise.final_states().iter().map(|s| s.0).collect();
+        finals.sort_unstable();
+        TranslationKey {
+            base_alphabet_len,
+            num_states: stepwise.num_states(),
+            vars: stepwise.vars().0,
+            initial,
+            delta,
+            finals,
+        }
+    }
+}
+
+/// Hit / miss counters of the process-wide translation cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TranslationCacheStats {
+    /// Number of [`translate_stepwise_cached`] calls served from the cache.
+    pub hits: u64,
+    /// Number of calls that ran the Lemma 7.4 translation.
+    pub misses: u64,
+}
+
+static CACHE: OnceLock<Mutex<HashMap<TranslationKey, Arc<TranslatedTva>>>> = OnceLock::new();
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// The current hit / miss counters of the translation cache.
+pub fn translation_cache_stats() -> TranslationCacheStats {
+    TranslationCacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// [`translate_stepwise`] behind a process-wide keyed cache: the quartic
+/// Lemma 7.4 translation runs once per distinct `(query, base alphabet)` and
+/// every further engine construction for the same query shares the `Arc`.
+///
+/// The cache is unbounded — a serving process uses a handful of distinct
+/// queries, and one cached entry is a few automata, not a circuit.
+pub fn translate_stepwise_cached(
+    stepwise: &StepwiseTva,
+    base_alphabet_len: usize,
+) -> Arc<TranslatedTva> {
+    translate_stepwise_cached_keyed(
+        TranslationKey::new(stepwise, base_alphabet_len),
+        stepwise,
+        base_alphabet_len,
+    )
+}
+
+/// [`translate_stepwise_cached`] with a caller-supplied [`TranslationKey`] —
+/// for callers that key their own caches by the same fingerprint (e.g. the
+/// `QueryPlan` cache in `treenum-core`) and should not pay the canonical
+/// sort twice.
+pub fn translate_stepwise_cached_keyed(
+    key: TranslationKey,
+    stepwise: &StepwiseTva,
+    base_alphabet_len: usize,
+) -> Arc<TranslatedTva> {
+    let cache = CACHE.get_or_init(Default::default);
+    if let Some(hit) = cache.lock().unwrap().get(&key) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(hit);
+    }
+    // Translate outside the lock: a quartic computation must not serialize
+    // unrelated queries.  A concurrent miss for the same key wastes one
+    // translation; `or_insert` keeps the first result so all callers converge.
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let translated = Arc::new(translate_stepwise(stepwise, base_alphabet_len));
+    Arc::clone(cache.lock().unwrap().entry(key).or_insert(translated))
 }
 
 struct Encoder {
@@ -49,11 +162,158 @@ impl Encoder {
     }
 }
 
+/// The bottom-up constructible forest pairs and context quadruples of the
+/// translation — a saturation over the five operators, seeded by the leaf
+/// rules.  Pairs are encoded as `q1 * n + q2`.
+struct Reachable {
+    n: usize,
+    /// Constructible forest pairs `(q1, q2)`, as a dense membership bitmap and
+    /// an insertion-ordered list.
+    forest_set: Vec<bool>,
+    forest: Vec<u32>,
+    /// Constructible context pairs `(hole_pair, outer_pair)`.
+    ctx_set: Vec<bool>,
+    ctx: Vec<(u32, u32)>,
+    /// `forest_by_first[q1] = [q2, …]`, `forest_by_second[q2] = [q1, …]`.
+    forest_by_first: Vec<Vec<u32>>,
+    forest_by_second: Vec<Vec<u32>>,
+    /// `ctx_by_hole[h_pair] = [o_pair, …]`, `ctx_by_outer[o_pair] = [h_pair, …]`.
+    ctx_by_hole: Vec<Vec<u32>>,
+    ctx_by_outer: Vec<Vec<u32>>,
+    /// `ctx_by_o1[o1] = [(h_pair, o2), …]`, `ctx_by_o2[o2] = [(h_pair, o1), …]`.
+    ctx_by_o1: Vec<Vec<(u32, u32)>>,
+    ctx_by_o2: Vec<Vec<(u32, u32)>>,
+}
+
+enum Item {
+    Forest(u32),
+    Context(u32, u32),
+}
+
+impl Reachable {
+    fn new(n: usize) -> Self {
+        Reachable {
+            n,
+            forest_set: vec![false; n * n],
+            forest: Vec::new(),
+            ctx_set: vec![false; n * n * n * n],
+            ctx: Vec::new(),
+            forest_by_first: vec![Vec::new(); n],
+            forest_by_second: vec![Vec::new(); n],
+            ctx_by_hole: vec![Vec::new(); n * n],
+            ctx_by_outer: vec![Vec::new(); n * n],
+            ctx_by_o1: vec![Vec::new(); n],
+            ctx_by_o2: vec![Vec::new(); n],
+        }
+    }
+
+    fn add_forest(&mut self, p: u32, work: &mut Vec<Item>) {
+        if !self.forest_set[p as usize] {
+            self.forest_set[p as usize] = true;
+            self.forest.push(p);
+            let (q1, q2) = (p / self.n as u32, p % self.n as u32);
+            self.forest_by_first[q1 as usize].push(q2);
+            self.forest_by_second[q2 as usize].push(q1);
+            work.push(Item::Forest(p));
+        }
+    }
+
+    fn add_ctx(&mut self, h: u32, o: u32, work: &mut Vec<Item>) {
+        let key = h as usize * self.n * self.n + o as usize;
+        if !self.ctx_set[key] {
+            self.ctx_set[key] = true;
+            self.ctx.push((h, o));
+            self.ctx_by_hole[h as usize].push(o);
+            self.ctx_by_outer[o as usize].push(h);
+            let (o1, o2) = (o / self.n as u32, o % self.n as u32);
+            self.ctx_by_o1[o1 as usize].push((h, o2));
+            self.ctx_by_o2[o2 as usize].push((h, o1));
+            work.push(Item::Context(h, o));
+        }
+    }
+
+    /// Saturates under the five operators of Figure 2.
+    ///
+    /// The buckets are append-only, so each join iterates its bucket by index
+    /// (entries appended mid-iteration are handled when their own work item is
+    /// popped) — no temporary copies in the fixpoint loop.
+    fn saturate(&mut self, work: &mut Vec<Item>) {
+        // Index-based iteration over an append-only bucket of `self`, while
+        // `self` is mutated through `add`.
+        macro_rules! join {
+            ($bucket:expr, $idx:expr, |$e:ident| $body:expr) => {{
+                let mut i = 0;
+                while i < $bucket[$idx as usize].len() {
+                    let $e = $bucket[$idx as usize][i];
+                    $body;
+                    i += 1;
+                }
+            }};
+        }
+        let n = self.n as u32;
+        while let Some(item) = work.pop() {
+            match item {
+                Item::Forest(p) => {
+                    let (q1, q2) = (p / n, p % n);
+                    // ⊕HH as left operand: (q1,q2) ⊕ (q2,q3) → (q1,q3).
+                    join!(self.forest_by_first, q2, |q3| self
+                        .add_forest(q1 * n + q3, work));
+                    // ⊕HH as right operand: (q0,q1) ⊕ (q1,q2) → (q0,q2).
+                    join!(self.forest_by_second, q1, |q0| self
+                        .add_forest(q0 * n + q2, work));
+                    // ⊕HV: (q1,q2) ⊕ ((h),(q2,q3)) → ((h),(q1,q3)).
+                    join!(self.ctx_by_o1, q2, |e| {
+                        let (h, o2) = e;
+                        self.add_ctx(h, q1 * n + o2, work)
+                    });
+                    // ⊕VH: ((h),(q0,q1)) ⊕ (q1,q2) → ((h),(q0,q2)).
+                    join!(self.ctx_by_o2, q1, |e| {
+                        let (h, o1) = e;
+                        self.add_ctx(h, o1 * n + q2, work)
+                    });
+                    // ⊙VH: ((p),(o)) ⊙ p → o.
+                    join!(self.ctx_by_hole, p, |o| self.add_forest(o, work));
+                }
+                Item::Context(h, o) => {
+                    let (o1, o2) = (o / n, o % n);
+                    // ⊕HV: (q1,o1) ⊕ ((h),(o1,o2)) → ((h),(q1,o2)).
+                    join!(self.forest_by_second, o1, |q1| self.add_ctx(
+                        h,
+                        q1 * n + o2,
+                        work
+                    ));
+                    // ⊕VH: ((h),(o1,o2)) ⊕ (o2,q3) → ((h),(o1,q3)).
+                    join!(self.forest_by_first, o2, |q3| self.add_ctx(
+                        h,
+                        o1 * n + q3,
+                        work
+                    ));
+                    // ⊙VV as left operand: ((h),(o)) ⊙ ((h2),(h)) → ((h2),(o)).
+                    join!(self.ctx_by_outer, h, |h2| self.add_ctx(h2, o, work));
+                    // ⊙VV as right operand: ((o),(o1b)) ⊙ ((h),(o)) → ((h),(o1b)).
+                    join!(self.ctx_by_hole, o, |o1b| self.add_ctx(h, o1b, work));
+                    // ⊙VH: ((h),(o)) ⊙ h → o.
+                    if self.forest_set[h as usize] {
+                        self.add_forest(o, work);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Translates a stepwise unranked TVA into a binary TVA over forest-algebra terms
 /// (Lemma 7.4), then homogenizes and trims it.
 ///
 /// `base_alphabet_len` is the number of labels of the unranked trees the stepwise
 /// automaton runs on.
+///
+/// Instead of materializing all `Θ(|Q|⁶)` operator transitions and letting
+/// `trim` discard the dead ones, the construction first saturates the bottom-up
+/// *constructible* forest pairs and context quadruples (seeded by the leaf
+/// rules) and only emits transitions whose operand states are constructible —
+/// exactly the transitions trimming would keep, so the final automaton is
+/// identical, but the work is proportional to the useful part.
 pub fn translate_stepwise(stepwise: &StepwiseTva, base_alphabet_len: usize) -> TranslatedTva {
     // Normalize acceptance with virtual root states.
     let mut a = stepwise.clone();
@@ -64,113 +324,109 @@ pub fn translate_stepwise(stepwise: &StepwiseTva, base_alphabet_len: usize) -> T
     let mut out = BinaryTva::new(enc.total(), alphabet.len(), a.vars());
 
     let var_subsets = subsets(a.vars());
+    // Per-child and per-(label, Y) buckets replace the `transitions()` /
+    // `initial_states` linear scans of the leaf-entry construction.
+    let index = a.delta_index();
 
-    // Leaf initial entries.
+    // Leaf initial entries; they seed the reachability saturation.
+    let mut reach = Reachable::new(n);
+    let mut work: Vec<Item> = Vec::new();
     for base in 0..base_alphabet_len {
         let base_label = Label(base as u32);
         for &y in &var_subsets {
-            let inits = a.initial_states(base_label, y);
+            let inits = index.initial_states(base_label, y);
             if inits.is_empty() {
                 continue;
             }
             // a_t: forest (q1, q2) iff ∃p ∈ ι(a, Y): (q1, p, q2) ∈ δ.
-            for &(q1, p, q2) in a.transitions() {
-                if inits.contains(&p) {
+            for &p in inits {
+                for &(q1, q2) in index.by_child(p) {
                     out.add_initial(
                         alphabet.tree_leaf_label(base_label),
                         y,
                         enc.forest(q1.index(), q2.index()),
                     );
+                    reach.add_forest((q1.index() * n + q2.index()) as u32, &mut work);
                 }
             }
             // a_□: context ((h1, h2), (o1, o2)) iff h1 ∈ ι(a, Y) and (o1, h2, o2) ∈ δ.
-            for &h1 in &inits {
+            for &h1 in inits {
                 for &(o1, h2, o2) in a.transitions() {
                     out.add_initial(
                         alphabet.context_leaf_label(base_label),
                         y,
                         enc.context(h1.index(), h2.index(), o1.index(), o2.index()),
                     );
-                }
-            }
-        }
-    }
-
-    // Operator transitions (Figure 2).
-    // ⊕HH: (q1,q2) ⊕ (q2,q3) → (q1,q3)
-    let hh = alphabet.op_label(TermOp::OplusHH);
-    for q1 in 0..n {
-        for q2 in 0..n {
-            for q3 in 0..n {
-                out.add_transition(
-                    hh,
-                    enc.forest(q1, q2),
-                    enc.forest(q2, q3),
-                    enc.forest(q1, q3),
-                );
-            }
-        }
-    }
-    // ⊕HV: forest (q1,q2), context ((h),(q2,q3)) → context ((h),(q1,q3))
-    let hv = alphabet.op_label(TermOp::OplusHV);
-    // ⊕VH: context ((h),(q1,q2)), forest (q2,q3) → context ((h),(q1,q3))
-    let vh = alphabet.op_label(TermOp::OplusVH);
-    for h1 in 0..n {
-        for h2 in 0..n {
-            for q1 in 0..n {
-                for q2 in 0..n {
-                    for q3 in 0..n {
-                        out.add_transition(
-                            hv,
-                            enc.forest(q1, q2),
-                            enc.context(h1, h2, q2, q3),
-                            enc.context(h1, h2, q1, q3),
-                        );
-                        out.add_transition(
-                            vh,
-                            enc.context(h1, h2, q1, q2),
-                            enc.forest(q2, q3),
-                            enc.context(h1, h2, q1, q3),
-                        );
-                    }
-                }
-            }
-        }
-    }
-    // ⊙VV: ((h1),(o1)) ⊙ ((h2),(o2)) with o2 = h1 → ((h2),(o1))
-    let vv = alphabet.op_label(TermOp::OdotVV);
-    for h1a in 0..n {
-        for h1b in 0..n {
-            for o1a in 0..n {
-                for o1b in 0..n {
-                    for h2a in 0..n {
-                        for h2b in 0..n {
-                            out.add_transition(
-                                vv,
-                                enc.context(h1a, h1b, o1a, o1b),
-                                enc.context(h2a, h2b, h1a, h1b),
-                                enc.context(h2a, h2b, o1a, o1b),
-                            );
-                        }
-                    }
-                }
-            }
-        }
-    }
-    // ⊙VH: ((h1,h2),(o1,o2)) ⊙ forest (h1,h2) → forest (o1,o2)
-    let vhp = alphabet.op_label(TermOp::OdotVH);
-    for h1 in 0..n {
-        for h2 in 0..n {
-            for o1 in 0..n {
-                for o2 in 0..n {
-                    out.add_transition(
-                        vhp,
-                        enc.context(h1, h2, o1, o2),
-                        enc.forest(h1, h2),
-                        enc.forest(o1, o2),
+                    reach.add_ctx(
+                        (h1.index() * n + h2.index()) as u32,
+                        (o1.index() * n + o2.index()) as u32,
+                        &mut work,
                     );
                 }
             }
+        }
+    }
+    reach.saturate(&mut work);
+
+    // Operator transitions (Figure 2), restricted to constructible operands.
+    let nn = n as u32;
+    let hh = alphabet.op_label(TermOp::OplusHH);
+    let hv = alphabet.op_label(TermOp::OplusHV);
+    let vh = alphabet.op_label(TermOp::OplusVH);
+    let vv = alphabet.op_label(TermOp::OdotVV);
+    let vhp = alphabet.op_label(TermOp::OdotVH);
+    for &p in &reach.forest {
+        let (q1, q2) = ((p / nn) as usize, (p % nn) as usize);
+        // ⊕HH: (q1,q2) ⊕ (q2,q3) → (q1,q3).
+        for &q3 in &reach.forest_by_first[q2] {
+            out.add_transition(
+                hh,
+                enc.forest(q1, q2),
+                enc.forest(q2, q3 as usize),
+                enc.forest(q1, q3 as usize),
+            );
+        }
+        // ⊕HV: (q1,q2) ⊕ ((h),(q2,q3)) → ((h),(q1,q3)).
+        for &(h, o2) in &reach.ctx_by_o1[q2] {
+            let (h1, h2) = ((h / nn) as usize, (h % nn) as usize);
+            out.add_transition(
+                hv,
+                enc.forest(q1, q2),
+                enc.context(h1, h2, q2, o2 as usize),
+                enc.context(h1, h2, q1, o2 as usize),
+            );
+        }
+    }
+    for &(h, o) in &reach.ctx {
+        let (h1, h2) = ((h / nn) as usize, (h % nn) as usize);
+        let (o1, o2) = ((o / nn) as usize, (o % nn) as usize);
+        // ⊕VH: ((h),(o1,o2)) ⊕ (o2,q3) → ((h),(o1,q3)).
+        for &q3 in &reach.forest_by_first[o2] {
+            out.add_transition(
+                vh,
+                enc.context(h1, h2, o1, o2),
+                enc.forest(o2, q3 as usize),
+                enc.context(h1, h2, o1, q3 as usize),
+            );
+        }
+        // ⊙VV: ((h),(o)) ⊙ ((h2),(h)) → ((h2),(o)).
+        for &hp2 in &reach.ctx_by_outer[h as usize] {
+            let (h2a, h2b) = ((hp2 / nn) as usize, (hp2 % nn) as usize);
+            out.add_transition(
+                vv,
+                enc.context(h1, h2, o1, o2),
+                enc.context(h2a, h2b, h1, h2),
+                enc.context(h2a, h2b, o1, o2),
+            );
+        }
+        // ⊙VH: ((h),(o)) ⊙ h → o.
+        if reach.forest_set[h as usize] {
+            out.add_transition(
+                vhp,
+                enc.context(h1, h2, o1, o2),
+                enc.forest(h1, h2),
+                enc.forest(o1, o2),
+            );
         }
     }
 

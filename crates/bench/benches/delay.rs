@@ -3,24 +3,10 @@
 //! paper's algorithm and for the naive box-enum reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::ops::ControlFlow;
-use treenum_bench::{bench_tree, pair_query, select_b_query};
+use treenum_bench::{bench_tree, first_k, pair_query, select_b_query};
 use treenum_core::TreeEnumerator;
 use treenum_enumeration::boxenum::BoxEnumMode;
 use treenum_trees::generate::TreeShape;
-
-fn first_k(engine: &TreeEnumerator, k: usize) -> usize {
-    let mut count = 0;
-    engine.for_each(&mut |_a| {
-        count += 1;
-        if count >= k {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    });
-    count
-}
 
 fn delay(c: &mut Criterion) {
     let mut group = c.benchmark_group("E2_delay");

@@ -1,0 +1,27 @@
+//! E7-update-throughput: sustained per-edit latency over *long*
+//! `EditStream::balanced_mix` streams at n ≥ 10⁴ nodes (Theorem 8.1's `O(log n)`
+//! amortized updates under a realistic mixed workload), for a single-variable
+//! query, the marked-ancestor query, and an edit+enumerate round-trip.
+//!
+//! E3 measures the same operation against the Θ(n) recompute baseline at small
+//! sizes; E7 is the hot-path trajectory bench: its numbers are recorded in the
+//! committed `BENCH_*.json` files and gate perf PRs (see EXPERIMENTS.md).
+//! The workload and timing methodology (apply-only, via `iter_custom`) live in
+//! `treenum_bench::run_e7` / `time_edits`, shared with the `bench_summary`
+//! runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use treenum_bench::run_e7;
+
+fn update_throughput(c: &mut Criterion) {
+    run_e7(
+        c,
+        &[1_000, 10_000, 40_000],
+        10,
+        std::time::Duration::from_millis(300),
+        std::time::Duration::from_millis(900),
+    );
+}
+
+criterion_group!(benches, update_throughput);
+criterion_main!(benches);

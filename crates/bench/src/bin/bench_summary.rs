@@ -1,0 +1,61 @@
+//! Runs compact versions of experiments E1–E7 and writes a JSON summary.
+//!
+//! ```text
+//! bench_summary [--profile full|smoke] [--out PATH]
+//! ```
+//!
+//! The committed trajectory files at the repository root are produced with the
+//! `full` profile (`--out BENCH_baseline.json` before a perf change,
+//! `--out BENCH_after.json` after); CI runs the `smoke` profile to keep the
+//! bench code compiling and running.  Without `--out` the JSON goes to stdout.
+
+use criterion::Criterion;
+use std::path::PathBuf;
+use treenum_bench::summary::{run_summary, SummaryProfile};
+
+fn main() {
+    let mut profile = SummaryProfile::full();
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let name = args.next().unwrap_or_else(|| usage("missing profile name"));
+                profile = SummaryProfile::by_name(&name)
+                    .unwrap_or_else(|| usage(&format!("unknown profile {name:?}")));
+            }
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| usage("missing output path"));
+                out = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unexpected argument {other:?}")),
+        }
+    }
+
+    let mut criterion = Criterion::default();
+    run_summary(&mut criterion, &profile);
+    let meta = [("profile", profile.name)];
+    match out {
+        Some(path) => {
+            criterion
+                .write_summary_json(&path, &meta)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            eprintln!(
+                "wrote {} ({} benchmarks, profile {})",
+                path.display(),
+                criterion.records().len(),
+                profile.name
+            );
+        }
+        None => print!("{}", criterion.summary_json(&meta)),
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!("usage: bench_summary [--profile full|smoke] [--out PATH]");
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

@@ -1,8 +1,13 @@
 //! # treenum-bench
 //!
 //! Shared workload generators for the Criterion benches in `benches/`.  Each bench
-//! regenerates one experiment of the repository-root `EXPERIMENTS.md` (E1–E6), which
+//! regenerates one experiment of the repository-root `EXPERIMENTS.md` (E1–E7), which
 //! maps paper artefacts (Table 1, Theorems 8.1/8.5, Section 9) to benches.
+//!
+//! The [`summary`] module re-runs compact versions of all experiments and powers the
+//! `bench_summary` binary that writes the committed `BENCH_*.json` trajectory files.
+
+pub mod summary;
 
 use treenum_automata::{queries, StepwiseTva};
 use treenum_trees::generate::{random_tree, TreeShape};
@@ -64,4 +69,89 @@ pub fn kth_child_query(k: usize) -> (StepwiseTva, usize) {
 /// A label of the benchmark alphabet by name.
 pub fn label(name: &str) -> Label {
     bench_alphabet().get(name).unwrap()
+}
+
+/// Enumerates and counts the first `k` answers (the delay-bound workload).
+pub fn first_k(engine: &treenum_core::TreeEnumerator, k: usize) -> usize {
+    let mut count = 0;
+    engine.for_each(&mut |_a| {
+        count += 1;
+        if count >= k {
+            std::ops::ControlFlow::Break(())
+        } else {
+            std::ops::ControlFlow::Continue(())
+        }
+    });
+    count
+}
+
+/// Times `engine.apply` (plus whatever `and_then` adds) over a live edit
+/// stream, keeping the Θ(n) edit *generation* of `EditStream::next_for` out of
+/// the measured region via `iter_custom`.  This is the single definition of
+/// the E7 timing methodology — the `update_throughput` bench target and the
+/// `bench_summary` runner both use it, so their numbers stay comparable.
+pub fn time_edits(
+    b: &mut criterion::Bencher,
+    engine: &mut treenum_core::TreeEnumerator,
+    stream: &mut treenum_trees::generate::EditStream,
+    mut and_then: impl FnMut(&treenum_core::TreeEnumerator),
+) {
+    use std::time::{Duration, Instant};
+    b.iter_custom(|iters| {
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let op = stream.next_for(engine.tree());
+            let start = Instant::now();
+            criterion::black_box(engine.apply(&op));
+            and_then(engine);
+            total += start.elapsed();
+        }
+        total
+    });
+}
+
+/// The E7 update-throughput experiment: three arms (single-variable query,
+/// marked-ancestor query, edit+enumerate round-trip) over long
+/// `balanced_mix` streams.  The single definition of the workload — the
+/// `update_throughput` bench target and the `bench_summary` runner only
+/// differ in `sizes` and timing budgets, so the committed `BENCH_*.json`
+/// trajectory always measures the same thing as `cargo bench`.
+pub fn run_e7(
+    c: &mut criterion::Criterion,
+    sizes: &[usize],
+    sample_size: usize,
+    warm_up: std::time::Duration,
+    measurement: std::time::Duration,
+) {
+    use criterion::{black_box, BenchmarkId};
+    use treenum_core::TreeEnumerator;
+    use treenum_trees::generate::{EditStream, TreeShape};
+    let labels: Vec<_> = bench_alphabet().labels().collect();
+    let mut group = c.benchmark_group("E7_update_throughput");
+    group.sample_size(sample_size);
+    group.warm_up_time(warm_up);
+    group.measurement_time(measurement);
+    for &n in sizes {
+        let tree = bench_tree(n, TreeShape::Random, 21);
+        let (query, alphabet_len) = select_b_query();
+        group.bench_with_input(BenchmarkId::new("edit_select_b", n), &n, |b, _| {
+            let mut engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+            let mut stream = EditStream::balanced_mix(labels.clone(), 27);
+            time_edits(b, &mut engine, &mut stream, |_| ());
+        });
+        let (marked, marked_len) = marked_ancestor_query();
+        group.bench_with_input(BenchmarkId::new("edit_marked_ancestor", n), &n, |b, _| {
+            let mut engine = TreeEnumerator::new(tree.clone(), &marked, marked_len);
+            let mut stream = EditStream::balanced_mix(labels.clone(), 33);
+            time_edits(b, &mut engine, &mut stream, |_| ());
+        });
+        group.bench_with_input(BenchmarkId::new("edit_then_first10", n), &n, |b, _| {
+            let mut engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+            let mut stream = EditStream::balanced_mix(labels.clone(), 39);
+            time_edits(b, &mut engine, &mut stream, |e| {
+                black_box(first_k(e, 10));
+            });
+        });
+    }
+    group.finish();
 }

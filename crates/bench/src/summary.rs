@@ -1,0 +1,293 @@
+//! Compact, machine-readable re-runs of experiments E1–E7.
+//!
+//! [`run_summary`] executes a scaled-down version of every experiment in
+//! `benches/` through the vendored criterion stub and leaves the measurements
+//! in [`Criterion::records`], which the `bench_summary` binary serializes to
+//! JSON (`BENCH_baseline.json` / `BENCH_after.json` at the repository root).
+//! Perf PRs record a baseline before touching the hot path and an "after" file
+//! once done, so the repository carries its own performance trajectory.
+//!
+//! Two profiles are provided: `full` (the numbers quoted in EXPERIMENTS.md,
+//! tens of seconds) and `smoke` (tiny sizes, a few seconds — run by CI so the
+//! bench code cannot bit-rot).
+
+use criterion::{BenchmarkId, Criterion};
+use std::time::Duration;
+use treenum_automata::ops::determinize;
+use treenum_automata::wva::spanners;
+use treenum_baselines::RecomputeBaseline;
+use treenum_core::words::{WordEdit, WordEnumerator};
+use treenum_core::TreeEnumerator;
+use treenum_lowerbound::{EnumerationMarkedAncestor, NaiveMarkedAncestor};
+use treenum_trees::generate::{random_word, EditStream, TreeShape};
+use treenum_trees::valuation::Var;
+use treenum_trees::{Alphabet, Label};
+
+use crate::{bench_alphabet, bench_tree, first_k, kth_child_query, select_b_query};
+
+/// Workload sizes and timing budgets for one summary run.
+#[derive(Clone, Debug)]
+pub struct SummaryProfile {
+    /// Profile name, stamped into the JSON output.
+    pub name: &'static str,
+    /// Tree sizes for E1 (preprocessing), E2 (delay) and E3 (updates).
+    pub tree_sizes: Vec<usize>,
+    /// `k` values for the E4 nondeterministic pipeline.
+    pub e4_ks: Vec<usize>,
+    /// Word lengths for E5 (spanners).
+    pub word_sizes: Vec<usize>,
+    /// Tree sizes for E6 (marked ancestor).
+    pub e6_sizes: Vec<usize>,
+    /// Tree sizes for E7 (update throughput over long edit streams).
+    pub e7_sizes: Vec<usize>,
+    /// Per-benchmark warm-up budget.
+    pub warm_up: Duration,
+    /// Per-benchmark measurement budget.
+    pub measurement: Duration,
+    /// Nominal sample count (sizes the stub's timing batches).
+    pub sample_size: usize,
+}
+
+impl SummaryProfile {
+    /// The profile behind the committed `BENCH_*.json` trajectory files.
+    /// E7 must include n ≥ 10⁴ — that is the size the per-edit latency
+    /// acceptance bar is measured at.
+    pub fn full() -> Self {
+        SummaryProfile {
+            name: "full",
+            tree_sizes: vec![1_000, 4_000, 16_000],
+            e4_ks: vec![2, 4],
+            word_sizes: vec![1_000, 4_000, 16_000],
+            e6_sizes: vec![1_000, 4_000],
+            e7_sizes: vec![1_000, 10_000, 40_000],
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(700),
+            sample_size: 10,
+        }
+    }
+
+    /// Tiny sizes for CI smoke runs: exercises every experiment end to end in
+    /// a few seconds without producing quotable numbers.
+    pub fn smoke() -> Self {
+        SummaryProfile {
+            name: "smoke",
+            tree_sizes: vec![200],
+            e4_ks: vec![2],
+            word_sizes: vec![200],
+            e6_sizes: vec![200],
+            e7_sizes: vec![400],
+            warm_up: Duration::from_millis(10),
+            measurement: Duration::from_millis(40),
+            sample_size: 3,
+        }
+    }
+
+    /// Parses a profile name (`full` / `smoke`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "full" => Some(Self::full()),
+            "smoke" => Some(Self::smoke()),
+            _ => None,
+        }
+    }
+}
+
+/// Runs every experiment at the profile's sizes, recording into `c`.
+pub fn run_summary(c: &mut Criterion, profile: &SummaryProfile) {
+    e1_preprocessing(c, profile);
+    e2_delay(c, profile);
+    e3_updates(c, profile);
+    e4_combined(c, profile);
+    e5_spanners(c, profile);
+    e6_lower_bound(c, profile);
+    e7_update_throughput(c, profile);
+}
+
+fn e1_preprocessing(c: &mut Criterion, p: &SummaryProfile) {
+    let (query, alphabet_len) = select_b_query();
+    let mut group = c.benchmark_group("E1_preprocessing");
+    group.sample_size(p.sample_size);
+    group.warm_up_time(p.warm_up);
+    group.measurement_time(p.measurement);
+    for &n in &p.tree_sizes {
+        let tree = bench_tree(n, TreeShape::Random, 42);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| TreeEnumerator::new(tree.clone(), &query, alphabet_len));
+        });
+    }
+    group.finish();
+}
+
+fn e2_delay(c: &mut Criterion, p: &SummaryProfile) {
+    let mut group = c.benchmark_group("E2_delay");
+    group.sample_size(p.sample_size);
+    group.warm_up_time(p.warm_up);
+    group.measurement_time(p.measurement);
+    let k = 200usize;
+    for &n in &p.tree_sizes {
+        let tree = bench_tree(n, TreeShape::Random, 7);
+        let (query, alphabet_len) = select_b_query();
+        let engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+        group.bench_with_input(
+            BenchmarkId::new("first200_select_indexed", n),
+            &n,
+            |b, _| {
+                b.iter(|| first_k(&engine, k));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e3_updates(c: &mut Criterion, p: &SummaryProfile) {
+    let (query, alphabet_len) = select_b_query();
+    let labels: Vec<_> = bench_alphabet().labels().collect();
+    let mut group = c.benchmark_group("E3_updates");
+    group.sample_size(p.sample_size);
+    group.warm_up_time(p.warm_up);
+    group.measurement_time(p.measurement);
+    for &n in &p.tree_sizes {
+        let tree = bench_tree(n, TreeShape::Random, 3);
+        group.bench_with_input(BenchmarkId::new("treenum_update", n), &n, |b, _| {
+            let mut engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+            let mut stream = EditStream::balanced_mix(labels.clone(), 9);
+            b.iter(|| {
+                let op = stream.next_for(engine.tree());
+                engine.apply(&op)
+            });
+        });
+    }
+    // The Θ(n) recompute baseline at the smallest size only: it anchors the
+    // comparison without dominating the summary's runtime.
+    if let Some(&n) = p.tree_sizes.first() {
+        let tree = bench_tree(n, TreeShape::Random, 3);
+        group.bench_with_input(
+            BenchmarkId::new("recompute_baseline_update", n),
+            &n,
+            |b, _| {
+                let mut baseline = RecomputeBaseline::new(tree.clone(), &query, alphabet_len);
+                let mut stream = EditStream::balanced_mix(labels.clone(), 9);
+                b.iter(|| {
+                    let op = stream.next_for(baseline.tree());
+                    baseline.apply(&op)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e4_combined(c: &mut Criterion, p: &SummaryProfile) {
+    let mut group = c.benchmark_group("E4_combined_complexity");
+    group.sample_size(p.sample_size);
+    group.warm_up_time(p.warm_up);
+    group.measurement_time(p.measurement);
+    let tree = bench_tree(
+        400.min(*p.tree_sizes.first().unwrap_or(&400)),
+        TreeShape::Wide,
+        5,
+    );
+    for &k in &p.e4_ks {
+        let (query, alphabet_len) = kth_child_query(k);
+        group.bench_with_input(
+            BenchmarkId::new("nondeterministic_pipeline", k),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+                    engine.count()
+                });
+            },
+        );
+        if k <= 2 {
+            // One determinize arm keeps the blow-up visible in the trajectory
+            // while staying far from the quartic-translation wall (see E4 notes).
+            group.bench_with_input(
+                BenchmarkId::new("determinize_then_pipeline", k),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        let det = determinize(&query);
+                        let engine =
+                            TreeEnumerator::new(tree.clone(), &det.automaton, alphabet_len);
+                        (det.subsets.len(), engine.count())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn e5_spanners(c: &mut Criterion, p: &SummaryProfile) {
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let a = Label(0);
+    let wva = spanners::runs_of(sigma.len(), a, Var(0), Var(1));
+    let mut group = c.benchmark_group("E5_spanners");
+    group.sample_size(p.sample_size);
+    group.warm_up_time(p.warm_up);
+    group.measurement_time(p.measurement);
+    for &n in &p.word_sizes {
+        let word = random_word(&mut sigma, n, 11);
+        group.bench_with_input(BenchmarkId::new("preprocess", n), &n, |b, _| {
+            b.iter(|| WordEnumerator::new(&word, &wva, 3));
+        });
+        group.bench_with_input(BenchmarkId::new("update_replace", n), &n, |b, _| {
+            let mut engine = WordEnumerator::new(&word, &wva, 3);
+            let mut at = 0usize;
+            let mut letter = 0u32;
+            b.iter(|| {
+                at = (at * 31 + 17) % engine.len();
+                letter = (letter + 1) % 3;
+                engine.apply(WordEdit::Replace {
+                    at,
+                    letter: Label(letter),
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+fn e6_lower_bound(c: &mut Criterion, p: &SummaryProfile) {
+    let mut group = c.benchmark_group("E6_lower_bound");
+    group.sample_size(p.sample_size);
+    group.warm_up_time(p.warm_up);
+    group.measurement_time(p.measurement);
+    for &n in &p.e6_sizes {
+        let shape = bench_tree(n, TreeShape::Deep, 13);
+        let mut reduction = EnumerationMarkedAncestor::new(&shape);
+        let nodes = reduction.nodes();
+        for i in (0..nodes.len()).step_by(10) {
+            reduction.mark(nodes[i]);
+        }
+        group.bench_with_input(BenchmarkId::new("reduction_query", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i * 31 + 7) % nodes.len();
+                reduction.has_marked_ancestor(nodes[i])
+            });
+        });
+        let mut naive = NaiveMarkedAncestor::new(shape.clone());
+        let naive_nodes = naive.tree().preorder();
+        for i in (0..naive_nodes.len()).step_by(10) {
+            naive.mark(naive_nodes[i]);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("naive_parent_walk_query", n),
+            &n,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i * 31 + 7) % naive_nodes.len();
+                    naive.has_marked_ancestor(naive_nodes[i])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e7_update_throughput(c: &mut Criterion, p: &SummaryProfile) {
+    crate::run_e7(c, &p.e7_sizes, p.sample_size, p.warm_up, p.measurement);
+}

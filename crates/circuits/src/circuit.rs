@@ -569,6 +569,13 @@ impl Circuit {
         b.index() < self.slots.len() && !self.slots[b.index()].free
     }
 
+    /// The arena capacity: one more than the largest `BoxId` ever allocated
+    /// (freed slots included).  Parallel dense structures — the enumeration
+    /// index slab, the engine's dirty bitmaps — size themselves by this.
+    pub fn arena_len(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Adds a detached box with no children; `leaf_token` marks leaf boxes.
     /// Used by the incremental engine, which wires children explicitly with
     /// [`Circuit::set_children`].

@@ -1,17 +1,17 @@
 //! The incremental tree enumeration engine (Theorem 8.1).
 
+use crate::plan::QueryPlan;
 use std::collections::HashMap;
 use std::ops::ControlFlow;
-use treenum_automata::{BinaryTva, StepwiseTva};
+use std::sync::Arc;
+use treenum_automata::StepwiseTva;
 use treenum_balance::build::build_balanced_term;
-use treenum_balance::term::{Term, TermAlphabet, TermNodeId};
-use treenum_balance::translate::translate_stepwise;
+use treenum_balance::term::{Term, TermNodeId};
 use treenum_balance::update::apply_edit;
-use treenum_circuits::{
-    internal_box_content, leaf_box_content, BoxContent, BoxId, Circuit, StateGate,
-};
+use treenum_circuits::{internal_box_content, BoxContent, BoxId, Circuit, StateGate};
 use treenum_enumeration::boxenum::BoxEnumMode;
 use treenum_enumeration::dedup::enumerate_root;
+use treenum_enumeration::index::IndexStats;
 use treenum_enumeration::EnumIndex;
 use treenum_trees::edit::EditOp;
 use treenum_trees::unranked::{NodeId, UnrankedTree};
@@ -38,48 +38,110 @@ pub struct EnumerationStats {
 /// The update-aware enumeration structure for a stepwise TVA query on an unranked
 /// tree: linear-time preprocessing, delay independent of the tree, logarithmic-time
 /// updates (Theorem 8.1).
+///
+/// The query-only parts (translated automaton, leaf box skeletons) live in a
+/// shared [`QueryPlan`]; constructing many enumerators for the same query pays
+/// the quartic translation once.  The term-to-box mapping is a dense slab
+/// parallel to the term arena — no hashing on the per-edit path.
 pub struct TreeEnumerator {
     tree: UnrankedTree,
     term: Term,
     phi: HashMap<NodeId, TermNodeId>,
-    tva: BinaryTva,
-    alphabet: TermAlphabet,
+    plan: Arc<QueryPlan>,
     circuit: Circuit,
-    box_of: HashMap<TermNodeId, BoxId>,
+    /// `box_of[n.index()]`: the circuit box of term node `n`.
+    box_of: Vec<Option<BoxId>>,
     index: EnumIndex,
     mode: BoxEnumMode,
+    /// Epoch-marked scratch bitmaps for `apply` (a slot is "set" iff it holds
+    /// the current epoch): O(spine) per edit instead of O(n) re-zeroing.
+    scratch_epoch: u64,
+    term_mark: Vec<u64>,
+    /// Boxes whose content or child links changed this edit.
+    content_mark: Vec<u64>,
+    /// Boxes whose index entry changed this edit.
+    entry_mark: Vec<u64>,
+}
+
+/// Epoch bitmap helper: `marks[i] == epoch` means "set this edit".
+#[inline]
+fn mark(marks: &mut Vec<u64>, epoch: u64, i: usize) {
+    if i >= marks.len() {
+        marks.resize(i + 1, 0);
+    }
+    marks[i] = epoch;
+}
+
+#[inline]
+fn marked(marks: &[u64], epoch: u64, i: usize) -> bool {
+    marks.get(i).copied() == Some(epoch)
 }
 
 impl TreeEnumerator {
     /// Preprocessing: builds the enumeration structure for `query` (a stepwise TVA
     /// over `base_alphabet_len` labels) on `tree`.
     pub fn new(tree: UnrankedTree, query: &StepwiseTva, base_alphabet_len: usize) -> Self {
-        let translated = translate_stepwise(query, base_alphabet_len);
+        Self::with_plan(tree, QueryPlan::for_query(query, base_alphabet_len))
+    }
+
+    /// Preprocessing with an explicit (possibly pre-shared) query plan.
+    pub fn with_plan(tree: UnrankedTree, plan: Arc<QueryPlan>) -> Self {
         let (term, phi) = build_balanced_term(&tree);
+        let num_states = plan.tva().num_states();
         let mut engine = TreeEnumerator {
             tree,
             term,
             phi,
-            tva: translated.tva,
-            alphabet: translated.alphabet,
-            circuit: Circuit::default(),
-            box_of: HashMap::new(),
+            plan,
+            circuit: Circuit::new(num_states),
+            box_of: Vec::new(),
             index: EnumIndex::default(),
             mode: BoxEnumMode::Indexed,
+            scratch_epoch: 0,
+            term_mark: Vec::new(),
+            content_mark: Vec::new(),
+            entry_mark: Vec::new(),
         };
-        engine.circuit = Circuit::new(engine.tva.num_states());
         let order = engine.term.subtree_postorder(engine.term.root());
         for n in order {
             engine.rebuild_box_for(n);
         }
-        let root_box = engine.box_of[&engine.term.root()];
+        let root_box = engine.box_of(engine.term.root());
         engine.circuit.set_root_force(root_box);
-        let mut index = EnumIndex::default();
-        for b in engine.circuit.boxes_postorder() {
-            index.rebuild_box(&engine.circuit, b);
-        }
-        engine.index = index;
+        engine.index = EnumIndex::build(&engine.circuit);
         engine
+    }
+
+    /// The shared per-query plan (translation + circuit skeletons).
+    pub fn plan(&self) -> &Arc<QueryPlan> {
+        &self.plan
+    }
+
+    /// Allocation counters of the enumeration index (see [`IndexStats`]).
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
+    }
+
+    #[inline]
+    fn box_of(&self, n: TermNodeId) -> BoxId {
+        self.box_of[n.index()].expect("term node has no circuit box")
+    }
+
+    #[inline]
+    fn box_of_checked(&self, n: TermNodeId) -> Option<BoxId> {
+        self.box_of.get(n.index()).copied().flatten()
+    }
+
+    fn set_box_of(&mut self, n: TermNodeId, b: BoxId) {
+        if n.index() >= self.box_of.len() {
+            self.box_of
+                .resize(self.term.arena_len().max(n.index() + 1), None);
+        }
+        self.box_of[n.index()] = Some(b);
+    }
+
+    fn take_box_of(&mut self, n: TermNodeId) -> Option<BoxId> {
+        self.box_of.get_mut(n.index()).and_then(Option::take)
     }
 
     /// Switches between the jump-pointer `box-enum` of Algorithm 3 (default) and the
@@ -98,18 +160,21 @@ impl TreeEnumerator {
         EnumerationStats {
             tree_size: self.tree.len(),
             term_height: self.term.height(),
-            automaton_states: self.tva.num_states(),
+            automaton_states: self.plan.tva().num_states(),
             circuit_width: self.circuit.width(),
             circuit_boxes: self.circuit.num_boxes(),
         }
     }
 
     fn term_label(&self, n: TermNodeId) -> Label {
-        self.alphabet.label_of(self.term.kind(n))
+        self.plan.alphabet().label_of(self.term.kind(n))
     }
 
-    /// (Re)computes the circuit box of term node `n` (children boxes must be current).
-    fn rebuild_box_for(&mut self, n: TermNodeId) {
+    /// (Re)computes the circuit box of term node `n` (children boxes must be
+    /// current).  Returns the box and whether its content or child links
+    /// actually changed — ancestors whose recomputed content is identical need
+    /// no index repair (the spine-only early exit of the update path).
+    fn rebuild_box_for(&mut self, n: TermNodeId) -> (BoxId, bool) {
         let label = self.term_label(n);
         let content: BoxContent = match self.term.children(n) {
             None => {
@@ -117,37 +182,47 @@ impl TreeEnumerator {
                     .term
                     .leaf_tree_node(n)
                     .expect("term leaves map to tree nodes");
-                leaf_box_content(&self.tva, label, node.0)
+                self.plan.leaf_content(label, node.0)
             }
             Some((l, r)) => {
-                let bl = self.box_of[&l];
-                let br = self.box_of[&r];
-                let (lg, rg) = (
-                    self.circuit.gamma(bl).to_vec(),
-                    self.circuit.gamma(br).to_vec(),
-                );
-                internal_box_content(&self.tva, label, &lg, &rg)
+                let bl = self.box_of(l);
+                let br = self.box_of(r);
+                internal_box_content(
+                    self.plan.tva(),
+                    label,
+                    self.circuit.gamma(bl),
+                    self.circuit.gamma(br),
+                )
             }
         };
         let children = self
             .term
             .children(n)
-            .map(|(l, r)| (self.box_of[&l], self.box_of[&r]));
+            .map(|(l, r)| (self.box_of(l), self.box_of(r)));
         let leaf_token = self.term.leaf_tree_node(n).map(|node| node.0);
-        match self
-            .box_of
-            .get(&n)
-            .copied()
-            .filter(|&b| self.circuit.is_live(b))
-        {
+        match self.box_of_checked(n).filter(|&b| self.circuit.is_live(b)) {
             Some(b) => {
-                self.circuit.replace_content(b, content);
-                self.circuit.set_children(b, children);
+                // Same child ids are not enough: a freed slot reused by a fresh
+                // box within this edit carries a cleared parent pointer, so the
+                // link must be re-established even though the ids match.
+                let children_ok = self.circuit.children(b) == children
+                    && children.is_none_or(|(l, r)| {
+                        self.circuit.parent(l) == Some(b) && self.circuit.parent(r) == Some(b)
+                    });
+                let content_changed = *self.circuit.content(b) != content;
+                if content_changed {
+                    self.circuit.replace_content(b, content);
+                }
+                if !children_ok {
+                    self.circuit.set_children(b, children);
+                }
+                (b, content_changed || !children_ok)
             }
             None => {
                 let b = self.circuit.add_orphan_box(content, leaf_token);
                 self.circuit.set_children(b, children);
-                self.box_of.insert(n, b);
+                self.set_box_of(n, b);
+                (b, true)
             }
         }
     }
@@ -155,11 +230,11 @@ impl TreeEnumerator {
     /// The root ∪-gates of the final states and whether the empty assignment is
     /// accepted.
     fn root_query(&self) -> (BoxId, Vec<u32>, bool) {
-        let root_box = self.box_of[&self.term.root()];
+        let root_box = self.box_of(self.term.root());
         let gamma = self.circuit.gamma(root_box);
         let mut gates = Vec::new();
         let mut empty = false;
-        for &f in self.tva.final_states() {
+        for &f in self.plan.tva().final_states() {
             match gamma[f.index()] {
                 StateGate::Top => empty = true,
                 StateGate::Bot => {}
@@ -240,33 +315,63 @@ impl TreeEnumerator {
     /// Applies an edit operation (Definition 7.1) to the underlying tree and repairs
     /// the term, the circuit boxes and the index entries of exactly the dirtied
     /// nodes (Lemma 7.3).  Returns the node created by an insertion, if any.
+    ///
+    /// Two layers of spine-only narrowing on top of the dirty report:
+    ///
+    /// * a box whose recomputed content and child links are unchanged is left in
+    ///   place (gamma changes usually fixpoint a few steps up the spine, so the
+    ///   ancestors above that point keep their contents);
+    /// * an index entry is rebuilt only if the box itself changed or a
+    ///   descendant's index entry was rebuilt — unchanged boxes above a
+    ///   fixpointed spine keep their entries too.
     pub fn apply(&mut self, op: &EditOp) -> Option<NodeId> {
         let report = apply_edit(&mut self.tree, &mut self.term, &mut self.phi, op);
         // Free the boxes of removed term nodes first (their arena slots may be reused
         // by the new nodes created by the same edit).
         for freed in &report.freed {
-            if let Some(b) = self.box_of.remove(freed) {
+            if let Some(b) = self.take_box_of(*freed) {
                 self.index.remove_box(b);
                 if self.circuit.is_live(b) {
                     self.circuit.free_single(b);
                 }
             }
         }
-        // Repair the dirtied boxes bottom-up: content, child links, then index entry.
-        for &dirty in &report.dirty {
-            if !self.term.is_live(dirty) {
+        // Dedup the dirty list keeping the first (bottom-up) occurrence: splice +
+        // rebalance reports can mention the same spine node twice.
+        self.scratch_epoch += 1;
+        let epoch = self.scratch_epoch;
+        let mut dirty: Vec<TermNodeId> = Vec::with_capacity(report.dirty.len());
+        for &d in &report.dirty {
+            if !self.term.is_live(d) || marked(&self.term_mark, epoch, d.index()) {
                 continue;
             }
-            self.rebuild_box_for(dirty);
+            mark(&mut self.term_mark, epoch, d.index());
+            dirty.push(d);
         }
-        let root_box = self.box_of[&self.term.root()];
-        self.circuit.set_root_force(root_box);
-        for &dirty in &report.dirty {
-            if !self.term.is_live(dirty) {
-                continue;
+        // Repair the dirtied boxes bottom-up: content, then child links.
+        for &d in &dirty {
+            let (b, changed) = self.rebuild_box_for(d);
+            if changed {
+                mark(&mut self.content_mark, epoch, b.index());
             }
-            let b = self.box_of[&dirty];
-            self.index.rebuild_box(&self.circuit, b);
+        }
+        let root_box = self.box_of(self.term.root());
+        self.circuit.set_root_force(root_box);
+        // Repair index entries bottom-up.  An entry is stale iff the box's own
+        // wires changed or a child's *entry* changed; a rebuilt-but-identical
+        // child entry stops the propagation (the entry is a function of the
+        // box's wires and the children's entries only).
+        for &d in &dirty {
+            let b = self.box_of(d);
+            let entry_stale = marked(&self.content_mark, epoch, b.index())
+                || self.circuit.children(b).is_some_and(|(l, r)| {
+                    marked(&self.entry_mark, epoch, l.index())
+                        || marked(&self.entry_mark, epoch, r.index())
+                })
+                || !self.index.has(b);
+            if entry_stale && self.index.rebuild_box_changed(&self.circuit, b) {
+                mark(&mut self.entry_mark, epoch, b.index());
+            }
         }
         report.inserted
     }
@@ -277,15 +382,15 @@ impl TreeEnumerator {
         self.term.height()
     }
 
-    /// Checks internal consistency (box tree mirrors the term, index entries exist);
-    /// used by tests after update sequences.
+    /// Checks internal consistency (box tree mirrors the term, index entries exist,
+    /// contents and index entries match a from-scratch rebuild); used by tests
+    /// after update sequences.
     pub fn check_consistency(&self) {
         self.term.check_invariants();
         assert_eq!(self.phi.len(), self.tree.len());
         for n in self.term.subtree_postorder(self.term.root()) {
-            let b = *self
-                .box_of
-                .get(&n)
+            let b = self
+                .box_of_checked(n)
                 .expect("missing box for a live term node");
             assert!(self.circuit.is_live(b));
             assert!(self.index.has(b), "missing index entry for a live box");
@@ -294,10 +399,39 @@ impl TreeEnumerator {
                 Some((l, r)) => {
                     assert_eq!(
                         self.circuit.children(b),
-                        Some((self.box_of[&l], self.box_of[&r]))
+                        Some((self.box_of(l), self.box_of(r)))
                     );
                 }
             }
+        }
+        // The spine-only early exits must leave every box content equal to a
+        // from-scratch recomputation (checked bottom-up, so the child gammas a
+        // parent is checked against have themselves been validated first).
+        for n in self.term.subtree_postorder(self.term.root()) {
+            let b = self.box_of(n);
+            let label = self.term_label(n);
+            let expected = match self.term.children(n) {
+                None => {
+                    let node = self.term.leaf_tree_node(n).unwrap();
+                    self.plan.leaf_content(label, node.0)
+                }
+                Some((l, r)) => internal_box_content(
+                    self.plan.tva(),
+                    label,
+                    self.circuit.gamma(self.box_of(l)),
+                    self.circuit.gamma(self.box_of(r)),
+                ),
+            };
+            assert_eq!(
+                *self.circuit.content(b),
+                expected,
+                "stale box content for {n:?}"
+            );
+        }
+        // And every index entry must equal a from-scratch index build.
+        let fresh = EnumIndex::build(&self.circuit);
+        for b in self.circuit.boxes_postorder() {
+            assert_eq!(self.index.of(b), fresh.of(b), "stale index entry for {b:?}");
         }
         self.circuit.validate();
     }

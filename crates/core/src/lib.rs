@@ -18,7 +18,9 @@
 //!    giving logarithmic-time updates.
 
 pub mod engine;
+pub mod plan;
 pub mod words;
 
 pub use engine::{EnumerationStats, TreeEnumerator};
+pub use plan::QueryPlan;
 pub use words::WordEnumerator;

@@ -1,0 +1,97 @@
+//! Shared per-query preprocessing: the cached Lemma 7.4 translation plus the
+//! per-label *circuit skeletons* (leaf box contents with an unstamped leaf
+//! token).
+//!
+//! Building a [`crate::TreeEnumerator`] used to re-run the quartic automaton
+//! translation and re-derive every leaf box content from `ι` on each call.
+//! Both only depend on the query, not on the tree, so they are computed once
+//! per distinct query and shared across all engine instances through an
+//! `Arc<QueryPlan>` (and, transitively, across threads — the plan is
+//! immutable).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use treenum_automata::{BinaryTva, StepwiseTva};
+use treenum_balance::term::TermAlphabet;
+use treenum_balance::{translate_stepwise_cached_keyed, TranslatedTva, TranslationKey};
+use treenum_circuits::{leaf_box_content, BoxContent, UnionInput};
+use treenum_trees::Label;
+
+/// Leaf token used in skeleton contents; stamped with the real tree node by
+/// [`QueryPlan::leaf_content`].
+const TOKEN_PLACEHOLDER: u32 = u32::MAX;
+
+/// Everything about a query that every [`crate::TreeEnumerator`] instance can
+/// share: the translated, homogenized binary TVA, the term alphabet, and one
+/// leaf [`BoxContent`] template per term label.
+#[derive(Debug)]
+pub struct QueryPlan {
+    translated: Arc<TranslatedTva>,
+    /// `leaf_templates[label.index()]`: the content of a leaf box with that
+    /// term label, with [`TOKEN_PLACEHOLDER`] in every var-gate.
+    leaf_templates: Vec<BoxContent>,
+}
+
+static PLAN_CACHE: OnceLock<Mutex<HashMap<TranslationKey, Arc<QueryPlan>>>> = OnceLock::new();
+
+impl QueryPlan {
+    /// The shared plan for `stepwise` over `base_alphabet_len` labels, served
+    /// from a process-wide cache keyed by the canonical automaton fingerprint.
+    /// The same key is handed down to the translation cache, so a plan miss
+    /// computes the fingerprint once.
+    pub fn for_query(stepwise: &StepwiseTva, base_alphabet_len: usize) -> Arc<QueryPlan> {
+        let key = TranslationKey::new(stepwise, base_alphabet_len);
+        let cache = PLAN_CACHE.get_or_init(Default::default);
+        if let Some(hit) = cache.lock().unwrap().get(&key) {
+            return Arc::clone(hit);
+        }
+        let translated = translate_stepwise_cached_keyed(key.clone(), stepwise, base_alphabet_len);
+        let plan = Arc::new(QueryPlan::build(translated));
+        Arc::clone(cache.lock().unwrap().entry(key).or_insert(plan))
+    }
+
+    /// Builds a plan directly from a translation (no caching); exposed for
+    /// differential tests against the cached path.
+    pub fn build(translated: Arc<TranslatedTva>) -> QueryPlan {
+        let alphabet = translated.alphabet;
+        let leaf_templates = (0..alphabet.len())
+            .map(|l| leaf_box_content(&translated.tva, Label(l as u32), TOKEN_PLACEHOLDER))
+            .collect();
+        QueryPlan {
+            translated,
+            leaf_templates,
+        }
+    }
+
+    /// The translated binary TVA on forest-algebra terms.
+    pub fn tva(&self) -> &BinaryTva {
+        &self.translated.tva
+    }
+
+    /// The term alphabet the TVA reads.
+    pub fn alphabet(&self) -> TermAlphabet {
+        self.translated.alphabet
+    }
+
+    /// The full translation output (for tests and diagnostics).
+    pub fn translated(&self) -> &Arc<TranslatedTva> {
+        &self.translated
+    }
+
+    /// The content of a leaf box with term label `label` encoding the tree
+    /// node behind `leaf_token`: a memcpy of the per-label skeleton with the
+    /// token stamped into its var-gates, instead of re-deriving the content
+    /// from `ι` on every (re)build.
+    pub fn leaf_content(&self, label: Label, leaf_token: u32) -> BoxContent {
+        let mut content = self.leaf_templates[label.index()].clone();
+        for gate in &mut content.union_gates {
+            for input in &mut gate.inputs {
+                if let UnionInput::Var { leaf_token: t, .. } = input {
+                    debug_assert_eq!(*t, TOKEN_PLACEHOLDER, "skeleton already stamped");
+                    *t = leaf_token;
+                }
+            }
+        }
+        content
+    }
+}

@@ -304,7 +304,9 @@ mod tests {
 
     #[test]
     fn reference_and_indexed_agree_on_random_circuits() {
-        for seed in 0..30u64 {
+        // Debug builds run fewer seeds; TREENUM_FULL_ORACLE restores all.
+        let seeds = treenum_trees::generate::oracle_scale(30, 12) as u64;
+        for seed in 0..seeds {
             let num_states = 2 + (seed % 3) as usize;
             let tva = random_tva(2, num_states, seed);
             if tva.num_states() == 0 {

@@ -18,14 +18,13 @@
 //! that a tree hollowing dirties (Lemma 7.3).
 
 use crate::relation::{child_relation, relation_by_walking, Relation};
-use std::collections::HashMap;
 use treenum_circuits::{BoxId, Circuit, Side, UnionInput};
 
 /// Sentinel for "undefined" (`fbb` of a gate with no bidirectional box below it).
 pub const UNDEFINED: u32 = u32::MAX;
 
 /// The per-box part of the index.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BoxIndex {
     /// Target boxes (descendants of this box, including possibly the box itself),
     /// sorted by preorder and closed under pairwise lca of the `fib`/`fbb` values.
@@ -79,16 +78,47 @@ impl BoxIndex {
     }
 }
 
-/// The index structure `I(C)` for a whole circuit.
+/// Counters exposed by [`EnumIndex::stats`], tracking the allocation behaviour of
+/// the hot rebuild path.
+///
+/// `rebuild_box` used to clone both child [`BoxIndex`] values (closures *and* all
+/// stored reachability relations) on every call, which dominated per-edit update
+/// cost.  The dense slab layout makes the clones structurally unnecessary; the
+/// `child_index_clones` counter is the regression guard — any future code path
+/// that needs to clone a child entry must go through
+/// [`EnumIndex::clone_box_index`], and the engine's tests assert the counter
+/// stays at zero across builds and long edit streams.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of `rebuild_box` calls since the index was created.
+    pub box_rebuilds: u64,
+    /// Number of whole child `BoxIndex` clones performed (must stay 0 on the
+    /// build/update path).
+    pub child_index_clones: u64,
+    /// Cumulative number of reachability relations computed and stored by
+    /// rebuilds (one per closure entry).
+    pub relations_stored: u64,
+    /// Number of `relation_to` queries that fell back to walking the box tree
+    /// because the child's closure did not contain the target.
+    pub relation_walk_fallbacks: u64,
+}
+
+/// The index structure `I(C)` for a whole circuit: a dense slab of per-box
+/// entries parallel to the circuit's box arena (`BoxId` is an arena slot index,
+/// so `slots[b.index()]` is the entry of box `b`).  No hashing on the per-answer
+/// or per-edit path.
 #[derive(Clone, Debug, Default)]
 pub struct EnumIndex {
-    boxes: HashMap<BoxId, BoxIndex>,
+    slots: Vec<Option<BoxIndex>>,
+    live: usize,
+    stats: IndexStats,
 }
 
 impl EnumIndex {
     /// Builds the index for every box of the circuit, bottom-up.
     pub fn build(circuit: &Circuit) -> Self {
         let mut index = EnumIndex::default();
+        index.slots.resize_with(circuit.arena_len(), || None);
         for b in circuit.boxes_postorder() {
             index.rebuild_box(circuit, b);
         }
@@ -100,33 +130,98 @@ impl EnumIndex {
     /// # Panics
     /// Panics if the box has no index entry (it was never built or was removed).
     pub fn of(&self, b: BoxId) -> &BoxIndex {
-        &self.boxes[&b]
+        self.get(b).expect("box has no index entry")
+    }
+
+    /// The index of box `b`, if present.
+    #[inline]
+    pub fn get(&self, b: BoxId) -> Option<&BoxIndex> {
+        self.slots.get(b.index()).and_then(Option::as_ref)
     }
 
     /// `true` iff `b` has an index entry.
     pub fn has(&self, b: BoxId) -> bool {
-        self.boxes.contains_key(&b)
+        self.get(b).is_some()
     }
 
     /// Removes the index entry of `b` (used when a box is freed by an update).
     pub fn remove_box(&mut self, b: BoxId) {
-        self.boxes.remove(&b);
+        if let Some(slot) = self.slots.get_mut(b.index()) {
+            if slot.take().is_some() {
+                self.live -= 1;
+            }
+        }
     }
 
     /// Number of boxes with an index entry.
     pub fn len(&self) -> usize {
-        self.boxes.len()
+        self.live
     }
 
     /// `true` iff the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.boxes.is_empty()
+        self.live == 0
+    }
+
+    /// Allocation counters of the rebuild path (see [`IndexStats`]).
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// Clones the stored entry of `b`, counting the clone in
+    /// [`IndexStats::child_index_clones`].  This is the *only* sanctioned way to
+    /// copy an entry out of the slab; the hot paths never call it.
+    pub fn clone_box_index(&mut self, b: BoxId) -> BoxIndex {
+        self.stats.child_index_clones += 1;
+        self.of(b).clone()
     }
 
     /// Recomputes the index entry of box `b`.  The entries of its children (if any)
     /// must already be up to date.  Returns the number of reachability relations
     /// stored for the box.
+    ///
+    /// The child entries are read in place through shared borrows of the slab —
+    /// no `BoxIndex` is cloned (see [`IndexStats::child_index_clones`]).
     pub fn rebuild_box(&mut self, circuit: &Circuit, b: BoxId) -> usize {
+        let (entry, walk_fallbacks) = self.compute_entry(circuit, b);
+        let stored = entry.rel.len();
+        self.store_entry(circuit, b, entry, walk_fallbacks);
+        stored
+    }
+
+    /// Like [`EnumIndex::rebuild_box`], but reports whether the stored entry
+    /// actually changed.  The update path uses this to stop repairing the spine
+    /// as soon as the recomputed entries fixpoint: an unchanged child entry
+    /// cannot invalidate its parent's entry (the entry is a function of the
+    /// box's own wires, the children's entries, and lca/preorder relationships
+    /// between closure boxes, which edge splices below do not alter).
+    pub fn rebuild_box_changed(&mut self, circuit: &Circuit, b: BoxId) -> bool {
+        let (entry, walk_fallbacks) = self.compute_entry(circuit, b);
+        if self.get(b) == Some(&entry) {
+            self.stats.box_rebuilds += 1;
+            self.stats.relation_walk_fallbacks += walk_fallbacks;
+            return false;
+        }
+        self.store_entry(circuit, b, entry, walk_fallbacks);
+        true
+    }
+
+    fn store_entry(&mut self, circuit: &Circuit, b: BoxId, entry: BoxIndex, walk_fallbacks: u64) {
+        if b.index() >= self.slots.len() {
+            self.slots
+                .resize_with(circuit.arena_len().max(b.index() + 1), || None);
+        }
+        self.stats.box_rebuilds += 1;
+        self.stats.relations_stored += entry.rel.len() as u64;
+        self.stats.relation_walk_fallbacks += walk_fallbacks;
+        if self.slots[b.index()].replace(entry).is_none() {
+            self.live += 1;
+        }
+    }
+
+    /// Computes the entry of `b` from the circuit and the children's entries,
+    /// without storing it.  Also returns the number of walk fallbacks taken.
+    fn compute_entry(&self, circuit: &Circuit, b: BoxId) -> (BoxIndex, u64) {
         let width = circuit.box_width(b);
         let gates = circuit.union_gates(b);
 
@@ -151,10 +246,8 @@ impl EnumIndex {
         }
 
         let children = circuit.children(b);
-        let left_index =
-            children.map(|(l, _)| self.boxes.get(&l).expect("child index missing").clone());
-        let right_index =
-            children.map(|(_, r)| self.boxes.get(&r).expect("child index missing").clone());
+        let left_index = children.map(|(l, _)| self.get(l).expect("child index missing"));
+        let right_index = children.map(|(_, r)| self.get(r).expect("child index missing"));
 
         // fib(g), Equation (3): the box itself if the gate has a non-∪ input, else the
         // preorder-minimal fib over its ∪-inputs.  All left-subtree boxes precede all
@@ -165,9 +258,7 @@ impl EnumIndex {
             if has_own[gi] {
                 fib_box[gi] = Some(b);
             } else if !left_targets[gi].is_empty() {
-                let li = left_index
-                    .as_ref()
-                    .expect("left child wires without a left child");
+                let li = left_index.expect("left child wires without a left child");
                 let slot = left_targets[gi]
                     .iter()
                     .map(|&g| li.fib[g as usize])
@@ -175,9 +266,7 @@ impl EnumIndex {
                     .unwrap();
                 fib_box[gi] = Some(li.closure[slot as usize]);
             } else if !right_targets[gi].is_empty() {
-                let ri = right_index
-                    .as_ref()
-                    .expect("right child wires without a right child");
+                let ri = right_index.expect("right child wires without a right child");
                 let slot = right_targets[gi]
                     .iter()
                     .map(|&g| ri.fib[g as usize])
@@ -191,10 +280,10 @@ impl EnumIndex {
             if !left_targets[gi].is_empty() && !right_targets[gi].is_empty() {
                 fbb_box[gi] = Some(b);
             } else if !left_targets[gi].is_empty() {
-                let li = left_index.as_ref().unwrap();
+                let li = left_index.unwrap();
                 fbb_box[gi] = lca_of_slots(circuit, li, &left_targets[gi]);
             } else if !right_targets[gi].is_empty() {
-                let ri = right_index.as_ref().unwrap();
+                let ri = right_index.unwrap();
                 fbb_box[gi] = lca_of_slots(circuit, ri, &right_targets[gi]);
             }
         }
@@ -218,9 +307,14 @@ impl EnumIndex {
         closure.sort_by(|&x, &y| circuit.preorder_cmp(x, y));
 
         // Reachability relations to every closure box.
+        let mut walk_fallbacks = 0u64;
         let rel: Vec<Relation> = closure
             .iter()
-            .map(|&d| self.relation_to(circuit, b, d))
+            .map(|&d| {
+                let (r, walked) = self.relation_to_impl(circuit, b, d);
+                walk_fallbacks += walked;
+                r
+            })
             .collect();
 
         let slot_of = |target: Option<BoxId>| -> u32 {
@@ -241,9 +335,7 @@ impl EnumIndex {
             fib,
             fbb,
         };
-        let stored = entry.rel.len();
-        self.boxes.insert(b, entry);
-        stored
+        (entry, walk_fallbacks)
     }
 
     /// `R(target, from)` for a descendant `target` of `from`: identity if equal, the
@@ -251,8 +343,13 @@ impl EnumIndex {
     /// child of `from` towards `target`, reusing the child's stored relation when
     /// available (Lemma 6.3) and falling back to walking otherwise.
     pub fn relation_to(&self, circuit: &Circuit, from: BoxId, target: BoxId) -> Relation {
+        self.relation_to_impl(circuit, from, target).0
+    }
+
+    /// [`EnumIndex::relation_to`] plus the number of walk fallbacks taken (0 or 1).
+    fn relation_to_impl(&self, circuit: &Circuit, from: BoxId, target: BoxId) -> (Relation, u64) {
         if from == target {
-            return Relation::identity(circuit.box_width(from));
+            return (Relation::identity(circuit.box_width(from)), 0);
         }
         let (l, r) = circuit
             .children(from)
@@ -264,14 +361,17 @@ impl EnumIndex {
         };
         let step = child_relation(circuit, from, side);
         if child == target {
-            return step;
+            return (step, 0);
         }
-        if let Some(child_index) = self.boxes.get(&child) {
+        if let Some(child_index) = self.get(child) {
             if let Some(pos) = child_index.closure.iter().position(|&c| c == target) {
-                return child_index.rel[pos].compose(&step);
+                return (child_index.rel[pos].compose(&step), 0);
             }
         }
-        relation_by_walking(circuit, child, target).compose(&step)
+        (
+            relation_by_walking(circuit, child, target).compose(&step),
+            1,
+        )
     }
 }
 
@@ -354,6 +454,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn rebuild_path_never_clones_child_indexes() {
+        // Regression guard for the old `rebuild_box` behaviour of cloning both
+        // child `BoxIndex` values (closure + all stored relations) per call.
+        let (ac, _t) = build_sample(6);
+        let mut index = EnumIndex::build(&ac.circuit);
+        let boxes = ac.circuit.boxes_postorder();
+        // Rebuild every box once more, as an update spine repair would.
+        for &b in &boxes {
+            index.rebuild_box(&ac.circuit, b);
+        }
+        let stats = index.stats();
+        assert_eq!(stats.box_rebuilds, 2 * boxes.len() as u64);
+        assert_eq!(
+            stats.child_index_clones, 0,
+            "the rebuild path must not clone child index entries"
+        );
+        // Bottom-up rebuilds always find the target in the child closure.
+        assert_eq!(stats.relation_walk_fallbacks, 0);
+        assert!(stats.relations_stored > 0);
+        // The sanctioned clone entry point does count.
+        let _copy = index.clone_box_index(ac.circuit.root());
+        assert_eq!(index.stats().child_index_clones, 1);
+    }
+
+    #[test]
+    fn slab_tracks_removal_and_reuse() {
+        let (ac, _t) = build_sample(4);
+        let mut index = EnumIndex::build(&ac.circuit);
+        let n = index.len();
+        let root = ac.circuit.root();
+        index.remove_box(root);
+        assert_eq!(index.len(), n - 1);
+        assert!(!index.has(root));
+        index.rebuild_box(&ac.circuit, root);
+        assert_eq!(index.len(), n);
+        assert!(index.has(root));
     }
 
     #[test]

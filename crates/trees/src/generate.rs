@@ -6,6 +6,21 @@ use crate::unranked::{NodeId, UnrankedTree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The scale for brute-force oracle test loops: `full` in optimized builds or
+/// whenever the `TREENUM_FULL_ORACLE` environment variable is set, `reduced`
+/// under `debug_assertions` (the exhaustive oracles are 10–50× slower
+/// unoptimized, and CI runs the debug profile).
+///
+/// Use the escape hatch to get full coverage from a debug build:
+/// `TREENUM_FULL_ORACLE=1 cargo test`.
+pub fn oracle_scale(full: usize, reduced: usize) -> usize {
+    if cfg!(debug_assertions) && std::env::var_os("TREENUM_FULL_ORACLE").is_none() {
+        reduced
+    } else {
+        full
+    }
+}
+
 /// Shape of randomly generated trees.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TreeShape {

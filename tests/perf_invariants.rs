@@ -1,0 +1,126 @@
+//! Property tests guarding the flattened enumeration hot path:
+//!
+//! * the process-wide translation cache returns exactly what a fresh
+//!   `translate_stepwise` run produces, and engines for the same query share
+//!   one `QueryPlan`;
+//! * after long random edit streams, the spine-only repair (content-equality
+//!   early exits, index-entry fixpoint propagation) leaves the engine with the
+//!   same answer set as a from-scratch `TreeEnumerator::new` on the edited
+//!   tree, for several query families;
+//! * the dense-slab index never clones child entries on the update path.
+
+use std::sync::Arc;
+use treenum::automata::{queries, StepwiseTva};
+use treenum::balance::{translate_stepwise, translate_stepwise_cached};
+use treenum::core::{QueryPlan, TreeEnumerator};
+use treenum::trees::generate::{oracle_scale, random_tree, EditStream, TreeShape};
+use treenum::trees::valuation::Assignment;
+use treenum::trees::{Alphabet, Var};
+
+fn query_families(sigma: &Alphabet) -> Vec<(&'static str, StepwiseTva)> {
+    let a = sigma.get("a").unwrap();
+    let b = sigma.get("b").unwrap();
+    let c = sigma.get("c").unwrap();
+    vec![
+        ("select_b", queries::select_label(sigma.len(), b, Var(0))),
+        ("exists_c", queries::exists_label(sigma.len(), c)),
+        (
+            "ancestor_descendant",
+            queries::ancestor_descendant(sigma.len(), a, Var(0), b, Var(1)),
+        ),
+        (
+            "marked_ancestor",
+            queries::marked_ancestor(sigma.len(), a, c, Var(0)),
+        ),
+    ]
+}
+
+fn sorted(mut v: Vec<Assignment>) -> Vec<Assignment> {
+    v.sort();
+    v
+}
+
+#[test]
+fn cached_translation_is_identical_to_fresh_translation() {
+    let sigma = Alphabet::from_names(["a", "b", "c"]);
+    for (name, query) in query_families(&sigma) {
+        let fresh = translate_stepwise(&query, sigma.len());
+        let cached = translate_stepwise_cached(&query, sigma.len());
+        assert_eq!(*cached, fresh, "cached translation differs for {name}");
+        // A second lookup must serve the same shared value.
+        let again = translate_stepwise_cached(&query, sigma.len());
+        assert!(Arc::ptr_eq(&cached, &again), "cache did not share {name}");
+        // An equal automaton built independently hits the same entry (the key
+        // is canonical, not pointer-based).
+        let rebuilt = query.clone();
+        let via_clone = translate_stepwise_cached(&rebuilt, sigma.len());
+        assert!(Arc::ptr_eq(&cached, &via_clone));
+    }
+}
+
+#[test]
+fn engines_for_the_same_query_share_one_plan() {
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let b = sigma.get("b").unwrap();
+    let query = queries::select_label(sigma.len(), b, Var(0));
+    let t1 = random_tree(&mut sigma, 40, TreeShape::Random, 1);
+    let t2 = random_tree(&mut sigma, 25, TreeShape::Deep, 2);
+    let e1 = TreeEnumerator::new(t1, &query, sigma.len());
+    let e2 = TreeEnumerator::new(t2, &query, sigma.len());
+    assert!(
+        Arc::ptr_eq(e1.plan(), e2.plan()),
+        "two engines for the same query must share the plan"
+    );
+    // A plan built from a fresh (uncached) translation gives the same circuits:
+    // the two engines enumerate the same answers on the same tree.
+    let t3 = random_tree(&mut sigma, 30, TreeShape::Wide, 3);
+    let fresh_plan = Arc::new(QueryPlan::build(Arc::new(translate_stepwise(
+        &query,
+        sigma.len(),
+    ))));
+    let via_fresh = TreeEnumerator::with_plan(t3.clone(), fresh_plan);
+    let via_cache = TreeEnumerator::new(t3, &query, sigma.len());
+    assert_eq!(
+        sorted(via_fresh.assignments()),
+        sorted(via_cache.assignments())
+    );
+}
+
+#[test]
+fn long_edit_streams_match_from_scratch_rebuilds() {
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let labels: Vec<_> = sigma.labels().collect();
+    let steps = oracle_scale(220, 120);
+    for (name, query) in query_families(&sigma) {
+        for seed in 0..2u64 {
+            let tree = random_tree(&mut sigma, 30, TreeShape::Random, 7 + seed);
+            let mut engine = TreeEnumerator::new(tree, &query, sigma.len());
+            let mut stream = EditStream::balanced_mix(labels.clone(), 101 + seed);
+            for step in 0..steps {
+                let op = stream.next_for(engine.tree());
+                engine.apply(&op);
+                // Cross-check against a cold engine at a few points and at the
+                // end; every intermediate state is covered by the engine's own
+                // oracle tests on smaller streams.
+                if step % 37 == 36 || step == steps - 1 {
+                    let cold = TreeEnumerator::new(engine.tree().clone(), &query, sigma.len());
+                    assert_eq!(
+                        sorted(engine.assignments()),
+                        sorted(cold.assignments()),
+                        "{name}, seed {seed}: divergence after step {step} ({op:?})"
+                    );
+                }
+            }
+            engine.check_consistency();
+            let stats = engine.index_stats();
+            assert_eq!(
+                stats.child_index_clones, 0,
+                "{name}: update path cloned a child index entry"
+            );
+            assert_eq!(
+                stats.relation_walk_fallbacks, 0,
+                "{name}: update path lost a closure target and had to walk"
+            );
+        }
+    }
+}

@@ -10,9 +10,59 @@
 //! Statistics are deliberately simple — warm-up, then timed batches until the
 //! measurement budget is spent, reporting the mean and min per-iteration time.
 //! No plots, no `target/criterion` reports, no outlier analysis.
+//!
+//! Beyond the upstream API subset, the stub records every finished benchmark
+//! in [`Criterion::records`] and can serialize them with
+//! [`Criterion::summary_json`] / [`Criterion::write_summary_json`].  This is
+//! the machine-readable output the `bench_summary` runner in `treenum-bench`
+//! uses to emit `BENCH_*.json` trajectory files; upstream criterion offers the
+//! same data through `target/criterion/**/estimates.json`, so swapping in the
+//! real crate only requires pointing the runner at those files.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark measurement (stub extension, see the module docs).
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// The benchmark group name (empty for free-standing benchmarks).
+    pub group: String,
+    /// The benchmark id within the group (`name/parameter`).
+    pub name: String,
+    /// Mean per-iteration wall-clock time in nanoseconds.
+    pub mean_ns: u128,
+    /// Minimum per-iteration wall-clock time in nanoseconds.
+    pub min_ns: u128,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"group\":{},\"name\":{},\"mean_ns\":{},\"min_ns\":{}}}",
+            json_string(&self.group),
+            json_string(&self.name),
+            self.mean_ns,
+            self.min_ns
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// Re-export of the standard optimization barrier, matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -91,6 +141,48 @@ impl Bencher {
         }
         self.result = Some((total / iters.max(1) as u32, min));
     }
+
+    /// Times `routine` with caller-controlled measurement, matching upstream
+    /// `Bencher::iter_custom`: the closure receives an iteration count and
+    /// returns the measured duration for exactly that many iterations.  Use it
+    /// to exclude per-iteration setup (e.g. generating the next edit of a
+    /// stream) from the timings.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        // Warm-up: grow the batch until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let d = routine(batch);
+            if warm_start.elapsed() >= self.warm_up {
+                break Duration::from_nanos((d.as_nanos() / batch as u128) as u64);
+            }
+            if d < self.warm_up / 4 {
+                batch = (batch * 2).min(1 << 20);
+            }
+        };
+        let batch = if per_iter.is_zero() {
+            1_000
+        } else {
+            ((self.measurement.as_nanos() / self.sample_size.max(1) as u128)
+                / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64
+        };
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut min = Duration::MAX;
+        let deadline = Instant::now() + self.measurement;
+        loop {
+            let d = routine(batch);
+            total += d;
+            iters += batch;
+            min = min.min(Duration::from_nanos((d.as_nanos() / batch as u128) as u64));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let mean = Duration::from_nanos((total.as_nanos() / iters.max(1) as u128) as u64);
+        self.result = Some((mean, min));
+    }
 }
 
 /// A named collection of related benchmarks sharing configuration.
@@ -162,10 +254,18 @@ impl BenchmarkGroup<'_> {
     fn report(&mut self, bench_name: &str, result: Option<(Duration, Duration)>) {
         self.criterion.benchmarks_run += 1;
         match result {
-            Some((mean, min)) => println!(
-                "{}/{:<40} mean {:>12?}  min {:>12?}",
-                self.name, bench_name, mean, min
-            ),
+            Some((mean, min)) => {
+                println!(
+                    "{}/{:<40} mean {:>12?}  min {:>12?}",
+                    self.name, bench_name, mean, min
+                );
+                self.criterion.records.push(BenchRecord {
+                    group: self.name.clone(),
+                    name: bench_name.to_string(),
+                    mean_ns: mean.as_nanos(),
+                    min_ns: min.as_nanos(),
+                });
+            }
             None => println!("{}/{:<40} (no timing loop executed)", self.name, bench_name),
         }
     }
@@ -193,6 +293,7 @@ impl From<String> for BenchmarkId {
 #[derive(Default)]
 pub struct Criterion {
     benchmarks_run: usize,
+    records: Vec<BenchRecord>,
 }
 
 impl Criterion {
@@ -221,9 +322,53 @@ impl Criterion {
         f(&mut bencher);
         if let Some((mean, min)) = bencher.result {
             println!("{:<40} mean {:>12?}  min {:>12?}", name, mean, min);
+            self.records.push(BenchRecord {
+                group: String::new(),
+                name: name.to_string(),
+                mean_ns: mean.as_nanos(),
+                min_ns: min.as_nanos(),
+            });
         }
         self.benchmarks_run += 1;
         self
+    }
+
+    /// All measurements recorded so far, in execution order (stub extension).
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Serializes the recorded measurements as a JSON document (stub extension):
+    /// `{"schema": 1, "benchmarks": [{"group", "name", "mean_ns", "min_ns"}, …]}`.
+    ///
+    /// `meta` entries are emitted verbatim as extra top-level string fields so
+    /// runners can stamp a profile name or git revision into the file.
+    pub fn summary_json(&self, meta: &[(&str, &str)]) -> String {
+        let mut out = String::from("{\"schema\":1");
+        for (k, v) in meta {
+            out.push(',');
+            out.push_str(&json_string(k));
+            out.push(':');
+            out.push_str(&json_string(v));
+        }
+        out.push_str(",\"benchmarks\":[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Writes [`Criterion::summary_json`] to `path` (stub extension).
+    pub fn write_summary_json(
+        &self,
+        path: &std::path::Path,
+        meta: &[(&str, &str)],
+    ) -> std::io::Result<()> {
+        std::fs::write(path, self.summary_json(meta))
     }
 }
 
@@ -286,5 +431,47 @@ mod tests {
     #[test]
     fn black_box_is_identity() {
         assert_eq!(black_box(41) + 1, 42);
+    }
+
+    #[test]
+    fn summary_json_contains_recorded_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        group.bench_function("fast", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.records().len(), 1);
+        assert_eq!(c.records()[0].group, "grp");
+        assert_eq!(c.records()[0].name, "fast");
+        let json = c.summary_json(&[("profile", "smoke")]);
+        assert!(json.starts_with("{\"schema\":1,\"profile\":\"smoke\""));
+        assert!(json.contains("\"group\":\"grp\""));
+        assert!(json.contains("\"name\":\"fast\""));
+        assert!(json.contains("\"mean_ns\":"));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn iter_custom_reports_caller_measured_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("custom");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        group.bench_function("fixed", |b| {
+            b.iter_custom(|iters| Duration::from_micros(5) * iters as u32)
+        });
+        group.finish();
+        let rec = &c.records()[0];
+        // Mean and min must reflect the fabricated 5µs per iteration.
+        assert!(rec.mean_ns >= 4_000 && rec.mean_ns <= 6_000, "{rec:?}");
+        assert!(rec.min_ns >= 4_000 && rec.min_ns <= 6_000, "{rec:?}");
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
     }
 }
