@@ -1,21 +1,29 @@
 //! Runs compact versions of experiments E1–E7 and writes a JSON summary.
 //!
 //! ```text
-//! bench_summary [--profile full|smoke] [--out PATH]
+//! bench_summary [--profile full|smoke|e2] [--out PATH]
+//!               [--check-e2 BASELINE.json] [--tolerance FRACTION]
 //! ```
 //!
 //! The committed trajectory files at the repository root are produced with the
 //! `full` profile (`--out BENCH_baseline.json` before a perf change,
 //! `--out BENCH_after.json` after); CI runs the `smoke` profile to keep the
-//! bench code compiling and running.  Without `--out` the JSON goes to stdout.
+//! bench code compiling and running, plus `--profile e2 --check-e2
+//! BENCH_baseline.json`, which exits non-zero when any freshly measured E2
+//! p95 per-answer delay regresses more than the tolerance (default 0.25 =
+//! 25%) against the committed baseline.  Without `--out` the JSON goes to
+//! stdout.
 
 use criterion::Criterion;
 use std::path::PathBuf;
 use treenum_bench::summary::{run_summary, SummaryProfile};
+use treenum_bench::trajectory::{check_e2_regression, Trajectory};
 
 fn main() {
     let mut profile = SummaryProfile::full();
     let mut out: Option<PathBuf> = None;
+    let mut check_e2: Option<PathBuf> = None;
+    let mut tolerance = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,6 +35,18 @@ fn main() {
             "--out" => {
                 let path = args.next().unwrap_or_else(|| usage("missing output path"));
                 out = Some(PathBuf::from(path));
+            }
+            "--check-e2" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing baseline path"));
+                check_e2 = Some(PathBuf::from(path));
+            }
+            "--tolerance" => {
+                let value = args.next().unwrap_or_else(|| usage("missing tolerance"));
+                tolerance = value
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad tolerance {value:?}")));
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unexpected argument {other:?}")),
@@ -50,12 +70,51 @@ fn main() {
         }
         None => print!("{}", criterion.summary_json(&meta)),
     }
+
+    if let Some(baseline_path) = check_e2 {
+        let baseline = Trajectory::load(&baseline_path).unwrap_or_else(|e| fail(&e));
+        let comparisons = check_e2_regression(&baseline, criterion.records(), tolerance)
+            .unwrap_or_else(|e| fail(&e));
+        let mut regressed = false;
+        for c in &comparisons {
+            eprintln!(
+                "E2 p95 {}: baseline {} ns, now {} ns ({:.2}x){}",
+                c.name,
+                c.baseline_p95_ns,
+                c.fresh_p95_ns,
+                c.ratio,
+                if c.regressed { "  REGRESSION" } else { "" }
+            );
+            regressed |= c.regressed;
+        }
+        if regressed {
+            fail(&format!(
+                "E2 p95 per-answer delay regressed more than {:.0}% against {}",
+                tolerance * 100.0,
+                baseline_path.display()
+            ));
+        }
+        eprintln!(
+            "E2 p95 check passed ({} records within {:.0}% of {})",
+            comparisons.len(),
+            tolerance * 100.0,
+            baseline_path.display()
+        );
+    }
+}
+
+fn fail(error: &str) -> ! {
+    eprintln!("error: {error}");
+    std::process::exit(1);
 }
 
 fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("error: {error}");
     }
-    eprintln!("usage: bench_summary [--profile full|smoke] [--out PATH]");
+    eprintln!(
+        "usage: bench_summary [--profile full|smoke|e2] [--out PATH] \
+         [--check-e2 BASELINE.json] [--tolerance FRACTION]"
+    );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -8,6 +8,7 @@
 //! `bench_summary` binary that writes the committed `BENCH_*.json` trajectory files.
 
 pub mod summary;
+pub mod trajectory;
 
 use treenum_automata::{queries, StepwiseTva};
 use treenum_trees::generate::{random_tree, TreeShape};

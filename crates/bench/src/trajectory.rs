@@ -1,0 +1,446 @@
+//! Reading committed `BENCH_*.json` trajectory files and gating on them.
+//!
+//! The build environment has no crates.io access (so no `serde`); the files
+//! are written by the vendored criterion stub with a fixed flat schema
+//! (`{"schema":1, …, "benchmarks":[{"group","name","mean_ns","min_ns",
+//! "p50_ns"?,"p95_ns"?,"p99_ns"?}, …]}`), and this module carries the small
+//! hand-rolled parser for exactly that shape.  [`check_e2_regression`] is the
+//! CI gate: it compares a fresh run's E2 p95 per-answer delays against the
+//! committed baseline and fails on a >`tolerance` regression.
+
+use criterion::BenchRecord;
+
+/// A parsed trajectory file: its profile stamp and all benchmark records.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    /// The `"profile"` stamp of the file (empty when missing).
+    pub profile: String,
+    /// All benchmark records, in file order.
+    pub benchmarks: Vec<BenchRecord>,
+}
+
+impl Trajectory {
+    /// Parses the JSON written by `Criterion::summary_json`.
+    pub fn parse(text: &str) -> Result<Trajectory, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        let Json::Object(top) = value else {
+            return Err("top-level JSON value is not an object".into());
+        };
+        let mut out = Trajectory::default();
+        for (key, value) in top {
+            match (key.as_str(), value) {
+                ("profile", Json::String(s)) => out.profile = s,
+                ("benchmarks", Json::Array(items)) => {
+                    for item in items {
+                        let Json::Object(fields) = item else {
+                            return Err("benchmark entry is not an object".into());
+                        };
+                        let mut rec = BenchRecord::default();
+                        for (k, v) in fields {
+                            match (k.as_str(), v) {
+                                ("group", Json::String(s)) => rec.group = s,
+                                ("name", Json::String(s)) => rec.name = s,
+                                ("mean_ns", Json::Number(n)) => rec.mean_ns = n,
+                                ("min_ns", Json::Number(n)) => rec.min_ns = n,
+                                ("p50_ns", Json::Number(n)) => rec.p50_ns = Some(n),
+                                ("p95_ns", Json::Number(n)) => rec.p95_ns = Some(n),
+                                ("p99_ns", Json::Number(n)) => rec.p99_ns = Some(n),
+                                _ => {}
+                            }
+                        }
+                        out.benchmarks.push(rec);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads and parses a trajectory file from disk.
+    pub fn load(path: &std::path::Path) -> Result<Trajectory, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// The record with the given group and name, if present.
+    pub fn find(&self, group: &str, name: &str) -> Option<&BenchRecord> {
+        self.benchmarks
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+    }
+}
+
+/// One comparison of a fresh E2 record against the baseline.
+#[derive(Debug, Clone)]
+pub struct E2Comparison {
+    /// Record name (`per_answer_<query>/<n>`).
+    pub name: String,
+    /// Baseline p95 per-answer delay (ns).
+    pub baseline_p95_ns: u128,
+    /// Fresh p95 per-answer delay (ns).
+    pub fresh_p95_ns: u128,
+    /// `fresh / baseline` (1.0 = unchanged, 2.0 = twice as slow).
+    pub ratio: f64,
+    /// Whether the ratio exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Compares every E2 per-answer record present in both runs, flagging fresh
+/// p95 delays more than `tolerance` above baseline (`tolerance` 0.25 = fail
+/// on >25% regression).  Returns an error when nothing was comparable — a
+/// silent pass on mismatched files would defeat the gate.
+pub fn check_e2_regression(
+    baseline: &Trajectory,
+    fresh: &[BenchRecord],
+    tolerance: f64,
+) -> Result<Vec<E2Comparison>, String> {
+    let mut out = Vec::new();
+    for rec in fresh {
+        if rec.group != "E2_delay" {
+            continue;
+        }
+        let (Some(fresh_p95), Some(base)) = (rec.p95_ns, baseline.find(&rec.group, &rec.name))
+        else {
+            continue;
+        };
+        let Some(base_p95) = base.p95_ns else {
+            continue;
+        };
+        if base_p95 == 0 {
+            continue;
+        }
+        let ratio = fresh_p95 as f64 / base_p95 as f64;
+        out.push(E2Comparison {
+            name: rec.name.clone(),
+            baseline_p95_ns: base_p95,
+            fresh_p95_ns: fresh_p95,
+            ratio,
+            regressed: ratio > 1.0 + tolerance,
+        });
+    }
+    if out.is_empty() {
+        return Err(
+            "no E2 per-answer records were comparable against the baseline \
+             (size or name mismatch?)"
+                .into(),
+        );
+    }
+    // Partial coverage loss must fail too: every E2 record the baseline gates
+    // on (it has a p95) needs a fresh counterpart, or dropping a size/arm
+    // from the measured profile would silently shrink the gate.
+    let matched: std::collections::HashSet<&str> = out.iter().map(|c| c.name.as_str()).collect();
+    for base in &baseline.benchmarks {
+        if base.group == "E2_delay"
+            && base.p95_ns.is_some()
+            && !matched.contains(base.name.as_str())
+        {
+            return Err(format!(
+                "baseline E2 record {:?} has no counterpart in the fresh run \
+                 — the gate no longer covers it",
+                base.name
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// The subset of JSON the trajectory files use.  Numbers are unsigned
+/// integers (all our fields are nanosecond counts).
+#[derive(Debug)]
+enum Json {
+    String(String),
+    Number(u128),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+    Other,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.at,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-') => {
+                // Negative numbers cannot occur in our schema; consume and
+                // report as non-numeric rather than failing the whole file.
+                self.at += 1;
+                self.number().map(|_| Json::Other)
+            }
+            other => Err(format!("unexpected byte {other:?} at {}", self.at)),
+        }
+    }
+
+    fn literal(&mut self, text: &str) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(text.as_bytes()) {
+            self.at += text.len();
+            Ok(Json::Other)
+        } else {
+            Err(format!("malformed literal at byte {}", self.at))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.at += 4;
+                        }
+                        Some(c) => out.push(c as char),
+                        None => return Err("truncated escape".into()),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Copy a run of plain bytes (UTF-8 passes through intact).
+                    let start = self.at;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.at += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.at])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+')
+        {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).map_err(|e| e.to_string())?;
+        match text.parse::<u128>() {
+            Ok(n) => Ok(Json::Number(n)),
+            // Floats / exponents don't occur in our fields of interest.
+            Err(_) => Ok(Json::Other),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Array(out));
+                }
+                other => return Err(format!("expected ',' or ']' , found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            out.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Object(out));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"schema\":1,\"profile\":\"full\",\"benchmarks\":[",
+        "{\"group\":\"E2_delay\",\"name\":\"per_answer_select_b/10000\",",
+        "\"mean_ns\":500,\"min_ns\":100,\"p50_ns\":400,\"p95_ns\":900,\"p99_ns\":1500},",
+        "{\"group\":\"E1_preprocessing\",\"name\":\"build/1000\",",
+        "\"mean_ns\":2084476,\"min_ns\":2037279}",
+        "]}\n"
+    );
+
+    #[test]
+    fn parses_summary_json() {
+        let t = Trajectory::parse(SAMPLE).unwrap();
+        assert_eq!(t.profile, "full");
+        assert_eq!(t.benchmarks.len(), 2);
+        let e2 = t.find("E2_delay", "per_answer_select_b/10000").unwrap();
+        assert_eq!(e2.mean_ns, 500);
+        assert_eq!(e2.p95_ns, Some(900));
+        let e1 = t.find("E1_preprocessing", "build/1000").unwrap();
+        assert_eq!(e1.p95_ns, None);
+        assert_eq!(e1.mean_ns, 2084476);
+    }
+
+    #[test]
+    fn roundtrips_through_criterion_writer() {
+        let mut c = criterion::Criterion::default();
+        c.push_record(BenchRecord {
+            group: "E2_delay".into(),
+            name: "per_answer_pairs/1000".into(),
+            mean_ns: 7,
+            min_ns: 3,
+            p50_ns: Some(6),
+            p95_ns: Some(12),
+            p99_ns: Some(20),
+        });
+        let json = c.summary_json(&[("profile", "e2")]);
+        let t = Trajectory::parse(&json).unwrap();
+        assert_eq!(t.profile, "e2");
+        let rec = t.find("E2_delay", "per_answer_pairs/1000").unwrap();
+        assert_eq!(rec.p99_ns, Some(20));
+    }
+
+    #[test]
+    fn regression_check_flags_slowdowns() {
+        let baseline = Trajectory::parse(SAMPLE).unwrap();
+        let fresh_ok = vec![BenchRecord {
+            group: "E2_delay".into(),
+            name: "per_answer_select_b/10000".into(),
+            mean_ns: 480,
+            min_ns: 90,
+            p50_ns: Some(380),
+            p95_ns: Some(1000),
+            p99_ns: Some(1400),
+        }];
+        let cmp = check_e2_regression(&baseline, &fresh_ok, 0.25).unwrap();
+        assert_eq!(cmp.len(), 1);
+        assert!(!cmp[0].regressed, "11% over baseline is within 25%");
+
+        let fresh_bad = vec![BenchRecord {
+            p95_ns: Some(2000),
+            ..fresh_ok[0].clone()
+        }];
+        let cmp = check_e2_regression(&baseline, &fresh_bad, 0.25).unwrap();
+        assert!(cmp[0].regressed, "2.2x over baseline must be flagged");
+    }
+
+    #[test]
+    fn regression_check_rejects_incomparable_runs() {
+        let baseline = Trajectory::parse(SAMPLE).unwrap();
+        let fresh = vec![BenchRecord {
+            group: "E2_delay".into(),
+            name: "per_answer_select_b/200".into(), // smoke size, not in baseline
+            p95_ns: Some(1),
+            ..BenchRecord::default()
+        }];
+        assert!(check_e2_regression(&baseline, &fresh, 0.25).is_err());
+    }
+
+    #[test]
+    fn regression_check_rejects_partial_coverage() {
+        // Baseline gates two records; a fresh run covering only one of them
+        // must fail rather than silently shrinking the gate.
+        let two = concat!(
+            "{\"schema\":1,\"profile\":\"full\",\"benchmarks\":[",
+            "{\"group\":\"E2_delay\",\"name\":\"per_answer_select_b/10000\",",
+            "\"mean_ns\":500,\"min_ns\":100,\"p50_ns\":400,\"p95_ns\":900,\"p99_ns\":1500},",
+            "{\"group\":\"E2_delay\",\"name\":\"per_answer_pairs/10000\",",
+            "\"mean_ns\":800,\"min_ns\":200,\"p50_ns\":700,\"p95_ns\":1400,\"p99_ns\":2000}",
+            "]}\n"
+        );
+        let baseline = Trajectory::parse(two).unwrap();
+        let fresh = vec![BenchRecord {
+            group: "E2_delay".into(),
+            name: "per_answer_select_b/10000".into(),
+            p95_ns: Some(850),
+            ..BenchRecord::default()
+        }];
+        let err = check_e2_regression(&baseline, &fresh, 0.25).unwrap_err();
+        assert!(err.contains("per_answer_pairs/10000"), "{err}");
+    }
+}

@@ -1,6 +1,7 @@
 //! The incremental tree enumeration engine (Theorem 8.1).
 
 use crate::plan::QueryPlan;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::sync::Arc;
@@ -10,9 +11,9 @@ use treenum_balance::term::{Term, TermNodeId};
 use treenum_balance::update::apply_edit;
 use treenum_circuits::{internal_box_content, BoxContent, BoxId, Circuit, StateGate};
 use treenum_enumeration::boxenum::BoxEnumMode;
-use treenum_enumeration::dedup::enumerate_root;
+use treenum_enumeration::dedup::enumerate_root_with;
 use treenum_enumeration::index::IndexStats;
-use treenum_enumeration::EnumIndex;
+use treenum_enumeration::{EnumIndex, EnumScratch, EnumStats};
 use treenum_trees::edit::EditOp;
 use treenum_trees::unranked::{NodeId, UnrankedTree};
 use treenum_trees::valuation::{Assignment, Singleton};
@@ -61,6 +62,11 @@ pub struct TreeEnumerator {
     content_mark: Vec<u64>,
     /// Boxes whose index entry changed this edit.
     entry_mark: Vec<u64>,
+    /// Reusable per-answer enumeration scratch (pools + counters), kept warm
+    /// across `apply`/re-enumeration cycles.  `RefCell` because enumeration
+    /// takes `&self`; a re-entrant enumeration (a sink that enumerates the
+    /// same engine again) falls back to a throwaway scratch.
+    scratch: RefCell<EnumScratch>,
 }
 
 /// Epoch bitmap helper: `marks[i] == epoch` means "set this edit".
@@ -101,6 +107,7 @@ impl TreeEnumerator {
             term_mark: Vec::new(),
             content_mark: Vec::new(),
             entry_mark: Vec::new(),
+            scratch: RefCell::new(EnumScratch::new()),
         };
         let order = engine.term.subtree_postorder(engine.term.root());
         for n in order {
@@ -120,6 +127,23 @@ impl TreeEnumerator {
     /// Allocation counters of the enumeration index (see [`IndexStats`]).
     pub fn index_stats(&self) -> IndexStats {
         self.index.stats()
+    }
+
+    /// Allocation counters of the per-answer enumeration loop (see
+    /// [`EnumStats`]).  After a warm-up enumeration, further steady-state
+    /// enumerations leave `per_answer_allocs`, `relation_clones` and
+    /// `group_map_rebuilds` unchanged.
+    ///
+    /// Mid-enumeration (called from inside a [`TreeEnumerator::for_each`]
+    /// sink, while the engine's scratch is lent to the running enumeration)
+    /// the live counters are unreadable; a default (all-zero) snapshot is
+    /// returned instead of panicking, mirroring `for_each`'s own re-entrancy
+    /// fallback.
+    pub fn enum_stats(&self) -> EnumStats {
+        self.scratch
+            .try_borrow()
+            .map(|s| s.stats())
+            .unwrap_or_default()
     }
 
     #[inline]
@@ -250,13 +274,30 @@ impl TreeEnumerator {
 
     /// Enumerates every satisfying assignment, invoking `sink` once per answer,
     /// without duplicates.  Return [`ControlFlow::Break`] from the sink to stop early.
+    ///
+    /// The engine's pooled [`EnumScratch`] is reused across calls (and across
+    /// [`TreeEnumerator::apply`] cycles), so steady-state enumeration is
+    /// allocation-free inside the per-answer loop; if the sink re-enters the
+    /// same engine, the nested enumeration runs on a throwaway scratch.
     pub fn for_each(&self, sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>) {
+        match self.scratch.try_borrow_mut() {
+            Ok(mut scratch) => self.for_each_with(&mut scratch, sink),
+            Err(_) => self.for_each_with(&mut EnumScratch::new(), sink),
+        }
+    }
+
+    fn for_each_with(
+        &self,
+        scratch: &mut EnumScratch,
+        sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>,
+    ) {
         let (root_box, gates, empty) = self.root_query();
         let index = match self.mode {
             BoxEnumMode::Indexed => Some(&self.index),
             BoxEnumMode::Reference => None,
         };
-        let _ = enumerate_root(
+        let _ = enumerate_root_with(
+            scratch,
             &self.circuit,
             index,
             self.mode,

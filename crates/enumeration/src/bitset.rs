@@ -81,6 +81,42 @@ impl GateSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Clears all bits, keeping the universe size.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Re-dimensions the set to a universe of `len` gates and clears it,
+    /// reusing the existing words allocation when it is large enough.
+    /// Returns `true` iff the buffer had to grow (i.e. a heap allocation
+    /// happened) — the enumeration scratch pools use this to maintain their
+    /// allocation counters.
+    pub fn reset(&mut self, len: usize) -> bool {
+        let words = len.div_ceil(64);
+        let grew = words > self.words.capacity();
+        self.len = len;
+        self.words.clear();
+        self.words.resize(words, 0);
+        grew
+    }
+
+    /// Grows the words buffer capacity to at least `words` without changing
+    /// the set.  Returns `true` iff an allocation happened.  The scratch
+    /// pools pad every pooled set to the high-water capacity so that pooled
+    /// buffers converge to one size and steady-state reuse never reallocates
+    /// regardless of which pooled buffer serves which call site.
+    pub(crate) fn ensure_word_capacity(&mut self, words: usize) -> bool {
+        if words <= self.words.capacity() {
+            return false;
+        }
+        // `reserve_exact`: amortized overshoot would leak allocator rounding
+        // into the scratch pool's high-water reasoning.
+        self.words.reserve_exact(words - self.words.len());
+        true
+    }
+
     /// In-place union.
     pub fn union_with(&mut self, other: &GateSet) {
         debug_assert_eq!(self.len, other.len);
@@ -160,5 +196,24 @@ mod tests {
         assert_eq!(GateSet::full(67).count(), 67);
         assert!(GateSet::empty(10).is_empty());
         assert!(!GateSet::singleton(10, 9).is_empty());
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_reports_growth() {
+        let mut s = GateSet::empty(0);
+        assert!(s.reset(130), "growing from empty must allocate");
+        s.insert(129);
+        assert!(!s.reset(64), "shrinking reuses the buffer");
+        assert_eq!(s.universe_len(), 64);
+        assert!(s.is_empty(), "reset clears the bits");
+        assert!(
+            !s.reset(128),
+            "regrowing within capacity is allocation-free"
+        );
+        assert_eq!(
+            s,
+            GateSet::empty(128),
+            "reset result equals a fresh empty set"
+        );
     }
 }

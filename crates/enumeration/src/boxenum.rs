@@ -8,14 +8,23 @@
 //!
 //! * [`box_enum_reference`]: the straightforward walk of the box tree described at
 //!   the end of Section 5, with delay `O(depth(C) · w²/64)` — simple, certainly
-//!   correct, used as the differential-testing oracle;
+//!   correct, used as the differential-testing oracle (it allocates freely);
 //! * [`box_enum_indexed`]: Algorithm 3, which uses the precomputed `fib`/`fbb`
 //!   jump pointers of the index (Definition 6.1) to skip uninteresting boxes, making
-//!   the delay essentially independent of the circuit depth (Lemma 6.4).
+//!   the delay essentially independent of the circuit depth (Lemma 6.4).  This is
+//!   the hot path: every relation it materializes comes from the
+//!   [`EnumScratch`] pools and every child-step relation comes precomposed from
+//!   the index, so a warm steady-state run performs no heap allocation
+//!   (guarded by [`crate::scratch::EnumStats`]).
+//!
+//! Both sinks receive the scratch back on every emission — the recursion is
+//! re-entrant (`enum-s` recurses into `box-enum` from inside the sink), so the
+//! scratch is threaded through rather than borrowed across calls.
 
 use crate::bitset::GateSet;
 use crate::index::EnumIndex;
 use crate::relation::{child_relation, Relation};
+use crate::scratch::EnumScratch;
 use std::ops::ControlFlow;
 use treenum_circuits::{BoxId, Circuit, Side, UnionInput};
 
@@ -29,8 +38,10 @@ pub enum BoxEnumMode {
     Reference,
 }
 
-/// The callback type receiving `(B', R(B', Γ))` pairs.
-pub type BoxSink<'s> = dyn FnMut(BoxId, &Relation) -> ControlFlow<()> + 's;
+/// The callback type receiving `(B', R(B', Γ))` pairs (plus the scratch, which
+/// the sink may use for its own pooled storage and must thread into nested
+/// enumeration calls).
+pub type BoxSink<'s> = dyn FnMut(&mut EnumScratch, BoxId, &Relation) -> ControlFlow<()> + 's;
 
 fn is_interesting(circuit: &Circuit, b: BoxId, sources: &GateSet) -> bool {
     let gates = circuit.union_gates(b);
@@ -52,16 +63,18 @@ pub fn initial_relation(circuit: &Circuit, b: BoxId, gamma: &GateSet) -> Relatio
 /// reachability relation, and emit it at every interesting box.
 pub fn box_enum_reference(
     circuit: &Circuit,
+    scratch: &mut EnumScratch,
     b: BoxId,
     gamma: &GateSet,
     sink: &mut BoxSink<'_>,
 ) -> ControlFlow<()> {
     let r = initial_relation(circuit, b, gamma);
-    walk_reference(circuit, b, &r, sink)
+    walk_reference(circuit, scratch, b, &r, sink)
 }
 
 fn walk_reference(
     circuit: &Circuit,
+    scratch: &mut EnumScratch,
     b: BoxId,
     r: &Relation,
     sink: &mut BoxSink<'_>,
@@ -71,16 +84,16 @@ fn walk_reference(
         return ControlFlow::Continue(());
     }
     if is_interesting(circuit, b, &sources) {
-        sink(b, r)?;
+        sink(scratch, b, r)?;
     }
     if let Some((l, rt)) = circuit.children(b) {
         let rl = child_relation(circuit, b, Side::Left).compose(r);
         if !rl.is_empty() {
-            walk_reference(circuit, l, &rl, sink)?;
+            walk_reference(circuit, scratch, l, &rl, sink)?;
         }
         let rr = child_relation(circuit, b, Side::Right).compose(r);
         if !rr.is_empty() {
-            walk_reference(circuit, rt, &rr, sink)?;
+            walk_reference(circuit, scratch, rt, &rr, sink)?;
         }
     }
     ControlFlow::Continue(())
@@ -92,75 +105,114 @@ fn walk_reference(
 pub fn box_enum_indexed(
     circuit: &Circuit,
     index: &EnumIndex,
+    scratch: &mut EnumScratch,
     b: BoxId,
     gamma: &GateSet,
     sink: &mut BoxSink<'_>,
 ) -> ControlFlow<()> {
-    let r = initial_relation(circuit, b, gamma);
-    if r.is_empty() {
+    if gamma.is_empty() {
         return ControlFlow::Continue(());
     }
-    b_enum(circuit, index, b, r, sink)
+    let w = circuit.box_width(b);
+    let mut r0 = scratch.take_relation(w, w);
+    for g in gamma.iter() {
+        r0.set(g, g);
+    }
+    let flow = b_enum(circuit, index, scratch, b, &r0, sink);
+    scratch.put_relation(r0);
+    flow
 }
 
 fn b_enum(
     circuit: &Circuit,
     index: &EnumIndex,
+    scratch: &mut EnumScratch,
     b: BoxId,
-    r: Relation,
+    r: &Relation,
     sink: &mut BoxSink<'_>,
 ) -> ControlFlow<()> {
-    let sources = r.project_sources();
-    debug_assert!(!sources.is_empty(), "b-enum called with an empty relation");
+    debug_assert!(!r.is_empty(), "b-enum called with an empty relation");
     let bi = index.of(b);
     // Line 4–6: jump to the first interesting box and output its relation.
     let b1_slot = bi
-        .fib_of_set(sources.iter())
+        .fib_of_set((0..r.rows()).filter(|&i| !r.row_is_empty(i)))
         .expect("every ∪-gate reaches an interesting box");
     let b1 = bi.closure[b1_slot as usize];
-    let r1 = bi.rel[b1_slot as usize].compose(&r);
-    sink(b1, &r1)?;
+    let rel1 = &bi.rel[b1_slot as usize];
+    let mut r1 = scratch.take_relation(rel1.rows(), r.cols());
+    rel1.compose_into(r, &mut r1);
+    let mut flow = sink(scratch, b1, &r1);
     // Lines 7–10: recurse into both subtrees of the first interesting box.
-    if let Some((bl, br)) = circuit.children(b1) {
-        let rl = child_relation(circuit, b1, Side::Left).compose(&r1);
-        if !rl.is_empty() {
-            b_enum(circuit, index, bl, rl, sink)?;
+    if flow.is_continue() {
+        if let Some((bl, br)) = circuit.children(b1) {
+            let (cl, cr) = index
+                .of(b1)
+                .child_rels()
+                .expect("internal box stores child relations");
+            let mut rl = scratch.take_relation(cl.rows(), r1.cols());
+            cl.compose_into(&r1, &mut rl);
+            if !rl.is_empty() {
+                flow = b_enum(circuit, index, scratch, bl, &rl, sink);
+            }
+            scratch.put_relation(rl);
+            if flow.is_continue() {
+                let mut rr = scratch.take_relation(cr.rows(), r1.cols());
+                cr.compose_into(&r1, &mut rr);
+                if !rr.is_empty() {
+                    flow = b_enum(circuit, index, scratch, br, &rr, sink);
+                }
+                scratch.put_relation(rr);
+            }
         }
-        let rr = child_relation(circuit, b1, Side::Right).compose(&r1);
-        if !rr.is_empty() {
-            b_enum(circuit, index, br, rr, sink)?;
-        }
+    }
+    scratch.put_relation(r1);
+    if flow.is_break() || b == b1 {
+        return flow;
     }
     // Lines 11–17 of Algorithm 3 jump between the *bidirectional* boxes on the path
     // from `b` to `b1` and recurse into their off-path subtrees.  We implement the
     // same traversal as a walk down that path: path boxes strictly above `b1` are
     // never interesting (otherwise `fib` would have returned them), so the only work
     // is to recurse into the off-path side wherever the ∪-reachable wavefront
-    // branches away from the path.  The walk costs `O(w²/64)` per path box; with the
-    // balanced terms of Section 7 the path has length `O(log n)`.
+    // branches away from the path.  The walk costs `O(w²/64)` per path box (the
+    // child steps come precomposed from the index); with the balanced terms of
+    // Section 7 the path has length `O(log n)`.
     let mut current_box = b;
-    let mut current_rel = r;
-    while current_box != b1 {
-        if current_rel.is_empty() {
+    let mut cur = scratch.take_relation(r.rows(), r.cols());
+    cur.copy_from(r);
+    while current_box != b1 && flow.is_continue() {
+        if cur.is_empty() {
             break;
         }
         let (bl, br) = circuit
             .children(current_box)
             .expect("a strict ancestor of the first interesting box is internal");
+        let (cl, cr) = index
+            .of(current_box)
+            .child_rels()
+            .expect("internal box stores child relations");
         let towards_left = circuit.is_ancestor(bl, b1);
-        let (path_child, path_side, off_child, off_side) = if towards_left {
-            (bl, Side::Left, br, Side::Right)
+        let (path_child, path_step, off_child, off_step) = if towards_left {
+            (bl, cl, br, cr)
         } else {
-            (br, Side::Right, bl, Side::Left)
+            (br, cr, bl, cl)
         };
-        let off_rel = child_relation(circuit, current_box, off_side).compose(&current_rel);
-        if !off_rel.is_empty() {
-            b_enum(circuit, index, off_child, off_rel, sink)?;
+        let mut off = scratch.take_relation(off_step.rows(), cur.cols());
+        off_step.compose_into(&cur, &mut off);
+        if !off.is_empty() {
+            flow = b_enum(circuit, index, scratch, off_child, &off, sink);
         }
-        current_rel = child_relation(circuit, current_box, path_side).compose(&current_rel);
+        scratch.put_relation(off);
+        if flow.is_break() {
+            break;
+        }
+        let mut next = scratch.take_relation(path_step.rows(), cur.cols());
+        path_step.compose_into(&cur, &mut next);
+        scratch.put_relation(std::mem::replace(&mut cur, next));
         current_box = path_child;
     }
-    ControlFlow::Continue(())
+    scratch.put_relation(cur);
+    flow
 }
 
 /// Runs either implementation depending on `mode` (the index may be `None` only in
@@ -169,15 +221,16 @@ pub fn box_enum(
     circuit: &Circuit,
     index: Option<&EnumIndex>,
     mode: BoxEnumMode,
+    scratch: &mut EnumScratch,
     b: BoxId,
     gamma: &GateSet,
     sink: &mut BoxSink<'_>,
 ) -> ControlFlow<()> {
     match mode {
-        BoxEnumMode::Reference => box_enum_reference(circuit, b, gamma, sink),
+        BoxEnumMode::Reference => box_enum_reference(circuit, scratch, b, gamma, sink),
         BoxEnumMode::Indexed => {
             let index = index.expect("indexed box-enum requires the index structure");
-            box_enum_indexed(circuit, index, b, gamma, sink)
+            box_enum_indexed(circuit, index, scratch, b, gamma, sink)
         }
     }
 }
@@ -191,10 +244,19 @@ pub fn collect_box_enum(
     gamma: &GateSet,
 ) -> Vec<(BoxId, Relation)> {
     let mut out = Vec::new();
-    let _ = box_enum(circuit, index, mode, b, gamma, &mut |bx, r| {
-        out.push((bx, r.clone()));
-        ControlFlow::Continue(())
-    });
+    let mut scratch = EnumScratch::new();
+    let _ = box_enum(
+        circuit,
+        index,
+        mode,
+        &mut scratch,
+        b,
+        gamma,
+        &mut |scratch, bx, r| {
+            out.push((bx, scratch.clone_relation(r)));
+            ControlFlow::Continue(())
+        },
+    );
     out
 }
 
@@ -371,5 +433,45 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), boxes.len(), "a box was emitted twice");
+    }
+
+    #[test]
+    fn indexed_box_enum_is_allocation_free_when_warm() {
+        let tva = random_tva(2, 3, 7);
+        let tree = random_binary_tree(40, 2, 8);
+        let ac = build_assignment_circuit(&tva, &tree);
+        let index = EnumIndex::build(&ac.circuit);
+        let root = ac.circuit.root();
+        let width = ac.circuit.box_width(root);
+        if width == 0 {
+            return;
+        }
+        let gamma = GateSet::full(width);
+        let mut scratch = EnumScratch::new();
+        let run = |scratch: &mut EnumScratch| {
+            let mut count = 0usize;
+            let _ = box_enum_indexed(
+                &ac.circuit,
+                &index,
+                scratch,
+                root,
+                &gamma,
+                &mut |_s, _b, _r| {
+                    count += 1;
+                    ControlFlow::Continue(())
+                },
+            );
+            count
+        };
+        let first = run(&mut scratch);
+        let warm = scratch.stats();
+        let second = run(&mut scratch);
+        assert_eq!(first, second);
+        let steady = scratch.stats();
+        assert_eq!(
+            steady.per_answer_allocs, warm.per_answer_allocs,
+            "warm box-enum must not allocate"
+        );
+        assert_eq!(steady.relation_clones, warm.relation_clones);
     }
 }

@@ -36,9 +36,20 @@ pub struct BoxIndex {
     /// `fbb[g]`: index into `closure` of the first bidirectional box of gate `g`, or
     /// [`UNDEFINED`].
     pub fbb: Vec<u32>,
+    /// The single-step relations `R(left child, B)` / `R(right child, B)`
+    /// (`None` for leaf boxes).  They only depend on the box's own wires, so
+    /// they are recomputed with the entry; storing them lets Algorithm 3's
+    /// path walk compose child relations without re-deriving them from the
+    /// wires at every step.
+    pub child_rel: Option<Box<(Relation, Relation)>>,
 }
 
 impl BoxIndex {
+    /// The stored child-step relations `(left, right)` of an internal box.
+    #[inline]
+    pub fn child_rels(&self) -> Option<(&Relation, &Relation)> {
+        self.child_rel.as_deref().map(|(l, r)| (l, r))
+    }
     /// The first interesting box of a non-empty gate set (Equation (1)): the
     /// preorder-minimal `fib(g)` over the set.  Returns the closure slot.
     pub fn fib_of_set(&self, gates: impl Iterator<Item = usize>) -> Option<u32> {
@@ -306,14 +317,41 @@ impl EnumIndex {
         closure.dedup();
         closure.sort_by(|&x, &y| circuit.preorder_cmp(x, y));
 
+        // Single-step child relations, computed once from the wires and both
+        // stored in the entry and shared by the closure-relation computation
+        // below (which used to rebuild them once per closure target).
+        let child_steps: Option<Box<(Relation, Relation)>> = children.map(|_| {
+            Box::new((
+                child_relation(circuit, b, Side::Left),
+                child_relation(circuit, b, Side::Right),
+            ))
+        });
+
         // Reachability relations to every closure box.
         let mut walk_fallbacks = 0u64;
         let rel: Vec<Relation> = closure
             .iter()
             .map(|&d| {
-                let (r, walked) = self.relation_to_impl(circuit, b, d);
-                walk_fallbacks += walked;
-                r
+                if d == b {
+                    return Relation::identity(width);
+                }
+                let (l, r) = children.expect("a strict descendant needs children");
+                let steps = child_steps.as_deref().expect("children imply steps");
+                let (child, step) = if circuit.is_ancestor(l, d) {
+                    (l, &steps.0)
+                } else {
+                    (r, &steps.1)
+                };
+                if child == d {
+                    return step.clone();
+                }
+                if let Some(child_index) = self.get(child) {
+                    if let Some(pos) = child_index.closure.iter().position(|&c| c == d) {
+                        return child_index.rel[pos].compose(step);
+                    }
+                }
+                walk_fallbacks += 1;
+                relation_by_walking(circuit, child, d).compose(step)
             })
             .collect();
 
@@ -334,6 +372,7 @@ impl EnumIndex {
             rel,
             fib,
             fbb,
+            child_rel: child_steps,
         };
         (entry, walk_fallbacks)
     }
@@ -452,6 +491,23 @@ mod tests {
                     "relation mismatch for {:?} -> {:?}",
                     d, b
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn stored_child_relations_match_wire_derivation() {
+        let (ac, _t) = build_sample(6);
+        let index = EnumIndex::build(&ac.circuit);
+        for b in ac.circuit.boxes_preorder() {
+            let bi = index.of(b);
+            match ac.circuit.children(b) {
+                None => assert!(bi.child_rels().is_none()),
+                Some(_) => {
+                    let (l, r) = bi.child_rels().expect("internal box stores child steps");
+                    assert_eq!(*l, child_relation(&ac.circuit, b, Side::Left));
+                    assert_eq!(*r, child_relation(&ac.circuit, b, Side::Right));
+                }
             }
         }
     }

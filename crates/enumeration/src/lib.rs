@@ -16,6 +16,9 @@
 //!   test oracle.
 //! * [`dedup`]: Algorithm 2 — duplicate-free enumeration with provenance tracking
 //!   (Theorem 5.3), callback-driven for tight delay measurement.
+//! * [`scratch`]: the reusable per-answer scratch state ([`EnumScratch`]) that
+//!   makes the steady-state enumeration loop allocation-free, with the
+//!   [`EnumStats`] counters that guard the discipline.
 //! * [`iter`]: an `Iterator` adapter backed by a bounded channel on a worker thread,
 //!   mirroring the paper's "run the recursive enumeration in another thread"
 //!   presentation.
@@ -26,10 +29,15 @@ pub mod dedup;
 pub mod index;
 pub mod iter;
 pub mod relation;
+pub mod scratch;
 pub mod simple;
 
 pub use bitset::GateSet;
-pub use dedup::{enumerate_boxed_set, enumerate_root, OutputAssignment};
+pub use dedup::{
+    enumerate_boxed_set, enumerate_boxed_set_with, enumerate_root, enumerate_root_with,
+    OutputAssignment,
+};
 pub use index::EnumIndex;
 pub use iter::AssignmentIter;
 pub use relation::Relation;
+pub use scratch::{EnumScratch, EnumStats};

@@ -5,6 +5,11 @@
 //! Relations are boolean matrices; composition is the bottleneck operation, bounded
 //! by `O(w^ω)` in the paper.  We implement the word-blocked product (`w³/64`), which
 //! is the practical analogue.
+//!
+//! The matrix is stored as **one flat word buffer** (row-major, 64-bit blocked
+//! rows): a relation costs a single allocation however many rows it has, which
+//! is what lets the index store two child-step relations per box and the
+//! enumeration scratch recycle relations without per-row allocator traffic.
 
 use crate::bitset::GateSet;
 use treenum_circuits::{BoxId, Circuit, Side, UnionInput};
@@ -12,21 +17,28 @@ use treenum_circuits::{BoxId, Circuit, Side, UnionInput};
 /// A boolean matrix relating `rows` source gates (a descendant box, or Γ itself) to
 /// `cols` target gates (an ancestor box, or the boxed set Γ).
 ///
-/// `bits` is row-major: row `i` is a bitset over the columns.
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// Row `i` occupies words `[i·wpr, (i+1)·wpr)` of the flat buffer, where
+/// `wpr = ⌈cols/64⌉`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Relation {
     rows: usize,
     cols: usize,
-    bits: Vec<GateSet>,
+    words_per_row: usize,
+    /// Invariant: `words.len() == rows * words_per_row` (derived equality
+    /// relies on it; the scratch pool maintains it through
+    /// [`Relation::reset`]).
+    words: Vec<u64>,
 }
 
 impl Relation {
     /// The empty (all-zero) relation.
     pub fn zero(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
         Relation {
             rows,
             cols,
-            bits: vec![GateSet::empty(cols); rows],
+            words_per_row,
+            words: vec![0; rows * words_per_row],
         }
     }
 
@@ -62,43 +74,88 @@ impl Relation {
         self.cols
     }
 
+    /// Re-dimensions to a cleared `rows × cols` matrix, reusing the buffer
+    /// when it is large enough.  Returns `true` iff the buffer had to grow
+    /// (a heap allocation) — used by the scratch pool's counters.
+    pub(crate) fn reset(&mut self, rows: usize, cols: usize) -> bool {
+        let words_per_row = cols.div_ceil(64);
+        let needed = rows * words_per_row;
+        let grew = needed > self.words.capacity();
+        self.rows = rows;
+        self.cols = cols;
+        self.words_per_row = words_per_row;
+        self.words.clear();
+        self.words.resize(needed, 0);
+        grew
+    }
+
+    /// Grows the buffer capacity to at least `words` without changing the
+    /// relation; returns `true` iff an allocation happened (see
+    /// [`GateSet::ensure_word_capacity`] for the pool-padding rationale).
+    /// `reserve_exact`, not `reserve`: the amortized-doubling overshoot of
+    /// `reserve` would defeat the pool's capacity-fixpoint reasoning.
+    pub(crate) fn ensure_word_capacity(&mut self, words: usize) -> bool {
+        if words <= self.words.capacity() {
+            return false;
+        }
+        self.words.reserve_exact(words - self.words.len());
+        true
+    }
+
+    /// The words of row `i`.
+    #[inline]
+    pub(crate) fn row_words(&self, i: usize) -> &[u64] {
+        &self.words[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
     /// Adds the pair `(i, j)`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize) {
-        self.bits[i].insert(j);
+        debug_assert!(i < self.rows && j < self.cols);
+        self.words[i * self.words_per_row + j / 64] |= 1u64 << (j % 64);
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(&self, i: usize, j: usize) -> bool {
-        self.bits[i].contains(j)
+        debug_assert!(i < self.rows && j < self.cols);
+        self.words[i * self.words_per_row + j / 64] & (1u64 << (j % 64)) != 0
     }
 
-    /// Row `i` as a set of target gates.
-    pub fn row(&self, i: usize) -> &GateSet {
-        &self.bits[i]
+    /// `true` iff row `i` relates to no target gate.
+    #[inline]
+    pub fn row_is_empty(&self, i: usize) -> bool {
+        self.row_words(i).iter().all(|&w| w == 0)
+    }
+
+    /// Row `i` as an owned set of target gates (tests/diagnostics; the hot
+    /// paths use [`Relation::row_words`] / [`Relation::row_is_empty`]).
+    pub fn row(&self, i: usize) -> GateSet {
+        GateSet::from_indices(
+            self.cols,
+            bit_indices(self.row_words(i)).collect::<Vec<_>>(),
+        )
     }
 
     /// `true` iff the relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.bits.iter().all(GateSet::is_empty)
+        self.words.iter().all(|&w| w == 0)
     }
 
     /// The projection to the first component: the source gates related to at least one
     /// target gate (`π₁(R)` in the paper).
     pub fn project_sources(&self) -> GateSet {
-        GateSet::from_indices(
-            self.rows,
-            (0..self.rows).filter(|&i| !self.bits[i].is_empty()),
-        )
+        GateSet::from_indices(self.rows, (0..self.rows).filter(|&i| !self.row_is_empty(i)))
     }
 
     /// The projection to the second component: the target gates related to at least
     /// one source gate.
     pub fn project_targets(&self) -> GateSet {
         let mut out = GateSet::empty(self.cols);
-        for row in &self.bits {
-            out.union_with(row);
+        for i in 0..self.rows {
+            for (w, &bits) in out.words_mut().iter_mut().zip(self.row_words(i)) {
+                *w |= bits;
+            }
         }
         out
     }
@@ -107,46 +164,92 @@ impl Relation {
     /// `G ∘ W ∘ R`).
     pub fn image_of(&self, sources: &GateSet) -> GateSet {
         let mut out = GateSet::empty(self.cols);
-        for i in sources.iter() {
-            out.union_with(&self.bits[i]);
-        }
+        self.image_of_into(sources, &mut out);
         out
+    }
+
+    /// [`Relation::image_of`] into a caller-provided set (sized to `cols` and
+    /// cleared first), so the per-answer provenance computation does not
+    /// allocate.
+    pub fn image_of_into(&self, sources: &GateSet, out: &mut GateSet) {
+        debug_assert_eq!(out.universe_len(), self.cols);
+        out.clear();
+        for i in sources.iter() {
+            for (w, &bits) in out.words_mut().iter_mut().zip(self.row_words(i)) {
+                *w |= bits;
+            }
+        }
     }
 
     /// Relational composition: `self` relates `A → B`, `upper` relates `B → C`; the
     /// result relates `A → C`.  This is a boolean matrix product with 64-bit word
     /// blocking over the columns of `upper`.
     pub fn compose(&self, upper: &Relation) -> Relation {
-        assert_eq!(self.cols, upper.rows, "composition dimension mismatch");
         let mut out = Relation::zero(self.rows, upper.cols);
+        self.compose_into(upper, &mut out);
+        out
+    }
+
+    /// [`Relation::compose`] into a caller-provided relation (pre-sized to
+    /// `self.rows × upper.cols`, cleared first), so composition on the
+    /// per-answer enumeration path reuses pooled storage instead of
+    /// allocating.
+    pub fn compose_into(&self, upper: &Relation, out: &mut Relation) {
+        assert_eq!(self.cols, upper.rows, "composition dimension mismatch");
+        debug_assert_eq!(out.rows, self.rows, "output rows mismatch");
+        debug_assert_eq!(out.cols, upper.cols, "output cols mismatch");
+        let wpr = out.words_per_row;
         for i in 0..self.rows {
-            let row = &self.bits[i];
-            let out_row = &mut out.bits[i];
-            for j in row.iter() {
-                let upper_row = upper.bits[j].words();
-                for (w, &bits) in out_row.words_mut().iter_mut().zip(upper_row.iter()) {
+            let out_row = &mut out.words[i * wpr..(i + 1) * wpr];
+            out_row.fill(0);
+            for j in bit_indices(&self.words[i * self.words_per_row..(i + 1) * self.words_per_row])
+            {
+                let upper_row =
+                    &upper.words[j * upper.words_per_row..(j + 1) * upper.words_per_row];
+                for (w, &bits) in out_row.iter_mut().zip(upper_row) {
                     *w |= bits;
                 }
             }
         }
-        out
+    }
+
+    /// Copies `other` into `self` (dimensions must already match) without
+    /// allocating.
+    pub fn copy_from(&mut self, other: &Relation) {
+        debug_assert_eq!(self.rows, other.rows);
+        debug_assert_eq!(self.cols, other.cols);
+        self.words.copy_from_slice(&other.words);
     }
 
     /// Restricts the columns to the given target set (keeping dimensions): pairs whose
     /// target is not in `targets` are dropped.
     pub fn restrict_targets(&self, targets: &GateSet) -> Relation {
         let mut out = self.clone();
-        for row in &mut out.bits {
-            let words: Vec<u64> = row
-                .words()
-                .iter()
-                .zip(targets.words().iter())
-                .map(|(a, b)| a & b)
-                .collect();
-            row.words_mut().copy_from_slice(&words);
+        for i in 0..out.rows {
+            let row = &mut out.words[i * out.words_per_row..(i + 1) * out.words_per_row];
+            for (w, &mask) in row.iter_mut().zip(targets.words()) {
+                *w &= mask;
+            }
         }
         out
     }
+}
+
+/// Iterates the set bit positions of a word slice.
+#[inline]
+fn bit_indices(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut bits = w;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            }
+        })
+    })
 }
 
 /// The single-step relation `R(child, B)` from the ∪-gates of the `side` child box of
@@ -241,5 +344,48 @@ mod tests {
     fn empty_relation_detection() {
         assert!(Relation::zero(3, 3).is_empty());
         assert!(!Relation::identity(1).is_empty());
+    }
+
+    #[test]
+    fn row_accessors_on_wide_rows() {
+        // Rows spanning several words exercise the flat-buffer indexing.
+        let mut r = Relation::zero(3, 130);
+        r.set(0, 0);
+        r.set(0, 129);
+        r.set(2, 64);
+        assert!(!r.row_is_empty(0));
+        assert!(r.row_is_empty(1));
+        assert_eq!(r.row(0).iter().collect::<Vec<_>>(), vec![0, 129]);
+        assert_eq!(r.row(2).iter().collect::<Vec<_>>(), vec![64]);
+        assert_eq!(r.project_sources().iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn compose_into_matches_compose_and_overwrites() {
+        let r = Relation::from_pairs(4, 3, [(0, 1), (2, 2), (3, 0)]);
+        let s = Relation::from_pairs(3, 2, [(1, 0), (2, 1)]);
+        let mut out = Relation::from_pairs(4, 2, [(1, 1)]); // stale content
+        r.compose_into(&s, &mut out);
+        assert_eq!(out, r.compose(&s), "stale bits must be cleared");
+    }
+
+    #[test]
+    fn copy_from_and_image_of_into_reuse_buffers() {
+        let r = Relation::from_pairs(3, 3, [(0, 1), (0, 2), (2, 0)]);
+        let mut copy = Relation::zero(3, 3);
+        copy.copy_from(&r);
+        assert_eq!(copy, r);
+        let mut img = GateSet::full(3); // stale content
+        r.image_of_into(&GateSet::from_indices(3, [0]), &mut img);
+        assert_eq!(img.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_reports_growth() {
+        let mut r = Relation::default();
+        assert!(r.reset(4, 70), "growing from empty allocates");
+        r.set(3, 69);
+        assert!(!r.reset(2, 100), "8 words fit the existing 8-word buffer");
+        assert_eq!(r, Relation::zero(2, 100), "reset clears");
     }
 }

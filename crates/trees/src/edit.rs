@@ -1,7 +1,11 @@
-//! Edit operations on unranked trees (Definition 7.1).
+//! Edit operations on unranked trees (Definition 7.1), edit-stream workload
+//! generators, and the incremental node sampler that keeps generation O(1)
+//! per op.
 
 use crate::label::Label;
-use crate::unranked::NodeId;
+use crate::unranked::{NodeId, UnrankedTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// An edit operation on an unranked tree, as in Definition 7.1 of the paper.
 ///
@@ -39,9 +43,525 @@ impl EditOp {
     }
 }
 
+/// Sentinel for "node not tracked" in [`NodeSampler`]'s position tables.
+const ABSENT: u32 = u32::MAX;
+
+/// An incremental sampler over the live nodes and leaves of a tree.
+///
+/// [`EditStream::next_for`] materializes `preorder()` / `leaves()` on every
+/// call — Θ(n) per op, fine for correctness tests but useless as a live
+/// workload generator.  A `NodeSampler` maintains the same two populations
+/// incrementally: O(n) once at construction, O(1) per edit afterwards
+/// (swap-remove vectors plus arena-indexed position tables), so uniform node
+/// and leaf sampling is O(1).
+///
+/// The sampler applies edits itself ([`NodeSampler::apply`]) because a
+/// deletion needs the parent link *before* the node disappears.
+#[derive(Debug, Clone)]
+pub struct NodeSampler {
+    nodes: Vec<NodeId>,
+    /// `node_pos[id.index()]`: position of `id` in `nodes`, or [`ABSENT`].
+    node_pos: Vec<u32>,
+    leaves: Vec<NodeId>,
+    /// `leaf_pos[id.index()]`: position of `id` in `leaves`, or [`ABSENT`].
+    leaf_pos: Vec<u32>,
+}
+
+impl NodeSampler {
+    /// Materializes the populations of `tree` once.
+    pub fn new(tree: &UnrankedTree) -> Self {
+        let mut sampler = NodeSampler {
+            nodes: Vec::with_capacity(tree.len()),
+            node_pos: Vec::new(),
+            leaves: Vec::new(),
+            leaf_pos: Vec::new(),
+        };
+        for n in tree.preorder() {
+            sampler.add_node(n);
+            if tree.is_leaf(n) {
+                sampler.add_leaf(n);
+            }
+        }
+        sampler
+    }
+
+    /// Number of tracked nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff no nodes are tracked (never the case after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The tracked nodes, in arbitrary order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The tracked leaves, in arbitrary order.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// A uniformly random tracked node.
+    pub fn sample_node(&self, rng: &mut StdRng) -> NodeId {
+        self.nodes[rng.gen_range(0..self.nodes.len())]
+    }
+
+    /// A uniformly random non-root leaf, when one exists.
+    pub fn sample_deletable_leaf(&self, tree: &UnrankedTree, rng: &mut StdRng) -> Option<NodeId> {
+        let root = tree.root();
+        let deletable = self.leaves.len() - usize::from(self.leaf_pos(root) != ABSENT);
+        if deletable == 0 {
+            return None;
+        }
+        // At most one tracked leaf is the root, so resampling terminates
+        // quickly (expected < 2 draws).
+        loop {
+            let leaf = self.leaves[rng.gen_range(0..self.leaves.len())];
+            if leaf != root {
+                return Some(leaf);
+            }
+        }
+    }
+
+    fn node_pos(&self, n: NodeId) -> u32 {
+        self.node_pos.get(n.index()).copied().unwrap_or(ABSENT)
+    }
+
+    fn leaf_pos(&self, n: NodeId) -> u32 {
+        self.leaf_pos.get(n.index()).copied().unwrap_or(ABSENT)
+    }
+
+    fn add_node(&mut self, n: NodeId) {
+        debug_assert_eq!(self.node_pos(n), ABSENT);
+        if n.index() >= self.node_pos.len() {
+            self.node_pos.resize(n.index() + 1, ABSENT);
+        }
+        self.node_pos[n.index()] = self.nodes.len() as u32;
+        self.nodes.push(n);
+    }
+
+    fn remove_node(&mut self, n: NodeId) {
+        let pos = self.node_pos(n);
+        debug_assert_ne!(pos, ABSENT);
+        self.nodes.swap_remove(pos as usize);
+        self.node_pos[n.index()] = ABSENT;
+        if let Some(&moved) = self.nodes.get(pos as usize) {
+            self.node_pos[moved.index()] = pos;
+        }
+    }
+
+    fn add_leaf(&mut self, n: NodeId) {
+        debug_assert_eq!(self.leaf_pos(n), ABSENT);
+        if n.index() >= self.leaf_pos.len() {
+            self.leaf_pos.resize(n.index() + 1, ABSENT);
+        }
+        self.leaf_pos[n.index()] = self.leaves.len() as u32;
+        self.leaves.push(n);
+    }
+
+    fn remove_leaf(&mut self, n: NodeId) {
+        let pos = self.leaf_pos(n);
+        debug_assert_ne!(pos, ABSENT);
+        self.leaves.swap_remove(pos as usize);
+        self.leaf_pos[n.index()] = ABSENT;
+        if let Some(&moved) = self.leaves.get(pos as usize) {
+            self.leaf_pos[moved.index()] = pos;
+        }
+    }
+
+    /// Applies `op` to `tree` and updates the populations in O(1).  Returns
+    /// the inserted node, if any (mirroring [`UnrankedTree::apply`]).
+    pub fn apply(&mut self, tree: &mut UnrankedTree, op: &EditOp) -> Option<NodeId> {
+        match *op {
+            EditOp::InsertFirstChild { parent, .. } => {
+                let parent_was_leaf = tree.is_leaf(parent);
+                let fresh = tree.apply(op).expect("insert returns the fresh node");
+                self.add_node(fresh);
+                self.add_leaf(fresh);
+                if parent_was_leaf {
+                    self.remove_leaf(parent);
+                }
+                Some(fresh)
+            }
+            EditOp::InsertRightSibling { .. } => {
+                // The parent already had a child (the sibling), so its leaf
+                // status cannot change.
+                let fresh = tree.apply(op).expect("insert returns the fresh node");
+                self.add_node(fresh);
+                self.add_leaf(fresh);
+                Some(fresh)
+            }
+            EditOp::DeleteLeaf { node } => {
+                let parent = tree.parent(node).expect("cannot delete the root");
+                tree.apply(op);
+                self.remove_node(node);
+                self.remove_leaf(node);
+                if tree.is_leaf(parent) {
+                    self.add_leaf(parent);
+                }
+                None
+            }
+            EditOp::Relabel { .. } => tree.apply(op),
+        }
+    }
+}
+
+/// The burst phase of [`EditStream::burst`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BurstPhase {
+    /// Grow one spot: repeated insertions under a single anchor node.
+    Insert,
+    /// Shrink one spot: repeated leaf deletions inside the anchor's subtree.
+    Delete,
+    /// Churn labels: repeated relabelings inside the anchor's subtree.
+    Relabel,
+}
+
+/// How an [`EditStream`] picks its operations.
+#[derive(Clone, Debug)]
+enum Strategy {
+    /// Independent ops with fixed `(insert, delete, relabel)` weights,
+    /// anchored at uniformly random nodes.
+    Mix { weights: (f64, f64, f64) },
+    /// Hot-subtree biased: most operations land inside the subtree of a
+    /// slowly moving "hot" node, modelling update locality (a busy document
+    /// fragment).  Adversarial for spine-repair caching: the same spine is
+    /// dirtied over and over.
+    Skewed {
+        hot: Option<NodeId>,
+        /// Probability that an op targets the hot subtree.
+        bias: f64,
+        /// Probability of re-picking the hot node before an op.
+        refocus: f64,
+    },
+    /// Bursts of one operation kind at one anchor (insert floods, delete
+    /// floods, relabel storms), modelling batchy real-world workloads.
+    Burst {
+        phase: BurstPhase,
+        anchor: Option<NodeId>,
+        remaining: usize,
+    },
+}
+
+/// A stream of valid random edit operations for a tree, applying each operation as it
+/// is generated so that successive operations stay consistent.
+pub struct EditStream {
+    rng: StdRng,
+    labels: Vec<Label>,
+    strategy: Strategy,
+}
+
+impl EditStream {
+    /// Creates a stream with the given label pool, mix of operations and seed.
+    pub fn new(labels: Vec<Label>, weights: (f64, f64, f64), seed: u64) -> Self {
+        assert!(!labels.is_empty());
+        EditStream {
+            rng: StdRng::seed_from_u64(seed),
+            labels,
+            strategy: Strategy::Mix { weights },
+        }
+    }
+
+    /// An even mix of insertions, deletions and relabelings.
+    pub fn balanced_mix(labels: Vec<Label>, seed: u64) -> Self {
+        Self::new(labels, (1.0, 1.0, 1.0), seed)
+    }
+
+    /// A hot-subtree biased stream: 90% of the operations land inside the
+    /// subtree of a sticky "hot" node (re-picked with probability 2% per op,
+    /// or when it disappears).  Exercises repeated dirtying of the same term
+    /// spine — the adversarial case for the update path's fixpoint early
+    /// exits.
+    pub fn skewed(labels: Vec<Label>, seed: u64) -> Self {
+        assert!(!labels.is_empty());
+        EditStream {
+            rng: StdRng::seed_from_u64(seed),
+            labels,
+            strategy: Strategy::Skewed {
+                hot: None,
+                bias: 0.9,
+                refocus: 0.02,
+            },
+        }
+    }
+
+    /// A bursty stream: runs of 4–24 operations of a single kind anchored at
+    /// one node (insert floods that build a deep/wide spot, delete floods
+    /// that erode one subtree, relabel storms).  Exercises rebalancing and
+    /// repeated spine repair under update-heavy load.
+    pub fn burst(labels: Vec<Label>, seed: u64) -> Self {
+        assert!(!labels.is_empty());
+        EditStream {
+            rng: StdRng::seed_from_u64(seed),
+            labels,
+            strategy: Strategy::Burst {
+                phase: BurstPhase::Insert,
+                anchor: None,
+                remaining: 0,
+            },
+        }
+    }
+
+    /// Generates the next edit operation valid for `tree` and applies it, returning
+    /// the operation (with the concrete node it targeted).
+    pub fn next_applied(&mut self, tree: &mut UnrankedTree) -> EditOp {
+        let op = self.next_for(tree);
+        tree.apply(&op);
+        op
+    }
+
+    /// Generates (without applying) the next edit operation valid for `tree`.
+    ///
+    /// This materializes the node/leaf populations — Θ(n) per op.  Use
+    /// [`EditStream::next_sampled`] with a [`NodeSampler`] for O(1)
+    /// generation.
+    pub fn next_for(&mut self, tree: &UnrankedTree) -> EditOp {
+        match self.strategy.clone() {
+            Strategy::Mix { weights } => {
+                let nodes = tree.preorder();
+                let leaves: Vec<NodeId> = tree
+                    .leaves()
+                    .into_iter()
+                    .filter(|&n| n != tree.root())
+                    .collect();
+                self.mix_op(tree, weights, &nodes, &leaves)
+            }
+            Strategy::Skewed { hot, bias, refocus } => self.skewed_op(tree, hot, bias, refocus),
+            Strategy::Burst {
+                phase,
+                anchor,
+                remaining,
+            } => self.burst_op(tree, phase, anchor, remaining),
+        }
+    }
+
+    /// O(1) variant of [`EditStream::next_for`] driven by an up-to-date
+    /// [`NodeSampler`] (only meaningful for the mix strategy; the skewed and
+    /// burst strategies walk subtrees and fall back to the materializing
+    /// path).
+    pub fn next_sampled(&mut self, tree: &UnrankedTree, sampler: &NodeSampler) -> EditOp {
+        debug_assert_eq!(sampler.len(), tree.len(), "sampler out of date");
+        match self.strategy.clone() {
+            Strategy::Mix { weights } => {
+                let root = tree.root();
+                let can_delete = sampler.leaves().iter().any(|&n| n != root);
+                mix_decision(
+                    &mut self.rng,
+                    &self.labels,
+                    root,
+                    weights,
+                    can_delete,
+                    |rng| sampler.sample_node(rng),
+                    |rng| {
+                        sampler
+                            .sample_deletable_leaf(tree, rng)
+                            .expect("can_delete checked")
+                    },
+                )
+            }
+            _ => self.next_for(tree),
+        }
+    }
+
+    /// [`EditStream::next_sampled`] + [`NodeSampler::apply`] in one step.
+    pub fn next_applied_sampled(
+        &mut self,
+        tree: &mut UnrankedTree,
+        sampler: &mut NodeSampler,
+    ) -> EditOp {
+        let op = self.next_sampled(tree, sampler);
+        sampler.apply(tree, &op);
+        op
+    }
+
+    /// The classic weighted-mix op over explicit populations (shared by the
+    /// materializing path and, with hot-subtree populations, the skewed
+    /// strategy).
+    fn mix_op(
+        &mut self,
+        tree: &UnrankedTree,
+        weights: (f64, f64, f64),
+        nodes: &[NodeId],
+        deletable_leaves: &[NodeId],
+    ) -> EditOp {
+        mix_decision(
+            &mut self.rng,
+            &self.labels,
+            tree.root(),
+            weights,
+            !deletable_leaves.is_empty(),
+            |rng| nodes[rng.gen_range(0..nodes.len())],
+            |rng| deletable_leaves[rng.gen_range(0..deletable_leaves.len())],
+        )
+    }
+
+    fn skewed_op(
+        &mut self,
+        tree: &UnrankedTree,
+        hot: Option<NodeId>,
+        bias: f64,
+        refocus: f64,
+    ) -> EditOp {
+        let all = tree.preorder();
+        let hot = match hot {
+            Some(h) if tree.is_live(h) && !self.rng.gen_bool(refocus) => h,
+            _ => all[self.rng.gen_range(0..all.len())],
+        };
+        self.strategy = Strategy::Skewed {
+            hot: Some(hot),
+            bias,
+            refocus,
+        };
+        let pool: Vec<NodeId> = if self.rng.gen_bool(bias) {
+            subtree_nodes(tree, hot)
+        } else {
+            all
+        };
+        let deletable: Vec<NodeId> = pool
+            .iter()
+            .copied()
+            .filter(|&n| tree.is_leaf(n) && n != tree.root())
+            .collect();
+        self.mix_op(tree, (1.0, 1.0, 1.0), &pool, &deletable)
+    }
+
+    fn burst_op(
+        &mut self,
+        tree: &UnrankedTree,
+        mut phase: BurstPhase,
+        anchor: Option<NodeId>,
+        mut remaining: usize,
+    ) -> EditOp {
+        let mut anchor = anchor.filter(|&a| tree.is_live(a));
+        if remaining == 0 || anchor.is_none() {
+            // Start a new burst: phase, anchor, length.
+            let all = tree.preorder();
+            phase = match self.rng.gen_range(0..3u32) {
+                0 => BurstPhase::Insert,
+                1 => BurstPhase::Delete,
+                _ => BurstPhase::Relabel,
+            };
+            anchor = Some(all[self.rng.gen_range(0..all.len())]);
+            remaining = self.rng.gen_range(4..=24);
+        }
+        let a = anchor.expect("anchor chosen above");
+        let label = self.labels[self.rng.gen_range(0..self.labels.len())];
+        let op = match phase {
+            BurstPhase::Insert => {
+                if a != tree.root() && self.rng.gen_bool(0.3) {
+                    EditOp::InsertRightSibling { sibling: a, label }
+                } else {
+                    EditOp::InsertFirstChild { parent: a, label }
+                }
+            }
+            BurstPhase::Delete => {
+                // Erode the anchor's subtree leaf by leaf; outside it when
+                // exhausted; insert when the tree has no deletable leaf.
+                let local: Vec<NodeId> = subtree_nodes(tree, a)
+                    .into_iter()
+                    .filter(|&n| tree.is_leaf(n) && n != tree.root())
+                    .collect();
+                let node = if !local.is_empty() {
+                    Some(local[self.rng.gen_range(0..local.len())])
+                } else {
+                    let global: Vec<NodeId> = tree
+                        .leaves()
+                        .into_iter()
+                        .filter(|&n| n != tree.root())
+                        .collect();
+                    if global.is_empty() {
+                        None
+                    } else {
+                        Some(global[self.rng.gen_range(0..global.len())])
+                    }
+                };
+                match node {
+                    Some(node) => EditOp::DeleteLeaf { node },
+                    None => EditOp::InsertFirstChild { parent: a, label },
+                }
+            }
+            BurstPhase::Relabel => {
+                let local = subtree_nodes(tree, a);
+                let node = local[self.rng.gen_range(0..local.len())];
+                EditOp::Relabel { node, label }
+            }
+        };
+        self.strategy = Strategy::Burst {
+            phase,
+            anchor,
+            remaining: remaining - 1,
+        };
+        op
+    }
+}
+
+/// One weighted-mix decision, with the node/leaf populations abstracted so
+/// the materializing (`next_for`) and O(1)-sampled (`next_sampled`) paths
+/// share the decision logic (weight roll, label and node draws, insert-kind
+/// coin flip) and cannot drift apart semantically.  The two paths still
+/// sample from differently ordered populations, so a given seed yields a
+/// deterministic stream *per path*, not the same stream across paths.
+fn mix_decision(
+    rng: &mut StdRng,
+    labels: &[Label],
+    root: NodeId,
+    (wi, wd, wr): (f64, f64, f64),
+    can_delete: bool,
+    sample_node: impl FnOnce(&mut StdRng) -> NodeId,
+    sample_deletable_leaf: impl FnOnce(&mut StdRng) -> NodeId,
+) -> EditOp {
+    let total = wi + if can_delete { wd } else { 0.0 } + wr;
+    let x: f64 = rng.gen_range(0.0..total);
+    let label = labels[rng.gen_range(0..labels.len())];
+    let any_node = sample_node(rng);
+    if x < wi {
+        // Choose between first-child and right-sibling insertion.
+        if any_node != root && rng.gen_bool(0.5) {
+            EditOp::InsertRightSibling {
+                sibling: any_node,
+                label,
+            }
+        } else {
+            EditOp::InsertFirstChild {
+                parent: any_node,
+                label,
+            }
+        }
+    } else if can_delete && x < wi + wd {
+        EditOp::DeleteLeaf {
+            node: sample_deletable_leaf(rng),
+        }
+    } else {
+        EditOp::Relabel {
+            node: any_node,
+            label,
+        }
+    }
+}
+
+/// The nodes of the subtree rooted at `n` (preorder).
+fn subtree_nodes(tree: &UnrankedTree, n: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![n];
+    while let Some(m) = stack.pop() {
+        out.push(m);
+        for c in tree.children(m) {
+            stack.push(c);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generate::{random_tree, TreeShape};
+    use crate::label::Alphabet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn structural_classification() {
@@ -73,5 +593,150 @@ mod tests {
             .anchor(),
             n
         );
+    }
+
+    fn assert_sampler_matches(tree: &UnrankedTree, sampler: &NodeSampler) {
+        let expected_nodes: BTreeSet<NodeId> = tree.preorder().into_iter().collect();
+        let expected_leaves: BTreeSet<NodeId> = tree.leaves().into_iter().collect();
+        let got_nodes: BTreeSet<NodeId> = sampler.nodes().iter().copied().collect();
+        let got_leaves: BTreeSet<NodeId> = sampler.leaves().iter().copied().collect();
+        assert_eq!(got_nodes.len(), sampler.nodes().len(), "duplicate node");
+        assert_eq!(got_leaves.len(), sampler.leaves().len(), "duplicate leaf");
+        assert_eq!(got_nodes, expected_nodes, "node population diverged");
+        assert_eq!(got_leaves, expected_leaves, "leaf population diverged");
+    }
+
+    #[test]
+    fn sampler_matches_materialized_sets_after_500_ops() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        let mut tree = random_tree(&mut sigma, 40, TreeShape::Random, 11);
+        let mut sampler = NodeSampler::new(&tree);
+        assert_sampler_matches(&tree, &sampler);
+        let mut stream = EditStream::balanced_mix(labels, 23);
+        for step in 0..500 {
+            stream.next_applied_sampled(&mut tree, &mut sampler);
+            // Spot-check along the way, exhaustively at the end.
+            if step % 50 == 49 || step == 499 {
+                assert_sampler_matches(&tree, &sampler);
+            }
+        }
+        assert_eq!(sampler.len(), tree.len());
+    }
+
+    #[test]
+    fn sampler_tracks_externally_generated_ops() {
+        // Mixing the Θ(n) generator with sampler-applied ops must stay
+        // consistent too (the sampler only requires ops to be valid).
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        let mut tree = random_tree(&mut sigma, 25, TreeShape::Deep, 3);
+        let mut sampler = NodeSampler::new(&tree);
+        let mut stream = EditStream::balanced_mix(labels, 5);
+        for _ in 0..200 {
+            let op = stream.next_for(&tree);
+            sampler.apply(&mut tree, &op);
+        }
+        assert_sampler_matches(&tree, &sampler);
+    }
+
+    #[test]
+    fn sampled_and_materialized_streams_generate_valid_ops() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        let mut tree = random_tree(&mut sigma, 10, TreeShape::Random, 7);
+        let mut sampler = NodeSampler::new(&tree);
+        let mut stream = EditStream::new(labels, (2.0, 3.0, 1.0), 17);
+        let mut saw_delete = false;
+        for _ in 0..300 {
+            let before = tree.len();
+            let op = stream.next_applied_sampled(&mut tree, &mut sampler);
+            match op {
+                EditOp::DeleteLeaf { .. } => {
+                    saw_delete = true;
+                    assert_eq!(tree.len(), before - 1);
+                }
+                EditOp::Relabel { .. } => assert_eq!(tree.len(), before),
+                _ => assert_eq!(tree.len(), before + 1),
+            }
+        }
+        assert!(saw_delete, "delete-weighted stream never deleted");
+    }
+
+    #[test]
+    fn skewed_stream_keeps_tree_valid_and_is_biased() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        let mut tree = random_tree(&mut sigma, 60, TreeShape::Random, 2);
+        let mut stream = EditStream::skewed(labels, 31);
+        let mut anchors: Vec<NodeId> = Vec::new();
+        for _ in 0..400 {
+            let op = stream.next_applied(&mut tree);
+            anchors.push(op.anchor());
+        }
+        assert!(!tree.is_empty());
+        // Bias check: with 90% of ops confined to sticky hot subtrees, the
+        // five most frequent anchors must absorb far more of the stream than
+        // uniform sampling over a ≥60-node tree would allow (~30 of 400).
+        let mut counts = std::collections::HashMap::new();
+        for a in &anchors {
+            *counts.entry(*a).or_insert(0usize) += 1;
+        }
+        let mut freq: Vec<usize> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top5: usize = freq.iter().take(5).sum();
+        assert!(
+            top5 >= 50,
+            "top-5 anchors absorbed only {top5} of 400 ops — not skewed"
+        );
+    }
+
+    #[test]
+    fn burst_stream_keeps_tree_valid_and_produces_runs() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        let mut tree = random_tree(&mut sigma, 30, TreeShape::Wide, 4);
+        let mut stream = EditStream::burst(labels, 13);
+        let mut kinds: Vec<u8> = Vec::new();
+        for _ in 0..400 {
+            let op = stream.next_applied(&mut tree);
+            kinds.push(match op {
+                EditOp::InsertFirstChild { .. } | EditOp::InsertRightSibling { .. } => 0,
+                EditOp::DeleteLeaf { .. } => 1,
+                EditOp::Relabel { .. } => 2,
+            });
+        }
+        assert!(!tree.is_empty());
+        // Runs of identical op kinds must be much longer than an independent
+        // mix would produce (expected run length < 2 for a fair 3-way mix).
+        let mut best_run = 0usize;
+        let mut run = 0usize;
+        let mut prev = u8::MAX;
+        for &k in &kinds {
+            run = if k == prev { run + 1 } else { 1 };
+            prev = k;
+            best_run = best_run.max(run);
+        }
+        assert!(
+            best_run >= 4,
+            "longest same-kind run is {best_run} — not bursty"
+        );
+    }
+
+    #[test]
+    fn streams_are_deterministic_in_seed() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        for make in [EditStream::skewed, EditStream::burst, |l, s| {
+            EditStream::balanced_mix(l, s)
+        }] {
+            let mut t1 = random_tree(&mut sigma, 20, TreeShape::Random, 1);
+            let mut t2 = t1.clone();
+            let mut s1 = make(labels.clone(), 99);
+            let mut s2 = make(labels.clone(), 99);
+            for _ in 0..100 {
+                assert_eq!(s1.next_applied(&mut t1), s2.next_applied(&mut t2));
+            }
+        }
     }
 }

@@ -1,6 +1,10 @@
 //! Random tree and workload generators used by tests, property tests and benchmarks.
+//!
+//! The edit-stream generators ([`EditStream`], [`crate::edit::NodeSampler`])
+//! live in [`crate::edit`] next to the operations they produce; `EditStream`
+//! is re-exported here for compatibility.
 
-use crate::edit::EditOp;
+pub use crate::edit::EditStream;
 use crate::label::{Alphabet, Label};
 use crate::unranked::{NodeId, UnrankedTree};
 use rand::rngs::StdRng;
@@ -115,79 +119,6 @@ pub fn random_tree(
     tree
 }
 
-/// A stream of valid random edit operations for a tree, applying each operation as it
-/// is generated so that successive operations stay consistent.
-pub struct EditStream {
-    rng: StdRng,
-    labels: Vec<Label>,
-    /// Probability weights: (insert, delete, relabel).
-    weights: (f64, f64, f64),
-}
-
-impl EditStream {
-    /// Creates a stream with the given label pool, mix of operations and seed.
-    pub fn new(labels: Vec<Label>, weights: (f64, f64, f64), seed: u64) -> Self {
-        assert!(!labels.is_empty());
-        EditStream {
-            rng: StdRng::seed_from_u64(seed),
-            labels,
-            weights,
-        }
-    }
-
-    /// An even mix of insertions, deletions and relabelings.
-    pub fn balanced_mix(labels: Vec<Label>, seed: u64) -> Self {
-        Self::new(labels, (1.0, 1.0, 1.0), seed)
-    }
-
-    /// Generates the next edit operation valid for `tree` and applies it, returning
-    /// the operation (with the concrete node it targeted).
-    pub fn next_applied(&mut self, tree: &mut UnrankedTree) -> EditOp {
-        let op = self.next_for(tree);
-        tree.apply(&op);
-        op
-    }
-
-    /// Generates (without applying) the next edit operation valid for `tree`.
-    pub fn next_for(&mut self, tree: &UnrankedTree) -> EditOp {
-        let (wi, wd, wr) = self.weights;
-        // Deletion requires a non-root leaf.
-        let leaves: Vec<NodeId> = tree
-            .leaves()
-            .into_iter()
-            .filter(|&n| n != tree.root())
-            .collect();
-        let can_delete = !leaves.is_empty();
-        let total = wi + if can_delete { wd } else { 0.0 } + wr;
-        let x: f64 = self.rng.gen_range(0.0..total);
-        let label = self.labels[self.rng.gen_range(0..self.labels.len())];
-        let nodes = tree.preorder();
-        let any_node = nodes[self.rng.gen_range(0..nodes.len())];
-        if x < wi {
-            // Choose between first-child and right-sibling insertion.
-            if any_node != tree.root() && self.rng.gen_bool(0.5) {
-                EditOp::InsertRightSibling {
-                    sibling: any_node,
-                    label,
-                }
-            } else {
-                EditOp::InsertFirstChild {
-                    parent: any_node,
-                    label,
-                }
-            }
-        } else if can_delete && x < wi + wd {
-            let node = leaves[self.rng.gen_range(0..leaves.len())];
-            EditOp::DeleteLeaf { node }
-        } else {
-            EditOp::Relabel {
-                node: any_node,
-                label,
-            }
-        }
-    }
-}
-
 /// Generates a long word (a unary-depth tree is *not* used; words are separate) as a
 /// vector of labels over `alphabet`, for the spanner experiments.
 pub fn random_word(alphabet: &mut Alphabet, len: usize, seed: u64) -> Vec<Label> {
@@ -204,6 +135,7 @@ pub fn random_word(alphabet: &mut Alphabet, len: usize, seed: u64) -> Vec<Label>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::edit::EditOp;
 
     #[test]
     fn random_tree_has_requested_size() {

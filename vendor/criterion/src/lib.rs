@@ -23,7 +23,7 @@ use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 /// One finished benchmark measurement (stub extension, see the module docs).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct BenchRecord {
     /// The benchmark group name (empty for free-standing benchmarks).
     pub group: String,
@@ -33,17 +33,35 @@ pub struct BenchRecord {
     pub mean_ns: u128,
     /// Minimum per-iteration wall-clock time in nanoseconds.
     pub min_ns: u128,
+    /// Median per-iteration time, when the caller measured a full sample
+    /// distribution (see [`Criterion::push_record`]).
+    pub p50_ns: Option<u128>,
+    /// 95th-percentile per-iteration time, when measured.
+    pub p95_ns: Option<u128>,
+    /// 99th-percentile per-iteration time, when measured.
+    pub p99_ns: Option<u128>,
 }
 
 impl BenchRecord {
     fn to_json(&self) -> String {
-        format!(
-            "{{\"group\":{},\"name\":{},\"mean_ns\":{},\"min_ns\":{}}}",
+        let mut out = format!(
+            "{{\"group\":{},\"name\":{},\"mean_ns\":{},\"min_ns\":{}",
             json_string(&self.group),
             json_string(&self.name),
             self.mean_ns,
             self.min_ns
-        )
+        );
+        for (key, value) in [
+            ("p50_ns", self.p50_ns),
+            ("p95_ns", self.p95_ns),
+            ("p99_ns", self.p99_ns),
+        ] {
+            if let Some(v) = value {
+                out.push_str(&format!(",\"{key}\":{v}"));
+            }
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -264,6 +282,7 @@ impl BenchmarkGroup<'_> {
                     name: bench_name.to_string(),
                     mean_ns: mean.as_nanos(),
                     min_ns: min.as_nanos(),
+                    ..BenchRecord::default()
                 });
             }
             None => println!("{}/{:<40} (no timing loop executed)", self.name, bench_name),
@@ -327,6 +346,7 @@ impl Criterion {
                 name: name.to_string(),
                 mean_ns: mean.as_nanos(),
                 min_ns: min.as_nanos(),
+                ..BenchRecord::default()
             });
         }
         self.benchmarks_run += 1;
@@ -336,6 +356,25 @@ impl Criterion {
     /// All measurements recorded so far, in execution order (stub extension).
     pub fn records(&self) -> &[BenchRecord] {
         &self.records
+    }
+
+    /// Records a measurement the caller produced with its own timing loop
+    /// (stub extension).  This is how runners report statistics the built-in
+    /// `Bencher` cannot compute, e.g. per-answer delay percentiles from a
+    /// full sample distribution.
+    pub fn push_record(&mut self, record: BenchRecord) {
+        let percentiles = match (record.p50_ns, record.p95_ns, record.p99_ns) {
+            (Some(p50), Some(p95), Some(p99)) => {
+                format!("  p50 {p50}ns  p95 {p95}ns  p99 {p99}ns")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<40} mean {:>9}ns  min {:>9}ns{}",
+            record.group, record.name, record.mean_ns, record.min_ns, percentiles
+        );
+        self.benchmarks_run += 1;
+        self.records.push(record);
     }
 
     /// Serializes the recorded measurements as a JSON document (stub extension):
@@ -468,6 +507,34 @@ mod tests {
         // Mean and min must reflect the fabricated 5µs per iteration.
         assert!(rec.mean_ns >= 4_000 && rec.mean_ns <= 6_000, "{rec:?}");
         assert!(rec.min_ns >= 4_000 && rec.min_ns <= 6_000, "{rec:?}");
+    }
+
+    #[test]
+    fn push_record_serializes_percentiles() {
+        let mut c = Criterion::default();
+        c.push_record(BenchRecord {
+            group: "E2_delay".into(),
+            name: "per_answer/select_b/1000".into(),
+            mean_ns: 100,
+            min_ns: 50,
+            p50_ns: Some(90),
+            p95_ns: Some(200),
+            p99_ns: Some(400),
+        });
+        let json = c.summary_json(&[]);
+        assert!(json.contains("\"p50_ns\":90"));
+        assert!(json.contains("\"p95_ns\":200"));
+        assert!(json.contains("\"p99_ns\":400"));
+        // Records without percentiles keep the old four-field shape.
+        c.push_record(BenchRecord {
+            group: "g".into(),
+            name: "n".into(),
+            mean_ns: 1,
+            min_ns: 1,
+            ..BenchRecord::default()
+        });
+        let json = c.summary_json(&[]);
+        assert!(json.contains("{\"group\":\"g\",\"name\":\"n\",\"mean_ns\":1,\"min_ns\":1}"));
     }
 
     #[test]
