@@ -34,6 +34,135 @@ pub struct UpdateReport {
     pub inserted: Option<NodeId>,
 }
 
+/// The merged outcome of applying a batch of edits ([`apply_edits`]).
+///
+/// The per-edit reports are kept in application order because the order is
+/// semantically meaningful: a term arena slot freed by one edit can be reused
+/// by a later edit of the same batch, so a consumer repairing derived
+/// structures (circuit boxes, index entries) must replay the `(freed, dirty)`
+/// pairs sequentially — a slot is "currently freed" only until a later report
+/// dirties it again.  The engine's `TreeEnumerator::apply_batch` folds the
+/// replay into one epoch-marked dirty set and repairs the union of the spines
+/// once, which is the whole point of batching.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// One [`UpdateReport`] per edit, in application order.
+    pub reports: Vec<UpdateReport>,
+}
+
+impl BatchReport {
+    /// The tree nodes created by the batch's insertions, in application order.
+    pub fn inserted(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.reports.iter().filter_map(|r| r.inserted)
+    }
+
+    /// Total number of dirty entries across all reports (before any dedup);
+    /// sequential repair would visit exactly this many spine nodes.
+    pub fn dirty_len(&self) -> usize {
+        self.reports.iter().map(|r| r.dirty.len()).sum()
+    }
+}
+
+/// Applies every edit of `ops` in order, deferring the scapegoat rebalancing
+/// to **one** end-of-batch sweep, and returns the per-edit reports (plus one
+/// report per end-of-batch rebuild) bundled for a single deduplicated
+/// downstream repair pass.
+///
+/// The resulting *tree* is identical to `ops.len()` separate [`apply_edit`]
+/// calls; the *term* may differ structurally (it is rebalanced once instead
+/// of after every op) but satisfies the same invariants and the same height
+/// bound once the batch completes.  Deferring matters for clustered batches:
+/// an insert flood into one hot subtree triggers several mid-batch scapegoat
+/// rebuilds under sequential application — each rebuilding (and re-dirtying)
+/// a growing subtree — where the batch pays for at most a few rebuilds of
+/// the final shape.  Mid-batch the term can transiently exceed the depth
+/// limit by at most `ops.len()`, which only lengthens the spines of the
+/// batch's own dirty reports.
+pub fn apply_edits(
+    tree: &mut UnrankedTree,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+    ops: &[EditOp],
+) -> BatchReport {
+    let mut reports: Vec<UpdateReport> = ops
+        .iter()
+        .map(|op| apply_edit_unbalanced(tree, term, phi, op))
+        .collect();
+    // One rebalancing sweep over everything the batch touched, repeated
+    // until no touched node is too deep (each pass rebuilds the lowest
+    // violating ancestor of the currently deepest violator — the flooded
+    // pocket, see `Scapegoat::Lowest`; a rebuilt subtree is internally
+    // balanced, so at most a few passes run even for floods).  Depths are
+    // computed through a memo slab — the touched set holds k near-complete
+    // spines, and bare `term.depth` walks would cost O(k · log²n) per sweep.
+    let mut touched: Vec<TermNodeId> = reports
+        .iter()
+        .flat_map(|r| r.dirty.iter().copied())
+        .collect();
+    let mut depths: Vec<u32> = Vec::new();
+    loop {
+        touched.retain(|&n| term.is_live(n));
+        // Small touched sets (single-edit batches) are cheaper to walk
+        // directly than to zero an arena-sized memo slab for.
+        let deepest = if touched.len() <= 128 {
+            touched.iter().map(|&n| (term.depth(n) as u32, n)).max()
+        } else {
+            depths.clear();
+            depths.resize(term.arena_len(), DEPTH_UNSET);
+            touched
+                .iter()
+                .map(|&n| (memo_depth(term, &mut depths, n), n))
+                .max()
+        };
+        let Some((depth, deepest)) = deepest else {
+            break;
+        };
+        match rebalance_scapegoat(tree, term, phi, deepest, depth as usize, Scapegoat::Lowest) {
+            None => break,
+            Some(extra) => {
+                touched.extend(extra.dirty.iter().copied());
+                reports.push(extra);
+            }
+        }
+    }
+    BatchReport { reports }
+}
+
+/// Sentinel for "depth not yet memoized" in [`memo_depth`]'s slab.
+const DEPTH_UNSET: u32 = u32::MAX;
+
+/// Term depth of `n` through a memo slab indexed by arena slot: walks up only
+/// until a memoized ancestor (or the root), then assigns depths back down, so
+/// a sweep over many nodes sharing spines costs O(nodes visited) overall.
+fn memo_depth(term: &Term, depths: &mut [u32], n: TermNodeId) -> u32 {
+    let mut cur = n;
+    let mut walked = 0u32;
+    while depths[cur.index()] == DEPTH_UNSET {
+        walked += 1;
+        match term.parent(cur) {
+            Some(p) => cur = p,
+            None => {
+                // `cur` is the root: seed it and stop (its slot was counted).
+                depths[cur.index()] = 0;
+                walked -= 1;
+                break;
+            }
+        }
+    }
+    let mut depth = depths[cur.index()] + walked;
+    let result = depth;
+    // Second pass down the same path, filling the memo.
+    let mut cur = n;
+    while depths[cur.index()] == DEPTH_UNSET {
+        depths[cur.index()] = depth;
+        depth -= 1;
+        cur = term
+            .parent(cur)
+            .expect("unset node below a seeded ancestor");
+    }
+    result
+}
+
 /// Applies `op` to both the unranked tree and its balanced term (keeping the `φ`
 /// mapping up to date), and reports the affected term nodes.
 pub fn apply_edit(
@@ -42,7 +171,26 @@ pub fn apply_edit(
     phi: &mut HashMap<NodeId, TermNodeId>,
     op: &EditOp,
 ) -> UpdateReport {
-    let mut report = match *op {
+    let mut report = apply_edit_unbalanced(tree, term, phi, op);
+    // Rebalance if the splice left some touched node too deep.
+    let rebalance = rebalance_if_needed(tree, term, phi, &report.dirty);
+    if let Some(mut extra) = rebalance {
+        report.dirty.append(&mut extra.dirty);
+        report.freed.append(&mut extra.freed);
+    }
+    report
+}
+
+/// The `O(1)` splice of [`apply_edit`] *without* the scapegoat rebalancing
+/// check — the batch path ([`apply_edits`]) defers rebalancing to one sweep
+/// at the end of the batch.
+fn apply_edit_unbalanced(
+    tree: &mut UnrankedTree,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+    op: &EditOp,
+) -> UpdateReport {
+    match *op {
         EditOp::Relabel { node, label } => {
             tree.relabel(node, label);
             let leaf = phi[&node];
@@ -82,14 +230,7 @@ pub fn apply_edit(
             }
         }
         EditOp::DeleteLeaf { node } => delete_leaf(tree, term, phi, node),
-    };
-    // Rebalance if the splice left some touched node too deep.
-    let rebalance = rebalance_if_needed(tree, term, phi, &report.dirty);
-    if let Some(mut extra) = rebalance {
-        report.dirty.append(&mut extra.dirty);
-        report.freed.append(&mut extra.freed);
     }
-    report
 }
 
 fn ancestors_inclusive(term: &Term, from: TermNodeId) -> Vec<TermNodeId> {
@@ -381,29 +522,68 @@ fn rebalance_if_needed(
         .copied()
         .filter(|&n| term.is_live(n))
         .max_by_key(|&n| term.depth(n))?;
+    let depth = term.depth(deepest);
+    rebalance_scapegoat(tree, term, phi, deepest, depth, Scapegoat::Highest)
+}
+
+/// Which violating ancestor a rebalance rebuilds (see [`rebalance_scapegoat`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scapegoat {
+    /// The highest ancestor whose subterm is too deep for its weight — the
+    /// classic choice of the per-edit path: rare, large rebuilds.
+    Highest,
+    /// The lowest such ancestor — the flooded pocket itself.  Used by the
+    /// batch sweep: pocket rebuilds are small and land inside the batch's
+    /// shared dirty spine (the downstream repair dedups them), and the sweep
+    /// loop re-checks until no touched node violates the global limit, so
+    /// the end-of-batch height bound matches the per-edit path's.
+    Lowest,
+}
+
+/// The rebuild half of a rebalance, with the deepest touched node (and its
+/// depth) already determined by the caller: walks the ancestors of `deepest`,
+/// finds the `pick`-selected ancestor whose subterm depth exceeds the budget
+/// for its own weight, and rebuilds it.  Both rebalancing policies share this
+/// one walk so the weight-budget formula cannot silently diverge between the
+/// per-edit and batch paths.
+fn rebalance_scapegoat(
+    tree: &UnrankedTree,
+    term: &mut Term,
+    phi: &mut HashMap<NodeId, TermNodeId>,
+    deepest: TermNodeId,
+    depth: usize,
+    pick: Scapegoat,
+) -> Option<UpdateReport> {
     let total = term.weight(term.root()).max(2);
     let limit = DEPTH_SLACK * (total.ilog2() as usize + 1);
-    let depth = term.depth(deepest);
     if depth <= limit {
         return None;
     }
-    // Find the highest ancestor z of the deepest touched node such that the depth of
-    // the touched node below z exceeds the budget for z's weight; rebuild it.
-    let mut z = deepest;
     let mut below = 0usize;
     let mut scapegoat = None;
+    let mut topmost = deepest;
     let mut cur = deepest;
     while let Some(p) = term.parent(cur) {
         below += 1;
         let w = term.weight(p).max(2);
         if below > DEPTH_SLACK * (w.ilog2() as usize + 1) {
             scapegoat = Some(p);
+            if pick == Scapegoat::Lowest {
+                break;
+            }
         }
         cur = p;
-        z = p;
+        topmost = p;
     }
-    let target = scapegoat.unwrap_or(z);
-    Some(rebuild_subterm(tree, term, phi, target))
+    // `scapegoat` is only None when the absolute depth comes from accumulated
+    // slack without any single subtree violating its own budget; rebuilding
+    // from the topmost ancestor (the root) restores the bound regardless.
+    Some(rebuild_subterm(
+        tree,
+        term,
+        phi,
+        scapegoat.unwrap_or(topmost),
+    ))
 }
 
 #[cfg(test)]
@@ -549,6 +729,80 @@ mod tests {
         assert!(
             h <= 6 * ((n as f64).log2() as usize + 1) + 8,
             "height {h} too large for weight {n}"
+        );
+    }
+
+    #[test]
+    fn apply_edits_matches_sequential_apply_edit_on_the_tree() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let labels: Vec<_> = sigma.labels().collect();
+        for seed in 0..4u64 {
+            let mut tree_batch = random_tree(&mut sigma, 20, TreeShape::Random, seed);
+            let mut tree_seq = tree_batch.clone();
+            let (mut term_batch, mut phi_batch) = build_balanced_term(&tree_batch);
+            let (mut term_seq, mut phi_seq) = build_balanced_term(&tree_seq);
+            // Generate a consistent op sequence on a third shadow copy.
+            let mut shadow = tree_batch.clone();
+            let mut stream = EditStream::balanced_mix(labels.clone(), seed * 13 + 5);
+            let mut ops = Vec::new();
+            for _ in 0..60 {
+                ops.push(stream.next_applied(&mut shadow));
+            }
+            for chunk in ops.chunks(7) {
+                let batch = apply_edits(&mut tree_batch, &mut term_batch, &mut phi_batch, chunk);
+                // One report per op, plus possibly end-of-batch rebalance
+                // reports (which never carry an insertion).
+                assert!(batch.reports.len() >= chunk.len());
+                let mut seq_inserted = Vec::new();
+                for op in chunk {
+                    let seq_rep = apply_edit(&mut tree_seq, &mut term_seq, &mut phi_seq, op);
+                    seq_inserted.extend(seq_rep.inserted);
+                }
+                // The trees evolve identically (same NodeIds); the terms may
+                // differ structurally (rebalancing is deferred in the batch)
+                // but both must stay consistent encodings.
+                assert_eq!(batch.inserted().collect::<Vec<_>>(), seq_inserted);
+                check_consistency(&tree_batch, &term_batch, &phi_batch);
+                check_consistency(&tree_seq, &term_seq, &phi_seq);
+                assert!(tree_batch.structurally_equal(&tree_seq));
+            }
+            assert!(tree_batch.structurally_equal(&shadow));
+        }
+    }
+
+    #[test]
+    fn batched_insert_floods_keep_height_logarithmic() {
+        // The deferred end-of-batch rebalancing must restore the same height
+        // bound the per-edit path maintains, even for pure insert floods at
+        // one spot (the adversarial case for deferral).
+        let sigma = Alphabet::from_names(["a"]);
+        let a = sigma.get("a").unwrap();
+        let mut tree = UnrankedTree::new(a);
+        let (mut term, mut phi) = build_balanced_term(&tree);
+        let mut cur = tree.root();
+        for _ in 0..12 {
+            // One batch = a 32-op first-child chain flood below `cur`.
+            let mut shadow = tree.clone();
+            let mut anchor = cur;
+            let mut ops = Vec::new();
+            for _ in 0..32 {
+                let op = EditOp::InsertFirstChild {
+                    parent: anchor,
+                    label: a,
+                };
+                anchor = shadow.apply(&op).unwrap();
+                ops.push(op);
+            }
+            let batch = apply_edits(&mut tree, &mut term, &mut phi, &ops);
+            cur = batch.inserted().last().unwrap();
+            check_consistency(&tree, &term, &phi);
+        }
+        let h = term.height();
+        let n = term.weight(term.root());
+        assert_eq!(n, 12 * 32 + 1);
+        assert!(
+            h <= 6 * ((n as f64).log2() as usize + 1) + 8,
+            "height {h} too large for weight {n} after batched floods"
         );
     }
 

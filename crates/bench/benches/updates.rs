@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use treenum_baselines::RecomputeBaseline;
 use treenum_bench::{bench_alphabet, bench_tree, select_b_query};
 use treenum_core::TreeEnumerator;
+use treenum_trees::edit::NodeSampler;
 use treenum_trees::generate::{EditStream, TreeShape};
 
 fn updates(c: &mut Criterion) {
@@ -22,6 +23,20 @@ fn updates(c: &mut Criterion) {
             let mut stream = EditStream::balanced_mix(labels.clone(), 9);
             b.iter(|| {
                 let op = stream.next_for(engine.tree());
+                engine.apply(&op)
+            });
+        });
+        // O(1) NodeSampler-backed generation: the legacy arm above mixes the
+        // Θ(n) `next_for` generation into every iteration; this arm isolates
+        // `apply` (plus an O(1) draw) so the O(log n) update cost is visible
+        // at every size.
+        group.bench_with_input(BenchmarkId::new("treenum_update_sampled", n), &n, |b, _| {
+            let mut engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+            let mut shadow = tree.clone();
+            let mut sampler = NodeSampler::new(&shadow);
+            let mut stream = EditStream::balanced_mix(labels.clone(), 9);
+            b.iter(|| {
+                let op = stream.next_applied_sampled(&mut shadow, &mut sampler);
                 engine.apply(&op)
             });
         });

@@ -1,28 +1,33 @@
-//! Runs compact versions of experiments E1–E7 and writes a JSON summary.
+//! Runs compact versions of experiments E1–E8 and writes a JSON summary.
 //!
 //! ```text
-//! bench_summary [--profile full|smoke|e2] [--out PATH]
-//!               [--check-e2 BASELINE.json] [--tolerance FRACTION]
+//! bench_summary [--profile full|smoke|e2|e8] [--out PATH]
+//!               [--check-e2 BASELINE.json] [--check-e8 BASELINE.json]
+//!               [--tolerance FRACTION]
 //! ```
 //!
 //! The committed trajectory files at the repository root are produced with the
 //! `full` profile (`--out BENCH_baseline.json` before a perf change,
 //! `--out BENCH_after.json` after); CI runs the `smoke` profile to keep the
 //! bench code compiling and running, plus `--profile e2 --check-e2
-//! BENCH_baseline.json`, which exits non-zero when any freshly measured E2
-//! p95 per-answer delay regresses more than the tolerance (default 0.25 =
-//! 25%) against the committed baseline.  Without `--out` the JSON goes to
-//! stdout.
+//! BENCH_after.json` and `--profile e8 --check-e8 BENCH_after.json`, which
+//! exit non-zero when any freshly measured p95 of the gated group (E2
+//! per-answer delay / E8 amortized per-edit batch latency) regresses more
+//! than the tolerance (default 0.25 = 25%) against the committed baseline.
+//! Without `--out` the JSON goes to stdout.
 
 use criterion::Criterion;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use treenum_bench::summary::{run_summary, SummaryProfile};
-use treenum_bench::trajectory::{check_e2_regression, Trajectory};
+use treenum_bench::trajectory::{
+    check_e2_regression, check_e8_regression, GroupComparison, Trajectory,
+};
 
 fn main() {
     let mut profile = SummaryProfile::full();
     let mut out: Option<PathBuf> = None;
     let mut check_e2: Option<PathBuf> = None;
+    let mut check_e8: Option<PathBuf> = None;
     let mut tolerance = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,6 +46,12 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("missing baseline path"));
                 check_e2 = Some(PathBuf::from(path));
+            }
+            "--check-e8" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing baseline path"));
+                check_e8 = Some(PathBuf::from(path));
             }
             "--tolerance" => {
                 let value = args.next().unwrap_or_else(|| usage("missing tolerance"));
@@ -72,35 +83,66 @@ fn main() {
     }
 
     if let Some(baseline_path) = check_e2 {
-        let baseline = Trajectory::load(&baseline_path).unwrap_or_else(|e| fail(&e));
-        let comparisons = check_e2_regression(&baseline, criterion.records(), tolerance)
-            .unwrap_or_else(|e| fail(&e));
-        let mut regressed = false;
-        for c in &comparisons {
-            eprintln!(
-                "E2 p95 {}: baseline {} ns, now {} ns ({:.2}x){}",
-                c.name,
-                c.baseline_p95_ns,
-                c.fresh_p95_ns,
-                c.ratio,
-                if c.regressed { "  REGRESSION" } else { "" }
-            );
-            regressed |= c.regressed;
-        }
-        if regressed {
-            fail(&format!(
-                "E2 p95 per-answer delay regressed more than {:.0}% against {}",
-                tolerance * 100.0,
-                baseline_path.display()
-            ));
-        }
-        eprintln!(
-            "E2 p95 check passed ({} records within {:.0}% of {})",
-            comparisons.len(),
-            tolerance * 100.0,
-            baseline_path.display()
+        run_gate(
+            "E2 p95",
+            check_e2_regression,
+            &baseline_path,
+            &criterion,
+            tolerance,
         );
     }
+    if let Some(baseline_path) = check_e8 {
+        run_gate(
+            "E8 amortized p95",
+            check_e8_regression,
+            &baseline_path,
+            &criterion,
+            tolerance,
+        );
+    }
+}
+
+/// The signature shared by the gate checkers in `treenum_bench::trajectory`.
+type GateCheck =
+    fn(&Trajectory, &[criterion::BenchRecord], f64) -> Result<Vec<GroupComparison>, String>;
+
+/// Compares the fresh run's p95s against a committed baseline file through
+/// `check`, printing every comparison and exiting non-zero on a regression
+/// (or on a gated record missing from the fresh run).
+fn run_gate(
+    label: &str,
+    check: GateCheck,
+    baseline_path: &Path,
+    criterion: &Criterion,
+    tolerance: f64,
+) {
+    let baseline = Trajectory::load(baseline_path).unwrap_or_else(|e| fail(&e));
+    let comparisons = check(&baseline, criterion.records(), tolerance).unwrap_or_else(|e| fail(&e));
+    let mut regressed = false;
+    for c in &comparisons {
+        eprintln!(
+            "{label} {}: baseline {} ns, now {} ns ({:.2}x){}",
+            c.name,
+            c.baseline_p95_ns,
+            c.fresh_p95_ns,
+            c.ratio,
+            if c.regressed { "  REGRESSION" } else { "" }
+        );
+        regressed |= c.regressed;
+    }
+    if regressed {
+        fail(&format!(
+            "{label} regressed more than {:.0}% against {}",
+            tolerance * 100.0,
+            baseline_path.display()
+        ));
+    }
+    eprintln!(
+        "{label} check passed ({} records within {:.0}% of {})",
+        comparisons.len(),
+        tolerance * 100.0,
+        baseline_path.display()
+    );
 }
 
 fn fail(error: &str) -> ! {
@@ -113,8 +155,9 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: bench_summary [--profile full|smoke|e2] [--out PATH] \
-         [--check-e2 BASELINE.json] [--tolerance FRACTION]"
+        "usage: bench_summary [--profile full|smoke|e2|e8] [--out PATH] \
+         [--check-e2 BASELINE.json] [--check-e8 BASELINE.json] \
+         [--tolerance FRACTION]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

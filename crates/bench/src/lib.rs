@@ -111,12 +111,209 @@ pub fn time_edits(
     });
 }
 
+/// [`time_edits`] with O(1) edit generation: ops come from
+/// `EditStream::next_applied_sampled` driven by a `NodeSampler` over a
+/// `shadow` clone of the engine's tree (kept in lockstep — the arena assigns
+/// the same `NodeId`s to the same insertions).  The timed region is identical
+/// to [`time_edits`] (apply + `and_then` only); the difference is that the
+/// untimed region no longer spends Θ(n) per op materializing populations, so
+/// measurement budgets buy far more iterations at large `n`.
+pub fn time_edits_sampled(
+    b: &mut criterion::Bencher,
+    engine: &mut treenum_core::TreeEnumerator,
+    stream: &mut treenum_trees::generate::EditStream,
+    shadow: &mut UnrankedTree,
+    sampler: &mut treenum_trees::edit::NodeSampler,
+    mut and_then: impl FnMut(&treenum_core::TreeEnumerator),
+) {
+    use std::time::{Duration, Instant};
+    b.iter_custom(|iters| {
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let op = stream.next_applied_sampled(shadow, sampler);
+            let start = Instant::now();
+            criterion::black_box(engine.apply(&op));
+            and_then(engine);
+            total += start.elapsed();
+        }
+        total
+    });
+}
+
+/// Builds a percentile-bearing [`criterion::BenchRecord`] from raw
+/// nanosecond samples (shared by the E2 per-answer and E8 per-edit
+/// amortized measurements).
+pub fn record_from_samples(
+    group: &str,
+    name: String,
+    mut samples: Vec<u64>,
+) -> criterion::BenchRecord {
+    samples.sort_unstable();
+    let percentile = |q: f64| -> u128 {
+        if samples.is_empty() {
+            return 0;
+        }
+        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+        samples[idx] as u128
+    };
+    let mean = if samples.is_empty() {
+        0
+    } else {
+        samples.iter().map(|&g| g as u128).sum::<u128>() / samples.len() as u128
+    };
+    criterion::BenchRecord {
+        group: group.to_string(),
+        name,
+        mean_ns: mean,
+        min_ns: samples.first().copied().unwrap_or(0) as u128,
+        p50_ns: Some(percentile(0.50)),
+        p95_ns: Some(percentile(0.95)),
+        p99_ns: Some(percentile(0.99)),
+    }
+}
+
+/// Constructor of one `EditStream` workload strategy: `(labels, seed)`.
+pub type StreamCtor = fn(Vec<Label>, u64) -> treenum_trees::generate::EditStream;
+
+/// The E8 strategy table: record-name tag and stream constructor.
+pub fn e8_strategies() -> [(&'static str, StreamCtor); 3] {
+    use treenum_trees::generate::EditStream;
+    [
+        ("uniform", EditStream::balanced_mix),
+        ("skewed", EditStream::skewed),
+        ("burst", EditStream::burst),
+    ]
+}
+
+/// Measures the amortized per-edit cost of applying `k`-op batches generated
+/// by `make_stream(…, seed)`: each sample is `elapsed / k` for one batch,
+/// applied either through `TreeEnumerator::apply_batch` (`batched`) or as `k`
+/// sequential `apply` calls (the speedup baseline).  Batch *generation* runs
+/// on a shadow tree/sampler outside the timed region (O(k) per batch).
+#[allow(clippy::too_many_arguments)]
+pub fn measure_batch_apply(
+    tree: &UnrankedTree,
+    query: &StepwiseTva,
+    alphabet_len: usize,
+    labels: &[Label],
+    make_stream: StreamCtor,
+    seed: u64,
+    k: usize,
+    batched: bool,
+    name: String,
+    warm_up: std::time::Duration,
+    measurement: std::time::Duration,
+) -> criterion::BenchRecord {
+    use std::time::Instant;
+    use treenum_trees::edit::NodeSampler;
+    let mut engine = treenum_core::TreeEnumerator::new(tree.clone(), query, alphabet_len);
+    let mut shadow = tree.clone();
+    let mut sampler = NodeSampler::new(&shadow);
+    let mut stream = make_stream(labels.to_vec(), seed);
+    let mut samples: Vec<u64> = Vec::new();
+    let mut run = |samples: Option<&mut Vec<u64>>| {
+        let ops = stream.next_batch_sampled(&mut shadow, &mut sampler, k);
+        let start = Instant::now();
+        if batched {
+            criterion::black_box(engine.apply_batch(&ops));
+        } else {
+            for op in &ops {
+                criterion::black_box(engine.apply(op));
+            }
+        }
+        let elapsed = start.elapsed();
+        if let Some(samples) = samples {
+            samples.push((elapsed.as_nanos() / k as u128) as u64);
+        }
+    };
+    let warm_start = Instant::now();
+    loop {
+        run(None);
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+    }
+    let deadline = Instant::now() + measurement;
+    loop {
+        run(Some(&mut samples));
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    record_from_samples("E8_batch_updates", name, samples)
+}
+
+/// The E8 batch-update experiment: amortized per-edit latency of
+/// `apply_batch` vs `k` sequential `apply` calls, for batch sizes `ks` ×
+/// {uniform, skewed, burst} workloads at every tree size in `sizes`.  Both
+/// arms replay the *same* deterministic batches (same seed, lockstep shadow
+/// trees), so `seq/batch` is a true per-workload speedup; the committed
+/// trajectory records both, and CI gates the `batch_*` p95s (`--check-e8`).
+pub fn run_e8(
+    c: &mut criterion::Criterion,
+    sizes: &[usize],
+    ks: &[usize],
+    warm_up: std::time::Duration,
+    measurement: std::time::Duration,
+) {
+    let (query, alphabet_len) = select_b_query();
+    let labels: Vec<Label> = bench_alphabet().labels().collect();
+    for &n in sizes {
+        let tree = bench_tree(n, TreeShape::Random, 17);
+        for (si, (sname, make)) in e8_strategies().into_iter().enumerate() {
+            for &k in ks {
+                let seed = 1_000 + 31 * si as u64 + k as u64;
+                let batch = measure_batch_apply(
+                    &tree,
+                    &query,
+                    alphabet_len,
+                    &labels,
+                    make,
+                    seed,
+                    k,
+                    true,
+                    format!("batch_{sname}_k{k}/{n}"),
+                    warm_up,
+                    measurement,
+                );
+                let seq = measure_batch_apply(
+                    &tree,
+                    &query,
+                    alphabet_len,
+                    &labels,
+                    make,
+                    seed,
+                    k,
+                    false,
+                    format!("seq_{sname}_k{k}/{n}"),
+                    warm_up,
+                    measurement,
+                );
+                eprintln!(
+                    "E8 {sname} k={k} n={n}: batch {} ns/edit, seq {} ns/edit ({:.2}x)",
+                    batch.mean_ns,
+                    seq.mean_ns,
+                    seq.mean_ns as f64 / batch.mean_ns.max(1) as f64
+                );
+                c.push_record(batch);
+                c.push_record(seq);
+            }
+        }
+    }
+}
+
 /// The E7 update-throughput experiment: three arms (single-variable query,
 /// marked-ancestor query, edit+enumerate round-trip) over long
 /// `balanced_mix` streams.  The single definition of the workload — the
 /// `update_throughput` bench target and the `bench_summary` runner only
 /// differ in `sizes` and timing budgets, so the committed `BENCH_*.json`
 /// trajectory always measures the same thing as `cargo bench`.
+///
+/// The marked-ancestor and edit+enumerate arms generate their edits through
+/// a `NodeSampler` (O(1) per op, [`time_edits_sampled`]) so the untimed
+/// region stops paying Θ(n) per iteration; `edit_select_b` deliberately
+/// keeps the legacy `next_for` generation for continuity with the committed
+/// trajectory (the *timed* region is identical either way).
 pub fn run_e7(
     c: &mut criterion::Criterion,
     sizes: &[usize],
@@ -126,6 +323,7 @@ pub fn run_e7(
 ) {
     use criterion::{black_box, BenchmarkId};
     use treenum_core::TreeEnumerator;
+    use treenum_trees::edit::NodeSampler;
     use treenum_trees::generate::{EditStream, TreeShape};
     let labels: Vec<_> = bench_alphabet().labels().collect();
     let mut group = c.benchmark_group("E7_update_throughput");
@@ -143,15 +341,33 @@ pub fn run_e7(
         let (marked, marked_len) = marked_ancestor_query();
         group.bench_with_input(BenchmarkId::new("edit_marked_ancestor", n), &n, |b, _| {
             let mut engine = TreeEnumerator::new(tree.clone(), &marked, marked_len);
+            let mut shadow = tree.clone();
+            let mut sampler = NodeSampler::new(&shadow);
             let mut stream = EditStream::balanced_mix(labels.clone(), 33);
-            time_edits(b, &mut engine, &mut stream, |_| ());
+            time_edits_sampled(
+                b,
+                &mut engine,
+                &mut stream,
+                &mut shadow,
+                &mut sampler,
+                |_| (),
+            );
         });
         group.bench_with_input(BenchmarkId::new("edit_then_first10", n), &n, |b, _| {
             let mut engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+            let mut shadow = tree.clone();
+            let mut sampler = NodeSampler::new(&shadow);
             let mut stream = EditStream::balanced_mix(labels.clone(), 39);
-            time_edits(b, &mut engine, &mut stream, |e| {
-                black_box(first_k(e, 10));
-            });
+            time_edits_sampled(
+                b,
+                &mut engine,
+                &mut stream,
+                &mut shadow,
+                &mut sampler,
+                |e| {
+                    black_box(first_k(e, 10));
+                },
+            );
         });
     }
     group.finish();

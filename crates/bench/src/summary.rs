@@ -1,4 +1,4 @@
-//! Compact, machine-readable re-runs of experiments E1–E7.
+//! Compact, machine-readable re-runs of experiments E1–E8.
 //!
 //! [`run_summary`] executes a scaled-down version of every experiment in
 //! `benches/` through the vendored criterion stub and leaves the measurements
@@ -20,6 +20,7 @@ use treenum_baselines::RecomputeBaseline;
 use treenum_core::words::{WordEdit, WordEnumerator};
 use treenum_core::TreeEnumerator;
 use treenum_lowerbound::{EnumerationMarkedAncestor, NaiveMarkedAncestor};
+use treenum_trees::edit::NodeSampler;
 use treenum_trees::generate::{random_word, EditStream, TreeShape};
 use treenum_trees::valuation::Var;
 use treenum_trees::{Alphabet, Label};
@@ -47,14 +48,18 @@ pub struct SummaryProfile {
     pub e6_sizes: Vec<usize>,
     /// Tree sizes for E7 (update throughput over long edit streams).
     pub e7_sizes: Vec<usize>,
+    /// Tree sizes for E8 (batch updates).
+    pub e8_sizes: Vec<usize>,
+    /// Batch sizes `k` for E8.
+    pub e8_ks: Vec<usize>,
     /// Per-benchmark warm-up budget.
     pub warm_up: Duration,
     /// Per-benchmark measurement budget.
     pub measurement: Duration,
     /// Nominal sample count (sizes the stub's timing batches).
     pub sample_size: usize,
-    /// Which experiments to run (`None` = all of E1–E7).  The `e2` profile
-    /// restricts the run to the delay experiment so CI can gate on E2
+    /// Which experiments to run (`None` = all of E1–E8).  The `e2` / `e8`
+    /// profiles restrict the run to one experiment so CI can gate on its
     /// percentiles without paying for the full sweep.
     pub experiments: Option<&'static [&'static str]>,
 }
@@ -73,6 +78,8 @@ impl SummaryProfile {
             word_sizes: vec![1_000, 4_000, 16_000],
             e6_sizes: vec![1_000, 4_000],
             e7_sizes: vec![1_000, 10_000, 40_000],
+            e8_sizes: vec![10_000, 40_000],
+            e8_ks: vec![1, 8, 64, 256],
             warm_up: Duration::from_millis(200),
             measurement: Duration::from_millis(700),
             sample_size: 10,
@@ -92,6 +99,8 @@ impl SummaryProfile {
             word_sizes: vec![200],
             e6_sizes: vec![200],
             e7_sizes: vec![400],
+            e8_sizes: vec![300],
+            e8_ks: vec![4],
             warm_up: Duration::from_millis(10),
             measurement: Duration::from_millis(40),
             sample_size: 3,
@@ -117,12 +126,27 @@ impl SummaryProfile {
         }
     }
 
-    /// Parses a profile name (`full` / `smoke` / `e2`).
+    /// The batch-update experiment only, at the `full` sizes but with reduced
+    /// timing budgets: the workload behind CI's E8 amortized-p95 regression
+    /// gate.  The record names match the committed trajectory (same sizes and
+    /// batch sizes), so the comparison is apples to apples.
+    pub fn e8() -> Self {
+        SummaryProfile {
+            name: "e8",
+            warm_up: Duration::from_millis(50),
+            measurement: Duration::from_millis(200),
+            experiments: Some(&["E8"]),
+            ..Self::full()
+        }
+    }
+
+    /// Parses a profile name (`full` / `smoke` / `e2` / `e8`).
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "full" => Some(Self::full()),
             "smoke" => Some(Self::smoke()),
             "e2" => Some(Self::e2()),
+            "e8" => Some(Self::e8()),
             _ => None,
         }
     }
@@ -133,7 +157,7 @@ impl SummaryProfile {
     }
 }
 
-/// Runs every experiment selected by the profile, recording into `c`.
+/// Runs every experiment selected by the profile (E1–E8), recording into `c`.
 pub fn run_summary(c: &mut Criterion, profile: &SummaryProfile) {
     if profile.runs("E1") {
         e1_preprocessing(c, profile);
@@ -155,6 +179,9 @@ pub fn run_summary(c: &mut Criterion, profile: &SummaryProfile) {
     }
     if profile.runs("E7") {
         e7_update_throughput(c, profile);
+    }
+    if profile.runs("E8") {
+        e8_batch_updates(c, profile);
     }
 }
 
@@ -277,28 +304,7 @@ pub fn measure_per_answer_delay(
             break;
         }
     }
-    gaps.sort_unstable();
-    let percentile = |q: f64| -> u128 {
-        if gaps.is_empty() {
-            return 0;
-        }
-        let idx = ((gaps.len() - 1) as f64 * q).round() as usize;
-        gaps[idx] as u128
-    };
-    let mean = if gaps.is_empty() {
-        0
-    } else {
-        gaps.iter().map(|&g| g as u128).sum::<u128>() / gaps.len() as u128
-    };
-    BenchRecord {
-        group: "E2_delay".to_string(),
-        name,
-        mean_ns: mean,
-        min_ns: gaps.first().copied().unwrap_or(0) as u128,
-        p50_ns: Some(percentile(0.50)),
-        p95_ns: Some(percentile(0.95)),
-        p99_ns: Some(percentile(0.99)),
-    }
+    crate::record_from_samples("E2_delay", name, gaps)
 }
 
 fn e3_updates(c: &mut Criterion, p: &SummaryProfile) {
@@ -315,6 +321,19 @@ fn e3_updates(c: &mut Criterion, p: &SummaryProfile) {
             let mut stream = EditStream::balanced_mix(labels.clone(), 9);
             b.iter(|| {
                 let op = stream.next_for(engine.tree());
+                engine.apply(&op)
+            });
+        });
+        // The same workload with O(1) NodeSampler-backed generation: the
+        // legacy arm's per-iteration time mixes Θ(n) generation with apply,
+        // this arm isolates apply (plus an O(1) draw) at every size.
+        group.bench_with_input(BenchmarkId::new("treenum_update_sampled", n), &n, |b, _| {
+            let mut engine = TreeEnumerator::new(tree.clone(), &query, alphabet_len);
+            let mut shadow = tree.clone();
+            let mut sampler = NodeSampler::new(&shadow);
+            let mut stream = EditStream::balanced_mix(labels.clone(), 9);
+            b.iter(|| {
+                let op = stream.next_applied_sampled(&mut shadow, &mut sampler);
                 engine.apply(&op)
             });
         });
@@ -452,4 +471,8 @@ fn e6_lower_bound(c: &mut Criterion, p: &SummaryProfile) {
 
 fn e7_update_throughput(c: &mut Criterion, p: &SummaryProfile) {
     crate::run_e7(c, &p.e7_sizes, p.sample_size, p.warm_up, p.measurement);
+}
+
+fn e8_batch_updates(c: &mut Criterion, p: &SummaryProfile) {
+    crate::run_e8(c, &p.e8_sizes, &p.e8_ks, p.warm_up, p.measurement);
 }

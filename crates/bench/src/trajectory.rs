@@ -4,9 +4,12 @@
 //! are written by the vendored criterion stub with a fixed flat schema
 //! (`{"schema":1, …, "benchmarks":[{"group","name","mean_ns","min_ns",
 //! "p50_ns"?,"p95_ns"?,"p99_ns"?}, …]}`), and this module carries the small
-//! hand-rolled parser for exactly that shape.  [`check_e2_regression`] is the
-//! CI gate: it compares a fresh run's E2 p95 per-answer delays against the
-//! committed baseline and fails on a >`tolerance` regression.
+//! hand-rolled parser for exactly that shape.  [`check_group_regression`] is
+//! the CI gate machinery: it compares a fresh run's p95s for one benchmark
+//! group against the committed baseline and fails on a >`tolerance`
+//! regression or on a gated record disappearing; [`check_e2_regression`]
+//! (per-answer delays) and [`check_e8_regression`] (amortized per-edit batch
+//! latencies) are the two instantiations CI runs.
 
 use criterion::BenchRecord;
 
@@ -78,14 +81,14 @@ impl Trajectory {
     }
 }
 
-/// One comparison of a fresh E2 record against the baseline.
+/// One comparison of a fresh p95-bearing record against the baseline.
 #[derive(Debug, Clone)]
-pub struct E2Comparison {
-    /// Record name (`per_answer_<query>/<n>`).
+pub struct GroupComparison {
+    /// Record name (e.g. `per_answer_<query>/<n>`, `batch_<strategy>_k<k>/<n>`).
     pub name: String,
-    /// Baseline p95 per-answer delay (ns).
+    /// Baseline p95 (ns).
     pub baseline_p95_ns: u128,
-    /// Fresh p95 per-answer delay (ns).
+    /// Fresh p95 (ns).
     pub fresh_p95_ns: u128,
     /// `fresh / baseline` (1.0 = unchanged, 2.0 = twice as slow).
     pub ratio: f64,
@@ -93,18 +96,39 @@ pub struct E2Comparison {
     pub regressed: bool,
 }
 
-/// Compares every E2 per-answer record present in both runs, flagging fresh
-/// p95 delays more than `tolerance` above baseline (`tolerance` 0.25 = fail
-/// on >25% regression).  Returns an error when nothing was comparable — a
-/// silent pass on mismatched files would defeat the gate.
-pub fn check_e2_regression(
+/// Compares every record of `group` present in both runs, flagging fresh
+/// p95s more than `tolerance` above baseline (`tolerance` 0.25 = fail on a
+/// regression of more than 25%).  Returns an error when nothing was
+/// comparable — a silent pass on mismatched files would defeat the gate —
+/// and when any baseline record of the group with a p95 has no fresh
+/// counterpart, so dropping a size/arm from the measured profile cannot
+/// silently shrink the gate.
+pub fn check_group_regression(
     baseline: &Trajectory,
     fresh: &[BenchRecord],
+    group: &str,
     tolerance: f64,
-) -> Result<Vec<E2Comparison>, String> {
+) -> Result<Vec<GroupComparison>, String> {
+    check_group_regression_filtered(baseline, fresh, group, "", tolerance)
+}
+
+/// [`check_group_regression`] restricted to record names starting with
+/// `name_prefix` (`""` = every record of the group).  The E8 gate uses this
+/// to cover only the `batch_*` arms: the `seq_*` speedup baselines replay
+/// rebalance-heavy workloads whose p95 is dominated by whether a rare
+/// scapegoat rebuild lands in a measured sample, which would make a
+/// percentile gate flake without guarding anything this repository
+/// optimizes.
+pub fn check_group_regression_filtered(
+    baseline: &Trajectory,
+    fresh: &[BenchRecord],
+    group: &str,
+    name_prefix: &str,
+    tolerance: f64,
+) -> Result<Vec<GroupComparison>, String> {
     let mut out = Vec::new();
     for rec in fresh {
-        if rec.group != "E2_delay" {
+        if rec.group != group || !rec.name.starts_with(name_prefix) {
             continue;
         }
         let (Some(fresh_p95), Some(base)) = (rec.p95_ns, baseline.find(&rec.group, &rec.name))
@@ -118,7 +142,7 @@ pub fn check_e2_regression(
             continue;
         }
         let ratio = fresh_p95 as f64 / base_p95 as f64;
-        out.push(E2Comparison {
+        out.push(GroupComparison {
             name: rec.name.clone(),
             baseline_p95_ns: base_p95,
             fresh_p95_ns: fresh_p95,
@@ -127,29 +151,46 @@ pub fn check_e2_regression(
         });
     }
     if out.is_empty() {
-        return Err(
-            "no E2 per-answer records were comparable against the baseline \
+        return Err(format!(
+            "no {group} records were comparable against the baseline \
              (size or name mismatch?)"
-                .into(),
-        );
+        ));
     }
-    // Partial coverage loss must fail too: every E2 record the baseline gates
-    // on (it has a p95) needs a fresh counterpart, or dropping a size/arm
-    // from the measured profile would silently shrink the gate.
     let matched: std::collections::HashSet<&str> = out.iter().map(|c| c.name.as_str()).collect();
     for base in &baseline.benchmarks {
-        if base.group == "E2_delay"
+        if base.group == group
+            && base.name.starts_with(name_prefix)
             && base.p95_ns.is_some()
             && !matched.contains(base.name.as_str())
         {
             return Err(format!(
-                "baseline E2 record {:?} has no counterpart in the fresh run \
-                 — the gate no longer covers it",
+                "baseline {group} record {:?} has no counterpart in the fresh \
+                 run — the gate no longer covers it",
                 base.name
             ));
         }
     }
     Ok(out)
+}
+
+/// The E2 gate: p95 per-answer delays of the `E2_delay` group.
+pub fn check_e2_regression(
+    baseline: &Trajectory,
+    fresh: &[BenchRecord],
+    tolerance: f64,
+) -> Result<Vec<GroupComparison>, String> {
+    check_group_regression(baseline, fresh, "E2_delay", tolerance)
+}
+
+/// The E8 gate: amortized per-edit p95s of the `E8_batch_updates` group's
+/// `batch_*` arms (the `seq_*` speedup baselines are recorded but not gated
+/// — see [`check_group_regression_filtered`]).
+pub fn check_e8_regression(
+    baseline: &Trajectory,
+    fresh: &[BenchRecord],
+    tolerance: f64,
+) -> Result<Vec<GroupComparison>, String> {
+    check_group_regression_filtered(baseline, fresh, "E8_batch_updates", "batch_", tolerance)
 }
 
 /// The subset of JSON the trajectory files use.  Numbers are unsigned
@@ -419,6 +460,56 @@ mod tests {
             ..BenchRecord::default()
         }];
         assert!(check_e2_regression(&baseline, &fresh, 0.25).is_err());
+    }
+
+    #[test]
+    fn e8_gate_is_group_scoped() {
+        let base = concat!(
+            "{\"schema\":1,\"profile\":\"full\",\"benchmarks\":[",
+            "{\"group\":\"E8_batch_updates\",\"name\":\"batch_skewed_k64/10000\",",
+            "\"mean_ns\":400,\"min_ns\":100,\"p50_ns\":350,\"p95_ns\":800,\"p99_ns\":1200},",
+            "{\"group\":\"E8_batch_updates\",\"name\":\"seq_skewed_k64/10000\",",
+            "\"mean_ns\":4000,\"min_ns\":1000,\"p50_ns\":3500,\"p95_ns\":8000,\"p99_ns\":12000},",
+            "{\"group\":\"E2_delay\",\"name\":\"per_answer_select_b/10000\",",
+            "\"mean_ns\":500,\"min_ns\":100,\"p50_ns\":400,\"p95_ns\":900,\"p99_ns\":1500}",
+            "]}\n"
+        );
+        let baseline = Trajectory::parse(base).unwrap();
+        // A fresh run covering only the E8 batch record passes the E8 gate
+        // (the E2 record belongs to the other gate) and fails the E2 gate.
+        // A regressed seq_* record is NOT gated: the speedup-baseline arms
+        // replay rebalance-heavy workloads with long-tailed p95s.
+        let fresh = vec![
+            BenchRecord {
+                group: "E8_batch_updates".into(),
+                name: "batch_skewed_k64/10000".into(),
+                p95_ns: Some(850),
+                ..BenchRecord::default()
+            },
+            BenchRecord {
+                group: "E8_batch_updates".into(),
+                name: "seq_skewed_k64/10000".into(),
+                p95_ns: Some(999_999),
+                ..BenchRecord::default()
+            },
+        ];
+        let cmp = check_e8_regression(&baseline, &fresh, 0.25).unwrap();
+        assert_eq!(cmp.len(), 1);
+        assert!(!cmp[0].regressed);
+        assert!(check_e2_regression(&baseline, &fresh, 0.25).is_err());
+        // A >25% amortized-p95 regression is flagged.
+        let slow = vec![BenchRecord {
+            p95_ns: Some(1100),
+            ..fresh[0].clone()
+        }];
+        let cmp = check_e8_regression(&baseline, &slow, 0.25).unwrap();
+        assert!(cmp[0].regressed);
+        // A disappearing E8 record fails the gate.
+        let other = vec![BenchRecord {
+            name: "batch_skewed_k8/10000".into(),
+            ..slow[0].clone()
+        }];
+        assert!(check_e8_regression(&baseline, &other, 0.25).is_err());
     }
 
     #[test]

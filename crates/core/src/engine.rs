@@ -8,7 +8,7 @@ use std::sync::Arc;
 use treenum_automata::StepwiseTva;
 use treenum_balance::build::build_balanced_term;
 use treenum_balance::term::{Term, TermNodeId};
-use treenum_balance::update::apply_edit;
+use treenum_balance::update::{apply_edit, apply_edits};
 use treenum_circuits::{internal_box_content, BoxContent, BoxId, Circuit, StateGate};
 use treenum_enumeration::boxenum::BoxEnumMode;
 use treenum_enumeration::dedup::enumerate_root_with;
@@ -62,6 +62,13 @@ pub struct TreeEnumerator {
     content_mark: Vec<u64>,
     /// Boxes whose index entry changed this edit.
     entry_mark: Vec<u64>,
+    /// Per-batch memoized term depths (`depth_mark[i] == epoch` means
+    /// `depth_val[i]` is current): the batch repair sorts the dirty union by
+    /// depth, and computing each depth by a fresh parent walk would cost
+    /// O(|union| · height) — after a scapegoat rebuild the union holds whole
+    /// subtrees, so the walks are memoized to O(|union|) total.
+    depth_mark: Vec<u64>,
+    depth_val: Vec<u32>,
     /// Reusable per-answer enumeration scratch (pools + counters), kept warm
     /// across `apply`/re-enumeration cycles.  `RefCell` because enumeration
     /// takes `&self`; a re-entrant enumeration (a sink that enumerates the
@@ -81,6 +88,44 @@ fn mark(marks: &mut Vec<u64>, epoch: u64, i: usize) {
 #[inline]
 fn marked(marks: &[u64], epoch: u64, i: usize) -> bool {
     marks.get(i).copied() == Some(epoch)
+}
+
+/// Memoized term depth for the batch repair: walks up until a node with a
+/// cached depth (or the root), then assigns depths top-down along the walked
+/// path, so every node's depth is computed once per batch.
+fn cached_depth(
+    term: &treenum_balance::term::Term,
+    epoch: u64,
+    marks: &mut Vec<u64>,
+    vals: &mut Vec<u32>,
+    path: &mut Vec<TermNodeId>,
+    n: TermNodeId,
+) -> u32 {
+    path.clear();
+    let mut cur = n;
+    while !marked(marks, epoch, cur.index()) {
+        path.push(cur);
+        match term.parent(cur) {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    // If the walk stopped at a cached ancestor, continue from its depth; if
+    // it pushed the (uncached) root, the wrapping add below assigns it 0.
+    let mut depth = if marked(marks, epoch, cur.index()) {
+        vals[cur.index()]
+    } else {
+        u32::MAX
+    };
+    for &node in path.iter().rev() {
+        depth = depth.wrapping_add(1);
+        mark(marks, epoch, node.index());
+        if node.index() >= vals.len() {
+            vals.resize(node.index() + 1, 0);
+        }
+        vals[node.index()] = depth;
+    }
+    depth
 }
 
 impl TreeEnumerator {
@@ -107,6 +152,8 @@ impl TreeEnumerator {
             term_mark: Vec::new(),
             content_mark: Vec::new(),
             entry_mark: Vec::new(),
+            depth_mark: Vec::new(),
+            depth_val: Vec::new(),
             scratch: RefCell::new(EnumScratch::new()),
         };
         let order = engine.term.subtree_postorder(engine.term.root());
@@ -417,6 +464,114 @@ impl TreeEnumerator {
         report.inserted
     }
 
+    /// Applies a batch of `k` edit operations with **one** deduplicated
+    /// circuit/index repair pass instead of `k` independent passes.  Returns
+    /// the nodes created by the batch's insertions, in operation order.
+    ///
+    /// The resulting *tree* is identical to `k` sequential
+    /// [`TreeEnumerator::apply`] calls and the answers are too; the balanced
+    /// *term* may differ structurally, because [`apply_edits`] runs the
+    /// splices op by op but defers scapegoat rebalancing to one end-of-batch
+    /// sweep (same invariants and height bound once the batch completes).
+    /// Edits that land in one subtree share most of their `O(log n)` dirty
+    /// spine, so the per-edit reports are folded into an epoch-marked dirty
+    /// set first — replayed in order, because a term arena slot freed by one
+    /// edit can be reused (and re-dirtied) by a later one — and the union is
+    /// then repaired bottom-up once, with the same content/index-entry
+    /// fixpoint early exits as the single-edit path.  Repair cost is
+    /// `O(|union of spines|)`, not `O(k · log n)`;
+    /// [`IndexStats::spine_nodes_deduped`] counts the sharing and
+    /// [`IndexStats::batch_rebuilds`] the passes.
+    pub fn apply_batch(&mut self, ops: &[EditOp]) -> Vec<NodeId> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let batch = apply_edits(&mut self.tree, &mut self.term, &mut self.phi, ops);
+        self.scratch_epoch += 1;
+        let epoch = self.scratch_epoch;
+        let mut dirty: Vec<TermNodeId> = Vec::new();
+        let mut deduped = 0u64;
+        for report in &batch.reports {
+            // Free the boxes of removed term nodes first (their arena slots
+            // may be reused by nodes created later in the same batch).
+            for freed in &report.freed {
+                if let Some(b) = self.take_box_of(*freed) {
+                    self.index.remove_box(b);
+                    if self.circuit.is_live(b) {
+                        self.circuit.free_single(b);
+                    }
+                }
+                // A slot dirtied by an earlier edit and freed here must not
+                // be repaired as the old node; unmarking lets a later edit
+                // that reuses the slot queue it afresh.
+                if marked(&self.term_mark, epoch, freed.index()) {
+                    self.term_mark[freed.index()] = 0;
+                }
+            }
+            for &d in &report.dirty {
+                if marked(&self.term_mark, epoch, d.index()) {
+                    deduped += 1;
+                    continue;
+                }
+                mark(&mut self.term_mark, epoch, d.index());
+                dirty.push(d);
+            }
+        }
+        // The union of the dirty spines, children before parents: sort by
+        // term depth descending (a child is strictly deeper than its parent,
+        // and every changed child of a dirty node is itself dirty).  A slot
+        // freed and re-dirtied mid-batch can appear twice in `dirty`; the
+        // occurrences share one (depth, id) key, so `dedup` removes the
+        // extra one after the sort.  Depths are memoized per batch (see
+        // `cached_depth`) — a fresh parent walk per node would degrade to
+        // O(|union| · height) when a rebalance puts whole subtrees in the
+        // union.
+        let mut path: Vec<TermNodeId> = Vec::new();
+        let mut by_depth: Vec<(u32, TermNodeId)> = dirty
+            .iter()
+            .filter(|&&d| self.term.is_live(d) && marked(&self.term_mark, epoch, d.index()))
+            .map(|&d| {
+                (
+                    cached_depth(
+                        &self.term,
+                        epoch,
+                        &mut self.depth_mark,
+                        &mut self.depth_val,
+                        &mut path,
+                        d,
+                    ),
+                    d,
+                )
+            })
+            .collect();
+        by_depth.sort_unstable_by_key(|&(depth, d)| (std::cmp::Reverse(depth), d.0));
+        by_depth.dedup();
+        // One repair pass: contents bottom-up, then index entries bottom-up,
+        // with the same fixpoint early exits as the single-edit path.
+        for &(_, d) in &by_depth {
+            let (b, changed) = self.rebuild_box_for(d);
+            if changed {
+                mark(&mut self.content_mark, epoch, b.index());
+            }
+        }
+        let root_box = self.box_of(self.term.root());
+        self.circuit.set_root_force(root_box);
+        for &(_, d) in &by_depth {
+            let b = self.box_of(d);
+            let entry_stale = marked(&self.content_mark, epoch, b.index())
+                || self.circuit.children(b).is_some_and(|(l, r)| {
+                    marked(&self.entry_mark, epoch, l.index())
+                        || marked(&self.entry_mark, epoch, r.index())
+                })
+                || !self.index.has(b);
+            if entry_stale && self.index.rebuild_box_changed(&self.circuit, b) {
+                mark(&mut self.entry_mark, epoch, b.index());
+            }
+        }
+        self.index.record_batch(deduped);
+        batch.inserted().collect()
+    }
+
     /// Number of term nodes touched by the last kind of update on average is
     /// logarithmic; this helper reports the current term height for inspection.
     pub fn term_height(&self) -> usize {
@@ -604,6 +759,59 @@ mod tests {
                 "after step {step} ({op:?})"
             );
         }
+        engine.check_consistency();
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_apply() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let labels: Vec<_> = sigma.labels().collect();
+        let b = sigma.get("b").unwrap();
+        let query = queries::select_label(sigma.len(), b, Var(0));
+        for seed in 0..3u64 {
+            let tree = random_tree(&mut sigma, 18, TreeShape::Random, 50 + seed);
+            let mut batch_engine = TreeEnumerator::new(tree.clone(), &query, sigma.len());
+            let mut seq_engine = TreeEnumerator::new(tree.clone(), &query, sigma.len());
+            let mut shadow = tree;
+            let mut stream = EditStream::balanced_mix(labels.clone(), 90 + seed);
+            let mut ops = Vec::new();
+            for _ in 0..70 {
+                ops.push(stream.next_applied(&mut shadow));
+            }
+            for chunk in ops.chunks(9) {
+                let batch_inserted = batch_engine.apply_batch(chunk);
+                let seq_inserted: Vec<NodeId> =
+                    chunk.iter().filter_map(|op| seq_engine.apply(op)).collect();
+                assert_eq!(batch_inserted, seq_inserted);
+                assert_eq!(
+                    sorted(batch_engine.assignments()),
+                    sorted(seq_engine.assignments())
+                );
+            }
+            batch_engine.check_consistency();
+            seq_engine.check_consistency();
+            let expected = sorted(
+                query
+                    .satisfying_assignments(batch_engine.tree())
+                    .into_iter()
+                    .collect(),
+            );
+            assert_eq!(sorted(batch_engine.assignments()), expected);
+            assert!(batch_engine.index_stats().batch_rebuilds > 0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let b = sigma.get("b").unwrap();
+        let query = queries::select_label(sigma.len(), b, Var(0));
+        let tree = random_tree(&mut sigma, 12, TreeShape::Random, 2);
+        let mut engine = TreeEnumerator::new(tree, &query, sigma.len());
+        let before = sorted(engine.assignments());
+        assert!(engine.apply_batch(&[]).is_empty());
+        assert_eq!(engine.index_stats().batch_rebuilds, 0);
+        assert_eq!(sorted(engine.assignments()), before);
         engine.check_consistency();
     }
 

@@ -8,7 +8,10 @@
 //!
 //! * [`box_enum_reference`]: the straightforward walk of the box tree described at
 //!   the end of Section 5, with delay `O(depth(C) · w²/64)` — simple, certainly
-//!   correct, used as the differential-testing oracle (it allocates freely);
+//!   correct, used as the differential-testing oracle (it allocates freely;
+//!   [`box_enum_reference_pooled`] is the same walk on the [`EnumScratch`]
+//!   pools, used by [`BoxEnumMode::Reference`] so the reference mode can be
+//!   held to the same zero-alloc steady-state discipline as the hot path);
 //! * [`box_enum_indexed`]: Algorithm 3, which uses the precomputed `fib`/`fbb`
 //!   jump pointers of the index (Definition 6.1) to skip uninteresting boxes, making
 //!   the delay essentially independent of the circuit depth (Lemma 6.4).  This is
@@ -23,7 +26,7 @@
 
 use crate::bitset::GateSet;
 use crate::index::EnumIndex;
-use crate::relation::{child_relation, Relation};
+use crate::relation::{child_relation, child_relation_into, Relation};
 use crate::scratch::EnumScratch;
 use std::ops::ControlFlow;
 use treenum_circuits::{BoxId, Circuit, Side, UnionInput};
@@ -50,6 +53,20 @@ fn is_interesting(circuit: &Circuit, b: BoxId, sources: &GateSet) -> bool {
             .inputs
             .iter()
             .any(|i| matches!(i, UnionInput::Var { .. } | UnionInput::Times { .. }))
+    })
+}
+
+/// [`is_interesting`] reading the reachable sources straight off the
+/// relation's rows, so the pooled reference walk needs no materialized
+/// source [`GateSet`].
+fn is_interesting_rel(circuit: &Circuit, b: BoxId, r: &Relation) -> bool {
+    let gates = circuit.union_gates(b);
+    (0..r.rows()).any(|gi| {
+        !r.row_is_empty(gi)
+            && gates[gi]
+                .inputs
+                .iter()
+                .any(|i| matches!(i, UnionInput::Var { .. } | UnionInput::Times { .. }))
     })
 }
 
@@ -97,6 +114,63 @@ fn walk_reference(
         }
     }
     ControlFlow::Continue(())
+}
+
+/// The scratch-pooled variant of [`box_enum_reference`]: the same top-down
+/// walk, but every relation (initial, child step, composition) comes from the
+/// [`EnumScratch`] pools, so a warm steady-state run performs no heap
+/// allocation — letting differential tests assert zero-alloc parity between
+/// the reference and indexed modes instead of only on the hot path.  The
+/// unpooled [`box_enum_reference`] stays as the allocation-agnostic oracle
+/// the pooled variants are checked against.
+pub fn box_enum_reference_pooled(
+    circuit: &Circuit,
+    scratch: &mut EnumScratch,
+    b: BoxId,
+    gamma: &GateSet,
+    sink: &mut BoxSink<'_>,
+) -> ControlFlow<()> {
+    let w = circuit.box_width(b);
+    let mut r0 = scratch.take_relation(w, w);
+    for g in gamma.iter() {
+        r0.set(g, g);
+    }
+    let flow = walk_reference_pooled(circuit, scratch, b, &r0, sink);
+    scratch.put_relation(r0);
+    flow
+}
+
+fn walk_reference_pooled(
+    circuit: &Circuit,
+    scratch: &mut EnumScratch,
+    b: BoxId,
+    r: &Relation,
+    sink: &mut BoxSink<'_>,
+) -> ControlFlow<()> {
+    if r.is_empty() {
+        return ControlFlow::Continue(());
+    }
+    if is_interesting_rel(circuit, b, r) {
+        sink(scratch, b, r)?;
+    }
+    let Some((l, rt)) = circuit.children(b) else {
+        return ControlFlow::Continue(());
+    };
+    let w = circuit.box_width(b);
+    let mut flow = ControlFlow::Continue(());
+    for (side, child) in [(Side::Left, l), (Side::Right, rt)] {
+        let mut step = scratch.take_relation(circuit.box_width(child), w);
+        child_relation_into(circuit, b, side, &mut step);
+        let mut rc = scratch.take_relation(step.rows(), r.cols());
+        step.compose_into(r, &mut rc);
+        scratch.put_relation(step);
+        if !rc.is_empty() {
+            flow = walk_reference_pooled(circuit, scratch, child, &rc, sink);
+        }
+        scratch.put_relation(rc);
+        flow?;
+    }
+    flow
 }
 
 /// Algorithm 3: jump to the first interesting box with `fib`, cover its subtree, then
@@ -216,7 +290,10 @@ fn b_enum(
 }
 
 /// Runs either implementation depending on `mode` (the index may be `None` only in
-/// reference mode).
+/// reference mode).  Reference mode runs the scratch-pooled walk
+/// ([`box_enum_reference_pooled`]), so both modes are allocation-free once
+/// warm; the unpooled [`box_enum_reference`] remains available directly as
+/// the allocation-agnostic oracle.
 pub fn box_enum(
     circuit: &Circuit,
     index: Option<&EnumIndex>,
@@ -227,7 +304,7 @@ pub fn box_enum(
     sink: &mut BoxSink<'_>,
 ) -> ControlFlow<()> {
     match mode {
-        BoxEnumMode::Reference => box_enum_reference(circuit, scratch, b, gamma, sink),
+        BoxEnumMode::Reference => box_enum_reference_pooled(circuit, scratch, b, gamma, sink),
         BoxEnumMode::Indexed => {
             let index = index.expect("indexed box-enum requires the index structure");
             box_enum_indexed(circuit, index, scratch, b, gamma, sink)
@@ -405,6 +482,134 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Collects a run of the *unpooled* reference walk (test oracle).
+    fn collect_reference_unpooled(
+        circuit: &Circuit,
+        b: BoxId,
+        gamma: &GateSet,
+    ) -> Vec<(BoxId, Relation)> {
+        let mut out = Vec::new();
+        let mut scratch = EnumScratch::new();
+        let _ = box_enum_reference(circuit, &mut scratch, b, gamma, &mut |_s, bx, r| {
+            out.push((bx, r.clone()));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn pooled_reference_matches_unpooled_reference() {
+        let seeds = treenum_trees::generate::oracle_scale(20, 8) as u64;
+        for seed in 0..seeds {
+            let tva = random_tva(2, 2 + (seed % 3) as usize, seed + 500);
+            if tva.num_states() == 0 {
+                continue;
+            }
+            let tree = random_binary_tree(12 + (seed % 12) as usize, 2, seed * 3 + 2);
+            let ac = build_assignment_circuit(&tva, &tree);
+            let root = ac.circuit.root();
+            let width = ac.circuit.box_width(root);
+            if width == 0 {
+                continue;
+            }
+            let limit = width.min(4);
+            for mask in 1u32..(1 << limit) {
+                let gamma =
+                    GateSet::from_indices(width, (0..limit).filter(|i| mask & (1 << i) != 0));
+                let unpooled = collect_reference_unpooled(&ac.circuit, root, &gamma);
+                let mut scratch = EnumScratch::new();
+                let mut pooled = Vec::new();
+                let _ = box_enum_reference_pooled(
+                    &ac.circuit,
+                    &mut scratch,
+                    root,
+                    &gamma,
+                    &mut |scratch, bx, r| {
+                        pooled.push((bx, scratch.clone_relation(r)));
+                        ControlFlow::Continue(())
+                    },
+                );
+                assert_eq!(
+                    unpooled, pooled,
+                    "seed {seed}, mask {mask}: pooled reference diverged (emission order included)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_reference_is_allocation_free_when_warm() {
+        let tva = random_tva(2, 3, 7);
+        let tree = random_binary_tree(40, 2, 8);
+        let ac = build_assignment_circuit(&tva, &tree);
+        let root = ac.circuit.root();
+        let width = ac.circuit.box_width(root);
+        if width == 0 {
+            return;
+        }
+        let gamma = GateSet::full(width);
+        let mut scratch = EnumScratch::new();
+        let run = |scratch: &mut EnumScratch| {
+            let mut count = 0usize;
+            let _ =
+                box_enum_reference_pooled(&ac.circuit, scratch, root, &gamma, &mut |_s, _b, _r| {
+                    count += 1;
+                    ControlFlow::Continue(())
+                });
+            count
+        };
+        // Two warm-up passes per the warm-up protocol, then steady state.
+        let first = run(&mut scratch);
+        let _ = run(&mut scratch);
+        let warm = scratch.stats();
+        for _ in 0..3 {
+            assert_eq!(run(&mut scratch), first);
+        }
+        let steady = scratch.stats();
+        assert_eq!(
+            steady.per_answer_allocs, warm.per_answer_allocs,
+            "warm pooled reference walk must not allocate"
+        );
+        assert_eq!(steady.relation_clones, warm.relation_clones);
+    }
+
+    #[test]
+    fn pooled_reference_releases_pools_on_early_break() {
+        let tva = random_tva(2, 3, 21);
+        let tree = random_binary_tree(30, 2, 22);
+        let ac = build_assignment_circuit(&tva, &tree);
+        let root = ac.circuit.root();
+        let width = ac.circuit.box_width(root);
+        if width == 0 {
+            return;
+        }
+        let gamma = GateSet::full(width);
+        let mut scratch = EnumScratch::new();
+        let run = |scratch: &mut EnumScratch, stop_after: usize| {
+            let mut count = 0usize;
+            let _ =
+                box_enum_reference_pooled(&ac.circuit, scratch, root, &gamma, &mut |_s, _b, _r| {
+                    count += 1;
+                    if count >= stop_after {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                });
+            count
+        };
+        let total = run(&mut scratch, usize::MAX);
+        let _ = run(&mut scratch, usize::MAX);
+        let warm = scratch.stats();
+        // Early-terminated runs must return every pooled object, or the next
+        // full run re-allocates.
+        for stop in [1usize, total / 2, total] {
+            let _ = run(&mut scratch, stop.max(1));
+        }
+        let _ = run(&mut scratch, usize::MAX);
+        assert_eq!(scratch.stats().per_answer_allocs, warm.per_answer_allocs);
     }
 
     #[test]

@@ -99,7 +99,11 @@ impl BoxIndex {
 /// that needs to clone a child entry must go through
 /// [`EnumIndex::clone_box_index`], and the engine's tests assert the counter
 /// stays at zero across builds and long edit streams.
+/// The struct is `#[non_exhaustive]`: downstream code must read fields (or
+/// destructure with `..`) rather than construct/match it exhaustively, so new
+/// counters can be added without breaking callers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct IndexStats {
     /// Number of `rebuild_box` calls since the index was created.
     pub box_rebuilds: u64,
@@ -112,6 +116,14 @@ pub struct IndexStats {
     /// Number of `relation_to` queries that fell back to walking the box tree
     /// because the child's closure did not contain the target.
     pub relation_walk_fallbacks: u64,
+    /// Number of batch repair passes ([`EnumIndex::record_batch`] calls — one
+    /// per `TreeEnumerator::apply_batch`).
+    pub batch_rebuilds: u64,
+    /// Dirty-spine entries a batch repair skipped because an earlier edit of
+    /// the same batch had already queued the node: edits landing in one
+    /// subtree share most of their `O(log n)` spine, and this counter is the
+    /// observable proof that the shared part is repaired once, not `k` times.
+    pub spine_nodes_deduped: u64,
 }
 
 /// The index structure `I(C)` for a whole circuit: a dense slab of per-box
@@ -156,6 +168,11 @@ impl EnumIndex {
     }
 
     /// Removes the index entry of `b` (used when a box is freed by an update).
+    ///
+    /// Tolerates boxes with no entry: a batch that deletes a whole subtree
+    /// run frees boxes whose children were already removed earlier in the
+    /// same batch (and arena slots freed then reused can be freed again), so
+    /// removal must be idempotent rather than a panic.
     pub fn remove_box(&mut self, b: BoxId) {
         if let Some(slot) = self.slots.get_mut(b.index()) {
             if slot.take().is_some() {
@@ -177,6 +194,15 @@ impl EnumIndex {
     /// Allocation counters of the rebuild path (see [`IndexStats`]).
     pub fn stats(&self) -> IndexStats {
         self.stats
+    }
+
+    /// Records one batch repair pass over a deduplicated dirty-spine union:
+    /// `spine_nodes_deduped` is the number of dirty entries the batch skipped
+    /// because an earlier edit of the same batch had already queued the node
+    /// (see [`IndexStats::spine_nodes_deduped`]).
+    pub fn record_batch(&mut self, spine_nodes_deduped: u64) {
+        self.stats.batch_rebuilds += 1;
+        self.stats.spine_nodes_deduped += spine_nodes_deduped;
     }
 
     /// Clones the stored entry of `b`, counting the clone in
@@ -549,6 +575,42 @@ mod tests {
         index.rebuild_box(&ac.circuit, root);
         assert_eq!(index.len(), n);
         assert!(index.has(root));
+    }
+
+    #[test]
+    fn remove_box_tolerates_already_removed_entries() {
+        let (ac, _t) = build_sample(4);
+        let mut index = EnumIndex::build(&ac.circuit);
+        let n = index.len();
+        let boxes = ac.circuit.boxes_postorder();
+        // Remove a whole run bottom-up, then remove everything again: the
+        // second pass (children already gone) must be a no-op, as must
+        // removing a slot that never had an entry.
+        for &b in &boxes {
+            index.remove_box(b);
+        }
+        assert_eq!(index.len(), 0);
+        for &b in &boxes {
+            index.remove_box(b);
+        }
+        index.remove_box(BoxId(u32::MAX - 1));
+        assert_eq!(index.len(), 0);
+        for &b in &boxes {
+            index.rebuild_box(&ac.circuit, b);
+        }
+        assert_eq!(index.len(), n);
+    }
+
+    #[test]
+    fn record_batch_accumulates_counters() {
+        let (ac, _t) = build_sample(3);
+        let mut index = EnumIndex::build(&ac.circuit);
+        assert_eq!(index.stats().batch_rebuilds, 0);
+        index.record_batch(5);
+        index.record_batch(0);
+        let stats = index.stats();
+        assert_eq!(stats.batch_rebuilds, 2);
+        assert_eq!(stats.spine_nodes_deduped, 5);
     }
 
     #[test]

@@ -263,16 +263,25 @@ pub fn child_relation(circuit: &Circuit, b: BoxId, side: Side) -> Relation {
     let rows = circuit.box_width(child);
     let cols = circuit.box_width(b);
     let mut rel = Relation::zero(rows, cols);
+    child_relation_into(circuit, b, side, &mut rel);
+    rel
+}
+
+/// [`child_relation`] into a caller-provided relation (pre-sized to
+/// `width(child) × width(b)` and cleared), so pooled callers — the
+/// scratch-backed reference box-enum — derive child steps without allocating.
+pub fn child_relation_into(circuit: &Circuit, b: BoxId, side: Side, out: &mut Relation) {
+    debug_assert_eq!(out.cols, circuit.box_width(b), "output cols mismatch");
+    debug_assert!(out.is_empty(), "output must be cleared");
     for (gi, gate) in circuit.union_gates(b).iter().enumerate() {
         for input in &gate.inputs {
             if let UnionInput::Child { side: s, gate: g } = *input {
                 if s == side {
-                    rel.set(g as usize, gi);
+                    out.set(g as usize, gi);
                 }
             }
         }
     }
-    rel
 }
 
 /// Computes `R(target, from)` for a descendant box `target` of `from` by walking down

@@ -346,25 +346,36 @@ impl EditStream {
     pub fn next_sampled(&mut self, tree: &UnrankedTree, sampler: &NodeSampler) -> EditOp {
         debug_assert_eq!(sampler.len(), tree.len(), "sampler out of date");
         match self.strategy.clone() {
-            Strategy::Mix { weights } => {
-                let root = tree.root();
-                let can_delete = sampler.leaves().iter().any(|&n| n != root);
-                mix_decision(
-                    &mut self.rng,
-                    &self.labels,
-                    root,
-                    weights,
-                    can_delete,
-                    |rng| sampler.sample_node(rng),
-                    |rng| {
-                        sampler
-                            .sample_deletable_leaf(tree, rng)
-                            .expect("can_delete checked")
-                    },
-                )
-            }
+            Strategy::Mix { weights } => self.mix_sampled(tree, sampler, weights),
             _ => self.next_for(tree),
         }
+    }
+
+    /// One O(1)-sampled weighted-mix decision over the sampler's populations
+    /// (generated, not applied) — the single definition shared by
+    /// [`EditStream::next_sampled`]'s mix arm and the uniform batch arms, so
+    /// the sampled deletability predicate and draw order cannot drift apart.
+    fn mix_sampled(
+        &mut self,
+        tree: &UnrankedTree,
+        sampler: &NodeSampler,
+        weights: (f64, f64, f64),
+    ) -> EditOp {
+        let root = tree.root();
+        let can_delete = sampler.leaves().iter().any(|&n| n != root);
+        mix_decision(
+            &mut self.rng,
+            &self.labels,
+            root,
+            weights,
+            can_delete,
+            |rng| sampler.sample_node(rng),
+            |rng| {
+                sampler
+                    .sample_deletable_leaf(tree, rng)
+                    .expect("can_delete checked")
+            },
+        )
     }
 
     /// [`EditStream::next_sampled`] + [`NodeSampler::apply`] in one step.
@@ -376,6 +387,211 @@ impl EditStream {
         let op = self.next_sampled(tree, sampler);
         sampler.apply(tree, &op);
         op
+    }
+
+    /// Generates a batch of `k` consecutive valid edit operations in
+    /// (amortized) O(k), applying each to `tree`/`sampler` as it is produced —
+    /// the tree acts as the *generation shadow*; a caller replaying the batch
+    /// into an engine keeps a clone of the pre-batch tree in lockstep (the
+    /// arena assigns the same [`NodeId`]s to the same insertions).
+    ///
+    /// Unlike [`EditStream::next_sampled`], every strategy stays off the Θ(n)
+    /// materializing path here, and batches honour the strategy's anchors so
+    /// multi-edit batches are realistically *clustered*:
+    ///
+    /// * `balanced_mix`: `k` independent O(1)-sampled ops (uniform anchors);
+    /// * `skewed`: one sticky-hot-anchor decision per batch; a hot batch grows
+    ///   a local pool of nodes seeded at the hot node, so its ops pile into
+    ///   one subtree and share most of their term spine;
+    /// * `burst`: the current single-kind run continues at its anchor —
+    ///   insert floods widen one spot, delete runs erode one subtree
+    ///   bottom-up (the anchor follows the eroded leaf's parent), relabel
+    ///   storms churn the anchor.
+    pub fn next_batch_sampled(
+        &mut self,
+        tree: &mut UnrankedTree,
+        sampler: &mut NodeSampler,
+        k: usize,
+    ) -> Vec<EditOp> {
+        let mut out = Vec::with_capacity(k);
+        match self.strategy.clone() {
+            Strategy::Mix { .. } => {
+                for _ in 0..k {
+                    out.push(self.next_applied_sampled(tree, sampler));
+                }
+            }
+            Strategy::Skewed { hot, bias, refocus } => {
+                let hot = match hot {
+                    Some(h) if tree.is_live(h) && !self.rng.gen_bool(refocus) => h,
+                    _ => sampler.sample_node(&mut self.rng),
+                };
+                self.strategy = Strategy::Skewed {
+                    hot: Some(hot),
+                    bias,
+                    refocus,
+                };
+                if self.rng.gen_bool(bias) {
+                    self.clustered_batch(tree, sampler, hot, k, &mut out);
+                } else {
+                    // Cold batch: uniform ops, like the skewed strategy's
+                    // cold single-op path.
+                    for _ in 0..k {
+                        let op = self.mix_sampled(tree, sampler, (1.0, 1.0, 1.0));
+                        sampler.apply(tree, &op);
+                        out.push(op);
+                    }
+                }
+            }
+            Strategy::Burst { .. } => self.burst_batch(tree, sampler, k, &mut out),
+        }
+        out
+    }
+
+    /// A clustered run of `k` ops inside the subtree growing at `hot`: every
+    /// anchor comes from a local pool seeded with the hot node and fed by the
+    /// batch's own insertions, so the ops share most of their spine.
+    fn clustered_batch(
+        &mut self,
+        tree: &mut UnrankedTree,
+        sampler: &mut NodeSampler,
+        hot: NodeId,
+        k: usize,
+        out: &mut Vec<EditOp>,
+    ) {
+        let mut local: Vec<NodeId> = vec![hot];
+        for _ in 0..k {
+            // Sticky anchoring: half the ops hit the batch's first pool slot
+            // (the hot node while it lives — the busy fragment's root, so
+            // their spines coincide), the rest spread over the pool of nodes
+            // the batch has touched.  Pool entries killed by earlier
+            // deletions are dropped lazily.
+            let anchor = loop {
+                if local.is_empty() {
+                    local.push(sampler.sample_node(&mut self.rng));
+                }
+                let i = if self.rng.gen_bool(0.5) {
+                    0
+                } else {
+                    self.rng.gen_range(0..local.len())
+                };
+                if tree.is_live(local[i]) {
+                    break local[i];
+                }
+                local.swap_remove(i);
+            };
+            let label = self.labels[self.rng.gen_range(0..self.labels.len())];
+            let op = match self.rng.gen_range(0..3u32) {
+                0 => {
+                    if anchor != tree.root() && self.rng.gen_bool(0.5) {
+                        EditOp::InsertRightSibling {
+                            sibling: anchor,
+                            label,
+                        }
+                    } else {
+                        EditOp::InsertFirstChild {
+                            parent: anchor,
+                            label,
+                        }
+                    }
+                }
+                1 => {
+                    // A few draws for a deletable pool leaf; fall back to a
+                    // relabel so the batch length stays exactly k.
+                    let mut deletable = None;
+                    for _ in 0..4 {
+                        let n = local[self.rng.gen_range(0..local.len())];
+                        if tree.is_live(n) && tree.is_leaf(n) && n != tree.root() {
+                            deletable = Some(n);
+                            break;
+                        }
+                    }
+                    match deletable {
+                        Some(node) => EditOp::DeleteLeaf { node },
+                        None => EditOp::Relabel {
+                            node: anchor,
+                            label,
+                        },
+                    }
+                }
+                _ => EditOp::Relabel {
+                    node: anchor,
+                    label,
+                },
+            };
+            if let Some(fresh) = sampler.apply(tree, &op) {
+                local.push(fresh);
+            }
+            out.push(op);
+        }
+    }
+
+    /// The burst strategy over sampled populations: same phase/anchor/run
+    /// bookkeeping as `burst_op`, but anchors come from the sampler and
+    /// delete runs erode one subtree bottom-up instead of materializing it.
+    fn burst_batch(
+        &mut self,
+        tree: &mut UnrankedTree,
+        sampler: &mut NodeSampler,
+        k: usize,
+        out: &mut Vec<EditOp>,
+    ) {
+        let Strategy::Burst {
+            mut phase,
+            mut anchor,
+            mut remaining,
+        } = self.strategy.clone()
+        else {
+            unreachable!("burst_batch outside the burst strategy");
+        };
+        for _ in 0..k {
+            let mut a = anchor.filter(|&a| tree.is_live(a));
+            if remaining == 0 || a.is_none() {
+                phase = match self.rng.gen_range(0..3u32) {
+                    0 => BurstPhase::Insert,
+                    1 => BurstPhase::Delete,
+                    _ => BurstPhase::Relabel,
+                };
+                a = Some(sampler.sample_node(&mut self.rng));
+                remaining = self.rng.gen_range(4..=24);
+            }
+            let a = a.expect("anchor chosen above");
+            anchor = Some(a);
+            let label = self.labels[self.rng.gen_range(0..self.labels.len())];
+            let op = match phase {
+                BurstPhase::Insert => {
+                    if a != tree.root() && self.rng.gen_bool(0.3) {
+                        EditOp::InsertRightSibling { sibling: a, label }
+                    } else {
+                        EditOp::InsertFirstChild { parent: a, label }
+                    }
+                }
+                BurstPhase::Delete => {
+                    // Walk from the anchor down to a leaf and delete it; the
+                    // anchor moves to the leaf's parent, so a run erodes the
+                    // subtree bottom-up and successive descents stay short
+                    // (amortized O(1) per op across the run).
+                    let mut cur = a;
+                    while let Some(c) = tree.children(cur).next() {
+                        cur = c;
+                    }
+                    if cur == tree.root() {
+                        EditOp::InsertFirstChild { parent: cur, label }
+                    } else {
+                        anchor = tree.parent(cur);
+                        EditOp::DeleteLeaf { node: cur }
+                    }
+                }
+                BurstPhase::Relabel => EditOp::Relabel { node: a, label },
+            };
+            sampler.apply(tree, &op);
+            out.push(op);
+            remaining -= 1;
+        }
+        self.strategy = Strategy::Burst {
+            phase,
+            anchor,
+            remaining,
+        };
     }
 
     /// The classic weighted-mix op over explicit populations (shared by the
@@ -721,6 +937,106 @@ mod tests {
             best_run >= 4,
             "longest same-kind run is {best_run} — not bursty"
         );
+    }
+
+    #[test]
+    fn batches_are_valid_consistent_and_exactly_k_long() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        for make in [EditStream::skewed, EditStream::burst, |l, s| {
+            EditStream::balanced_mix(l, s)
+        }] {
+            let mut tree = random_tree(&mut sigma, 30, TreeShape::Random, 8);
+            let mut sampler = NodeSampler::new(&tree);
+            // A replay copy: applying the returned batch to a clone of the
+            // pre-batch tree must reproduce the shadow exactly (that is the
+            // contract engines rely on).
+            let mut replay = tree.clone();
+            let mut stream = make(labels.clone(), 71);
+            for k in [1usize, 2, 7, 64] {
+                let ops = stream.next_batch_sampled(&mut tree, &mut sampler, k);
+                assert_eq!(ops.len(), k);
+                for op in &ops {
+                    replay.apply(op);
+                }
+                assert!(replay.structurally_equal(&tree));
+                assert_sampler_matches(&tree, &sampler);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_generation_is_deterministic_in_seed() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        for make in [EditStream::skewed, EditStream::burst, |l, s| {
+            EditStream::balanced_mix(l, s)
+        }] {
+            let t0 = random_tree(&mut sigma, 20, TreeShape::Random, 6);
+            let mut t1 = t0.clone();
+            let mut t2 = t0;
+            let mut p1 = NodeSampler::new(&t1);
+            let mut p2 = NodeSampler::new(&t2);
+            let mut s1 = make(labels.clone(), 123);
+            let mut s2 = make(labels.clone(), 123);
+            for k in [3usize, 16, 5, 64] {
+                assert_eq!(
+                    s1.next_batch_sampled(&mut t1, &mut p1, k),
+                    s2.next_batch_sampled(&mut t2, &mut p2, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_batches_are_clustered() {
+        let mut sigma = Alphabet::from_names(["a", "b"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        let mut tree = random_tree(&mut sigma, 200, TreeShape::Random, 14);
+        let mut sampler = NodeSampler::new(&tree);
+        let mut stream = EditStream::skewed(labels, 47);
+        // With bias 0.9 most batches confine all 32 ops to one growing spot:
+        // the distinct-anchor count per batch must be far below uniform
+        // sampling over a 200-node tree (which would give ~30 of 32).
+        let mut clustered_batches = 0usize;
+        for _ in 0..20 {
+            let ops = stream.next_batch_sampled(&mut tree, &mut sampler, 32);
+            let mut anchors: Vec<NodeId> = ops.iter().map(|op| op.anchor()).collect();
+            anchors.sort_unstable();
+            anchors.dedup();
+            if anchors.len() <= 16 {
+                clustered_batches += 1;
+            }
+        }
+        assert!(
+            clustered_batches >= 12,
+            "only {clustered_batches}/20 batches were clustered"
+        );
+    }
+
+    #[test]
+    fn burst_batches_contain_delete_runs() {
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        let mut tree = random_tree(&mut sigma, 60, TreeShape::Random, 9);
+        let mut sampler = NodeSampler::new(&tree);
+        let mut stream = EditStream::burst(labels, 17);
+        let mut best_delete_run = 0usize;
+        let mut run = 0usize;
+        for _ in 0..30 {
+            for op in stream.next_batch_sampled(&mut tree, &mut sampler, 16) {
+                run = match op {
+                    EditOp::DeleteLeaf { .. } => run + 1,
+                    _ => 0,
+                };
+                best_delete_run = best_delete_run.max(run);
+            }
+        }
+        assert!(
+            best_delete_run >= 4,
+            "longest delete run is {best_delete_run} — burst batches not bursty"
+        );
+        assert_sampler_matches(&tree, &sampler);
     }
 
     #[test]

@@ -127,40 +127,47 @@ fn flat_path_matches_capped_reference_oracle_across_query_families() {
 
 #[test]
 fn steady_state_enumeration_is_allocation_free() {
+    // Zero-alloc parity on *both* box-enum modes: the indexed hot path and
+    // the scratch-pooled reference walk obey the same steady-state
+    // discipline (the unpooled reference oracle stays allocation-agnostic).
     let mut sigma = Alphabet::from_names(["a", "b", "c"]);
-    for (name, query) in query_families(&sigma) {
-        let tree = random_tree(&mut sigma, 120, TreeShape::Random, 9);
-        let engine = TreeEnumerator::new(tree, &query, sigma.len());
-        // Warm-up protocol (see EXPERIMENTS.md): two full enumerations.  The
-        // first fills the scratch pools; the second pads every pooled buffer
-        // to the high-water capacity, after which buffer↔call-site matching
-        // cannot cause growth regardless of pool order.
-        let first = engine.assignments();
-        let _ = engine.assignments();
-        let warm = engine.enum_stats();
-        // Steady state: repeated full enumerations reuse the pools.
-        for round in 0..3 {
-            let again = engine.assignments();
-            assert_eq!(again.len(), first.len());
-            assert_flat(
-                name,
-                &format!("full run {round}"),
-                warm,
-                engine.enum_stats(),
-            );
-        }
-        let steady = engine.enum_stats();
-        assert_eq!(
-            steady.answers,
-            warm.answers + 3 * first.len() as u64,
-            "{name}: every answer goes through the counted emission path"
-        );
-        // Early-terminated runs must release every pooled object too —
-        // otherwise the next run re-allocates.
-        if first.len() > 2 {
-            let _ = engine.first_k(first.len() / 2);
+    for mode in [BoxEnumMode::Indexed, BoxEnumMode::Reference] {
+        for (name, query) in query_families(&sigma) {
+            let tree = random_tree(&mut sigma, 120, TreeShape::Random, 9);
+            let mut engine = TreeEnumerator::new(tree, &query, sigma.len());
+            engine.set_box_enum_mode(mode);
+            let context = |what: &str| format!("{what} [{mode:?}]");
+            // Warm-up protocol (see EXPERIMENTS.md): two full enumerations.
+            // The first fills the scratch pools; the second pads every pooled
+            // buffer to the high-water capacity, after which buffer↔call-site
+            // matching cannot cause growth regardless of pool order.
+            let first = engine.assignments();
             let _ = engine.assignments();
-            assert_flat(name, "after first_k", warm, engine.enum_stats());
+            let warm = engine.enum_stats();
+            // Steady state: repeated full enumerations reuse the pools.
+            for round in 0..3 {
+                let again = engine.assignments();
+                assert_eq!(again.len(), first.len());
+                assert_flat(
+                    name,
+                    &context(&format!("full run {round}")),
+                    warm,
+                    engine.enum_stats(),
+                );
+            }
+            let steady = engine.enum_stats();
+            assert_eq!(
+                steady.answers,
+                warm.answers + 3 * first.len() as u64,
+                "{name}: every answer goes through the counted emission path"
+            );
+            // Early-terminated runs must release every pooled object too —
+            // otherwise the next run re-allocates.
+            if first.len() > 2 {
+                let _ = engine.first_k(first.len() / 2);
+                let _ = engine.assignments();
+                assert_flat(name, &context("after first_k"), warm, engine.enum_stats());
+            }
         }
     }
 }
