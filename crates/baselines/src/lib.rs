@@ -10,9 +10,9 @@
 //!   structure, so updates cost `Θ(n)`.
 //! * [`UnbalancedBaseline`] — the same circuit pipeline built directly on the
 //!   *unbalanced* left-child/right-sibling binary encoding, as in the
-//!   relabeling-only predecessor [4]: the circuit depth is the tree height, so
+//!   relabeling-only predecessor \[4\]: the circuit depth is the tree height, so
 //!   updates (and the naive box-enum delay) degrade to `Θ(height)` —
-//!   `Θ(n)` on path-shaped trees.  Only relabelings are supported, exactly as in [4].
+//!   `Θ(n)` on path-shaped trees.  Only relabelings are supported, exactly as in \[4\].
 //! * [`DeterminizedBaseline`] — evaluation that first determinizes the (stepwise)
 //!   query automaton: answers are identical, but the subset construction makes the
 //!   preprocessing exponential in the automaton, which is the combined-complexity
@@ -77,7 +77,7 @@ impl RecomputeBaseline {
     }
 }
 
-/// The relabeling-only predecessor [4]: the circuit is built on the unbalanced
+/// The relabeling-only predecessor \[4\]: the circuit is built on the unbalanced
 /// left-child/right-sibling encoding, so its depth — and therefore the update cost —
 /// is the tree height rather than `log n`.
 pub struct UnbalancedBaseline {
@@ -95,9 +95,9 @@ pub struct UnbalancedBaseline {
 impl UnbalancedBaseline {
     /// Builds the structure on the left-child/right-sibling encoding.
     ///
-    /// The query must be a *binary* TVA over the lcrs encoding alphabet (the original
-    /// labels plus a `nil` label); use [`lcrs_query_from_stepwise`] to obtain one for
-    /// the query families used in the experiments, or construct it directly.
+    /// The query must be a *binary* TVA over the lcrs encoding alphabet (the
+    /// original labels plus a `nil` label), constructed directly — see the
+    /// crate's tests for the select-label family used in the experiments.
     pub fn new(
         tree: UnrankedTree,
         binary_tva: treenum_automata::BinaryTva,

@@ -1,26 +1,29 @@
-//! Runs compact versions of experiments E1–E8 and writes a JSON summary.
+//! Runs compact versions of experiments E1–E9 and writes a JSON summary.
 //!
 //! ```text
-//! bench_summary [--profile full|smoke|e2|e8] [--out PATH]
+//! bench_summary [--profile full|smoke|e2|e8|e9] [--out PATH]
 //!               [--check-e2 BASELINE.json] [--check-e8 BASELINE.json]
-//!               [--tolerance FRACTION]
+//!               [--check-e9 BASELINE.json] [--tolerance FRACTION]
 //! ```
 //!
 //! The committed trajectory files at the repository root are produced with the
 //! `full` profile (`--out BENCH_baseline.json` before a perf change,
 //! `--out BENCH_after.json` after); CI runs the `smoke` profile to keep the
 //! bench code compiling and running, plus `--profile e2 --check-e2
-//! BENCH_after.json` and `--profile e8 --check-e8 BENCH_after.json`, which
-//! exit non-zero when any freshly measured p95 of the gated group (E2
-//! per-answer delay / E8 amortized per-edit batch latency) regresses more
-//! than the tolerance (default 0.25 = 25%) against the committed baseline.
+//! BENCH_after.json`, `--profile e8 --check-e8 BENCH_after.json` and
+//! `--profile e9 --check-e9 BENCH_after.json`, which exit non-zero when any
+//! freshly measured p95 of the gated group (E2 per-answer delay / E8
+//! amortized per-edit batch latency / E9 snapshot-read delay under
+//! concurrent ingest) regresses more than the tolerance (default 0.25 = 25%)
+//! against the committed baseline.  Every requested gate runs and prints its
+//! comparisons before the process exits, so one run shows every regression.
 //! Without `--out` the JSON goes to stdout.
 
 use criterion::Criterion;
 use std::path::{Path, PathBuf};
 use treenum_bench::summary::{run_summary, SummaryProfile};
 use treenum_bench::trajectory::{
-    check_e2_regression, check_e8_regression, GroupComparison, Trajectory,
+    check_e2_regression, check_e8_regression, check_e9_regression, GroupComparison, Trajectory,
 };
 
 fn main() {
@@ -28,6 +31,7 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut check_e2: Option<PathBuf> = None;
     let mut check_e8: Option<PathBuf> = None;
+    let mut check_e9: Option<PathBuf> = None;
     let mut tolerance = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +56,12 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("missing baseline path"));
                 check_e8 = Some(PathBuf::from(path));
+            }
+            "--check-e9" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing baseline path"));
+                check_e9 = Some(PathBuf::from(path));
             }
             "--tolerance" => {
                 let value = args.next().unwrap_or_else(|| usage("missing tolerance"));
@@ -82,8 +92,11 @@ fn main() {
         None => print!("{}", criterion.summary_json(&meta)),
     }
 
+    // Run every requested gate before exiting, so a single CI run reports
+    // every regression instead of stopping at the first failing gate.
+    let mut failed = false;
     if let Some(baseline_path) = check_e2 {
-        run_gate(
+        failed |= run_gate(
             "E2 p95",
             check_e2_regression,
             &baseline_path,
@@ -92,13 +105,25 @@ fn main() {
         );
     }
     if let Some(baseline_path) = check_e8 {
-        run_gate(
+        failed |= run_gate(
             "E8 amortized p95",
             check_e8_regression,
             &baseline_path,
             &criterion,
             tolerance,
         );
+    }
+    if let Some(baseline_path) = check_e9 {
+        failed |= run_gate(
+            "E9 read-delay p95",
+            check_e9_regression,
+            &baseline_path,
+            &criterion,
+            tolerance,
+        );
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -107,17 +132,31 @@ type GateCheck =
     fn(&Trajectory, &[criterion::BenchRecord], f64) -> Result<Vec<GroupComparison>, String>;
 
 /// Compares the fresh run's p95s against a committed baseline file through
-/// `check`, printing every comparison and exiting non-zero on a regression
-/// (or on a gated record missing from the fresh run).
+/// `check`, printing every comparison.  Returns `true` when the gate failed
+/// (a regression, a gated record missing from the fresh run, or an unreadable
+/// baseline) — the caller aggregates failures across gates and exits once at
+/// the end.
 fn run_gate(
     label: &str,
     check: GateCheck,
     baseline_path: &Path,
     criterion: &Criterion,
     tolerance: f64,
-) {
-    let baseline = Trajectory::load(baseline_path).unwrap_or_else(|e| fail(&e));
-    let comparisons = check(&baseline, criterion.records(), tolerance).unwrap_or_else(|e| fail(&e));
+) -> bool {
+    let baseline = match Trajectory::load(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return true;
+        }
+    };
+    let comparisons = match check(&baseline, criterion.records(), tolerance) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return true;
+        }
+    };
     let mut regressed = false;
     for c in &comparisons {
         eprintln!(
@@ -131,11 +170,12 @@ fn run_gate(
         regressed |= c.regressed;
     }
     if regressed {
-        fail(&format!(
-            "{label} regressed more than {:.0}% against {}",
+        eprintln!(
+            "error: {label} regressed more than {:.0}% against {}",
             tolerance * 100.0,
             baseline_path.display()
-        ));
+        );
+        return true;
     }
     eprintln!(
         "{label} check passed ({} records within {:.0}% of {})",
@@ -143,11 +183,7 @@ fn run_gate(
         tolerance * 100.0,
         baseline_path.display()
     );
-}
-
-fn fail(error: &str) -> ! {
-    eprintln!("error: {error}");
-    std::process::exit(1);
+    false
 }
 
 fn usage(error: &str) -> ! {
@@ -155,9 +191,9 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: bench_summary [--profile full|smoke|e2|e8] [--out PATH] \
+        "usage: bench_summary [--profile full|smoke|e2|e8|e9] [--out PATH] \
          [--check-e2 BASELINE.json] [--check-e8 BASELINE.json] \
-         [--tolerance FRACTION]"
+         [--check-e9 BASELINE.json] [--tolerance FRACTION]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

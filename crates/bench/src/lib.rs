@@ -1,7 +1,7 @@
 //! # treenum-bench
 //!
 //! Shared workload generators for the Criterion benches in `benches/`.  Each bench
-//! regenerates one experiment of the repository-root `EXPERIMENTS.md` (E1–E7), which
+//! regenerates one experiment of the repository-root `EXPERIMENTS.md` (E1–E9), which
 //! maps paper artefacts (Table 1, Theorems 8.1/8.5, Section 9) to benches.
 //!
 //! The [`summary`] module re-runs compact versions of all experiments and powers the
@@ -300,6 +300,241 @@ pub fn run_e8(
             }
         }
     }
+}
+
+/// One E9 serving scenario: spins up a one-shard [`treenum_serve::TreeServer`]
+/// over `tree`, runs `readers` snapshot-reader threads (each with its own
+/// pooled scratch, sampling the per-answer delay of `answers`-answer
+/// enumerations) concurrently with a feeder thread pushing the strategy's
+/// edit stream through the write-behind ingest queue, and reports:
+///
+/// * pooled per-answer read-delay samples across all readers (recorded only
+///   inside the measurement window, after `warm_up`), and
+/// * the per-edit amortized ingest samples from the shard's flush log (one
+///   sample per flush — reclaim + batch apply + publish, divided by the
+///   flush size), restricted to flushes cut inside the measurement window.
+///
+/// Returns `(read_gaps_ns, ingest_samples_ns, applied_ops, total_flush_ns)`.
+#[allow(clippy::too_many_arguments)]
+fn e9_scenario(
+    tree: &UnrankedTree,
+    query: &StepwiseTva,
+    alphabet_len: usize,
+    labels: &[Label],
+    make_stream: StreamCtor,
+    seed: u64,
+    config: treenum_serve::ServeConfig,
+    readers: usize,
+    answers: usize,
+    warm_up: std::time::Duration,
+    measurement: std::time::Duration,
+) -> (Vec<u64>, Vec<u64>, u64, u64) {
+    use std::ops::ControlFlow;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    use treenum_enumeration::EnumScratch;
+    use treenum_serve::TreeServer;
+    use treenum_trees::edit::EditFeed;
+
+    let server = Arc::new(TreeServer::new(
+        vec![tree.clone()],
+        query,
+        alphabet_len,
+        config,
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let recording = Arc::new(AtomicBool::new(false));
+
+    let mut reader_handles = Vec::with_capacity(readers);
+    for _ in 0..readers {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        let recording = Arc::clone(&recording);
+        reader_handles.push(std::thread::spawn(move || {
+            let mut scratch = EnumScratch::new();
+            let mut gaps: Vec<u64> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let snap = server.snapshot(0);
+                let mut seen = 0usize;
+                if recording.load(Ordering::Relaxed) {
+                    // Reserve outside the enumeration so a realloc cannot
+                    // land in a recorded gap (same discipline as E2).
+                    gaps.reserve(answers);
+                    let mut last = Instant::now();
+                    snap.for_each_with(&mut scratch, &mut |_a| {
+                        let now = Instant::now();
+                        gaps.push((now - last).as_nanos() as u64);
+                        last = now;
+                        seen += 1;
+                        if seen >= answers {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    });
+                } else {
+                    snap.for_each_with(&mut scratch, &mut |_a| {
+                        seen += 1;
+                        if seen >= answers {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    });
+                }
+                // Open-loop pacing: a short think time between requests.
+                // Zero-think-time readers saturate every core and the
+                // scenario degenerates into measuring scheduler fairness
+                // (on a single-core runner the writer thread starves and a
+                // flush's wall clock is dominated by run-queue waits, not by
+                // the serving pipeline).  200µs inter-arrival keeps thousands
+                // of reads per second per reader while leaving the writer
+                // schedulable.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            gaps
+        }));
+    }
+
+    let feeder = {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        let mut feed = EditFeed::new(tree, make_stream(labels.to_vec(), seed));
+        std::thread::spawn(move || {
+            'feed: while !stop.load(Ordering::Relaxed) {
+                for op in feed.next_batch(64) {
+                    if server.ingest(0, op).is_err() {
+                        break 'feed;
+                    }
+                }
+            }
+        })
+    };
+
+    std::thread::sleep(warm_up);
+    let log_start = server.flush_log_len(0);
+    recording.store(true, Ordering::Relaxed);
+    std::thread::sleep(measurement);
+    recording.store(false, Ordering::Relaxed);
+    // Capture the log bound *before* the shutdown barrier: the final drain
+    // applies whatever is still queued as one giant batch, which is not part
+    // of the measured steady state.
+    let log_end = server.flush_log_len(0);
+    stop.store(true, Ordering::Relaxed);
+    feeder.join().expect("feeder thread");
+    let mut read_gaps = Vec::new();
+    for h in reader_handles {
+        read_gaps.extend(h.join().expect("reader thread"));
+    }
+    let _ = server.flush(0);
+    let log = server.flush_log_since(0, log_start);
+    let mut ingest_samples = Vec::with_capacity(log_end - log_start);
+    let mut applied = 0u64;
+    let mut total_ns = 0u64;
+    for rec in &log[..log_end - log_start] {
+        ingest_samples.push(rec.nanos / rec.size as u64);
+        applied += rec.size as u64;
+        total_ns += rec.nanos;
+    }
+    (read_gaps, ingest_samples, applied, total_ns)
+}
+
+/// The E9 concurrent-serving experiment: for every strategy × tree size,
+/// measures snapshot-read delay percentiles under concurrent write-behind
+/// ingest, plus the per-edit amortized ingest cost of the adaptive
+/// coalescing policy against the fixed `k = 1` (publish-per-op) baseline.
+///
+/// Record names: `read_<strategy>_r<readers>/<n>` (per-answer delay under
+/// concurrent ingest — comparable to E2's `per_answer_select_b/<n>`, same
+/// query and answer count), `ingest_adaptive_<strategy>/<n>` and
+/// `ingest_fixed1_<strategy>/<n>` (per-edit amortized flush cost including
+/// reclaim and publish).  CI gates the `read_*` p95s (`--check-e9`); the
+/// ingest arms document the coalescing win (their mean is flush-time /
+/// ops-applied over the measurement window).
+pub fn run_e9(
+    c: &mut criterion::Criterion,
+    sizes: &[usize],
+    readers: usize,
+    answers: usize,
+    warm_up: std::time::Duration,
+    measurement: std::time::Duration,
+) {
+    use treenum_serve::ServeConfig;
+    let (query, alphabet_len) = select_b_query();
+    let labels: Vec<Label> = bench_alphabet().labels().collect();
+    for &n in sizes {
+        let tree = bench_tree(n, TreeShape::Random, 17);
+        for (si, (sname, make)) in e8_strategies().into_iter().enumerate() {
+            let seed = 9_000 + 17 * si as u64;
+            let (gaps, adaptive_samples, adaptive_ops, adaptive_ns) = e9_scenario(
+                &tree,
+                &query,
+                alphabet_len,
+                &labels,
+                make,
+                seed,
+                ServeConfig::default(),
+                readers,
+                answers,
+                warm_up,
+                measurement,
+            );
+            let (_, fixed_samples, fixed_ops, fixed_ns) = e9_scenario(
+                &tree,
+                &query,
+                alphabet_len,
+                &labels,
+                make,
+                seed,
+                ServeConfig::fixed(1),
+                readers,
+                answers,
+                warm_up,
+                measurement,
+            );
+            let read =
+                record_from_samples("E9_serving", format!("read_{sname}_r{readers}/{n}"), gaps);
+            let adaptive = e9_ingest_record(
+                format!("ingest_adaptive_{sname}/{n}"),
+                adaptive_samples,
+                adaptive_ops,
+                adaptive_ns,
+            );
+            let fixed = e9_ingest_record(
+                format!("ingest_fixed1_{sname}/{n}"),
+                fixed_samples,
+                fixed_ops,
+                fixed_ns,
+            );
+            eprintln!(
+                "E9 {sname} n={n}: read p95 {} ns, ingest adaptive {} ns/edit vs fixed-1 {} ns/edit ({:.2}x)",
+                read.p95_ns.unwrap_or(0),
+                adaptive.mean_ns,
+                fixed.mean_ns,
+                fixed.mean_ns as f64 / adaptive.mean_ns.max(1) as f64,
+            );
+            c.push_record(read);
+            c.push_record(adaptive);
+            c.push_record(fixed);
+        }
+    }
+}
+
+/// Builds an E9 ingest record: the mean is the true amortized cost
+/// (total flush nanoseconds / ops applied); the percentiles come from the
+/// per-flush amortized samples.
+fn e9_ingest_record(
+    name: String,
+    samples: Vec<u64>,
+    applied_ops: u64,
+    total_ns: u64,
+) -> criterion::BenchRecord {
+    let mut rec = record_from_samples("E9_serving", name, samples);
+    if let Some(amortized) = total_ns.checked_div(applied_ops) {
+        rec.mean_ns = amortized as u128;
+    }
+    rec
 }
 
 /// The E7 update-throughput experiment: three arms (single-variable query,

@@ -1,4 +1,4 @@
-//! Compact, machine-readable re-runs of experiments E1–E8.
+//! Compact, machine-readable re-runs of experiments E1–E9.
 //!
 //! [`run_summary`] executes a scaled-down version of every experiment in
 //! `benches/` through the vendored criterion stub and leaves the measurements
@@ -52,6 +52,10 @@ pub struct SummaryProfile {
     pub e8_sizes: Vec<usize>,
     /// Batch sizes `k` for E8.
     pub e8_ks: Vec<usize>,
+    /// Tree sizes for E9 (concurrent serving).
+    pub e9_sizes: Vec<usize>,
+    /// Concurrent snapshot-reader threads for E9.
+    pub e9_readers: usize,
     /// Per-benchmark warm-up budget.
     pub warm_up: Duration,
     /// Per-benchmark measurement budget.
@@ -80,6 +84,8 @@ impl SummaryProfile {
             e7_sizes: vec![1_000, 10_000, 40_000],
             e8_sizes: vec![10_000, 40_000],
             e8_ks: vec![1, 8, 64, 256],
+            e9_sizes: vec![10_000, 40_000],
+            e9_readers: 4,
             warm_up: Duration::from_millis(200),
             measurement: Duration::from_millis(700),
             sample_size: 10,
@@ -101,6 +107,8 @@ impl SummaryProfile {
             e7_sizes: vec![400],
             e8_sizes: vec![300],
             e8_ks: vec![4],
+            e9_sizes: vec![300],
+            e9_readers: 2,
             warm_up: Duration::from_millis(10),
             measurement: Duration::from_millis(40),
             sample_size: 3,
@@ -140,13 +148,28 @@ impl SummaryProfile {
         }
     }
 
-    /// Parses a profile name (`full` / `smoke` / `e2` / `e8`).
+    /// The concurrent-serving experiment only, at the `full` sizes but with a
+    /// reduced measurement budget: the workload behind CI's E9 read-delay p95
+    /// regression gate.  The record names match the committed trajectory
+    /// (same sizes and reader counts), so the comparison is apples to apples.
+    pub fn e9() -> Self {
+        SummaryProfile {
+            name: "e9",
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(400),
+            experiments: Some(&["E9"]),
+            ..Self::full()
+        }
+    }
+
+    /// Parses a profile name (`full` / `smoke` / `e2` / `e8` / `e9`).
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "full" => Some(Self::full()),
             "smoke" => Some(Self::smoke()),
             "e2" => Some(Self::e2()),
             "e8" => Some(Self::e8()),
+            "e9" => Some(Self::e9()),
             _ => None,
         }
     }
@@ -182,6 +205,9 @@ pub fn run_summary(c: &mut Criterion, profile: &SummaryProfile) {
     }
     if profile.runs("E8") {
         e8_batch_updates(c, profile);
+    }
+    if profile.runs("E9") {
+        e9_serving(c, profile);
     }
 }
 
@@ -475,4 +501,18 @@ fn e7_update_throughput(c: &mut Criterion, p: &SummaryProfile) {
 
 fn e8_batch_updates(c: &mut Criterion, p: &SummaryProfile) {
     crate::run_e8(c, &p.e8_sizes, &p.e8_ks, p.warm_up, p.measurement);
+}
+
+fn e9_serving(c: &mut Criterion, p: &SummaryProfile) {
+    // Concurrent scenarios need a longer window than the single-threaded
+    // experiments: at n = 4·10⁴ a handful of flush cycles must complete
+    // inside it for the ingest percentiles to mean anything.
+    crate::run_e9(
+        c,
+        &p.e9_sizes,
+        p.e9_readers,
+        p.e2_answers,
+        p.warm_up,
+        p.measurement * 3,
+    );
 }

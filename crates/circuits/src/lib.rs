@@ -17,9 +17,9 @@
 //!   "jumping" machinery of Section 6 necessary.
 //!
 //! This crate provides the box-structured circuit representation ([`Circuit`]), the
-//! construction of box contents from a homogenized [`BinaryTva`]
+//! construction of box contents from a homogenized `BinaryTva`
 //! ([`build::leaf_box_content`], [`build::internal_box_content`]), the static
-//! construction over a whole [`BinaryTree`] ([`build::build_assignment_circuit`]),
+//! construction over a whole `BinaryTree` ([`build::build_assignment_circuit`]),
 //! a set-semantics evaluator used as a test oracle ([`semantics`]), and structural
 //! validation of the DNNF invariants.
 

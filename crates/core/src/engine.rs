@@ -1,10 +1,9 @@
 //! The incremental tree enumeration engine (Theorem 8.1).
 
 use crate::plan::QueryPlan;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::ControlFlow;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, TryLockError};
 use treenum_automata::StepwiseTva;
 use treenum_balance::build::build_balanced_term;
 use treenum_balance::term::{Term, TermNodeId};
@@ -70,11 +69,24 @@ pub struct TreeEnumerator {
     depth_mark: Vec<u64>,
     depth_val: Vec<u32>,
     /// Reusable per-answer enumeration scratch (pools + counters), kept warm
-    /// across `apply`/re-enumeration cycles.  `RefCell` because enumeration
-    /// takes `&self`; a re-entrant enumeration (a sink that enumerates the
-    /// same engine again) falls back to a throwaway scratch.
-    scratch: RefCell<EnumScratch>,
+    /// across `apply`/re-enumeration cycles.  A `Mutex` because enumeration
+    /// takes `&self` and the engine is shared across reader threads by the
+    /// serving layer (`treenum-serve`); the lock is taken once per
+    /// *enumeration*, not per answer, so it stays off the delay path.  A
+    /// re-entrant or concurrent enumeration (a sink that enumerates the same
+    /// engine again, or a second reader thread) falls back to a throwaway
+    /// scratch — or brings its own via [`TreeEnumerator::for_each_with`].
+    scratch: Mutex<EnumScratch>,
 }
+
+/// Compile-time proof that the engine can be shared across threads (the
+/// serving layer hands `Arc`s of it to reader threads while a writer thread
+/// owns the mutable copy).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TreeEnumerator>();
+    assert_send_sync::<QueryPlan>();
+};
 
 /// Epoch bitmap helper: `marks[i] == epoch` means "set this edit".
 #[inline]
@@ -154,7 +166,7 @@ impl TreeEnumerator {
             entry_mark: Vec::new(),
             depth_mark: Vec::new(),
             depth_val: Vec::new(),
-            scratch: RefCell::new(EnumScratch::new()),
+            scratch: Mutex::new(EnumScratch::new()),
         };
         let order = engine.term.subtree_postorder(engine.term.root());
         for n in order {
@@ -187,10 +199,13 @@ impl TreeEnumerator {
     /// returned instead of panicking, mirroring `for_each`'s own re-entrancy
     /// fallback.
     pub fn enum_stats(&self) -> EnumStats {
-        self.scratch
-            .try_borrow()
-            .map(|s| s.stats())
-            .unwrap_or_default()
+        match self.scratch.try_lock() {
+            Ok(s) => s.stats(),
+            // A sink that panicked mid-enumeration poisons the lock; the
+            // pools are still structurally valid, so read through the poison.
+            Err(TryLockError::Poisoned(p)) => p.into_inner().stats(),
+            Err(TryLockError::WouldBlock) => EnumStats::default(),
+        }
     }
 
     #[inline]
@@ -327,13 +342,25 @@ impl TreeEnumerator {
     /// allocation-free inside the per-answer loop; if the sink re-enters the
     /// same engine, the nested enumeration runs on a throwaway scratch.
     pub fn for_each(&self, sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>) {
-        match self.scratch.try_borrow_mut() {
+        match self.scratch.try_lock() {
             Ok(mut scratch) => self.for_each_with(&mut scratch, sink),
-            Err(_) => self.for_each_with(&mut EnumScratch::new(), sink),
+            // Poisoned: a previous sink panicked mid-enumeration.  The pools
+            // only hold owned buffers, so they are structurally sound —
+            // recover the scratch rather than degrading to throwaway
+            // allocations forever.
+            Err(TryLockError::Poisoned(p)) => self.for_each_with(&mut p.into_inner(), sink),
+            Err(TryLockError::WouldBlock) => self.for_each_with(&mut EnumScratch::new(), sink),
         }
     }
 
-    fn for_each_with(
+    /// [`TreeEnumerator::for_each`] with a caller-provided [`EnumScratch`].
+    ///
+    /// Concurrent readers sharing one engine (the serving layer's snapshot
+    /// readers) contend on the engine's single pooled scratch: only one wins
+    /// the `try_lock`, the rest re-allocate per enumeration.  A reader that
+    /// keeps its own scratch across calls stays allocation-free in steady
+    /// state regardless of how many other readers enumerate the same engine.
+    pub fn for_each_with(
         &self,
         scratch: &mut EnumScratch,
         sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>,
@@ -568,7 +595,7 @@ impl TreeEnumerator {
                 mark(&mut self.entry_mark, epoch, b.index());
             }
         }
-        self.index.record_batch(deduped);
+        self.index.record_batch(deduped, by_depth.len() as u64);
         batch.inserted().collect()
     }
 

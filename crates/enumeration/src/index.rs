@@ -124,6 +124,14 @@ pub struct IndexStats {
     /// subtree share most of their `O(log n)` spine, and this counter is the
     /// observable proof that the shared part is repaired once, not `k` times.
     pub spine_nodes_deduped: u64,
+    /// Unique dirty-spine nodes actually repaired by batch passes (the
+    /// deduplicated union's length, summed over batches).  Together with
+    /// [`IndexStats::spine_nodes_deduped`] this makes the batch *sharing
+    /// ratio* `deduped / (deduped + dirty)` observable — the fraction of
+    /// reported spine nodes a batch did not have to repair, which the serving
+    /// layer uses as its adaptive-coalescing signal (high sharing ⇒ grow the
+    /// ingest window, low sharing ⇒ shrink it).
+    pub batch_dirty_nodes: u64,
 }
 
 /// The index structure `I(C)` for a whole circuit: a dense slab of per-box
@@ -198,11 +206,14 @@ impl EnumIndex {
 
     /// Records one batch repair pass over a deduplicated dirty-spine union:
     /// `spine_nodes_deduped` is the number of dirty entries the batch skipped
-    /// because an earlier edit of the same batch had already queued the node
-    /// (see [`IndexStats::spine_nodes_deduped`]).
-    pub fn record_batch(&mut self, spine_nodes_deduped: u64) {
+    /// because an earlier edit of the same batch had already queued the node,
+    /// and `dirty_nodes` is the length of the deduplicated union the pass
+    /// then repaired (see [`IndexStats::spine_nodes_deduped`] and
+    /// [`IndexStats::batch_dirty_nodes`]).
+    pub fn record_batch(&mut self, spine_nodes_deduped: u64, dirty_nodes: u64) {
         self.stats.batch_rebuilds += 1;
         self.stats.spine_nodes_deduped += spine_nodes_deduped;
+        self.stats.batch_dirty_nodes += dirty_nodes;
     }
 
     /// Clones the stored entry of `b`, counting the clone in
@@ -606,11 +617,12 @@ mod tests {
         let (ac, _t) = build_sample(3);
         let mut index = EnumIndex::build(&ac.circuit);
         assert_eq!(index.stats().batch_rebuilds, 0);
-        index.record_batch(5);
-        index.record_batch(0);
+        index.record_batch(5, 11);
+        index.record_batch(0, 2);
         let stats = index.stats();
         assert_eq!(stats.batch_rebuilds, 2);
         assert_eq!(stats.spine_nodes_deduped, 5);
+        assert_eq!(stats.batch_dirty_nodes, 13);
     }
 
     #[test]

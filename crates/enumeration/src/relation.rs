@@ -129,7 +129,7 @@ impl Relation {
     }
 
     /// Row `i` as an owned set of target gates (tests/diagnostics; the hot
-    /// paths use [`Relation::row_words`] / [`Relation::row_is_empty`]).
+    /// paths use the word-level accessors / [`Relation::row_is_empty`]).
     pub fn row(&self, i: usize) -> GateSet {
         GateSet::from_indices(
             self.cols,

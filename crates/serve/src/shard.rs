@@ -1,0 +1,367 @@
+//! One serving shard: the published snapshot slot, the reader-facing
+//! [`Snapshot`] handle, and the writer thread's ingest loop.
+//!
+//! # Left-right publication
+//!
+//! A shard owns **two** structurally independent [`TreeEnumerator`]s over the
+//! same logical tree.  At any instant one of them is *published* (readers
+//! clone an `Arc` to it and enumerate without any lock held) and the other is
+//! *writable* (the ingest thread applies coalesced batches to it).  A flush
+//! applies the batch to the writable copy, publishes it with a bumped
+//! generation, and retires the previously published copy; the next flush
+//! reclaims the retired copy once the last reader drops it, catches it up by
+//! replaying the batches it missed, and writes into it.  Readers therefore
+//! never block the writer's *apply* work, and the writer never mutates
+//! anything a reader can observe — every snapshot is a complete, immutable
+//! structure at one generation.
+//!
+//! The only writer-side wait is the reclaim of the retired copy, which
+//! ordinary transient readers release within one enumeration.  A reader that
+//! parks on a snapshot indefinitely triggers the bounded-patience fallback:
+//! the writer abandons the retired copy to its holders and rebuilds a fresh
+//! writable copy from the published tree (O(n), counted in
+//! [`crate::ShardStats::rebuild_fallbacks`]), so ingest always makes
+//! progress.
+
+use crate::stats::{FlushRecord, ShardMetrics};
+use crate::ServeConfig;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::ops::ControlFlow;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+use treenum_core::{EnumerationStats, QueryPlan, TreeEnumerator};
+use treenum_enumeration::EnumScratch;
+use treenum_trees::edit::EditOp;
+use treenum_trees::unranked::UnrankedTree;
+use treenum_trees::valuation::Assignment;
+
+/// The published copy of a shard: an immutable enumeration structure at one
+/// generation.
+pub(crate) struct SnapInner {
+    pub(crate) engine: TreeEnumerator,
+    pub(crate) generation: u64,
+}
+
+/// A snapshot-consistent read handle to one shard.
+///
+/// Cloning is an `Arc` bump; the underlying enumeration structure is never
+/// mutated, so every enumeration over the handle sees exactly the state after
+/// [`Snapshot::generation`] ingest flushes — a half-applied batch is never
+/// observable.  Holding a snapshot does not block the shard's writer (see the
+/// module docs for the one bounded reclaim interaction).
+#[derive(Clone)]
+pub struct Snapshot {
+    inner: Arc<SnapInner>,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("generation", &self.inner.generation)
+            .field("tree_size", &self.inner.engine.tree().len())
+            .finish()
+    }
+}
+
+impl Snapshot {
+    pub(crate) fn from_inner(inner: Arc<SnapInner>) -> Self {
+        Snapshot { inner }
+    }
+
+    /// Number of ingest flushes applied to this snapshot's state.  Generation
+    /// `g` corresponds to the first `g` entries of the shard's flush log.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation
+    }
+
+    /// The snapshot's tree.
+    pub fn tree(&self) -> &UnrankedTree {
+        self.inner.engine.tree()
+    }
+
+    /// Structural statistics of the snapshot's enumeration structure.
+    pub fn stats(&self) -> EnumerationStats {
+        self.inner.engine.stats()
+    }
+
+    /// Enumerates every satisfying assignment (see
+    /// [`TreeEnumerator::for_each`]).  Concurrent readers of the *same*
+    /// snapshot contend on its one pooled scratch; readers that care about
+    /// steady-state delay should bring their own via
+    /// [`Snapshot::for_each_with`].
+    pub fn for_each(&self, sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>) {
+        self.inner.engine.for_each(sink)
+    }
+
+    /// [`Snapshot::for_each`] with a caller-owned [`EnumScratch`], the
+    /// allocation-free path for a reader thread that enumerates many
+    /// snapshots: the scratch's pools carry over from snapshot to snapshot,
+    /// so the per-answer loop stays allocation-free in steady state no matter
+    /// how many reader threads share the shard.
+    pub fn for_each_with(
+        &self,
+        scratch: &mut EnumScratch,
+        sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>,
+    ) {
+        self.inner.engine.for_each_with(scratch, sink)
+    }
+
+    /// Collects all satisfying assignments.
+    pub fn assignments(&self) -> Vec<Assignment> {
+        self.inner.engine.assignments()
+    }
+
+    /// Counts the satisfying assignments by enumerating them.
+    pub fn count(&self) -> usize {
+        self.inner.engine.count()
+    }
+
+    /// The first `k` assignments (the early-termination path).
+    pub fn first_k(&self, k: usize) -> Vec<Assignment> {
+        self.inner.engine.first_k(k)
+    }
+
+    /// Full internal consistency check of the snapshot's enumeration
+    /// structure (test support; expensive).
+    pub fn check_consistency(&self) {
+        self.inner.engine.check_consistency()
+    }
+}
+
+/// Messages on a shard's ingest queue.
+pub(crate) enum Ingest {
+    /// One edit op to coalesce into a batch.
+    Op(EditOp),
+    /// Barrier: apply everything enqueued before this message, then ack with
+    /// the resulting generation.
+    Flush(Sender<u64>),
+    /// Drain, apply, and exit the writer thread.
+    Shutdown,
+}
+
+/// The writer-thread half of a shard.
+pub(crate) struct ShardWriter {
+    pub(crate) rx: Receiver<Ingest>,
+    pub(crate) front: Arc<RwLock<Arc<SnapInner>>>,
+    pub(crate) metrics: Arc<ShardMetrics>,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) plan: Arc<QueryPlan>,
+    /// The writable copy, when this side holds it.
+    pub(crate) write: Option<TreeEnumerator>,
+    /// The previously published copy, awaiting reclaim.
+    pub(crate) retired: Option<Arc<SnapInner>>,
+    /// Batches applied to the published lineage that the retired copy has
+    /// not seen yet (replayed on reclaim; op order is semantic — freed arena
+    /// slots may be reused by later ops).
+    pub(crate) lag: Vec<EditOp>,
+    pub(crate) generation: u64,
+    pub(crate) window: usize,
+    pub(crate) buf: Vec<EditOp>,
+}
+
+impl ShardWriter {
+    pub(crate) fn run(mut self) {
+        loop {
+            let first = match self.rx.recv() {
+                Ok(m) => m,
+                // Server dropped without an explicit shutdown: exit.
+                Err(_) => break,
+            };
+            let mut acks: Vec<Sender<u64>> = Vec::new();
+            let mut shutdown = false;
+            match first {
+                Ingest::Op(op) => {
+                    self.note_dequeued(1);
+                    self.buf.push(op);
+                    shutdown = self.coalesce(&mut acks);
+                }
+                Ingest::Flush(ack) => acks.push(ack),
+                Ingest::Shutdown => break,
+            }
+            if !acks.is_empty() {
+                // A barrier demands everything enqueued before it; drain the
+                // queue completely (this may exceed the window — barriers are
+                // explicit requests for completeness, not latency).
+                shutdown |= self.drain_pending(&mut acks);
+            }
+            self.flush_buf();
+            for ack in acks {
+                let _ = ack.send(self.generation);
+            }
+            if shutdown {
+                break;
+            }
+        }
+        // Apply any ops that raced in with the shutdown.
+        let mut acks = Vec::new();
+        self.drain_pending(&mut acks);
+        self.flush_buf();
+        for ack in acks {
+            let _ = ack.send(self.generation);
+        }
+    }
+
+    fn note_dequeued(&self, n: u64) {
+        // `fetch_sub` saturating at 0 is not a primitive; producers increment
+        // before send, so depth briefly leads but never underflows.
+        let m = &self.metrics.queue_depth;
+        let mut cur = m.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match m.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Gathers ops into `buf` until the adaptive window is full or the
+    /// bounded-staleness deadline passes.  Returns `true` on shutdown; a
+    /// queued barrier stops coalescing early (its ack lands in `acks`).
+    fn coalesce(&mut self, acks: &mut Vec<Sender<u64>>) -> bool {
+        let deadline = Instant::now() + self.cfg.max_latency;
+        while self.buf.len() < self.window {
+            match self.rx.try_recv() {
+                Some(Ingest::Op(op)) => {
+                    self.note_dequeued(1);
+                    self.buf.push(op);
+                }
+                Some(Ingest::Flush(ack)) => {
+                    acks.push(ack);
+                    return false;
+                }
+                Some(Ingest::Shutdown) => return true,
+                None => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match self.rx.recv_timeout(deadline - now) {
+                        Ok(Ingest::Op(op)) => {
+                            self.note_dequeued(1);
+                            self.buf.push(op);
+                        }
+                        Ok(Ingest::Flush(ack)) => {
+                            acks.push(ack);
+                            return false;
+                        }
+                        Ok(Ingest::Shutdown) => return true,
+                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Non-blocking drain of everything currently queued.  Returns `true` on
+    /// shutdown.
+    fn drain_pending(&mut self, acks: &mut Vec<Sender<u64>>) -> bool {
+        while let Some(msg) = self.rx.try_recv() {
+            match msg {
+                Ingest::Op(op) => {
+                    self.note_dequeued(1);
+                    self.buf.push(op);
+                }
+                Ingest::Flush(ack) => acks.push(ack),
+                Ingest::Shutdown => return true,
+            }
+        }
+        false
+    }
+
+    /// Applies the coalescing buffer as one batch, publishes the result as a
+    /// new snapshot generation, and adapts the window from the batch's
+    /// observed spine-sharing ratio.
+    fn flush_buf(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        // Time the whole flush cycle — reclaim of the writable copy, the
+        // batch apply, and the publish swap — so the per-edit amortized
+        // numbers in the flush log reflect the real cost of pushing one op
+        // through the serving pipeline (E9's ingest arms read them).
+        let start = Instant::now();
+        let mut engine = self.take_writable();
+        let before = engine.index_stats();
+        engine.apply_batch(&self.buf);
+        let after = engine.index_stats();
+        self.generation += 1;
+        let snap = Arc::new(SnapInner {
+            engine,
+            generation: self.generation,
+        });
+        let old = std::mem::replace(&mut *self.front.write().unwrap(), snap);
+        self.retired = Some(old);
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.lag.extend_from_slice(&self.buf);
+        self.metrics
+            .generation
+            .store(self.generation, Ordering::Release);
+        let rec = FlushRecord {
+            size: self.buf.len(),
+            nanos,
+            window: self.window,
+            spine_deduped: after.spine_nodes_deduped - before.spine_nodes_deduped,
+            spine_dirty: after.batch_dirty_nodes - before.batch_dirty_nodes,
+        };
+        if self.cfg.adaptive && rec.size >= 2 {
+            let ratio = rec.sharing_ratio();
+            if ratio >= self.cfg.grow_sharing {
+                self.window = (self.window * 2).min(self.cfg.max_batch);
+            } else if ratio < self.cfg.shrink_sharing {
+                self.window = (self.window / 2).max(self.cfg.min_batch);
+            }
+            self.metrics
+                .window
+                .store(self.window as u64, Ordering::Relaxed);
+        }
+        self.metrics.record_flush(rec);
+        self.buf.clear();
+    }
+
+    /// Obtains the writable copy: the held one, the reclaimed-and-caught-up
+    /// retired one, or (after bounded patience) a fresh O(n) rebuild from the
+    /// published tree.
+    fn take_writable(&mut self) -> TreeEnumerator {
+        if let Some(engine) = self.write.take() {
+            return engine;
+        }
+        let mut retired = self
+            .retired
+            .take()
+            .expect("a shard always holds either the writable or the retired copy");
+        let patience = Instant::now() + self.cfg.reclaim_patience;
+        loop {
+            match Arc::try_unwrap(retired) {
+                Ok(inner) => {
+                    let mut engine = inner.engine;
+                    if !self.lag.is_empty() {
+                        engine.apply_batch(&self.lag);
+                        self.lag.clear();
+                    }
+                    return engine;
+                }
+                Err(arc) => {
+                    if Instant::now() >= patience {
+                        // Readers are parked on the retired copy; abandon it
+                        // to them and rebuild from the published state.
+                        self.metrics
+                            .rebuild_fallbacks
+                            .fetch_add(1, Ordering::Relaxed);
+                        drop(arc);
+                        let tree = self.front.read().unwrap().engine.tree().clone();
+                        self.lag.clear();
+                        return TreeEnumerator::with_plan(tree, Arc::clone(&self.plan));
+                    }
+                    self.metrics.reclaim_waits.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    retired = arc;
+                }
+            }
+        }
+    }
+}

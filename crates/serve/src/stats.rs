@@ -1,0 +1,171 @@
+//! Observability for the serving layer: per-shard atomic counters, the
+//! per-flush log, and the [`ServeStats`] snapshot surface.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One ingest flush, as recorded by a shard's writer thread.
+///
+/// The log doubles as the serving layer's audit trail: generation `g` of a
+/// shard corresponds exactly to the first `g` records, so the op prefix
+/// behind any snapshot is `sizes[0] + … + sizes[g-1]` — the property the
+/// snapshot-consistency oracle tests replay against.
+#[derive(Clone, Copy, Debug)]
+pub struct FlushRecord {
+    /// Number of edit ops coalesced into this `apply_batch` call.
+    pub size: usize,
+    /// Wall-clock nanoseconds of the full flush cycle: reclaiming the
+    /// writable copy (including any bounded wait for readers), replaying its
+    /// lag, applying the batch, and publishing the new snapshot.
+    pub nanos: u64,
+    /// The adaptive window in force when the flush was cut.
+    pub window: usize,
+    /// Dirty-spine entries skipped because an earlier edit of the batch had
+    /// already queued them (`IndexStats::spine_nodes_deduped` delta).
+    pub spine_deduped: u64,
+    /// Unique dirty-spine nodes the repair pass visited
+    /// (`IndexStats::batch_dirty_nodes` delta).
+    pub spine_dirty: u64,
+}
+
+impl FlushRecord {
+    /// The batch's sharing ratio `deduped / (deduped + dirty)` ∈ [0, 1): the
+    /// fraction of reported spine nodes the deduplicated repair skipped.
+    /// This is the adaptive-coalescing signal — high sharing means the edits
+    /// overlapped and a bigger window would amortize even better; low
+    /// sharing means coalescing buys nothing, so the window should shrink
+    /// back toward low-latency flushes.
+    pub fn sharing_ratio(&self) -> f64 {
+        let total = self.spine_deduped + self.spine_dirty;
+        if total == 0 {
+            0.0
+        } else {
+            self.spine_deduped as f64 / total as f64
+        }
+    }
+}
+
+/// Shared mutable counters of one shard (writer thread increments, any
+/// thread reads).  All counters are monotonic except `queue_depth`.
+#[derive(Debug, Default)]
+pub(crate) struct ShardMetrics {
+    pub ingested: AtomicU64,
+    pub applied: AtomicU64,
+    pub queue_depth: AtomicU64,
+    pub reads: AtomicU64,
+    pub generation: AtomicU64,
+    pub window: AtomicU64,
+    pub reclaim_waits: AtomicU64,
+    pub rebuild_fallbacks: AtomicU64,
+    pub spine_deduped: AtomicU64,
+    pub spine_dirty: AtomicU64,
+    pub max_flush: AtomicU64,
+    pub flush_log: Mutex<Vec<FlushRecord>>,
+}
+
+impl ShardMetrics {
+    pub(crate) fn record_flush(&self, rec: FlushRecord) {
+        self.applied.fetch_add(rec.size as u64, Ordering::Relaxed);
+        self.spine_deduped
+            .fetch_add(rec.spine_deduped, Ordering::Relaxed);
+        self.spine_dirty
+            .fetch_add(rec.spine_dirty, Ordering::Relaxed);
+        self.max_flush.fetch_max(rec.size as u64, Ordering::Relaxed);
+        self.flush_log.lock().unwrap().push(rec);
+    }
+
+    pub(crate) fn stats(&self) -> ShardStats {
+        ShardStats {
+            generation: self.generation.load(Ordering::Acquire),
+            flushes: self.flush_log.lock().unwrap().len() as u64,
+            edits_ingested: self.ingested.load(Ordering::Relaxed),
+            edits_applied: self.applied.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            window: self.window.load(Ordering::Relaxed) as usize,
+            max_flush: self.max_flush.load(Ordering::Relaxed) as usize,
+            reclaim_waits: self.reclaim_waits.load(Ordering::Relaxed),
+            rebuild_fallbacks: self.rebuild_fallbacks.load(Ordering::Relaxed),
+            spine_deduped: self.spine_deduped.load(Ordering::Relaxed),
+            spine_dirty: self.spine_dirty.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of one shard's serving counters.
+#[derive(Clone, Copy, Debug, Default)]
+#[non_exhaustive]
+pub struct ShardStats {
+    /// Snapshot generation currently published (= number of flushes applied
+    /// to the visible copy).
+    pub generation: u64,
+    /// Number of ingest flushes (`apply_batch` calls on the publish path).
+    pub flushes: u64,
+    /// Ops accepted into the ingest queue.
+    pub edits_ingested: u64,
+    /// Ops applied and published (`edits_ingested - edits_applied` ops are
+    /// still queued or in the writer's coalescing buffer).
+    pub edits_applied: u64,
+    /// Current ingest-queue depth (approximate — producers and the writer
+    /// race on it, but it is exact when the shard is quiescent).
+    pub queue_depth: u64,
+    /// Snapshots handed out to readers.
+    pub reads: u64,
+    /// Current adaptive coalescing window (ops per flush the writer aims
+    /// for).
+    pub window: usize,
+    /// Largest single flush so far.
+    pub max_flush: usize,
+    /// Bounded waits the writer performed for readers to release a retired
+    /// snapshot copy.
+    pub reclaim_waits: u64,
+    /// Times the writer gave up waiting and rebuilt a fresh writable copy
+    /// from the published tree (O(n) fallback; nonzero only under
+    /// pathologically long-held snapshots).
+    pub rebuild_fallbacks: u64,
+    /// Cumulative `IndexStats::spine_nodes_deduped` over all flushes.
+    pub spine_deduped: u64,
+    /// Cumulative `IndexStats::batch_dirty_nodes` over all flushes.
+    pub spine_dirty: u64,
+}
+
+impl ShardStats {
+    /// Lifetime sharing ratio `deduped / (deduped + dirty)` across all
+    /// flushes (see [`FlushRecord::sharing_ratio`]).
+    pub fn sharing_ratio(&self) -> f64 {
+        let total = self.spine_deduped + self.spine_dirty;
+        if total == 0 {
+            0.0
+        } else {
+            self.spine_deduped as f64 / total as f64
+        }
+    }
+
+    /// Mean ops per flush.
+    pub fn mean_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.edits_applied as f64 / self.flushes as f64
+        }
+    }
+}
+
+/// A point-in-time view of every shard's counters.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Per-shard stats, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServeStats {
+    /// Total ops applied across shards.
+    pub fn edits_applied(&self) -> u64 {
+        self.shards.iter().map(|s| s.edits_applied).sum()
+    }
+
+    /// Total snapshots handed out across shards.
+    pub fn reads(&self) -> u64 {
+        self.shards.iter().map(|s| s.reads).sum()
+    }
+}

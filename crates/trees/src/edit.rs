@@ -27,7 +27,7 @@ pub enum EditOp {
 
 impl EditOp {
     /// `true` iff this operation changes the shape of the tree
-    /// (as opposed to a relabeling, the only update supported by prior work [4]).
+    /// (as opposed to a relabeling, the only update supported by prior work \[4\]).
     pub fn is_structural(&self) -> bool {
         !matches!(self, EditOp::Relabel { .. })
     }
@@ -759,6 +759,66 @@ fn mix_decision(
     }
 }
 
+/// A self-contained, thread-ownable edit-op producer: an [`EditStream`]
+/// bundled with its own shadow tree and [`NodeSampler`], so every generated
+/// op is valid against the state the consumer will reach by applying the
+/// previous ones.
+///
+/// This is the feeding half of a write-behind serving setup: a writer thread
+/// owns the feed (the type is `Send` — plain owned data, no sharing) and
+/// pushes ops into an ingest queue while reader threads enumerate snapshots.
+/// Because the engine's arena assigns the same [`NodeId`]s to the same
+/// insertion sequence, the feed's shadow tree stays in lockstep with the
+/// consumer no matter how the consumer groups the ops into batches.
+///
+/// Generation cost is O(1) per op ([`EditFeed::next_batch`] is O(k)); all
+/// three stream strategies stay off the Θ(n) materializing path.
+pub struct EditFeed {
+    stream: EditStream,
+    shadow: UnrankedTree,
+    sampler: NodeSampler,
+}
+
+impl EditFeed {
+    /// Wraps `stream` with a shadow copy of `tree` (the consumer's current
+    /// state — typically the tree a serving shard was built from).
+    pub fn new(tree: &UnrankedTree, stream: EditStream) -> Self {
+        EditFeed {
+            stream,
+            shadow: tree.clone(),
+            sampler: NodeSampler::new(tree),
+        }
+    }
+
+    /// Generates (and applies to the shadow) the next valid op.
+    ///
+    /// Single ops are drawn through the batch path, so skewed and burst
+    /// streams keep their O(1) sampled generation instead of falling back to
+    /// the Θ(n) materializing path.
+    pub fn next_op(&mut self) -> EditOp {
+        self.next_batch(1).pop().expect("batch of 1 yields 1 op")
+    }
+
+    /// Generates (and applies to the shadow) the next `k` consecutive valid
+    /// ops in O(k) — see [`EditStream::next_batch_sampled`] for how each
+    /// strategy clusters its batches.
+    pub fn next_batch(&mut self, k: usize) -> Vec<EditOp> {
+        self.stream
+            .next_batch_sampled(&mut self.shadow, &mut self.sampler, k)
+    }
+
+    /// The shadow tree (the state after every op generated so far).
+    pub fn tree(&self) -> &UnrankedTree {
+        &self.shadow
+    }
+}
+
+/// Feeds run on writer threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<EditFeed>();
+};
+
 /// The nodes of the subtree rooted at `n` (preorder).
 fn subtree_nodes(tree: &UnrankedTree, n: NodeId) -> Vec<NodeId> {
     let mut out = Vec::new();
@@ -1037,6 +1097,41 @@ mod tests {
             "longest delete run is {best_delete_run} — burst batches not bursty"
         );
         assert_sampler_matches(&tree, &sampler);
+    }
+
+    #[test]
+    fn feed_ops_replay_onto_a_lagging_consumer() {
+        // An EditFeed's ops must stay valid for a consumer that applies them
+        // later and in arbitrary groupings — the write-behind queue contract.
+        let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+        let labels: Vec<Label> = sigma.labels().collect();
+        for make in [EditStream::skewed, EditStream::burst, |l, s| {
+            EditStream::balanced_mix(l, s)
+        }] {
+            let tree = random_tree(&mut sigma, 30, TreeShape::Random, 12);
+            let mut consumer = tree.clone();
+            let mut feed = EditFeed::new(&tree, make(labels.clone(), 55));
+            let mut pending: Vec<EditOp> = Vec::new();
+            for round in 0..40 {
+                // Mixed single-op and batched generation.
+                if round % 3 == 0 {
+                    pending.extend(feed.next_batch(7));
+                } else {
+                    pending.push(feed.next_op());
+                }
+                // Drain in uneven chunks, lagging behind the feed.
+                if round % 5 == 4 {
+                    for op in pending.drain(..) {
+                        consumer.apply(&op);
+                    }
+                    assert!(consumer.structurally_equal(feed.tree()));
+                }
+            }
+            for op in pending.drain(..) {
+                consumer.apply(&op);
+            }
+            assert!(consumer.structurally_equal(feed.tree()));
+        }
     }
 
     #[test]

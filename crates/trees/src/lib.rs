@@ -24,7 +24,7 @@ pub mod unranked;
 pub mod valuation;
 
 pub use binary::{BinaryNodeId, BinaryTree};
-pub use edit::{EditOp, EditStream, NodeSampler};
+pub use edit::{EditFeed, EditOp, EditStream, NodeSampler};
 pub use label::{Alphabet, Label};
 pub use unranked::{NodeId, UnrankedTree};
 pub use valuation::{Assignment, Singleton, Valuation, Var, VarSet};

@@ -5,7 +5,7 @@
 //! Efficient Updates"* (Amarilli, Bourhis, Mengel, Niewerth — PODS 2019).
 //!
 //! See `README.md` for a guided tour and crate map, and `EXPERIMENTS.md` for the
-//! benchmark catalogue (E1–E8).
+//! benchmark catalogue (E1–E9).
 
 pub use treenum_automata as automata;
 pub use treenum_balance as balance;
@@ -14,4 +14,5 @@ pub use treenum_circuits as circuits;
 pub use treenum_core as core;
 pub use treenum_enumeration as enumeration;
 pub use treenum_lowerbound as lowerbound;
+pub use treenum_serve as serve;
 pub use treenum_trees as trees;

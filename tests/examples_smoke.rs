@@ -1,4 +1,4 @@
-//! Smoke tests that compile and run the four `examples/` programs, so examples
+//! Smoke tests that compile and run the five `examples/` programs, so examples
 //! can never silently rot.
 //!
 //! Each example is included as a module via `#[path]` and its `main` invoked
@@ -18,6 +18,9 @@ mod log_spanner;
 #[path = "../examples/marked_ancestor.rs"]
 mod marked_ancestor;
 
+#[path = "../examples/serving.rs"]
+mod serving;
+
 #[test]
 fn quickstart_runs() {
     quickstart::main();
@@ -36,4 +39,9 @@ fn log_spanner_runs() {
 #[test]
 fn marked_ancestor_runs() {
     marked_ancestor::main();
+}
+
+#[test]
+fn serving_runs() {
+    serving::main();
 }

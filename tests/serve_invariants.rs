@@ -1,0 +1,409 @@
+//! Concurrency invariants of the serving layer (`treenum_serve`):
+//!
+//! * **snapshot consistency** — reader threads enumerating while the ingest
+//!   queue flushes skewed/burst streams only ever observe states that equal a
+//!   sequential oracle replay of the exact op prefix behind their snapshot's
+//!   generation (no torn enumeration can observe a partially applied batch);
+//! * **flush ordering** — coalesced batches preserve per-edit order end to
+//!   end: a write-behind stream containing delete-runs whose freed term
+//!   slots are reused by later inserts (the PR 4 invariant) converges to the
+//!   exact tree the feeder's shadow predicts, whatever the flush
+//!   partitioning was;
+//! * **adaptive coalescing** — the ingest window grows under high observed
+//!   spine sharing and shrinks when edits stop overlapping;
+//! * **liveness** — a snapshot held across many flushes stays immutable and
+//!   never stops the writer from publishing new generations.
+
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use treenum::automata::queries;
+use treenum::core::TreeEnumerator;
+use treenum::serve::{ServeConfig, TreeServer};
+use treenum::trees::generate::{random_tree, TreeShape};
+use treenum::trees::valuation::Assignment;
+use treenum::trees::{Alphabet, EditFeed, EditOp, EditStream, Label, NodeSampler, Var};
+
+fn sorted(mut v: Vec<Assignment>) -> Vec<Assignment> {
+    v.sort();
+    v
+}
+
+fn select_b(sigma: &Alphabet) -> treenum::automata::StepwiseTva {
+    queries::select_label(sigma.len(), sigma.get("b").unwrap(), Var(0))
+}
+
+/// The acceptance-criterion stress test: N readers enumerate concurrently
+/// with a feeder pushing a skewed or burst stream through the write-behind
+/// queue; every `(generation, answers)` observation must match a sequential
+/// oracle replay of the first `sum(flush sizes[..generation])` ops.
+#[test]
+fn concurrent_snapshots_match_sequential_oracle_replay() {
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let labels: Vec<Label> = sigma.labels().collect();
+    let query = select_b(&sigma);
+    for (sname, make) in [
+        (
+            "skewed",
+            EditStream::skewed as fn(Vec<Label>, u64) -> EditStream,
+        ),
+        ("burst", EditStream::burst),
+    ] {
+        let tree = random_tree(&mut sigma, 120, TreeShape::Random, 29);
+        // Pre-generate the whole op sequence so the oracle can replay exact
+        // prefixes later.
+        let mut feed = EditFeed::new(&tree, make(labels.clone(), 61));
+        let ops: Vec<EditOp> = (0..600).map(|_| feed.next_op()).collect();
+
+        let server = Arc::new(TreeServer::new(
+            vec![tree.clone()],
+            &query,
+            sigma.len(),
+            ServeConfig::default(),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut seen: Vec<(u64, Vec<Assignment>)> = Vec::new();
+                let mut last_gen = u64::MAX;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = server.snapshot(0);
+                    if snap.generation() != last_gen {
+                        last_gen = snap.generation();
+                        seen.push((last_gen, sorted(snap.assignments())));
+                    }
+                    std::thread::yield_now();
+                }
+                seen
+            }));
+        }
+        for (i, op) in ops.iter().enumerate() {
+            server.ingest(0, *op).unwrap();
+            if i % 40 == 39 {
+                // Give readers scheduling room so observations spread over
+                // many intermediate generations (single-core CI runners).
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+        }
+        server.flush(0).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let mut observations: Vec<(u64, Vec<Assignment>)> = Vec::new();
+        for r in readers {
+            observations.extend(r.join().expect("reader thread"));
+        }
+
+        // The flush log partitions the op stream; generation g covers the
+        // first sum(sizes[..g]) ops.
+        let log = server.flush_log(0);
+        assert_eq!(
+            log.iter().map(|r| r.size).sum::<usize>(),
+            ops.len(),
+            "{sname}: flush log must account for every op exactly once"
+        );
+        let mut prefix_of = vec![0usize];
+        for rec in &log {
+            prefix_of.push(prefix_of.last().unwrap() + rec.size);
+        }
+
+        observations.sort_by_key(|(g, _)| *g);
+        observations.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                // Two readers at one generation must agree with each other.
+                assert_eq!(a.1, b.1, "{sname}: readers disagree at generation {}", a.0);
+                true
+            } else {
+                false
+            }
+        });
+        assert!(
+            observations.iter().any(|(g, _)| *g > 0),
+            "{sname}: stress run never observed a post-ingest generation"
+        );
+        // One oracle engine advanced through the op list, checked at every
+        // observed generation.
+        let mut oracle = TreeEnumerator::new(tree.clone(), &query, sigma.len());
+        let mut cursor = 0usize;
+        for (generation, answers) in &observations {
+            let prefix = prefix_of[*generation as usize];
+            while cursor < prefix {
+                oracle.apply(&ops[cursor]);
+                cursor += 1;
+            }
+            assert_eq!(
+                answers,
+                &sorted(oracle.assignments()),
+                "{sname}: snapshot at generation {generation} does not match \
+                 the sequential replay of its {prefix}-op prefix"
+            );
+        }
+        // Final state: full replay, structural identity with the feeder's
+        // shadow, and a clean consistency check.
+        while cursor < ops.len() {
+            oracle.apply(&ops[cursor]);
+            cursor += 1;
+        }
+        let final_snap = server.snapshot(0);
+        assert_eq!(final_snap.generation() as usize, log.len());
+        assert_eq!(
+            sorted(final_snap.assignments()),
+            sorted(oracle.assignments())
+        );
+        assert!(final_snap.tree().structurally_equal(feed.tree()));
+        final_snap.check_consistency();
+    }
+}
+
+/// Coalesced flushes must preserve per-edit order: burst streams interleave
+/// delete-runs (freeing term arena slots) with insert floods (reusing them),
+/// so any reordering inside a batch would either panic on an invalid op or
+/// produce a structurally different tree than the feeder's shadow.
+#[test]
+fn coalesced_flushes_preserve_edit_order_across_freed_slot_reuse() {
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let labels: Vec<Label> = sigma.labels().collect();
+    let query = select_b(&sigma);
+    let tree = random_tree(&mut sigma, 60, TreeShape::Random, 5);
+    // Force heavy coalescing: big fixed window, generous latency budget.
+    let config = ServeConfig {
+        adaptive: false,
+        initial_batch: 64,
+        min_batch: 64,
+        max_batch: 64,
+        max_latency: std::time::Duration::from_millis(20),
+        ..ServeConfig::default()
+    };
+    let server = TreeServer::new(vec![tree.clone()], &query, sigma.len(), config);
+    let mut feed = EditFeed::new(&tree, EditStream::burst(labels, 83));
+    let mut deletes = 0usize;
+    let mut inserts_after_delete = 0usize;
+    let mut saw_delete = false;
+    for _ in 0..6 {
+        for op in feed.next_batch(64) {
+            match op {
+                EditOp::DeleteLeaf { .. } => {
+                    deletes += 1;
+                    saw_delete = true;
+                }
+                EditOp::InsertFirstChild { .. } | EditOp::InsertRightSibling { .. } => {
+                    if saw_delete {
+                        inserts_after_delete += 1;
+                    }
+                }
+                EditOp::Relabel { .. } => {}
+            }
+            server.ingest(0, op).unwrap();
+        }
+        server.flush(0).unwrap();
+    }
+    assert!(
+        deletes >= 16 && inserts_after_delete >= 16,
+        "burst stream must interleave delete-runs with later inserts \
+         (deletes {deletes}, inserts after a delete {inserts_after_delete})"
+    );
+    let log = server.flush_log(0);
+    assert!(
+        log.iter().any(|r| r.size >= 16),
+        "the queue never coalesced a multi-op batch — the test lost its point"
+    );
+    let stats = server.shard_stats(0);
+    assert!(
+        stats.spine_deduped > 0,
+        "coalesced burst batches must share spine nodes"
+    );
+    let snap = server.snapshot(0);
+    assert!(
+        snap.tree().structurally_equal(feed.tree()),
+        "served tree diverged from the feeder's shadow — per-edit order was broken"
+    );
+    let oracle = TreeEnumerator::new(feed.tree().clone(), &query, sigma.len());
+    assert_eq!(sorted(snap.assignments()), sorted(oracle.assignments()));
+    snap.check_consistency();
+}
+
+/// The adaptive window grows while the observed sharing ratio is high
+/// (repeatedly editing one spine) and shrinks when edits stop overlapping.
+#[test]
+fn adaptive_window_follows_the_sharing_ratio() {
+    let mut sigma = Alphabet::from_names(["a", "b"]);
+    let query = select_b(&sigma);
+    let tree = random_tree(&mut sigma, 400, TreeShape::Random, 13);
+    let labels: Vec<Label> = sigma.labels().collect();
+
+    // Maximal sharing: every op relabels the same deep node, so every
+    // coalesced batch repairs one spine once and skips k-1 copies.
+    let sampler = NodeSampler::new(&tree);
+    let hot = *sampler
+        .leaves()
+        .iter()
+        .find(|&&n| n != tree.root())
+        .expect("a 400-node tree has a non-root leaf");
+    let server = TreeServer::new(
+        vec![tree.clone()],
+        &query,
+        sigma.len(),
+        ServeConfig::default(),
+    );
+    let initial = server.shard_stats(0).window;
+    for round in 0..8 {
+        for i in 0..64 {
+            server
+                .ingest(
+                    0,
+                    EditOp::Relabel {
+                        node: hot,
+                        label: labels[(round + i) % labels.len()],
+                    },
+                )
+                .unwrap();
+        }
+        server.flush(0).unwrap();
+    }
+    let grown = server.shard_stats(0).window;
+    assert!(
+        grown > initial,
+        "window must grow under maximal sharing (initial {initial}, now {grown})"
+    );
+    assert!(server.shard_stats(0).sharing_ratio() > 0.5);
+
+    // Low sharing: spread relabels over many distinct nodes.  With a shrink
+    // threshold above what scattered spines can reach (they only share the
+    // few top-of-term ancestors), every multi-op flush shrinks the window.
+    let spread_config = ServeConfig {
+        initial_batch: 64,
+        grow_sharing: 0.95,
+        shrink_sharing: 0.9,
+        ..ServeConfig::default()
+    };
+    let server = TreeServer::new(vec![tree.clone()], &query, sigma.len(), spread_config);
+    assert_eq!(server.shard_stats(0).window, 64);
+    let nodes = sampler.nodes();
+    for round in 0..6 {
+        for i in 0..64usize {
+            server
+                .ingest(
+                    0,
+                    EditOp::Relabel {
+                        node: nodes[(i * 97 + round * 13) % nodes.len()],
+                        label: labels[i % labels.len()],
+                    },
+                )
+                .unwrap();
+        }
+        server.flush(0).unwrap();
+    }
+    let shrunk = server.shard_stats(0).window;
+    assert!(
+        shrunk < 64,
+        "window must shrink when edits stop overlapping (still {shrunk})"
+    );
+
+    // Recovery from the floor: a fully collapsed adaptive window must be
+    // able to re-open when the stream turns hot again.  The adaptive floor
+    // is 2 precisely because a size-1 flush observes no sharing ratio — a
+    // window of 1 would be a one-way ratchet.
+    let floored_config = ServeConfig {
+        initial_batch: 1, // validated() floors this to 2 in adaptive mode
+        ..ServeConfig::default()
+    };
+    let server = TreeServer::new(vec![tree.clone()], &query, sigma.len(), floored_config);
+    assert_eq!(
+        server.shard_stats(0).window,
+        2,
+        "adaptive configs must floor the window at 2"
+    );
+    for round in 0..8 {
+        for i in 0..64 {
+            server
+                .ingest(
+                    0,
+                    EditOp::Relabel {
+                        node: hot,
+                        label: labels[(round + i) % labels.len()],
+                    },
+                )
+                .unwrap();
+        }
+        server.flush(0).unwrap();
+    }
+    let reopened = server.shard_stats(0).window;
+    assert!(
+        reopened > 2,
+        "a floored window must re-open under maximal sharing (still {reopened})"
+    );
+}
+
+/// Multi-shard accounting: independent feeders and readers over two shards,
+/// each shard ends at its own oracle, and the aggregate stats add up.
+#[test]
+fn two_shards_serve_independent_streams_concurrently() {
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let labels: Vec<Label> = sigma.labels().collect();
+    let query = select_b(&sigma);
+    let t0 = random_tree(&mut sigma, 80, TreeShape::Random, 7);
+    let t1 = random_tree(&mut sigma, 80, TreeShape::Deep, 8);
+    let server = Arc::new(TreeServer::new(
+        vec![t0.clone(), t1.clone()],
+        &query,
+        sigma.len(),
+        ServeConfig::default(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut reads = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                for shard in 0..server.num_shards() {
+                    let snap = server.snapshot(shard);
+                    let mut n = 0;
+                    snap.for_each(&mut |_a| {
+                        n += 1;
+                        if n >= 16 {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    });
+                    reads += 1;
+                }
+                std::thread::yield_now();
+            }
+            reads
+        })
+    };
+    let mut feeds = [
+        EditFeed::new(&t0, EditStream::skewed(labels.clone(), 21)),
+        EditFeed::new(&t1, EditStream::burst(labels.clone(), 22)),
+    ];
+    let mut handles = Vec::new();
+    for (shard, feed) in feeds.iter_mut().enumerate() {
+        for _ in 0..5 {
+            server.ingest_batch(shard, &feed.next_batch(30)).unwrap();
+        }
+        handles.push(shard);
+    }
+    let generations = server.flush_all().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let reads = reader.join().expect("reader thread");
+    assert!(reads > 0);
+    assert_eq!(generations.len(), 2);
+    let stats = server.stats();
+    assert_eq!(stats.shards.len(), 2);
+    assert_eq!(stats.edits_applied(), 300);
+    assert!(stats.reads() >= reads as u64);
+    for (shard, feed) in feeds.iter().enumerate() {
+        let snap = server.snapshot(shard);
+        let oracle = TreeEnumerator::with_plan(feed.tree().clone(), Arc::clone(server.plan()));
+        assert_eq!(
+            sorted(snap.assignments()),
+            sorted(oracle.assignments()),
+            "shard {shard}"
+        );
+        assert_eq!(stats.shards[shard].edits_applied, 150);
+    }
+    let _ = handles;
+}

@@ -4,12 +4,15 @@
 //! The workspace only uses `crossbeam::channel::{bounded, Sender, Receiver}` with
 //! the semantics "send blocks while the buffer is full; send/recv error out once
 //! the other side is dropped" — exactly what `std::sync::mpsc::sync_channel`
-//! provides, so the wrapper is a thin rename.
+//! provides, so the wrapper is a thin rename.  `treenum-serve`'s write-behind
+//! ingest loop additionally needs [`channel::Receiver::recv_timeout`] (the
+//! bounded-staleness flush deadline), which `std` provides as well.
 
 pub mod channel {
     //! Bounded MPMC-style channels (subset: bounded SPSC over `std::sync::mpsc`).
 
     use std::sync::mpsc;
+    use std::time::Duration;
 
     /// Sending half of a bounded channel.
     pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -26,6 +29,16 @@ pub mod channel {
     /// senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`]: either the deadline
+    /// passed with the channel still empty, or every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed before a value arrived.
+        Timeout,
+        /// All senders disconnected and the channel is drained.
+        Disconnected,
+    }
 
     /// Creates a bounded channel of the given capacity (0 = rendezvous).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
@@ -57,6 +70,15 @@ pub mod channel {
         /// Non-blocking receive; `None` if the channel is currently empty or closed.
         pub fn try_recv(&self) -> Option<T> {
             self.0.try_recv().ok()
+        }
+
+        /// Blocks until a value arrives, every sender is dropped, or `timeout`
+        /// elapses — the primitive behind bounded-staleness queue draining.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 }
@@ -92,5 +114,23 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv().ok(), Some(9));
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(3));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }
