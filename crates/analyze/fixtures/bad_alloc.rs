@@ -1,0 +1,11 @@
+// Fixture: trips `hot-path-alloc` (and nothing else).  Not compiled; parsed
+// by the analyzer's self-tests.
+
+// hot-path: the per-answer loop of this fixture.
+pub fn emit_all(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for x in xs {
+        out.push(*x);
+    }
+    out
+}

@@ -1,0 +1,7 @@
+// Fixture: trips `no-map-import` (and nothing else) when checked as a file
+// of a hot-path crate.  Not compiled; parsed by the analyzer's self-tests.
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

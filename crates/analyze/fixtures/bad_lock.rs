@@ -1,0 +1,7 @@
+// Fixture: trips `lock-unwrap` (and nothing else) when checked as serve
+// code.  Not compiled; parsed by the analyzer's self-tests.
+use std::sync::Mutex;
+
+pub fn read_counter(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}

@@ -1,0 +1,36 @@
+// Fixture: trips nothing — every rule's trigger appears only in a position
+// the rules must ignore (comments, strings, test modules, allow-escaped
+// lines, non-hot functions).  Not compiled; parsed by the analyzer's
+// self-tests.
+use std::sync::Mutex;
+
+// A mention of HashMap in a comment, and ".lock().unwrap()" in a string:
+// neither is code.
+pub const DOC: &str = "never call .lock().unwrap() on a HashMap";
+
+// Allocation is fine in a function that is not marked hot-path.
+pub fn cold_path(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}
+
+// hot-path: allocation behind a justified escape is fine.
+pub fn hot_with_escape(xs: &[u32]) -> Vec<u32> {
+    // analyze: allow(alloc): fixture's sanctioned allocation
+    xs.to_vec()
+}
+
+pub fn poison_tolerant(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    #[test]
+    fn test_code_may_do_anything() {
+        let m = Mutex::new(HashMap::<u32, u32>::new());
+        assert!(m.lock().unwrap().is_empty());
+    }
+}

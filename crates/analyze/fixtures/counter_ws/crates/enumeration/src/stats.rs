@@ -1,0 +1,6 @@
+// Fixture mini-workspace: `covered` is named by the tests/ file below,
+// `uncovered` is not — `counter-coverage` must flag exactly `uncovered`.
+pub struct EnumStats {
+    pub covered: u64,
+    pub uncovered: u64,
+}

@@ -1,0 +1,5 @@
+// Fixture mini-workspace test file: names `covered`, not `uncovered`.
+fn guard() {
+    let covered = 0u64;
+    assert_eq!(covered, 0);
+}

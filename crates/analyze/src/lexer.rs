@@ -1,0 +1,387 @@
+//! A hand-rolled token-level scanner for Rust source files.
+//!
+//! The build environment has no crates.io access, so `syn` is not an option —
+//! and the lint rules in [`crate::rules`] do not need a parse tree.  They need
+//! a token stream that is *exactly right about what is code and what is not*:
+//! comments, string literals, char literals and lifetimes must never be
+//! confused with identifiers or punctuation, because every rule is a token
+//! pattern ("`.lock().unwrap()`", "`Vec :: new`") and every escape hatch is a
+//! comment ("`// analyze: allow(alloc): …`").
+//!
+//! The scanner handles the full lexical surface the workspace uses: nested
+//! block comments, raw strings (`r#"…"#` with any number of hashes), byte and
+//! raw-byte strings, char-vs-lifetime disambiguation, raw identifiers and
+//! numeric literals whose trailing `.` must not swallow a range operator
+//! (`0..n`).  It does not interpret the tokens; that is the rule engine's job.
+
+/// The coarse classification the rule engine needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, stored without `r#`).
+    Ident,
+    /// `// …` (text stored with the leading slashes).
+    LineComment,
+    /// `/* … */`, possibly nested (text stored verbatim).
+    BlockComment,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `br"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`), stored without the quote.
+    Lifetime,
+    /// Numeric literal (integer or float, any radix; suffix included).
+    Num,
+    /// A single punctuation character.  Multi-character operators appear as
+    /// consecutive `Punct` tokens (`::` is two `:`), which is exactly what
+    /// the pattern matcher wants.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` for the two comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// The comment's text without its `//` / `/*` furniture and surrounding
+    /// whitespace; empty for non-comments.  Doc comments (`///`, `//!`) keep
+    /// stripping slashes, so their bodies compare the same way.
+    pub fn comment_body(&self) -> &str {
+        match self.kind {
+            TokKind::LineComment => self.text.trim_start_matches('/').trim(),
+            TokKind::BlockComment => self
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_end_matches('/')
+                .trim_end_matches('*')
+                .trim(),
+            _ => "",
+        }
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`.  The scanner never fails: malformed input (an unterminated
+/// string, say) degrades to a best-effort token stream, which for a lint tool
+/// beats refusing to look at the file — the compiler will report the real
+/// error anyway.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = c.peek() {
+        let start = c.pos;
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while let Some(nb) = c.peek() {
+                    if nb == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                push(&mut toks, TokKind::LineComment, src, start, c.pos, line);
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                push(&mut toks, TokKind::BlockComment, src, start, c.pos, line);
+            }
+            b'"' => {
+                c.bump();
+                scan_string_body(&mut c);
+                push(&mut toks, TokKind::Str, src, start, c.pos, line);
+            }
+            b'\'' => {
+                // Lifetime iff the quote is followed by an identifier that is
+                // *not* closed by another quote ('a vs 'a').
+                let mut j = 1usize;
+                let is_lifetime = match c.peek_at(1) {
+                    Some(nb) if is_ident_start(nb) => {
+                        while c.peek_at(j).is_some_and(is_ident_continue) {
+                            j += 1;
+                        }
+                        c.peek_at(j) != Some(b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    c.bump();
+                    for _ in 1..j {
+                        c.bump();
+                    }
+                    push(&mut toks, TokKind::Lifetime, src, start + 1, c.pos, line);
+                } else {
+                    c.bump();
+                    scan_char_body(&mut c);
+                    push(&mut toks, TokKind::Char, src, start, c.pos, line);
+                }
+            }
+            _ if is_ident_start(b) => {
+                if let Some(kind) = try_string_prefix(&mut c) {
+                    push(&mut toks, kind, src, start, c.pos, line);
+                } else {
+                    // Raw identifier prefix?
+                    if b == b'r'
+                        && c.peek_at(1) == Some(b'#')
+                        && c.peek_at(2).is_some_and(is_ident_start)
+                    {
+                        c.bump();
+                        c.bump();
+                    }
+                    let name_start = c.pos;
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    push(&mut toks, TokKind::Ident, src, name_start, c.pos, line);
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                scan_number(&mut c);
+                push(&mut toks, TokKind::Num, src, start, c.pos, line);
+            }
+            _ => {
+                c.bump();
+                push(&mut toks, TokKind::Punct, src, start, c.pos, line);
+            }
+        }
+    }
+    toks
+}
+
+fn push(toks: &mut Vec<Tok>, kind: TokKind, src: &str, start: usize, end: usize, line: u32) {
+    toks.push(Tok {
+        kind,
+        text: src[start..end].to_string(),
+        line,
+    });
+}
+
+/// Consumes a (possibly raw, possibly byte) string literal starting at an
+/// identifier-looking prefix: `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `b'…'`.
+/// Returns `None` (cursor untouched) if the prefix is just an identifier.
+fn try_string_prefix(c: &mut Cursor) -> Option<TokKind> {
+    let b0 = c.peek()?;
+    let (raw_off, byte) = match b0 {
+        b'r' => (1usize, false),
+        b'b' => match c.peek_at(1) {
+            Some(b'\'') => {
+                // Byte char literal b'…'.
+                c.bump();
+                c.bump();
+                scan_char_body(c);
+                return Some(TokKind::Char);
+            }
+            Some(b'"') => {
+                c.bump();
+                c.bump();
+                scan_string_body(c);
+                return Some(TokKind::Str);
+            }
+            Some(b'r') => (2usize, true),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let _ = byte;
+    // From `raw_off`: zero or more '#', then '"'.
+    let mut hashes = 0usize;
+    while c.peek_at(raw_off + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    if c.peek_at(raw_off + hashes) != Some(b'"') {
+        return None;
+    }
+    for _ in 0..raw_off + hashes + 1 {
+        c.bump();
+    }
+    // Raw string body: ends at '"' followed by `hashes` '#'.
+    'outer: while let Some(nb) = c.bump() {
+        if nb == b'"' {
+            for k in 0..hashes {
+                if c.peek_at(k) != Some(b'#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                c.bump();
+            }
+            break;
+        }
+    }
+    Some(TokKind::Str)
+}
+
+/// Consumes a regular string body after its opening quote.
+fn scan_string_body(c: &mut Cursor) {
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a char/byte-char body after its opening quote.
+fn scan_char_body(c: &mut Cursor) {
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a numeric literal.  A `.` is part of the number only when followed
+/// by a digit, so `0..n` lexes as `0`, `.`, `.`, `n`.
+fn scan_number(c: &mut Cursor) {
+    while c
+        .peek()
+        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+    {
+        c.bump();
+    }
+    if c.peek() == Some(b'.') && c.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        c.bump();
+        while c
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            c.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_are_not_code() {
+        let toks = kinds(
+            r##"// line .clone()
+/* block /* nested */ .unwrap() */
+let s = "Vec::new()"; let r = r#"format!("x")"#;
+let c = '\''; fn f<'a>(x: &'a str) {}"##,
+        );
+        assert!(toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .all(|(_, t)| !t.contains("clone") && !t.contains("unwrap") && t != "format"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_numbers() {
+        let toks = kinds("for i in 0..r.rows() {}");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"rows"));
+        assert_eq!(texts.iter().filter(|t| **t == ".").count(), 3);
+    }
+
+    #[test]
+    fn float_and_hex_literals_hold_together() {
+        let toks = kinds("let x = 1.5f64 + 0xff_u32 + 1_000;");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["1.5f64", "0xff_u32", "1_000"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "fn".to_string())));
+    }
+}

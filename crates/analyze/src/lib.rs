@@ -1,0 +1,19 @@
+//! `treenum-analyze`: the workspace's correctness tooling.
+//!
+//! Two pillars, both enforcing disciplines this codebase's performance and
+//! correctness claims rest on but that `rustc`/`clippy` cannot see:
+//!
+//! * [`rules`] — a lint engine over [`lexer`]'s hand-rolled token streams,
+//!   enforcing the dense-slab (no map), hot-path zero-allocation,
+//!   poison-tolerant locking and counter-coverage disciplines.  Run with
+//!   `cargo run --release -p treenum-analyze -- --workspace`.
+//! * [`sched`] — an exhaustive bounded interleaving checker for the
+//!   left-right snapshot publication protocol of `treenum-serve`.  Run with
+//!   `cargo run --release -p treenum-analyze -- --sched`.
+//!
+//! Both exit non-zero on violations, so CI can gate on them; see the
+//! "Correctness tooling" section of the repo README.
+
+pub mod lexer;
+pub mod rules;
+pub mod sched;

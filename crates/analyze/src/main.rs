@@ -1,0 +1,127 @@
+//! CLI for the workspace lint engine and the interleaving checker.
+//!
+//! ```text
+//! treenum-analyze --workspace            # run the lint rules, exit 1 on violations
+//! treenum-analyze --sched                # exhaustively check the left-right protocol
+//! treenum-analyze --workspace --sched    # both
+//!     --root <dir>                       # workspace root (default: auto-detect)
+//!     --report <file>                    # also write the report to a file
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use treenum_analyze::rules::Workspace;
+use treenum_analyze::sched::{check_all_interleavings, SchedConfig};
+
+fn detect_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(r) = explicit {
+        return r;
+    }
+    // Prefer the invocation directory when it looks like the workspace root
+    // (the common `cargo run -p treenum-analyze` case); fall back to the
+    // compile-time location of this crate, two levels below the root.
+    if let Ok(cwd) = std::env::current_dir() {
+        if cwd.join("crates").is_dir() {
+            return cwd;
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut run_workspace = false;
+    let mut run_sched = false;
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => run_workspace = true,
+            "--sched" => run_sched = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--report" => report_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: treenum-analyze [--workspace] [--sched] [--root <dir>] \
+                     [--report <file>]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("treenum-analyze: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !run_workspace && !run_sched {
+        eprintln!("treenum-analyze: nothing to do; pass --workspace and/or --sched (see --help)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut report = String::new();
+    let mut failed = false;
+
+    if run_workspace {
+        let root = detect_root(root.clone());
+        let ws = match Workspace::scan(&root) {
+            Ok(ws) => ws,
+            Err(e) => {
+                eprintln!("treenum-analyze: failed to scan {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let diags = ws.check_all();
+        report.push_str(&format!(
+            "lint: scanned {} files under {}\n",
+            ws.files.len(),
+            root.display()
+        ));
+        if diags.is_empty() {
+            report.push_str("lint: no violations\n");
+        } else {
+            failed = true;
+            for d in &diags {
+                report.push_str(&format!("{d}\n"));
+            }
+            report.push_str(&format!("lint: {} violation(s)\n", diags.len()));
+        }
+    }
+
+    if run_sched {
+        let cfg = SchedConfig::default();
+        report.push_str(&format!(
+            "sched: exploring all interleavings of {} readers x {} cycles vs {} flushes x {} ops\n",
+            cfg.readers, cfg.reader_cycles, cfg.flushes, cfg.ops_per_flush
+        ));
+        match check_all_interleavings(&cfg) {
+            Ok(rep) => {
+                report.push_str(&format!(
+                    "sched: ok — {} schedules over {} distinct states, {} flushes logged, \
+                     all invariants hold\n",
+                    rep.schedules, rep.states, rep.flushes_logged
+                ));
+            }
+            Err(v) => {
+                failed = true;
+                report.push_str(&format!("sched: FAILED\n{v}"));
+            }
+        }
+    }
+
+    print!("{report}");
+    if let Some(p) = report_path {
+        if let Err(e) = std::fs::write(&p, &report) {
+            eprintln!("treenum-analyze: failed to write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,593 @@
+//! An exhaustive bounded interleaving checker for the left-right publication
+//! protocol of `treenum-serve` (`crates/serve/src/shard.rs`).
+//!
+//! The serving layer's correctness argument is a protocol: a shard owns two
+//! structurally independent engine copies; a flush applies a batch to the
+//! *writable* copy, publishes it, retires the previously published copy, and
+//! only writes into a retired copy again once no reader holds it (or abandons
+//! it to its holders after bounded patience and rebuilds from the published
+//! state).  `tests/serve_invariants.rs` exercises that protocol under real
+//! schedulers — which probes a vanishing fraction of interleavings.  This
+//! module instead drives a **small-model instrumented replica** of the
+//! protocol through *every* interleaving up to a configured bound, the way
+//! `loom` would if crates.io were reachable.
+//!
+//! # The model
+//!
+//! Engine copies are modeled as `(value, refcount)` pairs where the value is
+//! the list of op ids applied to the copy — structural equality of two copies
+//! at the same generation is then list equality, and "applying a batch" is
+//! appending its ops one *separately scheduled* step at a time (so a protocol
+//! that leaked a half-applied batch to a reader would be caught).  Arc
+//! reference counting is replicated by hand: the published slot, the writer's
+//! retired handle and every reader hold one countable reference each.
+//!
+//! Writer steps per flush: `take` (reuse the held writable copy, reclaim the
+//! retired copy and replay its lag, or — when readers still hold it — abandon
+//! it and rebuild from the published value), `apply` (one op per step), and
+//! `publish` (swap the front slot, bump the generation, append to the flush
+//! log, retire the old front).  Reader steps per cycle: `acquire` (ref the
+//! front copy and record its value), `enumerate` (re-read the held copy and
+//! compare against the recorded value), `release`.
+//!
+//! # Checked invariants
+//!
+//! 1. **Snapshot immutability** — a held snapshot's value never changes
+//!    between `acquire` and `enumerate`, and more fundamentally the writer
+//!    never applies an op to a copy whose refcount is nonzero (nobody can
+//!    *observe* the writable copy).
+//! 2. **Gapless flush log** — the published generations form the exact
+//!    sequence `1, 2, …, flushes`: no generation is ever skipped or
+//!    duplicated in the flush log.
+//! 3. **Refcount-correct reclamation** — reclaiming a retired copy requires
+//!    its refcount to drop to the writer's own handle first; at termination
+//!    exactly one reference remains (the published slot) and every abandoned
+//!    copy has been fully released.
+//! 4. **Reader-visible generation monotonicity** — consecutive snapshots
+//!    acquired by one reader never go backwards in generation.
+//!
+//! # Exhaustiveness and the schedule count
+//!
+//! The explorer is a depth-first search over scheduler choices with
+//! memoization on the full model state: every distinct reachable state is
+//! visited (and checked) exactly once, and the number of *complete schedules*
+//! is counted exactly by summing over choices — the count the CLI prints is
+//! the number of distinct interleavings the bound admits, even when it is far
+//! too large to replay one by one.  Violations carry the exact schedule
+//! prefix that produced them.
+//!
+//! The checker checks the *protocol as modeled*, not the shard code itself —
+//! the model must be kept in sync with `shard.rs` by review (the module docs
+//! there point back here).  Self-tests keep the checker honest in the other
+//! direction: seeded protocol mutations (publish mid-batch, reclaim while
+//! held, generation skip) must each be caught.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Bounds of the exploration and the optional seeded protocol bug.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedConfig {
+    /// Number of concurrent reader threads.
+    pub readers: usize,
+    /// Acquire/enumerate/release cycles each reader performs.
+    pub reader_cycles: usize,
+    /// Number of writer flush cycles.
+    pub flushes: usize,
+    /// Ops coalesced into each flush (each op is its own scheduled step).
+    pub ops_per_flush: usize,
+    /// A deliberate protocol bug for checker self-tests.
+    pub mutation: Option<Mutation>,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            readers: 2,
+            reader_cycles: 2,
+            flushes: 3,
+            ops_per_flush: 2,
+            mutation: None,
+        }
+    }
+}
+
+/// Seeded protocol bugs the checker must catch (self-test support).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Publish the writable copy after the first op of a batch, then keep
+    /// applying the rest to the now-visible copy.
+    PublishMidBatch,
+    /// Reclaim the retired copy even while readers still hold references.
+    ReclaimWhileHeld,
+    /// Skip a generation number on the first publish.
+    SkipGeneration,
+}
+
+/// Result of a clean exhaustive run.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedReport {
+    /// Distinct reachable model states visited (each checked once).
+    pub states: u64,
+    /// Exact number of complete schedules within the bound.
+    pub schedules: u128,
+    /// Flush-log length at termination (= configured flushes).
+    pub flushes_logged: usize,
+}
+
+/// A violation with the schedule prefix that reached it.
+#[derive(Clone, Debug)]
+pub struct SchedViolation {
+    pub msg: String,
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for SchedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "protocol violation: {}", self.msg)?;
+        writeln!(f, "schedule prefix ({} steps):", self.trace.len())?;
+        for (i, s) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:3}. {s}")?;
+        }
+        Ok(())
+    }
+}
+
+type CopyId = u8;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CopySt {
+    /// Op ids applied to this copy, in order (the model's "tree state").
+    val: Vec<u16>,
+    /// Countable references: published slot + writer's retired handle +
+    /// readers.  The writer's *writable* handle is deliberately not counted —
+    /// "refs == 0" is exactly "no one but the writer can observe this copy".
+    refs: u8,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum RPhase {
+    Idle,
+    /// Holding a snapshot whose value at acquire time was `seen`.
+    Holding {
+        copy: CopyId,
+        seen: Vec<u16>,
+    },
+    /// Enumerated (immutability already checked); still holding `copy`.
+    Enumerated {
+        copy: CopyId,
+    },
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ReaderSt {
+    cycles_left: u8,
+    last_gen: u8,
+    phase: RPhase,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum WPhase {
+    /// Acquire a writable copy (reuse / reclaim+catch-up / rebuild fallback).
+    Take,
+    /// Apply the remaining ops of the current batch, one per step.
+    Apply {
+        left: u8,
+    },
+    /// Publish the writable copy as the next generation.
+    Publish,
+    Done,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct WriterSt {
+    phase: WPhase,
+    writable: Option<CopyId>,
+    retired: Option<CopyId>,
+    /// Ops applied to the published lineage that the retired copy missed.
+    lag: Vec<u16>,
+    flushes_left: u8,
+    next_op: u16,
+    /// Ops the `PublishMidBatch` mutation still owes after its early publish.
+    mid_pending: u8,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    copies: Vec<CopySt>,
+    front: CopyId,
+    gen: u8,
+    log: Vec<u8>,
+    writer: WriterSt,
+    readers: Vec<ReaderSt>,
+}
+
+impl State {
+    fn initial(cfg: &SchedConfig) -> State {
+        State {
+            // Copy 0 is published (one ref: the front slot); copy 1 is the
+            // writer's initial writable copy over the same (empty) value.
+            copies: vec![
+                CopySt {
+                    val: Vec::new(),
+                    refs: 1,
+                },
+                CopySt {
+                    val: Vec::new(),
+                    refs: 0,
+                },
+            ],
+            front: 0,
+            gen: 0,
+            log: Vec::new(),
+            writer: WriterSt {
+                phase: if cfg.flushes > 0 {
+                    WPhase::Take
+                } else {
+                    WPhase::Done
+                },
+                writable: Some(1),
+                retired: None,
+                lag: Vec::new(),
+                flushes_left: cfg.flushes as u8,
+                next_op: 0,
+                mid_pending: 0,
+            },
+            readers: vec![
+                ReaderSt {
+                    cycles_left: cfg.reader_cycles as u8,
+                    last_gen: 0,
+                    phase: RPhase::Idle,
+                };
+                cfg.readers
+            ],
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.writer.phase == WPhase::Done
+            && self
+                .readers
+                .iter()
+                .all(|r| r.cycles_left == 0 && r.phase == RPhase::Idle)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Action {
+    Writer,
+    Reader(usize),
+}
+
+/// Applies `action` to a copy of `state`, checking every invariant the step
+/// can affect.  Returns the successor state and a human-readable step label.
+fn step(cfg: &SchedConfig, state: &State, action: Action) -> Result<(State, String), String> {
+    let mut s = state.clone();
+    let label;
+    match action {
+        Action::Writer => match s.writer.phase.clone() {
+            WPhase::Done => unreachable!("writer scheduled after Done"),
+            WPhase::Take => {
+                if let Some(w) = s.writer.writable {
+                    label = format!("writer: take (writable copy {w} already held)");
+                } else {
+                    let r = s.writer.retired.expect(
+                        "protocol invariant: the writer always holds the writable or the retired copy",
+                    ) as usize;
+                    let reclaim_ok = s.copies[r].refs == 1;
+                    if reclaim_ok || cfg.mutation == Some(Mutation::ReclaimWhileHeld) {
+                        // Reclaim: drop the retired handle, replay the lag.
+                        s.copies[r].refs -= 1;
+                        let lag = std::mem::take(&mut s.writer.lag);
+                        if !lag.is_empty() && s.copies[r].refs > 0 {
+                            return Err(format!(
+                                "writer replays catch-up lag into copy {r} while {} reference(s) \
+                                 still observe it",
+                                s.copies[r].refs
+                            ));
+                        }
+                        s.copies[r].val.extend(lag);
+                        s.writer.writable = Some(r as CopyId);
+                        s.writer.retired = None;
+                        label = format!("writer: take (reclaim retired copy {r} + catch-up)");
+                    } else {
+                        // Bounded patience expired: abandon the retired copy
+                        // to its holders, rebuild from the published value.
+                        s.copies[r].refs -= 1;
+                        let fresh = CopySt {
+                            val: s.copies[s.front as usize].val.clone(),
+                            refs: 0,
+                        };
+                        s.copies.push(fresh);
+                        s.writer.writable = Some((s.copies.len() - 1) as CopyId);
+                        s.writer.retired = None;
+                        s.writer.lag.clear();
+                        label = format!(
+                            "writer: take (abandon held copy {r}, rebuild fallback -> copy {})",
+                            s.copies.len() - 1
+                        );
+                    }
+                }
+                s.writer.phase = WPhase::Apply {
+                    left: cfg.ops_per_flush as u8,
+                };
+            }
+            WPhase::Apply { left } => {
+                let w = s.writer.writable.expect("apply without a writable copy") as usize;
+                if s.copies[w].refs > 0 {
+                    return Err(format!(
+                        "writer applies op {} to copy {w} while {} reference(s) observe it \
+                         (snapshot immutability broken)",
+                        s.writer.next_op, s.copies[w].refs
+                    ));
+                }
+                let op = s.writer.next_op;
+                s.copies[w].val.push(op);
+                s.writer.next_op += 1;
+                label = format!("writer: apply op {op} to copy {w}");
+                let left = left - 1;
+                if left == 0 {
+                    s.writer.phase = WPhase::Publish;
+                } else if cfg.mutation == Some(Mutation::PublishMidBatch)
+                    && left == cfg.ops_per_flush as u8 - 1
+                {
+                    // Bug: publish after the first op, finish the batch later.
+                    s.writer.mid_pending = left;
+                    s.writer.phase = WPhase::Publish;
+                } else {
+                    s.writer.phase = WPhase::Apply { left };
+                }
+            }
+            WPhase::Publish => {
+                let w = s.writer.writable.take().expect("publish without writable") as usize;
+                let old = s.front as usize;
+                s.copies[w].refs += 1; // the front slot's reference
+                s.front = w as CopyId;
+                // The old front's slot reference transfers to the writer's
+                // retired handle (net zero, mirroring `self.retired = Some(old)`).
+                s.writer.retired = Some(old as CopyId);
+                let bump = if cfg.mutation == Some(Mutation::SkipGeneration) && s.log.is_empty() {
+                    2
+                } else {
+                    1
+                };
+                s.gen += bump;
+                s.log.push(s.gen);
+                for (i, &g) in s.log.iter().enumerate() {
+                    if g as usize != i + 1 {
+                        return Err(format!(
+                            "flush log is not gapless: entry {i} records generation {g} \
+                             (expected {})",
+                            i + 1
+                        ));
+                    }
+                }
+                // The batch just published becomes catch-up lag for the
+                // retired copy.
+                let batch_len = cfg.ops_per_flush - s.writer.mid_pending as usize;
+                let first = s.writer.next_op - batch_len as u16;
+                s.writer.lag.extend(first..s.writer.next_op);
+                label = format!("writer: publish copy {w} as generation {}", s.gen);
+                if s.writer.mid_pending > 0 {
+                    // (Mutation path) keep mutating the now-published copy.
+                    s.writer.writable = Some(w as CopyId);
+                    s.writer.phase = WPhase::Apply {
+                        left: std::mem::take(&mut s.writer.mid_pending),
+                    };
+                } else {
+                    s.writer.flushes_left -= 1;
+                    s.writer.phase = if s.writer.flushes_left > 0 {
+                        WPhase::Take
+                    } else {
+                        WPhase::Done
+                    };
+                }
+            }
+        },
+        Action::Reader(i) => {
+            let r = &mut s.readers[i];
+            match r.phase.clone() {
+                RPhase::Idle => {
+                    let c = s.front as usize;
+                    s.copies[c].refs += 1;
+                    if s.gen < r.last_gen {
+                        return Err(format!(
+                            "reader {i} acquired generation {} after having seen {} \
+                             (snapshot generations went backwards)",
+                            s.gen, r.last_gen
+                        ));
+                    }
+                    r.last_gen = s.gen;
+                    r.phase = RPhase::Holding {
+                        copy: c as CopyId,
+                        seen: s.copies[c].val.clone(),
+                    };
+                    label = format!("reader {i}: acquire copy {c} (generation {})", s.gen);
+                }
+                RPhase::Holding { copy, seen } => {
+                    let c = copy as usize;
+                    if s.copies[c].val != seen {
+                        return Err(format!(
+                            "reader {i} observed its held snapshot (copy {c}) change from \
+                             {seen:?} to {:?} (snapshot immutability broken)",
+                            s.copies[c].val
+                        ));
+                    }
+                    r.phase = RPhase::Enumerated { copy };
+                    label = format!("reader {i}: enumerate copy {c}");
+                }
+                RPhase::Enumerated { copy } => {
+                    let c = copy as usize;
+                    s.copies[c].refs -= 1;
+                    r.cycles_left -= 1;
+                    r.phase = RPhase::Idle;
+                    label = format!("reader {i}: release copy {c}");
+                }
+            }
+        }
+    }
+    Ok((s, label))
+}
+
+fn enabled_actions(state: &State) -> Vec<Action> {
+    let mut out = Vec::new();
+    if state.writer.phase != WPhase::Done {
+        out.push(Action::Writer);
+    }
+    for (i, r) in state.readers.iter().enumerate() {
+        if !(r.phase == RPhase::Idle && r.cycles_left == 0) {
+            out.push(Action::Reader(i));
+        }
+    }
+    out
+}
+
+fn check_terminal(cfg: &SchedConfig, state: &State) -> Result<(), String> {
+    if state.log.len() != cfg.flushes {
+        return Err(format!(
+            "terminated with {} flush-log entries (expected {})",
+            state.log.len(),
+            cfg.flushes
+        ));
+    }
+    let total_refs: u32 = state.copies.iter().map(|c| c.refs as u32).sum();
+    let front_refs = state.copies[state.front as usize].refs;
+    // The published slot and (between flushes) the writer's retired handle
+    // are the only references that may remain.
+    let expected = 1 + state.writer.retired.is_some() as u32;
+    if total_refs != expected || front_refs < 1 {
+        return Err(format!(
+            "terminated with {total_refs} outstanding reference(s) (expected {expected}); \
+             abandoned copies were not fully released"
+        ));
+    }
+    Ok(())
+}
+
+struct Explorer<'a> {
+    cfg: &'a SchedConfig,
+    memo: HashMap<State, u128>,
+    trace: Vec<String>,
+}
+
+impl Explorer<'_> {
+    /// Returns the number of complete schedules reachable from `state`, or a
+    /// violation carrying the current schedule prefix.
+    fn explore(&mut self, state: &State) -> Result<u128, SchedViolation> {
+        if let Some(&n) = self.memo.get(state) {
+            return Ok(n);
+        }
+        if state.done() {
+            check_terminal(self.cfg, state).map_err(|msg| SchedViolation {
+                msg,
+                trace: self.trace.clone(),
+            })?;
+            self.memo.insert(state.clone(), 1);
+            return Ok(1);
+        }
+        let actions = enabled_actions(state);
+        if actions.is_empty() {
+            return Err(SchedViolation {
+                msg: "deadlock: no thread can make progress".into(),
+                trace: self.trace.clone(),
+            });
+        }
+        let mut total: u128 = 0;
+        for a in actions {
+            let (next, label) = step(self.cfg, state, a).map_err(|msg| SchedViolation {
+                msg,
+                trace: self.trace.clone(),
+            })?;
+            self.trace.push(label);
+            let n = self.explore(&next)?;
+            self.trace.pop();
+            total += n;
+        }
+        self.memo.insert(state.clone(), total);
+        Ok(total)
+    }
+}
+
+/// Exhaustively explores every interleaving within `cfg`'s bound.
+pub fn check_all_interleavings(cfg: &SchedConfig) -> Result<SchedReport, Box<SchedViolation>> {
+    let mut ex = Explorer {
+        cfg,
+        memo: HashMap::new(),
+        trace: Vec::new(),
+    };
+    let initial = State::initial(cfg);
+    let schedules = ex.explore(&initial).map_err(Box::new)?;
+    Ok(SchedReport {
+        states: ex.memo.len() as u64,
+        schedules,
+        flushes_logged: cfg.flushes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bound_has_the_hand_countable_schedule_count() {
+        // 1 writer (take, apply, publish) and 1 reader (acquire, enumerate,
+        // release): all six steps are always enabled, so the schedules are
+        // exactly the interleavings of two length-3 sequences: C(6,3) = 20.
+        let cfg = SchedConfig {
+            readers: 1,
+            reader_cycles: 1,
+            flushes: 1,
+            ops_per_flush: 1,
+            mutation: None,
+        };
+        let rep = check_all_interleavings(&cfg).expect("protocol must pass");
+        assert_eq!(rep.schedules, 20);
+        assert_eq!(rep.flushes_logged, 1);
+    }
+
+    #[test]
+    fn default_bound_passes_and_is_nontrivial() {
+        let rep = check_all_interleavings(&SchedConfig::default()).expect("protocol must pass");
+        assert!(rep.schedules > 1_000_000, "bound too small to mean much");
+        assert!(rep.states > 1_000);
+    }
+
+    #[test]
+    fn publish_mid_batch_is_caught() {
+        let cfg = SchedConfig {
+            mutation: Some(Mutation::PublishMidBatch),
+            ..SchedConfig::default()
+        };
+        let v = check_all_interleavings(&cfg).expect_err("mutation must be caught");
+        assert!(
+            v.msg.contains("immutability") || v.msg.contains("observe"),
+            "unexpected violation: {}",
+            v.msg
+        );
+        assert!(!v.trace.is_empty());
+    }
+
+    #[test]
+    fn reclaim_while_held_is_caught() {
+        let cfg = SchedConfig {
+            mutation: Some(Mutation::ReclaimWhileHeld),
+            ..SchedConfig::default()
+        };
+        let v = check_all_interleavings(&cfg).expect_err("mutation must be caught");
+        assert!(
+            v.msg.contains("observe") || v.msg.contains("immutability"),
+            "unexpected violation: {}",
+            v.msg
+        );
+    }
+
+    #[test]
+    fn generation_skip_is_caught() {
+        let cfg = SchedConfig {
+            mutation: Some(Mutation::SkipGeneration),
+            ..SchedConfig::default()
+        };
+        let v = check_all_interleavings(&cfg).expect_err("mutation must be caught");
+        assert!(v.msg.contains("gapless"), "unexpected violation: {}", v.msg);
+    }
+}

@@ -12,6 +12,9 @@
 //! edit makes them weight-unbalanced.
 
 use crate::term::{Term, TermNodeId, TermNodeKind, TermOp};
+// The preprocessing-time φ map (tree node → term node) is built once per
+// tree, never touched on the enumeration or update path.
+// analyze: allow(map): preprocessing only, not per-answer or per-edit
 use std::collections::HashMap;
 use treenum_trees::unranked::{NodeId, UnrankedTree};
 

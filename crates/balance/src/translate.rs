@@ -17,6 +17,9 @@
 //! construction of Lemma 3.7 requires and what keeps the practical width small.
 
 use crate::term::{TermAlphabet, TermOp};
+// The quartic query translation runs once per query (cached process-wide);
+// no per-answer or per-edit work goes through it.
+// analyze: allow(map): once-per-query translation, cached process-wide
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};

@@ -15,6 +15,9 @@
 
 use crate::build::{build_context_subterm, build_forest_subterm};
 use crate::term::{Sort, Term, TermNodeId, TermNodeKind, TermOp};
+// φ-map bookkeeping for splice/rebalance, keyed by arena ids that churn
+// under slot reuse; not on the per-answer path.
+// analyze: allow(map): edit-spine bookkeeping, not on the per-answer path
 use std::collections::{HashMap, HashSet};
 use treenum_trees::edit::EditOp;
 use treenum_trees::unranked::{NodeId, UnrankedTree};

@@ -439,6 +439,8 @@ impl TreeEnumerator {
     /// * an index entry is rebuilt only if the box itself changed or a
     ///   descendant's index entry was rebuilt — unchanged boxes above a
     ///   fixpointed spine keep their entries too.
+    // hot-path: the per-edit update; the O(polylog) amortized bound assumes
+    // no allocation beyond the epoch-marked scratch it already owns.
     pub fn apply(&mut self, op: &EditOp) -> Option<NodeId> {
         let report = apply_edit(&mut self.tree, &mut self.term, &mut self.phi, op);
         // Free the boxes of removed term nodes first (their arena slots may be reused
@@ -509,13 +511,17 @@ impl TreeEnumerator {
     /// `O(|union of spines|)`, not `O(k · log n)`;
     /// [`IndexStats::spine_nodes_deduped`] counts the sharing and
     /// [`IndexStats::batch_rebuilds`] the passes.
+    // hot-path: the k-edit update; per-edit work must stay proportional to
+    // the deduplicated spine union, with only per-batch O(k) buffers below.
     pub fn apply_batch(&mut self, ops: &[EditOp]) -> Vec<NodeId> {
         if ops.is_empty() {
+            // analyze: allow(alloc): `Vec::new` of the empty result never allocates
             return Vec::new();
         }
         let batch = apply_edits(&mut self.tree, &mut self.term, &mut self.phi, ops);
         self.scratch_epoch += 1;
         let epoch = self.scratch_epoch;
+        // analyze: allow(alloc): one per-batch buffer, amortized over k edits
         let mut dirty: Vec<TermNodeId> = Vec::new();
         let mut deduped = 0u64;
         for report in &batch.reports {
@@ -553,6 +559,7 @@ impl TreeEnumerator {
         // `cached_depth`) — a fresh parent walk per node would degrade to
         // O(|union| · height) when a rebalance puts whole subtrees in the
         // union.
+        // analyze: allow(alloc): per-batch depth-walk scratch, same story
         let mut path: Vec<TermNodeId> = Vec::new();
         let mut by_depth: Vec<(u32, TermNodeId)> = dirty
             .iter()
@@ -570,6 +577,7 @@ impl TreeEnumerator {
                     d,
                 )
             })
+            // analyze: allow(alloc): the per-batch spine-union buffer.
             .collect();
         by_depth.sort_unstable_by_key(|&(depth, d)| (std::cmp::Reverse(depth), d.0));
         by_depth.dedup();
@@ -596,6 +604,7 @@ impl TreeEnumerator {
             }
         }
         self.index.record_batch(deduped, by_depth.len() as u64);
+        // analyze: allow(alloc): the caller-facing O(k) result vector.
         batch.inserted().collect()
     }
 

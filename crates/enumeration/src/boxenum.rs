@@ -197,6 +197,8 @@ pub fn box_enum_indexed(
     flow
 }
 
+// hot-path: the per-answer B-ENUM recursion; every relation it touches must
+// come from (and return to) the `EnumScratch` pools, never the allocator.
 fn b_enum(
     circuit: &Circuit,
     index: &EnumIndex,

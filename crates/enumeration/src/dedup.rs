@@ -188,6 +188,8 @@ pub fn collect_all(
     out
 }
 
+// hot-path: the per-answer ENUM-S loop; the delay bound assumes zero
+// allocation per emitted assignment (pools come from `EnumScratch`).
 fn enum_s(
     ctx: &Ctx<'_>,
     scratch: &mut EnumScratch,

@@ -230,6 +230,8 @@ impl EnumIndex {
     ///
     /// The child entries are read in place through shared borrows of the slab —
     /// no `BoxIndex` is cloned (see [`IndexStats::child_index_clones`]).
+    // hot-path: the per-edit spine-repair step; the O(polylog) update bound
+    // assumes it stays free of per-call allocation.
     pub fn rebuild_box(&mut self, circuit: &Circuit, b: BoxId) -> usize {
         let (entry, walk_fallbacks) = self.compute_entry(circuit, b);
         let stored = entry.rel.len();
@@ -243,6 +245,7 @@ impl EnumIndex {
     /// cannot invalidate its parent's entry (the entry is a function of the
     /// box's own wires, the children's entries, and lca/preorder relationships
     /// between closure boxes, which edge splices below do not alter).
+    // hot-path: the fixpoint variant of `rebuild_box`, same discipline.
     pub fn rebuild_box_changed(&mut self, circuit: &Circuit, b: BoxId) -> bool {
         let (entry, walk_fallbacks) = self.compute_entry(circuit, b);
         if self.get(b) == Some(&entry) {

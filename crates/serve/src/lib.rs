@@ -31,6 +31,40 @@
 //! copy), so the quartic query translation is paid once per query, not per
 //! shard.
 //!
+//! ## Left-right protocol invariants
+//!
+//! The read/write protocol (two engine copies per shard; see the `shard`
+//! module docs for the mechanics) is correct exactly when the following hold
+//! in **every** interleaving of the writer thread with any number of reader
+//! threads:
+//!
+//! 1. **Snapshot immutability** — the writer never applies an op to a copy
+//!    any reader can observe: the writable copy has no outstanding snapshot
+//!    handles, so an acquired [`Snapshot`] enumerates the same state for as
+//!    long as it is held, and a half-applied batch is never visible.
+//! 2. **Gapless generations** — published generations are consecutive: the
+//!    flush log records exactly `1, 2, …, g`, so generation `g` corresponds
+//!    to precisely the first `g` log entries (the audit-trail property the
+//!    oracle tests replay against).
+//! 3. **Refcount-correct reclamation** — a retired copy is written into again
+//!    only after every reader handle to it is dropped
+//!    (`Arc::try_unwrap` succeeds); if patience expires first, the copy is
+//!    abandoned to its holders — never mutated — and the writer rebuilds
+//!    from the published state.
+//! 4. **Reader generation monotonicity** — snapshots acquired by one thread
+//!    never go backwards in generation (publication is a single pointer swap
+//!    behind the front lock).
+//!
+//! Concurrency tests (`tests/serve_invariants.rs`) probe these under real
+//! schedulers; the `treenum-analyze` interleaving checker
+//! (`cargo run --release -p treenum-analyze -- --sched`) drives a small-model
+//! replica of this protocol through **every** schedule at a bounded depth and
+//! must be kept in sync with `shard.rs` when the protocol changes.
+//!
+//! Lock discipline: a panicking reader sink must not wedge the shard, so all
+//! lock acquisitions in this crate go through the poison-tolerant helpers in
+//! `lock.rs` (enforced by `treenum-analyze`'s `lock-unwrap` rule).
+//!
 //! ```
 //! use treenum_serve::{ServeConfig, TreeServer};
 //! use treenum_trees::generate::{random_tree, EditStream, TreeShape};
@@ -56,6 +90,7 @@
 //! # let _ = answers;
 //! ```
 
+mod lock;
 mod shard;
 mod stats;
 
@@ -63,6 +98,7 @@ pub use shard::Snapshot;
 pub use stats::{FlushRecord, ServeStats, ShardStats};
 
 use crossbeam::channel::{bounded, Sender};
+use lock::{lock_unpoisoned, read_unpoisoned};
 use shard::{Ingest, ShardWriter, SnapInner};
 use stats::ShardMetrics;
 use std::sync::atomic::Ordering;
@@ -299,7 +335,7 @@ impl TreeServer {
     pub fn snapshot(&self, shard: usize) -> Snapshot {
         let h = &self.shards[shard];
         h.metrics.reads.fetch_add(1, Ordering::Relaxed);
-        let inner = Arc::clone(&h.front.read().unwrap());
+        let inner = Arc::clone(&read_unpoisoned(&h.front));
         Snapshot::from_inner(inner)
     }
 
@@ -343,19 +379,19 @@ impl TreeServer {
     /// [`TreeServer::flush_log_since`] instead of repeatedly cloning the
     /// whole history.
     pub fn flush_log(&self, shard: usize) -> Vec<FlushRecord> {
-        self.shards[shard].metrics.flush_log.lock().unwrap().clone()
+        lock_unpoisoned(&self.shards[shard].metrics.flush_log).clone()
     }
 
     /// Number of flush-log entries of `shard` (= its published generation
     /// once quiescent) without cloning the log.
     pub fn flush_log_len(&self, shard: usize) -> usize {
-        self.shards[shard].metrics.flush_log.lock().unwrap().len()
+        lock_unpoisoned(&self.shards[shard].metrics.flush_log).len()
     }
 
     /// The flush-log entries of `shard` from index `start` on — the
     /// incremental-polling companion to [`TreeServer::flush_log`].
     pub fn flush_log_since(&self, shard: usize, start: usize) -> Vec<FlushRecord> {
-        let log = self.shards[shard].metrics.flush_log.lock().unwrap();
+        let log = lock_unpoisoned(&self.shards[shard].metrics.flush_log);
         log.get(start..).unwrap_or(&[]).to_vec()
     }
 }

@@ -23,6 +23,7 @@
 //! [`crate::ShardStats::rebuild_fallbacks`]), so ingest always makes
 //! progress.
 
+use crate::lock::{read_unpoisoned, write_unpoisoned};
 use crate::stats::{FlushRecord, ShardMetrics};
 use crate::ServeConfig;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
@@ -294,7 +295,7 @@ impl ShardWriter {
             engine,
             generation: self.generation,
         });
-        let old = std::mem::replace(&mut *self.front.write().unwrap(), snap);
+        let old = std::mem::replace(&mut *write_unpoisoned(&self.front), snap);
         self.retired = Some(old);
         let nanos = start.elapsed().as_nanos() as u64;
         self.lag.extend_from_slice(&self.buf);
@@ -353,7 +354,7 @@ impl ShardWriter {
                             .rebuild_fallbacks
                             .fetch_add(1, Ordering::Relaxed);
                         drop(arc);
-                        let tree = self.front.read().unwrap().engine.tree().clone();
+                        let tree = read_unpoisoned(&self.front).engine.tree().clone();
                         self.lag.clear();
                         return TreeEnumerator::with_plan(tree, Arc::clone(&self.plan));
                     }

@@ -1,6 +1,7 @@
 //! Observability for the serving layer: per-shard atomic counters, the
 //! per-flush log, and the [`ServeStats`] snapshot surface.
 
+use crate::lock::lock_unpoisoned;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -71,13 +72,13 @@ impl ShardMetrics {
         self.spine_dirty
             .fetch_add(rec.spine_dirty, Ordering::Relaxed);
         self.max_flush.fetch_max(rec.size as u64, Ordering::Relaxed);
-        self.flush_log.lock().unwrap().push(rec);
+        lock_unpoisoned(&self.flush_log).push(rec);
     }
 
     pub(crate) fn stats(&self) -> ShardStats {
         ShardStats {
             generation: self.generation.load(Ordering::Acquire),
-            flushes: self.flush_log.lock().unwrap().len() as u64,
+            flushes: lock_unpoisoned(&self.flush_log).len() as u64,
             edits_ingested: self.ingested.load(Ordering::Relaxed),
             edits_applied: self.applied.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),

@@ -1,0 +1,113 @@
+//! Poison recovery: a sink that panics mid-enumeration must not wedge
+//! anything that outlives it.
+//!
+//! Two layers can see such a panic:
+//!
+//! * [`TreeEnumerator`] lends its pooled `EnumScratch` (behind a `Mutex`) to
+//!   the running enumeration; a sink panic unwinds through `for_each` and
+//!   poisons that mutex.  The engine's poison recovery
+//!   (`TryLockError::Poisoned → into_inner`) must hand the pools to the next
+//!   caller — same answers, live counters, no panic.
+//! * The serving layer's snapshots share the published engine's scratch, and
+//!   the shard's `front`/`flush_log` locks are acquired by reader threads;
+//!   the poison-tolerant helpers in `crates/serve/src/lock.rs` (enforced by
+//!   the `treenum-analyze` `lock-unwrap` rule) keep a crashed reader thread
+//!   from wedging snapshots, flushes, or stats for everyone else.
+
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use treenum::automata::queries;
+use treenum::core::TreeEnumerator;
+use treenum::serve::{ServeConfig, TreeServer};
+use treenum::trees::generate::{random_tree, EditStream, TreeShape};
+use treenum::trees::valuation::Assignment;
+use treenum::trees::{Alphabet, EditFeed, Var};
+
+fn sorted(mut v: Vec<Assignment>) -> Vec<Assignment> {
+    v.sort();
+    v
+}
+
+fn select_b(sigma: &Alphabet) -> treenum::automata::StepwiseTva {
+    queries::select_label(sigma.len(), sigma.get("b").unwrap(), Var(0))
+}
+
+#[test]
+fn enumerator_survives_a_sink_panic_mid_enumeration() {
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let query = select_b(&sigma);
+    let tree = random_tree(&mut sigma, 50, TreeShape::Random, 3);
+    let engine = TreeEnumerator::new(tree, &query, sigma.len());
+    let expected = sorted(engine.assignments());
+    assert!(
+        expected.len() >= 2,
+        "need at least two answers to panic mid-stream"
+    );
+
+    // Panic out of the second answer, leaving the scratch mutex poisoned.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut seen = 0usize;
+        engine.for_each(&mut |_| {
+            seen += 1;
+            if seen == 2 {
+                panic!("sink crashed mid-enumeration");
+            }
+            ControlFlow::Continue(())
+        });
+    }));
+    assert!(
+        result.is_err(),
+        "the sink panic must propagate to the caller"
+    );
+
+    // The enumerator stays fully usable: same answers, and the stats surface
+    // (which also goes through the scratch mutex) keeps reporting.
+    let before = engine.enum_stats().answers;
+    assert_eq!(sorted(engine.assignments()), expected);
+    let after = engine.enum_stats();
+    assert_eq!(
+        after.answers,
+        before + expected.len() as u64,
+        "the recovered scratch must keep counting"
+    );
+    assert_eq!(sorted(engine.assignments()), expected, "and stay stable");
+}
+
+#[test]
+fn serving_layer_survives_a_reader_panic() {
+    let mut sigma = Alphabet::from_names(["a", "b", "c"]);
+    let labels: Vec<_> = sigma.labels().collect();
+    let query = select_b(&sigma);
+    let tree = random_tree(&mut sigma, 40, TreeShape::Random, 7);
+    let server = TreeServer::new(
+        vec![tree.clone()],
+        &query,
+        sigma.len(),
+        ServeConfig::default(),
+    );
+    let mut feed = EditFeed::new(&tree, EditStream::skewed(labels, 11));
+
+    // A reader thread panics mid-enumeration over the published snapshot.
+    let snap = server.snapshot(0);
+    let crashed = std::thread::spawn(move || {
+        snap.for_each(&mut |_| panic!("reader crashed mid-enumeration"));
+    })
+    .join();
+    assert!(crashed.is_err());
+
+    // Ingest, flush, read, and poll stats after the crash: every lock the
+    // reader could have poisoned must recover.
+    for op in feed.next_batch(16) {
+        server.ingest(0, op).unwrap();
+    }
+    let generation = server.flush(0).unwrap();
+    assert!(generation >= 1);
+    let snap = server.snapshot(0);
+    assert_eq!(snap.generation(), generation);
+    let fresh =
+        TreeEnumerator::with_plan(feed.tree().clone(), std::sync::Arc::clone(server.plan()));
+    assert_eq!(sorted(snap.assignments()), sorted(fresh.assignments()));
+    let stats = server.shard_stats(0);
+    assert_eq!(stats.edits_applied, 16);
+    assert_eq!(stats.flushes, server.flush_log_len(0) as u64);
+}
