@@ -1,0 +1,16 @@
+// Fixture: trips `wal-io-unwrap` (and nothing else) when checked as
+// durability-path code.  Not compiled; parsed by the analyzer's self-tests.
+use std::io::Write;
+
+pub fn persist(path: &std::path::Path, bytes: &[u8]) {
+    let mut f = std::fs::File::create(path).unwrap();
+    f.write_all(bytes).expect("short write");
+    f.sync_all().unwrap();
+}
+
+// Propagation is the sanctioned pattern: `?` must not trip the rule.
+pub fn persist_checked(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}

@@ -5,7 +5,8 @@
 //!
 //! * [`rules`] — a lint engine over [`lexer`]'s hand-rolled token streams,
 //!   enforcing the dense-slab (no map), hot-path zero-allocation,
-//!   poison-tolerant locking and counter-coverage disciplines.  Run with
+//!   poison-tolerant locking, counter-coverage and durability-path
+//!   IO-error-propagation disciplines.  Run with
 //!   `cargo run --release -p treenum-analyze -- --workspace`.
 //! * [`sched`] — an exhaustive bounded interleaving checker for the
 //!   left-right snapshot publication protocol of `treenum-serve`.  Run with

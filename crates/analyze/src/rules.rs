@@ -1,6 +1,6 @@
 //! The repo-specific lint rules over the token streams of [`crate::lexer`].
 //!
-//! Four disciplines, each established by an earlier PR and until now enforced
+//! Five disciplines, each established by an earlier PR and until now enforced
 //! only by scattered counter assertions and reviewer memory:
 //!
 //! * [`RULE_MAP`] — no `HashMap`/`BTreeMap` *imports* (or fully-qualified
@@ -21,6 +21,12 @@
 //!   `IndexStats` and `ShardStats` must be named in at least one file under
 //!   the repo-root `tests/` directory.  A counter no test reads is a dead
 //!   guard: it can silently stop counting and nothing fails.
+//! * [`RULE_IO`] — no `.unwrap()`/`.expect()` on an `io::Result` in
+//!   `crates/wal` / `crates/serve` non-test code, outside the designated
+//!   fault-injection module (`crates/wal/src/failpoint.rs`).  A storage
+//!   failure on the durability path must flow into the serving layer's
+//!   quarantine/backpressure machinery, never panic the shard writer.
+//!   Per-line escapes: `// analyze: allow(io): <reason>`.
 //!
 //! An escape comment grants its own line and the next line, so both styles
 //! work:
@@ -40,6 +46,7 @@ pub const RULE_MAP: &str = "no-map-import";
 pub const RULE_ALLOC: &str = "hot-path-alloc";
 pub const RULE_LOCK: &str = "lock-unwrap";
 pub const RULE_COUNTER: &str = "counter-coverage";
+pub const RULE_IO: &str = "wal-io-unwrap";
 
 /// One `file:line` violation.
 #[derive(Clone, Debug)]
@@ -174,6 +181,26 @@ impl SourceFile {
             if self.is_punct(ci, "{") {
                 depth += 1;
             } else if self.is_punct(ci, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ci + 1);
+                }
+            }
+        }
+        None
+    }
+
+    /// Given the code index of a `(`, returns the code index one past its
+    /// matching `)`.
+    fn matching_paren(&self, open: usize) -> Option<usize> {
+        if !self.is_punct(open, "(") {
+            return None;
+        }
+        let mut depth = 0usize;
+        for ci in open..self.code_len() {
+            if self.is_punct(ci, "(") {
+                depth += 1;
+            } else if self.is_punct(ci, ")") {
                 depth -= 1;
                 if depth == 0 {
                     return Some(ci + 1);
@@ -396,6 +423,89 @@ pub fn check_lock_unwrap(file: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
+/// The method/function idents whose results rule [`RULE_IO`] treats as
+/// `io::Result`s on the durability path (std `fs`/`io` plus the
+/// `treenum-wal` `Storage`/`WalFile` surface).  Deliberately excludes the
+/// ambiguous short names `read`/`write` (also locks, slices and channels —
+/// their lock flavor is [`RULE_LOCK`]'s business) and `spawn` (thread-spawn
+/// failure at server construction is a panic by design).
+const IO_METHODS: [&str; 21] = [
+    "read_to_string",
+    "read_to_end",
+    "write_all",
+    "flush",
+    "sync_all",
+    "sync_data",
+    "open",
+    "create",
+    "rename",
+    "remove_file",
+    "create_dir_all",
+    "read_dir",
+    "metadata",
+    "set_len",
+    "seek",
+    "open_append",
+    "write_atomic",
+    "append",
+    "sync",
+    "list",
+    "remove",
+];
+
+/// Rule [`RULE_IO`]: `.unwrap()`/`.expect()` directly on an `io::Result` in
+/// durability-path code.  An IO call is `<.|::> <io-method> ( … )` — the
+/// preceding `.`/`::` distinguishes call sites from `fn` definitions of the
+/// same name — and only a direct `.unwrap()`/`.expect(…)` after its closing
+/// paren is flagged: `?`-propagation, `match`, `map_err`, … are the
+/// sanctioned patterns.
+pub fn check_io_unwrap(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut ci = 0;
+    while ci < file.code_len() {
+        let callee = ci + 1;
+        if !((file.is_punct(ci, ".") || file.is_punct(ci, ":"))
+            && callee < file.code_len()
+            && file.ct(callee).kind == TokKind::Ident
+            && IO_METHODS.contains(&file.ct(callee).text.as_str())
+            && file.is_punct(callee + 1, "("))
+        {
+            ci += 1;
+            continue;
+        }
+        let Some(after) = file.matching_paren(callee + 1) else {
+            ci += 1;
+            continue;
+        };
+        if !(file.is_punct(after, ".")
+            && (file.is_ident(after + 1, "unwrap") || file.is_ident(after + 1, "expect")))
+        {
+            ci = after;
+            continue;
+        }
+        let line = file.ct(after + 1).line;
+        if file.allowed(line, "io") || file.in_test_range(ci) {
+            ci = after;
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: RULE_IO,
+            file: file.path.clone(),
+            line,
+            msg: format!(
+                ".{}() on the io::Result of `{}` in durability-path code — a storage failure \
+                 must propagate into the quarantine/backpressure machinery, not panic the \
+                 shard writer (handle the error or justify with \
+                 `// analyze: allow(io): <reason>`)",
+                file.ct(after + 1).text,
+                file.ct(callee).text
+            ),
+        });
+        ci = after;
+    }
+    out
+}
+
 /// The counter structs whose public fields rule [`RULE_COUNTER`] tracks.
 pub const COUNTER_STRUCTS: [&str; 3] = ["EnumStats", "IndexStats", "ShardStats"];
 
@@ -561,6 +671,14 @@ impl Workspace {
             if self.path_has(f, "crates/serve/src") && !self.path_has(f, "crates/serve/src/lock.rs")
             {
                 out.extend(check_lock_unwrap(f));
+            }
+            // The fault-injection harness is the designated module whose whole
+            // point is exercising storage failures; everything else on the
+            // durability path must propagate them.
+            if (self.path_has(f, "crates/wal/src") || self.path_has(f, "crates/serve/src"))
+                && !self.path_has(f, "crates/wal/src/failpoint.rs")
+            {
+                out.extend(check_io_unwrap(f));
             }
             out.extend(check_hot_alloc(f));
             fields.extend(counter_fields(f));

@@ -6,8 +6,8 @@
 
 use std::path::{Path, PathBuf};
 use treenum_analyze::rules::{
-    check_hot_alloc, check_lock_unwrap, check_map_imports, Diagnostic, SourceFile, Workspace,
-    RULE_ALLOC, RULE_COUNTER, RULE_LOCK, RULE_MAP,
+    check_hot_alloc, check_io_unwrap, check_lock_unwrap, check_map_imports, Diagnostic, SourceFile,
+    Workspace, RULE_ALLOC, RULE_COUNTER, RULE_IO, RULE_LOCK, RULE_MAP,
 };
 
 fn fixture(name: &str) -> SourceFile {
@@ -19,11 +19,12 @@ fn fixture(name: &str) -> SourceFile {
 }
 
 /// Runs every per-file rule on `file`, as if it lived in the most-restricted
-/// location (a hot-path crate that is also serve code).
+/// location (a hot-path crate that is also serve/durability code).
 fn all_rules(file: &SourceFile) -> Vec<Diagnostic> {
     let mut out = check_map_imports(file);
     out.extend(check_lock_unwrap(file));
     out.extend(check_hot_alloc(file));
+    out.extend(check_io_unwrap(file));
     out
 }
 
@@ -56,6 +57,16 @@ fn bad_lock_trips_exactly_the_lock_rule() {
     assert_eq!(rules_of(&diags), [RULE_LOCK], "diags: {diags:?}");
     assert_eq!(diags.len(), 1);
     assert!(diags[0].msg.contains(".lock().unwrap()"));
+}
+
+#[test]
+fn bad_io_unwrap_trips_exactly_the_io_rule() {
+    let diags = all_rules(&fixture("bad_io_unwrap.rs"));
+    assert_eq!(rules_of(&diags), [RULE_IO], "diags: {diags:?}");
+    assert_eq!(diags.len(), 3, "the `?`-propagating twin must not trip");
+    assert!(diags[0].msg.contains("`create`"));
+    assert!(diags[1].msg.contains("`write_all`"));
+    assert!(diags[2].msg.contains("`sync_all`"));
 }
 
 #[test]

@@ -1,0 +1,23 @@
+//! E12-recovery: crash-recovery wall time and the durability tax of the
+//! serving layer's write-ahead log (`treenum_wal` under
+//! `treenum_serve::TreeServer`).
+//!
+//! Two record families over a size-10⁴ tree: `recover_tail<t>/<n>` measures
+//! full `TreeServer::recover` time against lineages whose newest snapshot is
+//! `t` ops old (snapshot age × WAL tail length is the knob
+//! `DurabilityConfig::snapshot_every` trades), and
+//! `ingest_{none,onflush,always}/<n>` measures the caller-visible per-op
+//! cost of durable ingest under each sync policy against the non-durable
+//! baseline.  The workload lives in `treenum_bench::run_e12`, shared with
+//! the `bench_summary` runner; the records are documentation, not a CI gate
+//! (the gated E9 read path never touches the WAL).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use treenum_bench::run_e12;
+
+fn recovery(c: &mut Criterion) {
+    run_e12(c, &[10_000], &[0, 256, 1024, 4096], 512, 5);
+}
+
+criterion_group!(benches, recovery);
+criterion_main!(benches);

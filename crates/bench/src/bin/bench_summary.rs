@@ -1,7 +1,7 @@
-//! Runs compact versions of experiments E1–E9 and writes a JSON summary.
+//! Runs compact versions of experiments E1–E9/E12 and writes a JSON summary.
 //!
 //! ```text
-//! bench_summary [--profile full|smoke|e2|e8|e9] [--out PATH]
+//! bench_summary [--profile full|smoke|e2|e8|e9|e12] [--out PATH]
 //!               [--check-e2 BASELINE.json] [--check-e8 BASELINE.json]
 //!               [--check-e9 BASELINE.json] [--tolerance FRACTION]
 //! ```
@@ -15,16 +15,26 @@
 //! freshly measured p95 of the gated group (E2 per-answer delay / E8
 //! amortized per-edit batch latency / E9 snapshot-read delay under
 //! concurrent ingest) regresses more than the tolerance (default 0.25 = 25%)
-//! against the committed baseline.  Every requested gate runs and prints its
-//! comparisons before the process exits, so one run shows every regression.
+//! against the committed baseline.  The E8 gate re-measures any record the
+//! first pass flags (min of 3 runs) before reporting a regression — a
+//! genuine slowdown reproduces, a scheduling stall on the shared runner does
+//! not.  Every requested gate runs and prints its comparisons before the
+//! process exits, so one run shows every regression.  The `e12` profile
+//! records the crash-recovery group only; splice its `E12_recovery` records
+//! into `BENCH_after.json` rather than re-recording the gated groups.
 //! Without `--out` the JSON goes to stdout.
 
 use criterion::Criterion;
 use std::path::{Path, PathBuf};
 use treenum_bench::summary::{run_summary, SummaryProfile};
 use treenum_bench::trajectory::{
-    check_e2_regression, check_e8_regression, check_e9_regression, GroupComparison, Trajectory,
+    check_e2_regression, check_e8_regression, check_e9_regression, e8_allowed_ratio,
+    GroupComparison, Trajectory,
 };
+use treenum_bench::{
+    bench_alphabet, bench_tree, e8_strategies, measure_batch_apply, select_b_query,
+};
+use treenum_trees::generate::TreeShape;
 
 fn main() {
     let mut profile = SummaryProfile::full();
@@ -105,13 +115,7 @@ fn main() {
         );
     }
     if let Some(baseline_path) = check_e8 {
-        failed |= run_gate(
-            "E8 amortized p95",
-            check_e8_regression,
-            &baseline_path,
-            &criterion,
-            tolerance,
-        );
+        failed |= run_e8_gate(&baseline_path, &criterion, &profile, tolerance);
     }
     if let Some(baseline_path) = check_e9 {
         failed |= run_gate(
@@ -186,12 +190,132 @@ fn run_gate(
     false
 }
 
+/// The E8 gate with a flake guard.  Amortized batch p95s on a shared 1-CPU
+/// runner occasionally catch a scheduler stall in a measured sample, so
+/// every record the first pass flags is re-measured up to three times (same
+/// tree seed, stream seed and timing budgets as the recorded run) and
+/// judged on the *minimum* p95: a genuine regression reproduces in all
+/// three runs, a one-off stall does not.  The verdict bar is
+/// [`e8_allowed_ratio`] — identical to the first pass, including the
+/// widened `_k1/` tolerance.
+fn run_e8_gate(
+    baseline_path: &Path,
+    criterion: &Criterion,
+    profile: &SummaryProfile,
+    tolerance: f64,
+) -> bool {
+    let label = "E8 amortized p95";
+    let baseline = match Trajectory::load(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return true;
+        }
+    };
+    let comparisons = match check_e8_regression(&baseline, criterion.records(), tolerance) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return true;
+        }
+    };
+    let mut regressed = false;
+    for c in &comparisons {
+        let mut fresh_p95 = c.fresh_p95_ns;
+        let mut ratio = c.ratio;
+        let mut flagged = c.regressed;
+        if flagged {
+            eprintln!(
+                "{label} {}: first pass {:.2}x over baseline — re-measuring (min of 3)",
+                c.name, c.ratio
+            );
+            match remeasure_e8(&c.name, profile, 3) {
+                Some(min_p95) => {
+                    fresh_p95 = min_p95;
+                    ratio = min_p95 as f64 / c.baseline_p95_ns as f64;
+                    flagged = ratio > e8_allowed_ratio(&c.name, tolerance);
+                }
+                None => eprintln!(
+                    "warning: cannot re-measure {} (unrecognized record name); \
+                     keeping the first-pass verdict",
+                    c.name
+                ),
+            }
+        }
+        eprintln!(
+            "{label} {}: baseline {} ns, now {} ns ({:.2}x){}",
+            c.name,
+            c.baseline_p95_ns,
+            fresh_p95,
+            ratio,
+            if flagged { "  REGRESSION" } else { "" }
+        );
+        regressed |= flagged;
+    }
+    if regressed {
+        eprintln!(
+            "error: {label} regressed more than {:.0}% against {} \
+             (confirmed by re-measurement)",
+            tolerance * 100.0,
+            baseline_path.display()
+        );
+        return true;
+    }
+    eprintln!(
+        "{label} check passed ({} records within tolerance of {})",
+        comparisons.len(),
+        baseline_path.display()
+    );
+    false
+}
+
+/// Re-runs the measurement behind one `batch_<strategy>_k<k>/<n>` record
+/// `runs` times and returns the smallest p95 (ns).  Mirrors `run_e8`'s
+/// setup exactly — same tree seed (17), stream seed (`1_000 + 31·si + k`)
+/// and the profile's timing budgets — so the numbers are comparable with
+/// the recorded pass.  Returns `None` when the name doesn't parse as an E8
+/// batch record.
+fn remeasure_e8(name: &str, profile: &SummaryProfile, runs: usize) -> Option<u128> {
+    let rest = name.strip_prefix("batch_")?;
+    let (head, n) = rest.split_once('/')?;
+    let n: usize = n.parse().ok()?;
+    let (sname, k) = head.rsplit_once("_k")?;
+    let k: usize = k.parse().ok()?;
+    let (si, (_, make)) = e8_strategies()
+        .into_iter()
+        .enumerate()
+        .find(|(_, (s, _))| *s == sname)?;
+    let (query, alphabet_len) = select_b_query();
+    let labels: Vec<_> = bench_alphabet().labels().collect();
+    let tree = bench_tree(n, TreeShape::Random, 17);
+    let seed = 1_000 + 31 * si as u64 + k as u64;
+    let mut best: Option<u128> = None;
+    for _ in 0..runs {
+        let rec = measure_batch_apply(
+            &tree,
+            &query,
+            alphabet_len,
+            &labels,
+            make,
+            seed,
+            k,
+            true,
+            name.to_string(),
+            profile.warm_up,
+            profile.measurement,
+        );
+        let p95 = rec.p95_ns?;
+        best = Some(best.map_or(p95, |b| b.min(p95)));
+    }
+    best
+}
+
 fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: bench_summary [--profile full|smoke|e2|e8|e9] [--out PATH] \
+        "usage: bench_summary [--profile full|smoke|e2|e8|e9|e12] [--out PATH] \
          [--check-e2 BASELINE.json] [--check-e8 BASELINE.json] \
          [--check-e9 BASELINE.json] [--tolerance FRACTION]"
     );

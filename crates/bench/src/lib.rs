@@ -404,8 +404,21 @@ fn e9_scenario(
         std::thread::spawn(move || {
             'feed: while !stop.load(Ordering::Relaxed) {
                 for op in feed.next_batch(64) {
-                    if server.ingest(0, op).is_err() {
-                        break 'feed;
+                    loop {
+                        match server.ingest(0, op) {
+                            Ok(()) => break,
+                            // Explicit backpressure: the op was NOT enqueued.
+                            // The feeder is the load generator, so it retries
+                            // the same op — dropping it would fork the feed's
+                            // shadow tree from the server's state and later
+                            // ops would no longer apply.
+                            Err(treenum_serve::ServeError::Backpressure) => {
+                                if stop.load(Ordering::Relaxed) {
+                                    break 'feed;
+                                }
+                            }
+                            Err(_) => break 'feed,
+                        }
                     }
                 }
             }
@@ -535,6 +548,152 @@ fn e9_ingest_record(
         rec.mean_ns = amortized as u128;
     }
     rec
+}
+
+/// The E12 crash-recovery experiment: wall-clock recovery time of a durable
+/// [`treenum_serve::TreeServer`] as a function of WAL tail length (= the age
+/// of the newest snapshot in ops), plus the caller-visible per-op overhead
+/// of durable ingest under each [`treenum_serve::SyncPolicy`] against the
+/// non-durable baseline.
+///
+/// Record names (group `E12_recovery`):
+///
+/// * `recover_tail<t>/<n>` — full [`treenum_serve::TreeServer::recover`]
+///   wall time (snapshot load + decode + `t`-op WAL-tail replay through one
+///   `apply_batch` + engine rebuild + fresh recovery snapshot) over a
+///   size-`n` tree, one sample per repetition, each against a freshly built
+///   lineage (recovery itself compacts the lineage, so reps cannot reuse
+///   one).
+/// * `ingest_{none,onflush,always}/<n>` — per-op wall time of a
+///   `ingest_batch(32) + flush` loop as the *caller* sees it, i.e. WAL
+///   append + sync included.  These document the durability tax (None vs
+///   OnFlush vs Always); they are recorded, not gated — the gated E9 read
+///   path never touches the WAL.
+pub fn run_e12(
+    c: &mut criterion::Criterion,
+    sizes: &[usize],
+    tails: &[usize],
+    ingest_ops: usize,
+    reps: usize,
+) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    use treenum_serve::{DurabilityConfig, ServeConfig, SyncPolicy, TreeServer};
+    use treenum_trees::edit::{EditFeed, EditOp};
+    use treenum_trees::generate::EditStream;
+    use treenum_wal::DiskFs;
+
+    fn fresh_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("treenum-e12-{tag}-{}-{n}", std::process::id()))
+    }
+
+    let (query, alphabet_len) = select_b_query();
+    let labels: Vec<Label> = bench_alphabet().labels().collect();
+    let plan = treenum_core::QueryPlan::for_query(&query, alphabet_len);
+    for &n in sizes {
+        let tree = bench_tree(n, TreeShape::Random, 17);
+        for &tail in tails {
+            // The lineage keeps only its initial snapshot (snapshot_every
+            // effectively infinite), so recovery replays exactly `tail` ops.
+            let mut feed = EditFeed::new(
+                &tree,
+                EditStream::skewed(labels.clone(), 12_000 + tail as u64),
+            );
+            let ops: Vec<EditOp> = (0..tail).map(|_| feed.next_op()).collect();
+            let mut samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let dir = fresh_dir("recover");
+                let durability = DurabilityConfig {
+                    snapshot_every: u64::MAX / 2,
+                    ..DurabilityConfig::new(&dir)
+                };
+                {
+                    let server = TreeServer::with_durability_on(
+                        vec![tree.clone()],
+                        Arc::clone(&plan),
+                        ServeConfig::default(),
+                        &durability,
+                        Arc::new(DiskFs),
+                    )
+                    .expect("create durable lineage");
+                    for chunk in ops.chunks(256) {
+                        server.ingest_batch(0, chunk).expect("ingest");
+                        server.flush(0).expect("flush");
+                    }
+                } // drop without a final snapshot: the kill -9 stand-in
+                let start = Instant::now();
+                let (server, outcome) = TreeServer::recover_with_storage(
+                    Arc::clone(&plan),
+                    ServeConfig::default(),
+                    &durability,
+                    Arc::new(DiskFs),
+                )
+                .expect("recover");
+                let elapsed = start.elapsed().as_nanos() as u64;
+                assert_eq!(
+                    outcome.shards[0].ops_replayed, tail,
+                    "recovery must replay the whole WAL tail"
+                );
+                samples.push(elapsed);
+                drop(server);
+                std::fs::remove_dir_all(&dir).ok();
+            }
+            let rec =
+                record_from_samples("E12_recovery", format!("recover_tail{tail}/{n}"), samples);
+            eprintln!(
+                "E12 n={n} tail={tail}: recovery min {} ns, mean {} ns",
+                rec.min_ns, rec.mean_ns
+            );
+            c.push_record(rec);
+        }
+        for (tag, sync) in [
+            ("none", None),
+            ("onflush", Some(SyncPolicy::OnFlush)),
+            ("always", Some(SyncPolicy::Always)),
+        ] {
+            let mut feed = EditFeed::new(&tree, EditStream::skewed(labels.clone(), 13_000));
+            let ops: Vec<EditOp> = (0..ingest_ops).map(|_| feed.next_op()).collect();
+            let mut samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let dir = fresh_dir("ingest");
+                let server = match sync {
+                    None => TreeServer::with_plan(
+                        vec![tree.clone()],
+                        Arc::clone(&plan),
+                        ServeConfig::default(),
+                    ),
+                    Some(sync) => {
+                        let durability = DurabilityConfig {
+                            sync,
+                            ..DurabilityConfig::new(&dir)
+                        };
+                        TreeServer::with_durability_on(
+                            vec![tree.clone()],
+                            Arc::clone(&plan),
+                            ServeConfig::default(),
+                            &durability,
+                            Arc::new(DiskFs),
+                        )
+                        .expect("create durable server")
+                    }
+                };
+                let start = Instant::now();
+                for chunk in ops.chunks(32) {
+                    server.ingest_batch(0, chunk).expect("ingest");
+                    server.flush(0).expect("flush");
+                }
+                samples.push(start.elapsed().as_nanos() as u64 / ops.len().max(1) as u64);
+                drop(server);
+                std::fs::remove_dir_all(&dir).ok();
+            }
+            let rec = record_from_samples("E12_recovery", format!("ingest_{tag}/{n}"), samples);
+            eprintln!("E12 n={n} ingest {tag}: mean {} ns/op", rec.mean_ns);
+            c.push_record(rec);
+        }
+    }
 }
 
 /// The E7 update-throughput experiment: three arms (single-variable query,

@@ -1,4 +1,4 @@
-//! Compact, machine-readable re-runs of experiments E1–E9.
+//! Compact, machine-readable re-runs of experiments E1–E9 and E12.
 //!
 //! [`run_summary`] executes a scaled-down version of every experiment in
 //! `benches/` through the vendored criterion stub and leaves the measurements
@@ -56,6 +56,14 @@ pub struct SummaryProfile {
     pub e9_sizes: Vec<usize>,
     /// Concurrent snapshot-reader threads for E9.
     pub e9_readers: usize,
+    /// Tree sizes for E12 (crash recovery).
+    pub e12_sizes: Vec<usize>,
+    /// WAL tail lengths (snapshot ages, in ops) for the E12 recovery arms.
+    pub e12_tails: Vec<usize>,
+    /// Ops per repetition for the E12 durable-ingest overhead arms.
+    pub e12_ops: usize,
+    /// Repetitions (= samples) per E12 record.
+    pub e12_reps: usize,
     /// Per-benchmark warm-up budget.
     pub warm_up: Duration,
     /// Per-benchmark measurement budget.
@@ -86,6 +94,10 @@ impl SummaryProfile {
             e8_ks: vec![1, 8, 64, 256],
             e9_sizes: vec![10_000, 40_000],
             e9_readers: 4,
+            e12_sizes: vec![10_000],
+            e12_tails: vec![0, 256, 1024, 4096],
+            e12_ops: 512,
+            e12_reps: 5,
             warm_up: Duration::from_millis(200),
             measurement: Duration::from_millis(700),
             sample_size: 10,
@@ -109,6 +121,10 @@ impl SummaryProfile {
             e8_ks: vec![4],
             e9_sizes: vec![300],
             e9_readers: 2,
+            e12_sizes: vec![300],
+            e12_tails: vec![0, 32],
+            e12_ops: 64,
+            e12_reps: 2,
             warm_up: Duration::from_millis(10),
             measurement: Duration::from_millis(40),
             sample_size: 3,
@@ -162,7 +178,22 @@ impl SummaryProfile {
         }
     }
 
-    /// Parses a profile name (`full` / `smoke` / `e2` / `e8` / `e9`).
+    /// The crash-recovery experiment only, at the `full` sizes: measures
+    /// recovery time and the durability tax without paying for the full
+    /// sweep.  Its records are *spliced into* `BENCH_after.json` (run with
+    /// `--out` to a scratch file, merge the `E12_recovery` group) — never
+    /// re-record the other groups alongside it, that would shift the
+    /// E2/E8/E9 gate baselines.
+    pub fn e12() -> Self {
+        SummaryProfile {
+            name: "e12",
+            experiments: Some(&["E12"]),
+            ..Self::full()
+        }
+    }
+
+    /// Parses a profile name (`full` / `smoke` / `e2` / `e8` / `e9` /
+    /// `e12`).
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "full" => Some(Self::full()),
@@ -170,6 +201,7 @@ impl SummaryProfile {
             "e2" => Some(Self::e2()),
             "e8" => Some(Self::e8()),
             "e9" => Some(Self::e9()),
+            "e12" => Some(Self::e12()),
             _ => None,
         }
     }
@@ -180,7 +212,7 @@ impl SummaryProfile {
     }
 }
 
-/// Runs every experiment selected by the profile (E1–E8), recording into `c`.
+/// Runs every experiment selected by the profile, recording into `c`.
 pub fn run_summary(c: &mut Criterion, profile: &SummaryProfile) {
     if profile.runs("E1") {
         e1_preprocessing(c, profile);
@@ -208,6 +240,9 @@ pub fn run_summary(c: &mut Criterion, profile: &SummaryProfile) {
     }
     if profile.runs("E9") {
         e9_serving(c, profile);
+    }
+    if profile.runs("E12") {
+        e12_recovery(c, profile);
     }
 }
 
@@ -501,6 +536,10 @@ fn e7_update_throughput(c: &mut Criterion, p: &SummaryProfile) {
 
 fn e8_batch_updates(c: &mut Criterion, p: &SummaryProfile) {
     crate::run_e8(c, &p.e8_sizes, &p.e8_ks, p.warm_up, p.measurement);
+}
+
+fn e12_recovery(c: &mut Criterion, p: &SummaryProfile) {
+    crate::run_e12(c, &p.e12_sizes, &p.e12_tails, p.e12_ops, p.e12_reps);
 }
 
 fn e9_serving(c: &mut Criterion, p: &SummaryProfile) {

@@ -189,15 +189,42 @@ pub fn check_e2_regression(
     check_group_regression(baseline, fresh, "E2_delay", tolerance)
 }
 
+/// Extra head-room multiplier for the `batch_*_k1/…` arms of the E8 gate.
+/// A k=1 "batch" amortizes nothing: every sample times a single
+/// `apply_batch` call, so whether a rare scapegoat rebuild lands among the
+/// measured samples swings the p95 severalfold on a shared 1-CPU CI runner.
+/// The amortized arms (k ≥ 8) spread the same rebuilds across k edits and
+/// stay stable, so only the degenerate k=1 tail gets the wider bar.
+pub const E8_K1_SLACK: f64 = 2.0;
+
+/// The `fresh/baseline` p95 ratio above which an `E8_batch_updates` record
+/// counts as regressed: `1 + tolerance` for the amortized arms, with the
+/// tolerance widened by [`E8_K1_SLACK`] for the noisy `_k1/` tail arms.
+/// Shared with `bench_summary`'s re-measure pass so both verdicts use the
+/// same bar.
+pub fn e8_allowed_ratio(name: &str, tolerance: f64) -> f64 {
+    if name.contains("_k1/") {
+        1.0 + tolerance * E8_K1_SLACK
+    } else {
+        1.0 + tolerance
+    }
+}
+
 /// The E8 gate: amortized per-edit p95s of the `E8_batch_updates` group's
 /// `batch_*` arms (the `seq_*` speedup baselines are recorded but not gated
-/// — see [`check_group_regression_filtered`]).
+/// — see [`check_group_regression_filtered`]), with the `_k1/` arms judged
+/// against the wider [`e8_allowed_ratio`] bar.
 pub fn check_e8_regression(
     baseline: &Trajectory,
     fresh: &[BenchRecord],
     tolerance: f64,
 ) -> Result<Vec<GroupComparison>, String> {
-    check_group_regression_filtered(baseline, fresh, "E8_batch_updates", "batch_", tolerance)
+    let mut out =
+        check_group_regression_filtered(baseline, fresh, "E8_batch_updates", "batch_", tolerance)?;
+    for c in &mut out {
+        c.regressed = c.ratio > e8_allowed_ratio(&c.name, tolerance);
+    }
+    Ok(out)
 }
 
 /// The E9 gate: p95 snapshot-read delays of the `E9_serving` group's
@@ -531,6 +558,55 @@ mod tests {
             ..slow[0].clone()
         }];
         assert!(check_e8_regression(&baseline, &other, 0.25).is_err());
+    }
+
+    #[test]
+    fn e8_k1_tail_gets_doubled_tolerance() {
+        let base = concat!(
+            "{\"schema\":1,\"profile\":\"full\",\"benchmarks\":[",
+            "{\"group\":\"E8_batch_updates\",\"name\":\"batch_uniform_k1/10000\",",
+            "\"mean_ns\":400,\"min_ns\":100,\"p50_ns\":350,\"p95_ns\":1000,\"p99_ns\":1200},",
+            "{\"group\":\"E8_batch_updates\",\"name\":\"batch_uniform_k64/10000\",",
+            "\"mean_ns\":400,\"min_ns\":100,\"p50_ns\":350,\"p95_ns\":1000,\"p99_ns\":1200}",
+            "]}\n"
+        );
+        let baseline = Trajectory::parse(base).unwrap();
+        // 1.4x over baseline: within the doubled k1 bar (1.5 at tolerance
+        // 0.25), but over the plain 1.25 bar the amortized arms get.
+        let fresh = vec![
+            BenchRecord {
+                group: "E8_batch_updates".into(),
+                name: "batch_uniform_k1/10000".into(),
+                p95_ns: Some(1400),
+                ..BenchRecord::default()
+            },
+            BenchRecord {
+                group: "E8_batch_updates".into(),
+                name: "batch_uniform_k64/10000".into(),
+                p95_ns: Some(1400),
+                ..BenchRecord::default()
+            },
+        ];
+        let cmp = check_e8_regression(&baseline, &fresh, 0.25).unwrap();
+        let by_name = |n: &str| cmp.iter().find(|c| c.name.contains(n)).unwrap();
+        assert!(!by_name("_k1/").regressed, "k1 tail gets 2x the tolerance");
+        assert!(
+            by_name("_k64/").regressed,
+            "amortized arms keep the tight bar"
+        );
+        // Past the widened bar the k1 arm still fails.
+        let slow = vec![
+            BenchRecord {
+                p95_ns: Some(1600),
+                ..fresh[0].clone()
+            },
+            BenchRecord {
+                p95_ns: Some(1000),
+                ..fresh[1].clone()
+            },
+        ];
+        let cmp = check_e8_regression(&baseline, &slow, 0.25).unwrap();
+        assert!(cmp.iter().any(|c| c.name.contains("_k1/") && c.regressed));
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //!   no lock is held while enumerating, so N readers scale and never observe
 //!   a partially applied batch.
 //! * **Writes** — producers push [`EditOp`]s into a bounded ingest queue and
-//!   return immediately (write-behind; the queue applies backpressure when
-//!   full).  The shard's writer thread coalesces queued ops into batches and
+//!   return immediately (write-behind; a full queue applies *explicit*
+//!   backpressure — [`TreeServer::ingest`] waits a bounded
+//!   [`ServeConfig::ingest_timeout`] then hands the decision back to the
+//!   caller as [`ServeError::Backpressure`]).  The shard's writer thread
+//!   coalesces queued ops into batches and
 //!   applies each with **one deduplicated spine repair**
 //!   ([`TreeEnumerator::apply_batch`]), then publishes the result as the next
 //!   snapshot generation.
@@ -65,6 +68,21 @@
 //! lock acquisitions in this crate go through the poison-tolerant helpers in
 //! `lock.rs` (enforced by `treenum-analyze`'s `lock-unwrap` rule).
 //!
+//! ## Durability (optional)
+//!
+//! A server built with [`TreeServer::with_durability`] gives each shard a
+//! segmented write-ahead log and periodic snapshot files (crate
+//! `treenum-wal`).  The writer logs every batch — with the configured
+//! [`SyncPolicy`] — *before* applying it, so WAL appends stay entirely off
+//! the read path, and persists a snapshot at every
+//! [`DurabilityConfig::snapshot_every`]-th publication generation.
+//! [`TreeServer::recover`] rebuilds the server after a crash (newest intact
+//! snapshot + WAL-tail replay through one `apply_batch`); shards whose
+//! durable state is damaged beyond the torn-tail cases come back
+//! *quarantined* — serving reads, rejecting writes — with the reason in the
+//! returned [`RecoveryOutcome`].  See the `durable` module docs for the
+//! generation ↔ op-prefix contract.
+//!
 //! ```
 //! use treenum_serve::{ServeConfig, TreeServer};
 //! use treenum_trees::generate::{random_tree, EditStream, TreeShape};
@@ -90,30 +108,37 @@
 //! # let _ = answers;
 //! ```
 
+mod durable;
 mod lock;
 mod shard;
 mod stats;
 
+pub use durable::{DurabilityConfig, RecoveryOutcome, ShardRecovery};
 pub use shard::Snapshot;
 pub use stats::{FlushRecord, ServeStats, ShardStats};
+pub use treenum_wal::SyncPolicy;
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use durable::{list_shard_dirs, recover_shard, shard_dir, ShardDurability};
 use lock::{lock_unpoisoned, read_unpoisoned};
 use shard::{Ingest, ShardWriter, SnapInner};
 use stats::ShardMetrics;
+use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use treenum_automata::StepwiseTva;
 use treenum_core::{QueryPlan, TreeEnumerator};
 use treenum_trees::edit::EditOp;
 use treenum_trees::unranked::UnrankedTree;
+use treenum_wal::storage::{DiskFs, Storage};
 
 /// Tuning knobs of the serving layer (per shard).
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
-    /// Capacity of the bounded ingest queue; a full queue blocks producers
+    /// Capacity of the bounded ingest queue; a full queue makes
+    /// [`TreeServer::ingest`] wait up to [`ServeConfig::ingest_timeout`]
     /// (backpressure) rather than dropping ops.
     pub queue_capacity: usize,
     /// Floor of the adaptive coalescing window.  In adaptive mode the
@@ -139,6 +164,11 @@ pub struct ServeConfig {
     /// How long the writer waits for readers to release a retired snapshot
     /// copy before falling back to an O(n) rebuild of the writable copy.
     pub reclaim_patience: Duration,
+    /// How long [`TreeServer::ingest`] waits for space in a full queue
+    /// before surfacing [`ServeError::Backpressure`] to the caller (who can
+    /// retry, shed load, or route elsewhere — the queue never silently
+    /// drops an op, and the wait never silently exceeds this bound).
+    pub ingest_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -153,6 +183,7 @@ impl Default for ServeConfig {
             shrink_sharing: 0.2,
             max_latency: Duration::from_millis(1),
             reclaim_patience: Duration::from_millis(5),
+            ingest_timeout: Duration::from_millis(250),
         }
     }
 }
@@ -195,12 +226,26 @@ pub enum ServeError {
     /// The shard's writer thread is gone (the server was shut down, or the
     /// thread panicked).
     Disconnected,
+    /// The ingest queue stayed full for the whole
+    /// [`ServeConfig::ingest_timeout`].  The op was **not** enqueued; the
+    /// caller may retry, shed load, or route to another shard.
+    Backpressure,
+    /// The shard's durable log failed (at runtime or during recovery); the
+    /// shard serves its last good state read-only and rejects all writes.
+    /// See [`ShardRecovery::quarantined`] and [`ShardStats::quarantined`].
+    Quarantined,
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Disconnected => write!(f, "shard writer disconnected"),
+            ServeError::Backpressure => {
+                write!(f, "ingest queue full past the backpressure timeout")
+            }
+            ServeError::Quarantined => {
+                write!(f, "shard is quarantined after a durability failure")
+            }
         }
     }
 }
@@ -223,6 +268,7 @@ struct ShardHandle {
 pub struct TreeServer {
     shards: Vec<ShardHandle>,
     plan: Arc<QueryPlan>,
+    cfg: ServeConfig,
 }
 
 impl TreeServer {
@@ -247,16 +293,171 @@ impl TreeServer {
         let config = config.validated();
         let shards = trees
             .into_iter()
-            .map(|tree| Self::spawn_shard(tree, &plan, config))
+            .map(|tree| Self::spawn_shard(tree, &plan, config, None, false))
             .collect();
-        TreeServer { shards, plan }
+        TreeServer {
+            shards,
+            plan,
+            cfg: config,
+        }
     }
 
-    fn spawn_shard(tree: UnrankedTree, plan: &Arc<QueryPlan>, cfg: ServeConfig) -> ShardHandle {
+    /// Builds a **durable** server: one shard per tree, each with a
+    /// write-ahead log and periodic snapshot persistence under
+    /// `durability.dir/shard-NNNN/`, on the real filesystem.
+    ///
+    /// Any leftover log or snapshot files in those directories belong to an
+    /// abandoned lineage and are cleared — use [`TreeServer::recover`] to
+    /// *continue* an existing lineage instead.
+    pub fn with_durability(
+        trees: Vec<UnrankedTree>,
+        query: &StepwiseTva,
+        base_alphabet_len: usize,
+        config: ServeConfig,
+        durability: &DurabilityConfig,
+    ) -> io::Result<Self> {
+        Self::with_durability_on(
+            trees,
+            QueryPlan::for_query(query, base_alphabet_len),
+            config,
+            durability,
+            Arc::new(DiskFs),
+        )
+    }
+
+    /// [`TreeServer::with_durability`] over an explicit plan and an explicit
+    /// [`Storage`] implementation (the fault-injection harness passes a
+    /// `FailpointFs` here).
+    pub fn with_durability_on(
+        trees: Vec<UnrankedTree>,
+        plan: Arc<QueryPlan>,
+        config: ServeConfig,
+        durability: &DurabilityConfig,
+        storage: Arc<dyn Storage>,
+    ) -> io::Result<Self> {
+        assert!(!trees.is_empty(), "a server needs at least one shard");
+        let config = config.validated();
+        let shards = trees
+            .into_iter()
+            .enumerate()
+            .map(|(i, tree)| {
+                let durable = ShardDurability::create(
+                    Arc::clone(&storage),
+                    shard_dir(&durability.dir, i),
+                    durability,
+                    &tree,
+                )?;
+                Ok(Self::spawn_shard(tree, &plan, config, Some(durable), false))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(TreeServer {
+            shards,
+            plan,
+            cfg: config,
+        })
+    }
+
+    /// Rebuilds a durable server from what `durability.dir` holds on disk:
+    /// per shard, the newest intact snapshot plus a replay of the WAL tail
+    /// through [`TreeEnumerator::apply_batch`].  Shards whose durable state
+    /// is corrupt beyond recovery come back **quarantined** (read-only,
+    /// best-effort state, reason in the returned [`RecoveryOutcome`]) rather
+    /// than failing the whole server.
+    ///
+    /// Errors only on genuine I/O failure while reading, or when
+    /// `durability.dir` holds no shard directories at all.
+    pub fn recover(
+        query: &StepwiseTva,
+        base_alphabet_len: usize,
+        config: ServeConfig,
+        durability: &DurabilityConfig,
+    ) -> io::Result<(Self, RecoveryOutcome)> {
+        Self::recover_with_storage(
+            QueryPlan::for_query(query, base_alphabet_len),
+            config,
+            durability,
+            Arc::new(DiskFs),
+        )
+    }
+
+    /// [`TreeServer::recover`] over an explicit plan and [`Storage`].
+    pub fn recover_with_storage(
+        plan: Arc<QueryPlan>,
+        config: ServeConfig,
+        durability: &DurabilityConfig,
+        storage: Arc<dyn Storage>,
+    ) -> io::Result<(Self, RecoveryOutcome)> {
+        let config = config.validated();
+        let ids = list_shard_dirs(storage.as_ref(), &durability.dir)?;
+        if ids.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no shard directories under {}", durability.dir.display()),
+            ));
+        }
+        for (expect, &id) in ids.iter().enumerate() {
+            if id != expect {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("shard directories are not contiguous: missing shard-{expect:04}"),
+                ));
+            }
+        }
+        let mut shards = Vec::with_capacity(ids.len());
+        let mut reports = Vec::with_capacity(ids.len());
+        for id in ids {
+            let rec = recover_shard(&storage, &shard_dir(&durability.dir, id), id, durability)?;
+            let quarantined = rec.report.quarantined.is_some();
+            // The durable state = snapshot + WAL tail through one batch
+            // repair (batch and sequential replay allocate identical
+            // `NodeId`s, so this matches the tree recovery validated).
+            let mut published = TreeEnumerator::with_plan(rec.base_tree, Arc::clone(&plan));
+            if !rec.replay.is_empty() {
+                published.apply_batch(&rec.replay);
+            }
+            let writable = TreeEnumerator::with_plan(published.tree().clone(), Arc::clone(&plan));
+            shards.push(Self::spawn_shard_recovered(
+                published,
+                writable,
+                &plan,
+                config,
+                rec.durability,
+                quarantined,
+            ));
+            reports.push(rec.report);
+        }
+        Ok((
+            TreeServer {
+                shards,
+                plan,
+                cfg: config,
+            },
+            RecoveryOutcome { shards: reports },
+        ))
+    }
+
+    fn spawn_shard(
+        tree: UnrankedTree,
+        plan: &Arc<QueryPlan>,
+        cfg: ServeConfig,
+        durable: Option<ShardDurability>,
+        quarantined: bool,
+    ) -> ShardHandle {
         // Two independent copies of the enumeration structure over the same
         // tree: one published, one writable (see `shard` module docs).
         let published = TreeEnumerator::with_plan(tree.clone(), Arc::clone(plan));
         let writable = TreeEnumerator::with_plan(tree, Arc::clone(plan));
+        Self::spawn_shard_recovered(published, writable, plan, cfg, durable, quarantined)
+    }
+
+    fn spawn_shard_recovered(
+        published: TreeEnumerator,
+        writable: TreeEnumerator,
+        plan: &Arc<QueryPlan>,
+        cfg: ServeConfig,
+        durable: Option<ShardDurability>,
+        quarantined: bool,
+    ) -> ShardHandle {
         let front = Arc::new(RwLock::new(Arc::new(SnapInner {
             engine: published,
             generation: 0,
@@ -265,6 +466,9 @@ impl TreeServer {
         metrics
             .window
             .store(cfg.initial_batch as u64, Ordering::Relaxed);
+        if quarantined {
+            metrics.quarantined.store(true, Ordering::Release);
+        }
         let (tx, rx) = bounded(cfg.queue_capacity);
         let writer = ShardWriter {
             rx,
@@ -278,6 +482,8 @@ impl TreeServer {
             generation: 0,
             window: cfg.initial_batch,
             buf: Vec::new(),
+            durable,
+            quarantined,
         };
         let join = std::thread::Builder::new()
             .name("treenum-serve-shard".into())
@@ -306,19 +512,41 @@ impl TreeServer {
         &self.plan
     }
 
-    /// Enqueues one edit op for `shard` (write-behind: returns as soon as the
-    /// op is queued; blocks only when the queue is full).
+    /// Enqueues one edit op for `shard` (write-behind: returns as soon as
+    /// the op is queued).  A full queue applies **explicit backpressure**:
+    /// the call waits up to [`ServeConfig::ingest_timeout`] for space, then
+    /// returns [`ServeError::Backpressure`] with the op *not* enqueued so
+    /// the caller can decide (retry, shed, reroute) instead of blocking
+    /// unboundedly.  A quarantined shard rejects ingest immediately.
     pub fn ingest(&self, shard: usize, op: EditOp) -> Result<(), ServeError> {
         let h = &self.shards[shard];
+        if h.metrics.quarantined.load(Ordering::Acquire) {
+            return Err(ServeError::Quarantined);
+        }
         h.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
-        match h.tx.send(Ingest::Op(op)) {
-            Ok(()) => {
-                h.metrics.ingested.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Err(_) => {
-                h.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                Err(ServeError::Disconnected)
+        let mut msg = Ingest::Op(op);
+        let deadline = Instant::now() + self.cfg.ingest_timeout;
+        loop {
+            match h.tx.try_send(msg) {
+                Ok(()) => {
+                    h.metrics.ingested.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    h.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    return Err(ServeError::Disconnected);
+                }
+                Err(TrySendError::Full(back)) => {
+                    if Instant::now() >= deadline {
+                        h.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        h.metrics
+                            .backpressure_timeouts
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Backpressure);
+                    }
+                    msg = back;
+                    std::thread::sleep(Duration::from_micros(50));
+                }
             }
         }
     }
@@ -341,13 +569,18 @@ impl TreeServer {
 
     /// Barrier: waits until everything ingested into `shard` before this call
     /// has been applied and published, returning the resulting generation.
+    ///
+    /// On a durable shard an `Ok` ack is also the **durability barrier**:
+    /// every op before it reached the WAL under the configured
+    /// [`SyncPolicy`].  A quarantined shard acks
+    /// [`ServeError::Quarantined`].
     pub fn flush(&self, shard: usize) -> Result<u64, ServeError> {
         let (ack_tx, ack_rx) = bounded(1);
         self.shards[shard]
             .tx
             .send(Ingest::Flush(ack_tx))
             .map_err(|_| ServeError::Disconnected)?;
-        ack_rx.recv().map_err(|_| ServeError::Disconnected)
+        ack_rx.recv().map_err(|_| ServeError::Disconnected)?
     }
 
     /// [`TreeServer::flush`] on every shard, returning the per-shard

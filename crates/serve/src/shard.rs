@@ -23,9 +23,10 @@
 //! [`crate::ShardStats::rebuild_fallbacks`]), so ingest always makes
 //! progress.
 
+use crate::durable::ShardDurability;
 use crate::lock::{read_unpoisoned, write_unpoisoned};
 use crate::stats::{FlushRecord, ShardMetrics};
-use crate::ServeConfig;
+use crate::{ServeConfig, ServeError};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::ops::ControlFlow;
 use std::sync::atomic::Ordering;
@@ -135,8 +136,11 @@ pub(crate) enum Ingest {
     /// One edit op to coalesce into a batch.
     Op(EditOp),
     /// Barrier: apply everything enqueued before this message, then ack with
-    /// the resulting generation.
-    Flush(Sender<u64>),
+    /// the resulting generation — or with the quarantine error if the
+    /// shard's durable log failed (the barrier is the durability boundary:
+    /// an `Ok` ack means every op before it is applied, published, and — on
+    /// a durable shard — synced per the [`treenum_wal::SyncPolicy`]).
+    Flush(Sender<Result<u64, ServeError>>),
     /// Drain, apply, and exit the writer thread.
     Shutdown,
 }
@@ -159,6 +163,12 @@ pub(crate) struct ShardWriter {
     pub(crate) generation: u64,
     pub(crate) window: usize,
     pub(crate) buf: Vec<EditOp>,
+    /// WAL + snapshot persistence, when the server was built durable.
+    pub(crate) durable: Option<ShardDurability>,
+    /// Sticky failure state: the durable log failed (or recovery declared
+    /// the shard unrecoverable), so the shard serves its last published
+    /// snapshot read-only and rejects all ingest.
+    pub(crate) quarantined: bool,
 }
 
 impl ShardWriter {
@@ -169,7 +179,7 @@ impl ShardWriter {
                 // Server dropped without an explicit shutdown: exit.
                 Err(_) => break,
             };
-            let mut acks: Vec<Sender<u64>> = Vec::new();
+            let mut acks: Vec<Sender<Result<u64, ServeError>>> = Vec::new();
             let mut shutdown = false;
             match first {
                 Ingest::Op(op) => {
@@ -188,7 +198,7 @@ impl ShardWriter {
             }
             self.flush_buf();
             for ack in acks {
-                let _ = ack.send(self.generation);
+                let _ = ack.send(self.ack_value());
             }
             if shutdown {
                 break;
@@ -199,7 +209,15 @@ impl ShardWriter {
         self.drain_pending(&mut acks);
         self.flush_buf();
         for ack in acks {
-            let _ = ack.send(self.generation);
+            let _ = ack.send(self.ack_value());
+        }
+    }
+
+    fn ack_value(&self) -> Result<u64, ServeError> {
+        if self.quarantined {
+            Err(ServeError::Quarantined)
+        } else {
+            Ok(self.generation)
         }
     }
 
@@ -220,7 +238,7 @@ impl ShardWriter {
     /// Gathers ops into `buf` until the adaptive window is full or the
     /// bounded-staleness deadline passes.  Returns `true` on shutdown; a
     /// queued barrier stops coalescing early (its ack lands in `acks`).
-    fn coalesce(&mut self, acks: &mut Vec<Sender<u64>>) -> bool {
+    fn coalesce(&mut self, acks: &mut Vec<Sender<Result<u64, ServeError>>>) -> bool {
         let deadline = Instant::now() + self.cfg.max_latency;
         while self.buf.len() < self.window {
             match self.rx.try_recv() {
@@ -260,7 +278,7 @@ impl ShardWriter {
 
     /// Non-blocking drain of everything currently queued.  Returns `true` on
     /// shutdown.
-    fn drain_pending(&mut self, acks: &mut Vec<Sender<u64>>) -> bool {
+    fn drain_pending(&mut self, acks: &mut Vec<Sender<Result<u64, ServeError>>>) -> bool {
         while let Some(msg) = self.rx.try_recv() {
             match msg {
                 Ingest::Op(op) => {
@@ -277,9 +295,38 @@ impl ShardWriter {
     /// Applies the coalescing buffer as one batch, publishes the result as a
     /// new snapshot generation, and adapts the window from the batch's
     /// observed spine-sharing ratio.
+    ///
+    /// On a durable shard the batch hits the write-ahead log (with the
+    /// configured sync policy) *before* it is applied: a crash after this
+    /// point replays the batch, a crash before it drops an unacked batch.
+    /// A WAL write error quarantines the shard — the buffered ops are
+    /// dropped un-acked and every subsequent barrier acks
+    /// [`ServeError::Quarantined`] — rather than acking ops that would not
+    /// survive a crash.
     fn flush_buf(&mut self) {
+        if self.quarantined {
+            self.buf.clear();
+            return;
+        }
         if self.buf.is_empty() {
             return;
+        }
+        if let Some(durable) = &mut self.durable {
+            match durable.log_batch(&self.buf) {
+                Ok(bytes) => {
+                    self.metrics
+                        .wal_records
+                        .fetch_add(self.buf.len() as u64, Ordering::Relaxed);
+                    self.metrics.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.quarantined = true;
+                    self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.quarantined.store(true, Ordering::Release);
+                    self.buf.clear();
+                    return;
+                }
+            }
         }
         // Time the whole flush cycle — reclaim of the writable copy, the
         // batch apply, and the publish swap — so the per-edit amortized
@@ -295,6 +342,7 @@ impl ShardWriter {
             engine,
             generation: self.generation,
         });
+        let published = Arc::clone(&snap);
         let old = std::mem::replace(&mut *write_unpoisoned(&self.front), snap);
         self.retired = Some(old);
         let nanos = start.elapsed().as_nanos() as u64;
@@ -322,6 +370,25 @@ impl ShardWriter {
         }
         self.metrics.record_flush(rec);
         self.buf.clear();
+        // Snapshot persistence rides the publication-generation boundary:
+        // the tree just published is exactly the state as of the WAL
+        // offset, so the snapshot's op_seq ↔ tree pairing needs no extra
+        // synchronisation.  Snapshot failure is non-fatal — the WAL still
+        // covers everything since the last good snapshot.
+        if let Some(durable) = &mut self.durable {
+            if durable.snapshot_due(self.generation) {
+                match durable.persist_snapshot(self.generation, published.engine.tree()) {
+                    Ok(()) => {
+                        self.metrics
+                            .snapshots_persisted
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        self.metrics.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
     }
 
     /// Obtains the writable copy: the held one, the reclaimed-and-caught-up

@@ -2,7 +2,7 @@
 //! per-flush log, and the [`ServeStats`] snapshot surface.
 
 use crate::lock::lock_unpoisoned;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// One ingest flush, as recorded by a shard's writer thread.
@@ -61,6 +61,13 @@ pub(crate) struct ShardMetrics {
     pub spine_deduped: AtomicU64,
     pub spine_dirty: AtomicU64,
     pub max_flush: AtomicU64,
+    pub wal_records: AtomicU64,
+    pub wal_bytes: AtomicU64,
+    pub snapshots_persisted: AtomicU64,
+    pub wal_errors: AtomicU64,
+    pub snapshot_errors: AtomicU64,
+    pub backpressure_timeouts: AtomicU64,
+    pub quarantined: AtomicBool,
     pub flush_log: Mutex<Vec<FlushRecord>>,
 }
 
@@ -89,6 +96,13 @@ impl ShardMetrics {
             rebuild_fallbacks: self.rebuild_fallbacks.load(Ordering::Relaxed),
             spine_deduped: self.spine_deduped.load(Ordering::Relaxed),
             spine_dirty: self.spine_dirty.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            snapshots_persisted: self.snapshots_persisted.load(Ordering::Relaxed),
+            wal_errors: self.wal_errors.load(Ordering::Relaxed),
+            snapshot_errors: self.snapshot_errors.load(Ordering::Relaxed),
+            backpressure_timeouts: self.backpressure_timeouts.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Acquire),
         }
     }
 }
@@ -128,6 +142,26 @@ pub struct ShardStats {
     pub spine_deduped: u64,
     /// Cumulative `IndexStats::batch_dirty_nodes` over all flushes.
     pub spine_dirty: u64,
+    /// Edit ops appended to the shard's write-ahead log (0 on a
+    /// non-durable shard).
+    pub wal_records: u64,
+    /// Payload + frame bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Snapshot files persisted at publication-generation boundaries
+    /// (including the one written at server creation / recovery).
+    pub snapshots_persisted: u64,
+    /// WAL append/sync failures.  The first one quarantines the shard.
+    pub wal_errors: u64,
+    /// Snapshot persistence failures.  Not fatal on their own — the WAL
+    /// still covers every op — but a red flag worth alerting on.
+    pub snapshot_errors: u64,
+    /// Ingest attempts that gave up waiting for queue space
+    /// ([`crate::ServeError::Backpressure`] returned to the caller).
+    pub backpressure_timeouts: u64,
+    /// The shard is quarantined: it serves its last good state read-only and
+    /// rejects ingest, because its durable log failed or recovery found it
+    /// corrupt beyond repair.
+    pub quarantined: bool,
 }
 
 impl ShardStats {

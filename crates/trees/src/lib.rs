@@ -11,6 +11,8 @@
 //! * [`Alphabet`] / [`Label`]: interned tree labels.
 //! * [`valuation`]: valuations, assignments and singletons (`⟨Z : n⟩`).
 //! * [`generate`]: random tree / workload generators used by tests and benchmarks.
+//! * [`serial`]: arena-exact binary serialization of trees and edit ops — the
+//!   snapshot and WAL-record formats used by `treenum-wal`.
 //!
 //! All trees are arena-allocated with `u32` node identifiers so that subtrees can be
 //! shared across versions cheaply (needed by the update machinery in
@@ -20,11 +22,13 @@ pub mod binary;
 pub mod edit;
 pub mod generate;
 pub mod label;
+pub mod serial;
 pub mod unranked;
 pub mod valuation;
 
 pub use binary::{BinaryNodeId, BinaryTree};
 pub use edit::{EditFeed, EditOp, EditStream, NodeSampler};
 pub use label::{Alphabet, Label};
+pub use serial::{decode_op, encode_op, from_bytes, op_applicable, to_bytes, SerialError};
 pub use unranked::{NodeId, UnrankedTree};
 pub use valuation::{Assignment, Singleton, Valuation, Var, VarSet};

@@ -1,0 +1,429 @@
+//! Compact binary serialization of [`UnrankedTree`] and [`EditOp`] — the
+//! on-disk formats behind `treenum-wal`'s snapshot and log records.
+//!
+//! # Arena exactness
+//!
+//! [`to_bytes`] / [`from_bytes`] preserve the *exact* arena layout: every
+//! slot (live or free), the free-list order, the root and the live count.
+//! This is stronger than structural equality and it is load-bearing for
+//! crash recovery: [`EditOp`]s name concrete [`NodeId`]s, and
+//! [`UnrankedTree::alloc`](UnrankedTree) pops free slots LIFO, so replaying
+//! a WAL tail on a decoded snapshot allocates the *same* identifiers the
+//! original incarnation handed out.  A structurally-equal tree with a
+//! different arena layout would make the tail ops dangle.
+//!
+//! # Formats
+//!
+//! Tree (`TNTR` v1, little-endian throughout):
+//!
+//! ```text
+//! magic "TNTR" | version u16 | root u32 | live-len u64
+//! | slot-count u32 | slots… | free-count u32 | free-list u32…
+//! ```
+//!
+//! Each slot is `free u8 | label u32 | parent | first_child | last_child |
+//! prev_sibling | next_sibling` with links as `u32` (`u32::MAX` = none).
+//!
+//! Edit op (9 bytes): `tag u8 | anchor u32 | label u32` (label is 0 for
+//! `DeleteLeaf`, which has none).
+//!
+//! Decoding validates everything it can cheaply check (magic, version,
+//! lengths, link ranges, free-flag/free-list agreement, live count, root
+//! liveness) and returns [`SerialError`] instead of panicking — corrupt
+//! input is an expected situation on the recovery path, not a bug.
+
+use crate::edit::EditOp;
+use crate::label::Label;
+use crate::unranked::{Node, NodeId, UnrankedTree};
+use std::fmt;
+
+/// Magic prefix of a serialized tree.
+pub const TREE_MAGIC: [u8; 4] = *b"TNTR";
+/// Current tree-format version.
+pub const TREE_VERSION: u16 = 1;
+/// Serialized size of one [`EditOp`].
+pub const OP_BYTES: usize = 9;
+
+/// Link encoding of `None`.
+const NONE: u32 = u32::MAX;
+
+/// Decode failure: what was malformed and (roughly) where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialError {
+    /// Input ended before the declared structure did.
+    Truncated {
+        /// Bytes needed beyond what was available.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The magic prefix was wrong — not a tree blob at all.
+    BadMagic,
+    /// A version this build does not understand.
+    BadVersion(u16),
+    /// A structural inconsistency, described for the recovery report.
+    Corrupt(&'static str),
+    /// An op tag outside the known range.
+    BadOpTag(u8),
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::Truncated { needed, have } => {
+                write!(f, "truncated input: needed {needed} bytes, have {have}")
+            }
+            SerialError::BadMagic => write!(f, "bad magic (not a serialized tree)"),
+            SerialError::BadVersion(v) => write!(f, "unsupported tree format version {v}"),
+            SerialError::Corrupt(what) => write!(f, "corrupt tree encoding: {what}"),
+            SerialError::BadOpTag(t) => write!(f, "unknown edit-op tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerialError> {
+        if self.buf.len() - self.pos < n {
+            return Err(SerialError::Truncated {
+                needed: self.pos + n,
+                have: self.buf.len(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, SerialError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SerialError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, SerialError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SerialError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn push_link(out: &mut Vec<u8>, link: Option<NodeId>) {
+    out.extend_from_slice(&link.map_or(NONE, |n| n.0).to_le_bytes());
+}
+
+fn read_link(r: &mut Reader<'_>, slots: u32) -> Result<Option<NodeId>, SerialError> {
+    let raw = r.u32()?;
+    if raw == NONE {
+        Ok(None)
+    } else if raw < slots {
+        Ok(Some(NodeId(raw)))
+    } else {
+        Err(SerialError::Corrupt("node link out of arena range"))
+    }
+}
+
+/// Serializes `tree` arena-exactly (see the module docs).
+pub fn to_bytes(tree: &UnrankedTree) -> Vec<u8> {
+    let slots = tree.nodes.len();
+    let mut out = Vec::with_capacity(4 + 2 + 4 + 8 + 4 + slots * 25 + 4 + tree.free_list.len() * 4);
+    out.extend_from_slice(&TREE_MAGIC);
+    out.extend_from_slice(&TREE_VERSION.to_le_bytes());
+    out.extend_from_slice(&tree.root.0.to_le_bytes());
+    out.extend_from_slice(&(tree.len as u64).to_le_bytes());
+    out.extend_from_slice(&(slots as u32).to_le_bytes());
+    for node in &tree.nodes {
+        out.push(u8::from(node.free));
+        out.extend_from_slice(&node.label.0.to_le_bytes());
+        push_link(&mut out, node.parent);
+        push_link(&mut out, node.first_child);
+        push_link(&mut out, node.last_child);
+        push_link(&mut out, node.prev_sibling);
+        push_link(&mut out, node.next_sibling);
+    }
+    out.extend_from_slice(&(tree.free_list.len() as u32).to_le_bytes());
+    for &slot in &tree.free_list {
+        out.extend_from_slice(&slot.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a tree serialized by [`to_bytes`], validating the encoding.
+pub fn from_bytes(bytes: &[u8]) -> Result<UnrankedTree, SerialError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != TREE_MAGIC {
+        return Err(SerialError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != TREE_VERSION {
+        return Err(SerialError::BadVersion(version));
+    }
+    let root = r.u32()?;
+    let len = r.u64()?;
+    let slots = r.u32()?;
+    if root >= slots {
+        return Err(SerialError::Corrupt("root outside the arena"));
+    }
+    let mut nodes = Vec::with_capacity(slots as usize);
+    let mut live = 0u64;
+    for _ in 0..slots {
+        let free = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SerialError::Corrupt("free flag is neither 0 nor 1")),
+        };
+        live += u64::from(!free);
+        nodes.push(Node {
+            free,
+            label: Label(r.u32()?),
+            parent: read_link(&mut r, slots)?,
+            first_child: read_link(&mut r, slots)?,
+            last_child: read_link(&mut r, slots)?,
+            prev_sibling: read_link(&mut r, slots)?,
+            next_sibling: read_link(&mut r, slots)?,
+        });
+    }
+    if live != len {
+        return Err(SerialError::Corrupt("live count disagrees with free flags"));
+    }
+    let free_count = r.u32()?;
+    if u64::from(free_count) + live != u64::from(slots) {
+        return Err(SerialError::Corrupt(
+            "free-list length disagrees with free flags",
+        ));
+    }
+    let mut free_list = Vec::with_capacity(free_count as usize);
+    let mut seen = vec![false; slots as usize];
+    for _ in 0..free_count {
+        let slot = r.u32()?;
+        if slot >= slots || !nodes[slot as usize].free {
+            return Err(SerialError::Corrupt("free-list entry is not a free slot"));
+        }
+        if std::mem::replace(&mut seen[slot as usize], true) {
+            return Err(SerialError::Corrupt("duplicate free-list entry"));
+        }
+        free_list.push(slot);
+    }
+    if r.pos != bytes.len() {
+        return Err(SerialError::Corrupt("trailing bytes after the tree"));
+    }
+    if nodes[root as usize].free {
+        return Err(SerialError::Corrupt("root slot is free"));
+    }
+    Ok(UnrankedTree {
+        nodes,
+        free_list,
+        root: NodeId(root),
+        len: len as usize,
+    })
+}
+
+const TAG_INSERT_FIRST_CHILD: u8 = 0;
+const TAG_INSERT_RIGHT_SIBLING: u8 = 1;
+const TAG_DELETE_LEAF: u8 = 2;
+const TAG_RELABEL: u8 = 3;
+
+/// Serializes one edit op into its fixed [`OP_BYTES`]-byte form.
+pub fn encode_op(op: &EditOp) -> [u8; OP_BYTES] {
+    let (tag, node, label) = match *op {
+        EditOp::InsertFirstChild { parent, label } => (TAG_INSERT_FIRST_CHILD, parent.0, label.0),
+        EditOp::InsertRightSibling { sibling, label } => {
+            (TAG_INSERT_RIGHT_SIBLING, sibling.0, label.0)
+        }
+        EditOp::DeleteLeaf { node } => (TAG_DELETE_LEAF, node.0, 0),
+        EditOp::Relabel { node, label } => (TAG_RELABEL, node.0, label.0),
+    };
+    let mut out = [0u8; OP_BYTES];
+    out[0] = tag;
+    out[1..5].copy_from_slice(&node.to_le_bytes());
+    out[5..9].copy_from_slice(&label.to_le_bytes());
+    out
+}
+
+/// Decodes an edit op serialized by [`encode_op`].
+pub fn decode_op(bytes: &[u8]) -> Result<EditOp, SerialError> {
+    if bytes.len() != OP_BYTES {
+        return Err(SerialError::Truncated {
+            needed: OP_BYTES,
+            have: bytes.len(),
+        });
+    }
+    let node = NodeId(u32::from_le_bytes(bytes[1..5].try_into().unwrap()));
+    let label = Label(u32::from_le_bytes(bytes[5..9].try_into().unwrap()));
+    match bytes[0] {
+        TAG_INSERT_FIRST_CHILD => Ok(EditOp::InsertFirstChild {
+            parent: node,
+            label,
+        }),
+        TAG_INSERT_RIGHT_SIBLING => Ok(EditOp::InsertRightSibling {
+            sibling: node,
+            label,
+        }),
+        TAG_DELETE_LEAF => {
+            if label.0 != 0 {
+                return Err(SerialError::Corrupt("delete op carries a label"));
+            }
+            Ok(EditOp::DeleteLeaf { node })
+        }
+        TAG_RELABEL => Ok(EditOp::Relabel { node, label }),
+        t => Err(SerialError::BadOpTag(t)),
+    }
+}
+
+/// `true` iff `op` can be applied to `tree` without panicking
+/// ([`UnrankedTree::apply`] asserts its preconditions).  Recovery uses this
+/// to validate a replayed WAL tail before committing to `apply_batch`: a
+/// decoded-but-inapplicable op means the log and snapshot disagree, which is
+/// a quarantine condition, not a crash.
+pub fn op_applicable(tree: &UnrankedTree, op: &EditOp) -> bool {
+    match *op {
+        EditOp::InsertFirstChild { parent, .. } => tree.is_live(parent),
+        EditOp::InsertRightSibling { sibling, .. } => {
+            tree.is_live(sibling) && sibling != tree.root()
+        }
+        EditOp::DeleteLeaf { node } => {
+            tree.is_live(node) && tree.is_leaf(node) && node != tree.root()
+        }
+        EditOp::Relabel { node, .. } => tree.is_live(node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::{EditFeed, EditStream};
+    use crate::generate::{random_tree, TreeShape};
+    use crate::label::Alphabet;
+
+    fn arena_identical(a: &UnrankedTree, b: &UnrankedTree) -> bool {
+        to_bytes(a) == to_bytes(b)
+    }
+
+    #[test]
+    fn single_node_round_trip() {
+        let mut sigma = Alphabet::new();
+        let a = sigma.intern("a");
+        let t = UnrankedTree::new(a);
+        let decoded = from_bytes(&to_bytes(&t)).unwrap();
+        assert!(arena_identical(&t, &decoded));
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded.root(), t.root());
+    }
+
+    #[test]
+    fn round_trip_preserves_free_list_order() {
+        let mut sigma = Alphabet::new();
+        let a = sigma.intern("a");
+        let b = sigma.intern("b");
+        let mut t = UnrankedTree::new(a);
+        let r = t.root();
+        let c1 = t.insert_last_child(r, b);
+        let c2 = t.insert_last_child(r, b);
+        let c3 = t.insert_last_child(r, b);
+        t.delete_leaf(c1);
+        t.delete_leaf(c3);
+        let mut decoded = from_bytes(&to_bytes(&t)).unwrap();
+        assert!(arena_identical(&t, &decoded));
+        // Allocation after decode must pop the same slot the original would:
+        // c3 was freed last, so it is reused first.
+        let fresh = decoded.insert_last_child(r, b);
+        let fresh_orig = t.insert_last_child(r, b);
+        assert_eq!(fresh, c3);
+        assert_eq!(fresh, fresh_orig);
+        let _ = c2;
+    }
+
+    #[test]
+    fn op_round_trip_all_kinds() {
+        let ops = [
+            EditOp::InsertFirstChild {
+                parent: NodeId(7),
+                label: Label(3),
+            },
+            EditOp::InsertRightSibling {
+                sibling: NodeId(u32::MAX - 1),
+                label: Label(0),
+            },
+            EditOp::DeleteLeaf { node: NodeId(0) },
+            EditOp::Relabel {
+                node: NodeId(42),
+                label: Label(9),
+            },
+        ];
+        for op in ops {
+            assert_eq!(decode_op(&encode_op(&op)).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(from_bytes(b"nope").unwrap_err(), SerialError::BadMagic);
+        assert!(matches!(
+            from_bytes(b"TN"),
+            Err(SerialError::Truncated { .. })
+        ));
+        let mut sigma = Alphabet::new();
+        let t = UnrankedTree::new(sigma.intern("a"));
+        let good = to_bytes(&t);
+        for cut in 0..good.len() {
+            assert!(from_bytes(&good[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            from_bytes(&trailing).unwrap_err(),
+            SerialError::Corrupt("trailing bytes after the tree")
+        );
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert_eq!(
+            from_bytes(&bad_version).unwrap_err(),
+            SerialError::BadVersion(99)
+        );
+        assert_eq!(decode_op(&[9; OP_BYTES]), Err(SerialError::BadOpTag(9)));
+        assert!(decode_op(&[0; 4]).is_err());
+    }
+
+    #[test]
+    fn streamed_edits_round_trip_across_strategies() {
+        type Ctor = fn(Vec<Label>, u64) -> EditStream;
+        let strategies: [(&str, Ctor); 3] = [
+            ("uniform", EditStream::balanced_mix),
+            ("skewed", EditStream::skewed),
+            ("burst", EditStream::burst),
+        ];
+        for (si, (name, ctor)) in strategies.iter().enumerate() {
+            let mut sigma = Alphabet::from_names(["a", "b", "c", "d"]);
+            let labels: Vec<Label> = ["a", "b", "c", "d"]
+                .iter()
+                .map(|n| sigma.intern(n))
+                .collect();
+            let tree = random_tree(&mut sigma, 200, TreeShape::Random, 11 + si as u64);
+            let mut feed = EditFeed::new(&tree, ctor(labels, 101 + si as u64));
+            for step in 0..300 {
+                let op = feed.next_op();
+                let decoded_op = decode_op(&encode_op(&op)).unwrap();
+                assert_eq!(decoded_op, op, "{name} op {step}");
+                let decoded = from_bytes(&to_bytes(feed.tree())).unwrap();
+                assert!(
+                    arena_identical(feed.tree(), &decoded),
+                    "{name} tree after op {step}"
+                );
+            }
+        }
+    }
+}

@@ -27,15 +27,15 @@ impl fmt::Debug for NodeId {
 }
 
 #[derive(Clone, Debug)]
-struct Node {
-    label: Label,
-    parent: Option<NodeId>,
-    first_child: Option<NodeId>,
-    last_child: Option<NodeId>,
-    prev_sibling: Option<NodeId>,
-    next_sibling: Option<NodeId>,
+pub(crate) struct Node {
+    pub(crate) label: Label,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) last_child: Option<NodeId>,
+    pub(crate) prev_sibling: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
     /// Slot is free (node has been deleted).
-    free: bool,
+    pub(crate) free: bool,
 }
 
 /// A rooted, ordered, labelled unranked tree.
@@ -53,10 +53,10 @@ struct Node {
 /// ```
 #[derive(Clone, Debug)]
 pub struct UnrankedTree {
-    nodes: Vec<Node>,
-    free_list: Vec<u32>,
-    root: NodeId,
-    len: usize,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) free_list: Vec<u32>,
+    pub(crate) root: NodeId,
+    pub(crate) len: usize,
 }
 
 impl UnrankedTree {

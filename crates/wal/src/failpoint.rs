@@ -1,0 +1,339 @@
+//! Deterministic fault injection for the durability stack.
+//!
+//! [`FailpointFs`] forwards every operation to [`DiskFs`] against a real
+//! directory, but counts *write steps* and can make the k-th one fail in a
+//! controlled way:
+//!
+//! * [`FaultKind::Kill`] — the k-th write does nothing at all and errors;
+//!   the storage is dead from then on (every later write or sync errors).
+//!   Models `kill -9` landing between two writes.
+//! * [`FaultKind::Truncate`] — the k-th write persists only a prefix of its
+//!   bytes, then errors and the storage dies.  Models power loss mid-write:
+//!   the classic torn WAL tail.
+//! * [`FaultKind::BitFlip`] — the k-th write succeeds but one bit of the
+//!   payload is flipped on the way down.  The storage stays alive.  Models
+//!   silent media corruption, which recovery must detect via CRC and turn
+//!   into a quarantine, never a panic.
+//!
+//! A *write step* is one [`WalFile::append`] call or one of the two steps of
+//! [`Storage::write_atomic`] (temp-file write, rename) — so a kill point can
+//! land mid-snapshot-write, leaving a temp file behind, exactly like a real
+//! crash between `write` and `rename`.  Reads, listings and removals are
+//! never faulted: after the simulated crash, the *next incarnation* reads
+//! the directory back, and that incarnation's storage is healthy.
+//!
+//! The whole type is test-only machinery (a designated module for the
+//! `wal-io-unwrap` analyzer rule): production code never constructs one.
+
+use crate::storage::{DiskFs, Storage, WalFile};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// What happens at the armed write step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The write is lost entirely and the storage dies.
+    Kill,
+    /// Half the write's bytes land, then the storage dies.
+    Truncate,
+    /// The write lands with one bit flipped; the storage lives on.
+    BitFlip,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// Write steps remaining before the fault fires (`None` = never).
+    remaining: Option<u64>,
+    kind: FaultKind,
+    /// Set once a Kill/Truncate fault has fired: every later write errors.
+    dead: bool,
+    /// Total write steps attempted so far (including the faulted one).
+    writes: u64,
+    /// Whether the armed fault has fired.
+    triggered: bool,
+}
+
+/// A [`Storage`] that injects one deterministic fault (see the module docs).
+///
+/// Clones share the same fault state, so the WAL and the snapshot store can
+/// be driven off one countdown — the way a single real disk fails.
+#[derive(Clone, Debug)]
+pub struct FailpointFs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+fn dead_err() -> io::Error {
+    io::Error::other("failpoint: storage is dead after injected fault")
+}
+
+impl FailpointFs {
+    /// A storage that never faults but still counts write steps — run the
+    /// workload once on this to learn how many kill points there are.
+    pub fn counting() -> Self {
+        FailpointFs {
+            state: Arc::new(Mutex::new(FaultState {
+                remaining: None,
+                kind: FaultKind::Kill,
+                dead: false,
+                writes: 0,
+                triggered: false,
+            })),
+        }
+    }
+
+    /// A storage whose `k`-th write step (0-indexed) suffers `kind`.
+    pub fn armed(kind: FaultKind, k: u64) -> Self {
+        FailpointFs {
+            state: Arc::new(Mutex::new(FaultState {
+                remaining: Some(k),
+                kind,
+                dead: false,
+                writes: 0,
+                triggered: false,
+            })),
+        }
+    }
+
+    /// Total write steps attempted so far.
+    pub fn writes(&self) -> u64 {
+        self.lock().writes
+    }
+
+    /// `true` iff the armed fault has fired.
+    pub fn triggered(&self) -> bool {
+        self.lock().triggered
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Advances the write-step counter; returns what this step must do.
+    fn step(&self) -> StepOutcome {
+        let mut st = self.lock();
+        if st.dead {
+            return StepOutcome::Dead;
+        }
+        st.writes += 1;
+        match st.remaining {
+            Some(0) => {
+                st.triggered = true;
+                st.remaining = None;
+                match st.kind {
+                    FaultKind::Kill => {
+                        st.dead = true;
+                        StepOutcome::Kill
+                    }
+                    FaultKind::Truncate => {
+                        st.dead = true;
+                        StepOutcome::Truncate
+                    }
+                    FaultKind::BitFlip => StepOutcome::BitFlip,
+                }
+            }
+            Some(ref mut n) => {
+                *n -= 1;
+                StepOutcome::Pass
+            }
+            None => StepOutcome::Pass,
+        }
+    }
+}
+
+enum StepOutcome {
+    Pass,
+    Kill,
+    Truncate,
+    BitFlip,
+    Dead,
+}
+
+/// Flips the lowest bit of the middle byte.
+fn flip_one_bit(bytes: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if !out.is_empty() {
+        let mid = out.len() / 2;
+        out[mid] ^= 1;
+    }
+    out
+}
+
+struct FailpointFile {
+    inner: std::fs::File,
+    fs: FailpointFs,
+}
+
+impl WalFile for FailpointFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match self.fs.step() {
+            StepOutcome::Pass => self.inner.write_all(bytes),
+            StepOutcome::Kill | StepOutcome::Dead => Err(dead_err()),
+            StepOutcome::Truncate => {
+                let keep = bytes.len() / 2;
+                self.inner.write_all(&bytes[..keep])?;
+                let _ = self.inner.sync_data();
+                Err(dead_err())
+            }
+            StepOutcome::BitFlip => self.inner.write_all(&flip_one_bit(bytes)),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.fs.lock().dead {
+            return Err(dead_err());
+        }
+        self.inner.sync_data()
+    }
+}
+
+impl Storage for FailpointFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        DiskFs.create_dir_all(dir)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        if self.lock().dead {
+            return Err(dead_err());
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(FailpointFile {
+            inner: file,
+            fs: self.clone(),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        // Step 1: the temp-file write.
+        let tmp = {
+            let mut name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "snapshot".to_owned());
+            name.push_str(".tmp");
+            path.parent()
+                .map(Path::to_path_buf)
+                .unwrap_or_default()
+                .join(name)
+        };
+        match self.step() {
+            StepOutcome::Pass => std::fs::write(&tmp, bytes)?,
+            StepOutcome::Kill | StepOutcome::Dead => return Err(dead_err()),
+            StepOutcome::Truncate => {
+                std::fs::write(&tmp, &bytes[..bytes.len() / 2])?;
+                return Err(dead_err());
+            }
+            StepOutcome::BitFlip => std::fs::write(&tmp, flip_one_bit(bytes))?,
+        }
+        // Step 2: the rename.  A kill here leaves the temp file behind —
+        // recovery must ignore `.tmp` files.
+        match self.step() {
+            StepOutcome::Pass | StepOutcome::BitFlip => std::fs::rename(&tmp, path),
+            StepOutcome::Kill | StepOutcome::Truncate | StepOutcome::Dead => Err(dead_err()),
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        DiskFs.list(dir)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        DiskFs.remove(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "treenum-failpoint-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn kill_at_k_loses_that_write_and_all_later_ones() {
+        let dir = temp_dir("kill");
+        let fs = FailpointFs::armed(FaultKind::Kill, 2);
+        let path = dir.join("log");
+        let mut f = fs.open_append(&path).unwrap();
+        f.append(b"aa").unwrap();
+        f.append(b"bb").unwrap();
+        assert!(f.append(b"cc").is_err());
+        assert!(f.append(b"dd").is_err());
+        assert!(f.sync().is_err());
+        assert!(fs.triggered());
+        assert_eq!(fs.read(&path).unwrap(), b"aabb");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_keeps_half_of_the_faulted_write() {
+        let dir = temp_dir("trunc");
+        let fs = FailpointFs::armed(FaultKind::Truncate, 1);
+        let path = dir.join("log");
+        let mut f = fs.open_append(&path).unwrap();
+        f.append(b"head").unwrap();
+        assert!(f.append(b"0123456789").is_err());
+        assert_eq!(fs.read(&path).unwrap(), b"head01234");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_corrupts_silently_and_storage_survives() {
+        let dir = temp_dir("flip");
+        let fs = FailpointFs::armed(FaultKind::BitFlip, 0);
+        let path = dir.join("log");
+        let mut f = fs.open_append(&path).unwrap();
+        f.append(b"abcd").unwrap();
+        f.append(b"tail").unwrap();
+        f.sync().unwrap();
+        // First write's middle byte ('c') has its low bit flipped -> 'b';
+        // the second write is past the armed step and lands intact.
+        assert_eq!(fs.read(&path).unwrap(), b"abbdtail");
+        assert!(fs.triggered());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_counts_two_steps_and_kill_mid_rename_leaves_temp() {
+        let dir = temp_dir("atomic");
+        // k=1 is the rename step of the first write_atomic.
+        let fs = FailpointFs::armed(FaultKind::Kill, 1);
+        let path = dir.join("snap");
+        assert!(fs.write_atomic(&path, b"payload").is_err());
+        let names = fs.list(&dir).unwrap();
+        assert_eq!(names, vec!["snap.tmp".to_owned()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn counting_mode_counts_every_write_step() {
+        let dir = temp_dir("count");
+        let fs = FailpointFs::counting();
+        let mut f = fs.open_append(&dir.join("log")).unwrap();
+        f.append(b"x").unwrap();
+        f.append(b"y").unwrap();
+        fs.write_atomic(&dir.join("snap"), b"z").unwrap();
+        assert_eq!(fs.writes(), 4); // 2 appends + temp-write + rename
+        assert!(!fs.triggered());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,33 @@
+//! # treenum-wal
+//!
+//! The durability layer under `treenum-serve`: everything needed to make a
+//! serving shard survive `kill -9`.
+//!
+//! * [`log`]: a segmented write-ahead log with CRC-framed records,
+//!   monotonic sequence numbers, configurable [`SyncPolicy`], and
+//!   torn-tail-tolerant recovery.
+//! * [`snapshot`]: atomic (temp + rename) snapshot files carrying the
+//!   publication generation and the WAL offset they cover.
+//! * [`storage`]: the tiny filesystem trait both are written against, with
+//!   the production [`DiskFs`] implementation.
+//! * [`failpoint`]: [`FailpointFs`], a deterministic fault-injecting
+//!   storage (kill / truncate / bit-flip at the k-th write) that drives the
+//!   kill-and-recover invariant suite.
+//! * [`crc`]: hand-rolled CRC-32 (no registry access in this workspace).
+//!
+//! The division of labour with `treenum-serve`: this crate knows bytes,
+//! files and damage classification; the serving layer knows trees, ops and
+//! the generation ↔ op-prefix contract, and decides between replay and
+//! quarantine.
+
+pub mod crc;
+pub mod failpoint;
+pub mod log;
+pub mod snapshot;
+pub mod storage;
+
+pub use crc::crc32;
+pub use failpoint::{FailpointFs, FaultKind};
+pub use log::{SyncPolicy, Wal, WalRecord, WalRecovery};
+pub use snapshot::{LoadedSnapshot, SnapshotLoad, SnapshotStore};
+pub use storage::{DiskFs, Storage, WalFile};

@@ -1,0 +1,518 @@
+//! The segmented write-ahead log.
+//!
+//! # Record framing
+//!
+//! ```text
+//! len u32 | crc u32 | seq u64 | payload (len bytes)
+//! ```
+//!
+//! all little-endian; `crc` is CRC-32 over `seq ‖ payload`.  Sequence
+//! numbers are monotonic across the whole log and across incarnations —
+//! they are the durable contract recovery replays against (the in-memory
+//! generation counter restarts at 0 every incarnation).
+//!
+//! # Segments
+//!
+//! Records live in append-only segment files named `wal-{first_seq:020}.log`
+//! inside the log directory.  A segment rolls over once it exceeds the
+//! configured byte budget, and *reopening always starts a fresh segment* at
+//! the next sequence number — an existing file is never appended to again,
+//! so a torn tail from a previous incarnation never gets live records
+//! written after it.
+//!
+//! # Recovery
+//!
+//! [`Wal::recover`] replays segments in name order and classifies damage:
+//!
+//! * A record that fails its CRC/length/seq check, with **no** valid record
+//!   anywhere after it in the segment and no later-named segment breaking
+//!   the sequence, is a **torn tail**: the crash landed mid-append.  Every
+//!   record before it is returned; the tail bytes are counted in
+//!   [`WalRecovery::dropped_bytes`].  (A corruption that destroys the very
+//!   last durable record is physically indistinguishable from a torn
+//!   write, so it is classified the same way; records that were
+//!   acknowledged under `SyncPolicy::Always` and then followed by more
+//!   appends are never in this position.)
+//! * A bad record **followed** by a valid one (or by a segment whose name
+//!   skips ahead) means an acknowledged record in the *middle* of the log
+//!   is gone: **`lost_middle`** — corrupt beyond recovery.  The caller
+//!   (the serving layer) quarantines the shard instead of panicking.
+//!
+//! Recovery never writes: torn tails are handled logically, not by
+//! truncating files.
+
+use crate::crc::{crc32, Crc32};
+use crate::storage::{Storage, WalFile};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Frame overhead per record (`len + crc + seq`).
+pub const RECORD_HEADER: usize = 16;
+
+/// Upper bound on a single record's payload; anything larger in a length
+/// field is treated as corruption during recovery.
+pub const MAX_PAYLOAD: usize = 1 << 26;
+
+/// When appended records are forced to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every append: no acknowledged record is ever lost.
+    Always,
+    /// fsync every `n` appends: bounds loss to the last `n - 1` records.
+    EveryN(u32),
+    /// fsync once per [`Wal::flush`] call — the serving layer calls it once
+    /// per publication flush, before acknowledging the batch.
+    OnFlush,
+}
+
+/// One recovered record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The record's monotonic sequence number.
+    pub seq: u64,
+    /// The record payload (a serialized [`treenum_trees::EditOp`] in the
+    /// serving layer's use).
+    pub payload: Vec<u8>,
+}
+
+/// Everything [`Wal::recover`] learned from a log directory.
+#[derive(Clone, Debug, Default)]
+pub struct WalRecovery {
+    /// All intact records, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// A torn final write was detected (and logically dropped).
+    pub torn_tail: bool,
+    /// An intact record exists *after* damage: acknowledged data is gone
+    /// and the log cannot be trusted — quarantine territory.
+    pub lost_middle: bool,
+    /// Bytes discarded as torn/corrupt.
+    pub dropped_bytes: u64,
+    /// Segment files inspected.
+    pub segments: usize,
+    /// First sequence number the oldest segment claims to start at (0 when
+    /// the directory is empty) — the floor [`WalRecovery::next_seq`] falls
+    /// back to when no record survived.
+    pub base_seq: u64,
+}
+
+impl WalRecovery {
+    /// The sequence number the next incarnation must continue at.
+    pub fn next_seq(&self) -> u64 {
+        self.records.last().map_or(self.base_seq, |r| r.seq + 1)
+    }
+}
+
+/// A writable, segmented write-ahead log.
+pub struct Wal {
+    storage: Arc<dyn Storage>,
+    dir: PathBuf,
+    sync: SyncPolicy,
+    segment_bytes: u64,
+    file: Box<dyn WalFile>,
+    /// First sequence number of every live segment, ascending; the last
+    /// entry names the active segment.
+    segments: Vec<u64>,
+    /// Bytes written to the active segment.
+    active_len: u64,
+    next_seq: u64,
+    unsynced: u32,
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// Attempts to parse one record at `buf[off..]`.  `min_seq` rejects frames
+/// whose (CRC-valid) sequence number runs backwards — that cannot arise
+/// from this writer, so it is corruption.
+fn parse_record(buf: &[u8], off: usize, min_seq: u64) -> Option<(WalRecord, usize)> {
+    let rest = &buf[off..];
+    if rest.len() < RECORD_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD || rest.len() < RECORD_HEADER + len {
+        return None;
+    }
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let body = &rest[8..RECORD_HEADER + len];
+    if crc32(body) != crc {
+        return None;
+    }
+    let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+    if seq < min_seq {
+        return None;
+    }
+    Some((
+        WalRecord {
+            seq,
+            payload: body[8..].to_vec(),
+        },
+        RECORD_HEADER + len,
+    ))
+}
+
+/// `true` iff any intact record (with a plausible sequence number) parses
+/// at any offset in `buf[from..]` — the "is anything valid after the
+/// damage?" probe that separates a torn tail from a destroyed middle.
+fn any_valid_record_after(buf: &[u8], from: usize, min_seq: u64) -> bool {
+    (from..buf.len().saturating_sub(RECORD_HEADER - 1))
+        .any(|off| parse_record(buf, off, min_seq).is_some())
+}
+
+impl Wal {
+    /// Reads every segment under `dir` and classifies the damage, without
+    /// writing anything.  An absent or empty directory recovers to an empty
+    /// log starting at sequence 0.
+    pub fn recover(storage: &dyn Storage, dir: &Path) -> io::Result<WalRecovery> {
+        let mut seqs: Vec<u64> = storage
+            .list(dir)?
+            .iter()
+            .filter_map(|n| parse_segment_name(n))
+            .collect();
+        seqs.sort_unstable();
+        let mut out = WalRecovery {
+            segments: seqs.len(),
+            base_seq: seqs.first().copied().unwrap_or(0),
+            ..WalRecovery::default()
+        };
+        let mut expected = out.base_seq;
+        for (i, &first_seq) in seqs.iter().enumerate() {
+            if first_seq != expected {
+                // A later segment starts past the records we actually have:
+                // whatever filled the gap is gone.
+                out.lost_middle = true;
+                return Ok(out);
+            }
+            let buf = storage.read(&dir.join(segment_name(first_seq)))?;
+            let mut off = 0usize;
+            while off < buf.len() {
+                match parse_record(&buf, off, expected) {
+                    Some((rec, consumed)) if rec.seq == expected => {
+                        out.records.push(rec);
+                        expected += 1;
+                        off += consumed;
+                    }
+                    // An intact frame whose sequence number skips ahead:
+                    // the records in between are gone.
+                    Some(_) => {
+                        out.lost_middle = true;
+                        return Ok(out);
+                    }
+                    None => {
+                        if any_valid_record_after(&buf, off + 1, expected) {
+                            out.lost_middle = true;
+                            return Ok(out);
+                        }
+                        out.torn_tail = true;
+                        out.dropped_bytes += (buf.len() - off) as u64;
+                        if i + 1 != seqs.len() {
+                            // The tear must be the previous incarnation's
+                            // final write; the next segment's name proves
+                            // (or disproves) that nothing after it was lost.
+                            if seqs[i + 1] != expected {
+                                out.lost_middle = true;
+                                return Ok(out);
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Opens the log for appending, continuing at `next_seq` — always in a
+    /// *fresh* segment (see the module docs).  `next_seq` comes from
+    /// [`WalRecovery::next_seq`]; a leftover same-named segment can only
+    /// hold torn garbage (recovery would otherwise have advanced past it)
+    /// and is removed first.
+    pub fn open_at(
+        storage: Arc<dyn Storage>,
+        dir: &Path,
+        sync: SyncPolicy,
+        segment_bytes: u64,
+        next_seq: u64,
+    ) -> io::Result<Wal> {
+        storage.create_dir_all(dir)?;
+        let mut segments: Vec<u64> = storage
+            .list(dir)?
+            .iter()
+            .filter_map(|n| parse_segment_name(n))
+            .filter(|&s| s < next_seq)
+            .collect();
+        segments.sort_unstable();
+        let path = dir.join(segment_name(next_seq));
+        storage.remove(&path)?;
+        let file = storage.open_append(&path)?;
+        segments.push(next_seq);
+        Ok(Wal {
+            storage,
+            dir: dir.to_path_buf(),
+            sync,
+            segment_bytes: segment_bytes.max(RECORD_HEADER as u64),
+            file,
+            segments,
+            active_len: 0,
+            next_seq,
+            unsynced: 0,
+        })
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one record, returning its sequence number.  Durability at
+    /// return time depends on the [`SyncPolicy`]; call [`Wal::flush`]
+    /// before acknowledging under `OnFlush`.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        assert!(payload.len() <= MAX_PAYLOAD, "oversized WAL record");
+        if self.active_len >= self.segment_bytes {
+            self.roll()?;
+        }
+        let seq = self.next_seq;
+        let mut frame = Vec::with_capacity(RECORD_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&seq.to_le_bytes());
+        crc.update(payload);
+        frame.extend_from_slice(&crc.finish().to_le_bytes());
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.append(&frame)?;
+        self.active_len += frame.len() as u64;
+        self.next_seq = seq + 1;
+        match self.sync {
+            SyncPolicy::Always => self.file.sync()?,
+            SyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.file.sync()?;
+                    self.unsynced = 0;
+                }
+            }
+            SyncPolicy::OnFlush => self.unsynced += 1,
+        }
+        Ok(seq)
+    }
+
+    /// Forces every appended record to stable storage (the pre-ack barrier
+    /// under `SyncPolicy::OnFlush` / `EveryN`).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Removes segments every record of which has sequence number `< seq`
+    /// (called after a snapshot at `seq` makes them redundant).  The active
+    /// segment is never removed.
+    pub fn prune_upto(&mut self, seq: u64) -> io::Result<usize> {
+        let mut removed = 0;
+        while self.segments.len() > 1 && self.segments[1] <= seq {
+            let first = self.segments.remove(0);
+            self.storage.remove(&self.dir.join(segment_name(first)))?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Live segment count (for stats and tests).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn roll(&mut self) -> io::Result<()> {
+        self.flush()?;
+        let path = self.dir.join(segment_name(self.next_seq));
+        self.file = self.storage.open_append(&path)?;
+        self.segments.push(self.next_seq);
+        self.active_len = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::DiskFs;
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("treenum-log-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn payload(i: u64) -> Vec<u8> {
+        format!("record-{i}-{}", "x".repeat((i % 7) as usize)).into_bytes()
+    }
+
+    #[test]
+    fn append_recover_round_trip_across_segments() {
+        let dir = temp_dir("roundtrip");
+        let storage: Arc<dyn Storage> = Arc::new(DiskFs);
+        let mut wal = Wal::open_at(Arc::clone(&storage), &dir, SyncPolicy::OnFlush, 64, 0).unwrap();
+        for i in 0..40 {
+            assert_eq!(wal.append(&payload(i)).unwrap(), i);
+        }
+        wal.flush().unwrap();
+        assert!(wal.segment_count() > 1, "tiny budget must roll segments");
+        let rec = Wal::recover(&DiskFs, &dir).unwrap();
+        assert_eq!(rec.records.len(), 40);
+        assert!(!rec.torn_tail && !rec.lost_middle);
+        assert_eq!(rec.next_seq(), 40);
+        for (i, r) in rec.records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+            assert_eq!(r.payload, payload(i as u64));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_continues_the_sequence_in_a_fresh_segment() {
+        let dir = temp_dir("reopen");
+        let storage: Arc<dyn Storage> = Arc::new(DiskFs);
+        let mut wal =
+            Wal::open_at(Arc::clone(&storage), &dir, SyncPolicy::Always, 1 << 20, 0).unwrap();
+        for i in 0..5 {
+            wal.append(&payload(i)).unwrap();
+        }
+        drop(wal);
+        let rec = Wal::recover(&DiskFs, &dir).unwrap();
+        let mut wal = Wal::open_at(
+            Arc::clone(&storage),
+            &dir,
+            SyncPolicy::Always,
+            1 << 20,
+            rec.next_seq(),
+        )
+        .unwrap();
+        for i in 5..9 {
+            assert_eq!(wal.append(&payload(i)).unwrap(), i);
+        }
+        drop(wal);
+        let rec = Wal::recover(&DiskFs, &dir).unwrap();
+        assert_eq!(rec.records.len(), 9);
+        assert_eq!(rec.segments, 2);
+        assert!(!rec.torn_tail && !rec.lost_middle);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_final_record_recovers_every_prior_record() {
+        // The satellite property test: cut the final segment at *every*
+        // possible byte length; recovery must return exactly the records
+        // whose frames lie wholly before the cut, and never report
+        // lost_middle.
+        let dir = temp_dir("torn");
+        let storage: Arc<dyn Storage> = Arc::new(DiskFs);
+        let mut wal =
+            Wal::open_at(Arc::clone(&storage), &dir, SyncPolicy::OnFlush, 1 << 20, 0).unwrap();
+        let mut boundaries = vec![0usize];
+        for i in 0..12 {
+            wal.append(&payload(i)).unwrap();
+            boundaries.push(boundaries.last().unwrap() + RECORD_HEADER + payload(i).len());
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        let seg = dir.join(segment_name(0));
+        let full = fs::read(&seg).unwrap();
+        assert_eq!(full.len(), *boundaries.last().unwrap());
+        for cut in 0..=full.len() {
+            fs::write(&seg, &full[..cut]).unwrap();
+            let rec = Wal::recover(&DiskFs, &dir).unwrap();
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(rec.records.len(), complete, "cut at {cut}");
+            assert!(!rec.lost_middle, "cut at {cut}");
+            let at_boundary = boundaries.contains(&cut);
+            assert_eq!(rec.torn_tail, !at_boundary, "cut at {cut}");
+            assert_eq!(rec.next_seq(), complete as u64, "cut at {cut}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_before_intact_records_is_lost_middle() {
+        let dir = temp_dir("middle");
+        let storage: Arc<dyn Storage> = Arc::new(DiskFs);
+        let mut wal =
+            Wal::open_at(Arc::clone(&storage), &dir, SyncPolicy::OnFlush, 1 << 20, 0).unwrap();
+        for i in 0..10 {
+            wal.append(&payload(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        let seg = dir.join(segment_name(0));
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+        let rec = Wal::recover(&DiskFs, &dir).unwrap();
+        assert!(rec.lost_middle);
+        assert!(rec.records.len() < 10);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_segment_is_lost_middle() {
+        let dir = temp_dir("gap");
+        let storage: Arc<dyn Storage> = Arc::new(DiskFs);
+        let mut wal = Wal::open_at(Arc::clone(&storage), &dir, SyncPolicy::OnFlush, 32, 0).unwrap();
+        for i in 0..30 {
+            wal.append(&payload(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        assert!(wal.segment_count() >= 3);
+        let middle = wal.segments[1];
+        drop(wal);
+        fs::remove_file(dir.join(segment_name(middle))).unwrap();
+        let rec = Wal::recover(&DiskFs, &dir).unwrap();
+        assert!(rec.lost_middle);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_drops_only_fully_covered_segments() {
+        let dir = temp_dir("prune");
+        let storage: Arc<dyn Storage> = Arc::new(DiskFs);
+        let mut wal = Wal::open_at(Arc::clone(&storage), &dir, SyncPolicy::OnFlush, 48, 0).unwrap();
+        for i in 0..40 {
+            wal.append(&payload(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        let before = wal.segment_count();
+        assert!(before >= 4);
+        let cutoff = wal.segments[2];
+        let removed = wal.prune_upto(cutoff).unwrap();
+        assert_eq!(removed, 2);
+        let rec = Wal::recover(&DiskFs, &dir).unwrap();
+        assert!(!rec.lost_middle && !rec.torn_tail);
+        assert_eq!(rec.records.first().unwrap().seq, cutoff);
+        assert_eq!(rec.next_seq(), 40);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_of_empty_or_missing_dir_is_empty() {
+        let rec = Wal::recover(&DiskFs, &temp_dir("missing")).unwrap();
+        assert_eq!(rec.records.len(), 0);
+        assert_eq!(rec.next_seq(), 0);
+        assert!(!rec.torn_tail && !rec.lost_middle);
+    }
+}

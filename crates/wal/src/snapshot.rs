@@ -1,0 +1,232 @@
+//! Atomic snapshot persistence.
+//!
+//! A snapshot is one file `snap-{op_seq:020}.snap` holding an opaque
+//! payload (the serving layer stores a serialized tree) plus a header that
+//! pins down *which* state it is:
+//!
+//! ```text
+//! magic "TNSP" | version u16 | generation u64 | op_seq u64
+//! | payload-len u64 | payload-crc u32 | payload
+//! ```
+//!
+//! `op_seq` is the WAL offset the snapshot covers: every op with sequence
+//! number `< op_seq` is folded in, everything `>= op_seq` must be replayed
+//! from the WAL.  `generation` records the publication generation of the
+//! incarnation that wrote it (informational — generations restart at 0 on
+//! recovery; `op_seq` is the durable contract).
+//!
+//! Files are written atomically (temp + rename via
+//! [`Storage::write_atomic`]), so a crash mid-write leaves either the old
+//! set of snapshots or the new one — never a half file under a valid name.
+//! [`SnapshotStore::load_newest`] walks names newest-first and *skips*
+//! invalid files (bad magic, bad CRC, truncation) rather than erroring:
+//! an older intact snapshot plus a longer WAL replay beats a panic.
+
+use crate::crc::crc32;
+use crate::storage::Storage;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Magic prefix of a snapshot file.
+pub const SNAP_MAGIC: [u8; 4] = *b"TNSP";
+/// Current snapshot-format version.
+pub const SNAP_VERSION: u16 = 1;
+/// Header size in bytes.
+pub const SNAP_HEADER: usize = 4 + 2 + 8 + 8 + 8 + 4;
+
+/// One decoded snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadedSnapshot {
+    /// Publication generation of the writing incarnation.
+    pub generation: u64,
+    /// First WAL sequence number *not* covered by this snapshot.
+    pub op_seq: u64,
+    /// The serialized state.
+    pub payload: Vec<u8>,
+}
+
+/// Result of [`SnapshotStore::load_newest`].
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotLoad {
+    /// The newest intact snapshot, if any file decoded.
+    pub snapshot: Option<LoadedSnapshot>,
+    /// Snapshot files that existed but failed validation and were skipped.
+    pub skipped: usize,
+}
+
+/// A directory of versioned snapshot files.
+pub struct SnapshotStore {
+    storage: Arc<dyn Storage>,
+    dir: PathBuf,
+}
+
+fn snap_name(op_seq: u64) -> String {
+    format!("snap-{op_seq:020}.snap")
+}
+
+fn parse_snap_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+fn decode(bytes: &[u8]) -> Option<LoadedSnapshot> {
+    if bytes.len() < SNAP_HEADER || bytes[..4] != SNAP_MAGIC {
+        return None;
+    }
+    if u16::from_le_bytes(bytes[4..6].try_into().unwrap()) != SNAP_VERSION {
+        return None;
+    }
+    let generation = u64::from_le_bytes(bytes[6..14].try_into().unwrap());
+    let op_seq = u64::from_le_bytes(bytes[14..22].try_into().unwrap());
+    let len = u64::from_le_bytes(bytes[22..30].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[30..34].try_into().unwrap());
+    let payload = &bytes[SNAP_HEADER..];
+    if payload.len() as u64 != len || crc32(payload) != crc {
+        return None;
+    }
+    Some(LoadedSnapshot {
+        generation,
+        op_seq,
+        payload: payload.to_vec(),
+    })
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the snapshot directory.
+    pub fn open(storage: Arc<dyn Storage>, dir: PathBuf) -> io::Result<Self> {
+        storage.create_dir_all(&dir)?;
+        Ok(SnapshotStore { storage, dir })
+    }
+
+    /// Atomically persists a snapshot of the state as of `op_seq`.
+    pub fn save(&self, generation: u64, op_seq: u64, payload: &[u8]) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(SNAP_HEADER + payload.len());
+        bytes.extend_from_slice(&SNAP_MAGIC);
+        bytes.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&generation.to_le_bytes());
+        bytes.extend_from_slice(&op_seq.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        self.storage
+            .write_atomic(&self.dir.join(snap_name(op_seq)), &bytes)
+    }
+
+    /// Loads the newest intact snapshot, skipping (and counting) corrupt
+    /// files and ignoring in-flight `.tmp` leftovers.
+    pub fn load_newest(&self) -> io::Result<SnapshotLoad> {
+        let mut seqs: Vec<u64> = self
+            .storage
+            .list(&self.dir)?
+            .iter()
+            .filter_map(|n| parse_snap_name(n))
+            .collect();
+        seqs.sort_unstable_by(|a, b| b.cmp(a));
+        let mut load = SnapshotLoad::default();
+        for seq in seqs {
+            let bytes = self.storage.read(&self.dir.join(snap_name(seq)))?;
+            match decode(&bytes) {
+                // The file name is derived from the header when saving, so
+                // a mismatch means the file was tampered with or misplaced.
+                Some(snap) if snap.op_seq == seq => {
+                    load.snapshot = Some(snap);
+                    return Ok(load);
+                }
+                _ => load.skipped += 1,
+            }
+        }
+        Ok(load)
+    }
+
+    /// Removes all but the newest `keep` snapshot files (corrupt files
+    /// count toward nothing and are always removed).  Returns how many
+    /// files were deleted.
+    pub fn prune(&self, keep: usize) -> io::Result<usize> {
+        let mut seqs: Vec<u64> = self
+            .storage
+            .list(&self.dir)?
+            .iter()
+            .filter_map(|n| parse_snap_name(n))
+            .collect();
+        seqs.sort_unstable_by(|a, b| b.cmp(a));
+        let mut removed = 0;
+        for &seq in seqs.iter().skip(keep) {
+            self.storage.remove(&self.dir.join(snap_name(seq)))?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::DiskFs;
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn store(tag: &str) -> (SnapshotStore, PathBuf) {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("treenum-snap-{tag}-{}-{n}", std::process::id()));
+        (
+            SnapshotStore::open(Arc::new(DiskFs), dir.clone()).unwrap(),
+            dir,
+        )
+    }
+
+    #[test]
+    fn save_load_newest_prune() {
+        let (store, dir) = store("basic");
+        assert!(store.load_newest().unwrap().snapshot.is_none());
+        store.save(1, 10, b"ten").unwrap();
+        store.save(2, 25, b"twenty-five").unwrap();
+        store.save(3, 40, b"forty").unwrap();
+        let load = store.load_newest().unwrap();
+        let snap = load.snapshot.unwrap();
+        assert_eq!((snap.generation, snap.op_seq), (3, 40));
+        assert_eq!(snap.payload, b"forty");
+        assert_eq!(load.skipped, 0);
+        assert_eq!(store.prune(2).unwrap(), 1);
+        let names = DiskFs.list(&dir).unwrap();
+        assert_eq!(names.len(), 2);
+        assert!(!names.contains(&snap_name(10)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older_intact() {
+        let (store, dir) = store("fallback");
+        store.save(1, 5, b"old-state").unwrap();
+        store.save(2, 9, b"new-state").unwrap();
+        let newest = dir.join(snap_name(9));
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&newest, &bytes).unwrap();
+        let load = store.load_newest().unwrap();
+        let snap = load.snapshot.unwrap();
+        assert_eq!(snap.op_seq, 5);
+        assert_eq!(snap.payload, b"old-state");
+        assert_eq!(load.skipped, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_and_tmp_files_are_ignored() {
+        let (store, dir) = store("junk");
+        store.save(1, 3, b"good").unwrap();
+        fs::write(dir.join(snap_name(7)), b"TNSP").unwrap();
+        fs::write(dir.join("snap-junk.snap.tmp"), b"half").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"noise").unwrap();
+        let load = store.load_newest().unwrap();
+        assert_eq!(load.snapshot.unwrap().op_seq, 3);
+        assert_eq!(load.skipped, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,194 @@
+//! The storage abstraction the WAL and snapshot store are written against.
+//!
+//! Production uses [`DiskFs`] (plain `std::fs` with fsync discipline and
+//! atomic temp-file + rename writes).  Tests swap in
+//! [`FailpointFs`](crate::failpoint::FailpointFs), which forwards to a real
+//! directory but can kill, truncate, or corrupt the k-th write — the
+//! mechanism behind the kill-and-recover invariant suite.
+//!
+//! The trait is deliberately tiny: append-only log files, whole-file reads,
+//! atomic whole-file writes, listing, and removal.  There is no truncate —
+//! recovery handles torn tails logically (see [`crate::log`]), which keeps
+//! the fault surface small.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// An open append-only log file.
+pub trait WalFile: Send {
+    /// Appends `bytes` at the end of the file.  A short write is an error.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Forces everything appended so far to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A minimal filesystem surface for WAL segments and snapshot files.
+///
+/// All paths are interpreted by the implementation; [`DiskFs`] passes them
+/// straight to `std::fs`.
+pub trait Storage: Send + Sync {
+    /// Ensures `dir` exists (like `fs::create_dir_all`).
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Opens `path` for appending, creating it if absent.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>>;
+
+    /// Reads the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Atomically replaces `path` with `bytes`: write a temp file in the
+    /// same directory, sync it, rename over `path`, then sync the directory
+    /// so the rename itself is durable.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// File names (not paths) of the direct children of `dir`, unsorted.
+    /// An absent directory is an empty listing, not an error.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Removes the file at `path` (idempotent: absent is `Ok`).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production [`Storage`]: `std::fs` with explicit durability points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DiskFs;
+
+struct DiskFile(fs::File);
+
+impl WalFile for DiskFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.0.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    // Directory fsync is what makes a rename durable on POSIX; platforms
+    // where directories cannot be opened (or synced) get best-effort.
+    match fs::File::open(dir) {
+        Ok(d) => match d.sync_all() {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => Ok(()),
+            Err(e) => Err(e),
+        },
+        Err(_) => Ok(()),
+    }
+}
+
+impl Storage for DiskFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn WalFile>> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(DiskFile(file)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+        let tmp: PathBuf = {
+            let mut name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "snapshot".to_owned());
+            name.push_str(".tmp");
+            dir.join(name)
+        };
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        fsync_dir(&dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let entries = match fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut names = Vec::new();
+        for entry in entries {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(names)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("treenum-wal-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let dir = temp_dir("fs");
+        let fs = DiskFs;
+        fs.create_dir_all(&dir).unwrap();
+        let path = dir.join("log");
+        {
+            let mut f = fs.open_append(&path).unwrap();
+            f.append(b"hello ").unwrap();
+            f.append(b"world").unwrap();
+            f.sync().unwrap();
+        }
+        // Reopening for append continues at the end.
+        {
+            let mut f = fs.open_append(&path).unwrap();
+            f.append(b"!").unwrap();
+            f.sync().unwrap();
+        }
+        assert_eq!(fs.read(&path).unwrap(), b"hello world!");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = temp_dir("atomic");
+        let fs = DiskFs;
+        fs.create_dir_all(&dir).unwrap();
+        let path = dir.join("snap");
+        fs.write_atomic(&path, b"v1").unwrap();
+        fs.write_atomic(&path, b"v2").unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"v2");
+        let names = fs.list(&dir).unwrap();
+        assert_eq!(names, vec!["snap".to_owned()]);
+        fs.remove(&path).unwrap();
+        fs.remove(&path).unwrap(); // idempotent
+        assert!(fs.list(&dir).unwrap().is_empty());
+        assert!(fs.list(&dir.join("missing")).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

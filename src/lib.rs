@@ -5,7 +5,7 @@
 //! Efficient Updates"* (Amarilli, Bourhis, Mengel, Niewerth — PODS 2019).
 //!
 //! See `README.md` for a guided tour and crate map, and `EXPERIMENTS.md` for the
-//! benchmark catalogue (E1–E9).
+//! benchmark catalogue (E1–E12).
 
 pub use treenum_automata as automata;
 pub use treenum_balance as balance;
@@ -16,3 +16,4 @@ pub use treenum_enumeration as enumeration;
 pub use treenum_lowerbound as lowerbound;
 pub use treenum_serve as serve;
 pub use treenum_trees as trees;
+pub use treenum_wal as wal;

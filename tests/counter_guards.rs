@@ -3,11 +3,14 @@
 //! scenarios calm enough that the expected value is deterministic.
 //!
 //! This file is what makes the `treenum-analyze` `counter-coverage` rule
-//! pass: a counter no test reads is a dead guard — it can silently stop
-//! counting (or start counting the wrong thing) and nothing fails.  Other
-//! suites assert several of these counters in richer scenarios
-//! (`delay_invariants`, `batch_invariants`, `serve_invariants`); this one
-//! guarantees *complete* coverage of the observability surface.
+//! pass for the pre-durability surface: a counter no test reads is a dead
+//! guard — it can silently stop counting (or start counting the wrong
+//! thing) and nothing fails.  Other suites assert several of these counters
+//! in richer scenarios (`delay_invariants`, `batch_invariants`,
+//! `serve_invariants`), and the `ShardStats` durability counters
+//! (`wal_records`, `wal_errors`, `snapshots_persisted`, …) are asserted
+//! where their scenarios live, in `tests/durability.rs`; together the two
+//! files cover the whole observability surface.
 
 use std::time::Duration;
 use treenum::automata::queries;

@@ -25,6 +25,17 @@ pub mod channel {
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]: either the buffer is full (the
+    /// caller may retry) or the receiver is gone.  Carries the unsent value
+    /// like crossbeam's.
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// The channel buffer is full; the value was not enqueued.
+        Full(T),
+        /// The receiver was dropped; the channel is dead.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and all
     /// senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +63,16 @@ pub mod channel {
             self.0
                 .send(value)
                 .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Non-blocking send: enqueues the value if the buffer has room,
+        /// otherwise returns it immediately — the primitive behind
+        /// caller-visible ingest backpressure.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -114,6 +135,24 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv().ok(), Some(9));
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_then_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        match tx.try_send(2) {
+            Err(TrySendError::Full(2)) => {}
+            other => panic!("expected Full(2), got {other:?}"),
+        }
+        assert_eq!(rx.try_recv(), Some(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        match tx.try_send(4) {
+            Err(TrySendError::Disconnected(4)) => {}
+            other => panic!("expected Disconnected(4), got {other:?}"),
+        }
     }
 
     #[test]
