@@ -1,0 +1,30 @@
+// Fixture: trips `instant-sub` (and nothing else) when checked as serving
+// or durability-path code.  Not compiled; parsed by the analyzer's
+// self-tests.
+use std::time::{Duration, Instant};
+
+pub fn remaining(deadline: Instant, now: Instant) -> Duration {
+    deadline - now // trip 1: both neighbors are clock-named idents
+}
+
+pub fn overshoot(start: Instant, budget: Duration) -> Duration {
+    start.elapsed() - budget // trip 2: left operand is an `elapsed()` call
+}
+
+pub fn time_left(deadline: Instant) -> Duration {
+    deadline - Instant::now() // trip 3: right operand is `Instant::now()`
+}
+
+// The saturating twins are the sanctioned patterns: none of these may trip.
+pub fn remaining_checked(deadline: Instant, now: Instant) -> Duration {
+    deadline.saturating_duration_since(now)
+}
+
+pub fn budget_left(budget: Duration, spent: Duration) -> Duration {
+    budget.saturating_sub(spent)
+}
+
+// Plain numeric subtraction (and `->` arrows above) must not trip either.
+pub fn delta(after: u64, before: u64) -> u64 {
+    after - before
+}

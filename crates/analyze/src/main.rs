@@ -94,8 +94,9 @@ fn main() -> ExitCode {
     if run_sched {
         let cfg = SchedConfig::default();
         report.push_str(&format!(
-            "sched: exploring all interleavings of {} readers x {} cycles vs {} flushes x {} ops\n",
-            cfg.readers, cfg.reader_cycles, cfg.flushes, cfg.ops_per_flush
+            "sched: exploring all interleavings of {} readers x {} cycles vs {} flushes x {} ops \
+             with up to {} writer crash(es)\n",
+            cfg.readers, cfg.reader_cycles, cfg.flushes, cfg.ops_per_flush, cfg.crashes
         ));
         match check_all_interleavings(&cfg) {
             Ok(rep) => {

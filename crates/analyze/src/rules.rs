@@ -27,6 +27,14 @@
 //!   failure on the durability path must flow into the serving layer's
 //!   quarantine/backpressure machinery, never panic the shard writer.
 //!   Per-line escapes: `// analyze: allow(io): <reason>`.
+//! * [`RULE_INSTANT`] — no bare `-` between `Instant`/`Duration` expressions
+//!   in `crates/serve` / `crates/wal` non-test code.  `Instant - Instant`
+//!   and `Duration - Duration` panic on underflow, and a deadline that has
+//!   already passed is exactly the case the serving layer must survive
+//!   (a panicked writer thread was PR 8's satellite bug); use
+//!   `saturating_duration_since` / `checked_duration_since` /
+//!   `saturating_sub`.  Per-line escapes:
+//!   `// analyze: allow(instant): <reason>`.
 //!
 //! An escape comment grants its own line and the next line, so both styles
 //! work:
@@ -47,6 +55,7 @@ pub const RULE_ALLOC: &str = "hot-path-alloc";
 pub const RULE_LOCK: &str = "lock-unwrap";
 pub const RULE_COUNTER: &str = "counter-coverage";
 pub const RULE_IO: &str = "wal-io-unwrap";
+pub const RULE_INSTANT: &str = "instant-sub";
 
 /// One `file:line` violation.
 #[derive(Clone, Debug)]
@@ -506,6 +515,72 @@ pub fn check_io_unwrap(file: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
+/// Rule [`RULE_INSTANT`]: bare `-` between clock expressions.  A binary `-`
+/// (not `->`, not `-=`) is flagged when either side syntactically reads as a
+/// clock value:
+///
+/// * the left operand ends in a `now()` / `elapsed()` call;
+/// * the right operand starts with `Instant::now` or `<ident>.elapsed`;
+/// * either neighboring identifier is literally `now` or `deadline` (the
+///   naming convention of every clock variable on the serving path).
+///
+/// This is deliberately a *pattern* lint, not a type check: it can miss a
+/// creatively named `Instant`, but it cannot fire on arithmetic over plain
+/// numbers — and the panic class it targets (`deadline - now` underflowing
+/// when the deadline already passed) always reads like one of the above.
+pub fn check_instant_sub(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for ci in 0..file.code_len() {
+        if !file.is_punct(ci, "-") {
+            continue;
+        }
+        // `->` and `-=` lex as consecutive Punct tokens; neither is a
+        // subtraction.  A leading `-` (unary minus) has no left operand and
+        // the clock patterns below won't match it anyway.
+        if file.is_punct(ci + 1, ">") || file.is_punct(ci + 1, "=") {
+            continue;
+        }
+        let left_is_clock_call = ci >= 3
+            && file.is_punct(ci - 1, ")")
+            && file.is_punct(ci - 2, "(")
+            && (file.is_ident(ci - 3, "now") || file.is_ident(ci - 3, "elapsed"));
+        let right_is_instant_now = file.is_ident(ci + 1, "Instant")
+            && file.is_punct(ci + 2, ":")
+            && file.is_punct(ci + 3, ":")
+            && file.is_ident(ci + 4, "now");
+        let right_is_elapsed_call = ci + 3 < file.code_len()
+            && file.ct(ci + 1).kind == TokKind::Ident
+            && file.is_punct(ci + 2, ".")
+            && file.is_ident(ci + 3, "elapsed");
+        let neighbor_is_clock_name = (ci >= 1
+            && (file.is_ident(ci - 1, "now") || file.is_ident(ci - 1, "deadline")))
+            || file.is_ident(ci + 1, "now")
+            || file.is_ident(ci + 1, "deadline");
+        if !(left_is_clock_call
+            || right_is_instant_now
+            || right_is_elapsed_call
+            || neighbor_is_clock_name)
+        {
+            continue;
+        }
+        let line = file.ct(ci).line;
+        if file.allowed(line, "instant") || file.in_test_range(ci) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: RULE_INSTANT,
+            file: file.path.clone(),
+            line,
+            msg: "bare `-` between clock expressions — `Instant`/`Duration` subtraction \
+                  panics on underflow (a deadline in the past kills the writer thread); \
+                  use `saturating_duration_since` / `checked_duration_since` / \
+                  `saturating_sub`, or justify with `// analyze: allow(instant): <reason>`"
+                .to_owned(),
+        });
+    }
+    out
+}
+
 /// The counter structs whose public fields rule [`RULE_COUNTER`] tracks.
 pub const COUNTER_STRUCTS: [&str; 3] = ["EnumStats", "IndexStats", "ShardStats"];
 
@@ -679,6 +754,11 @@ impl Workspace {
                 && !self.path_has(f, "crates/wal/src/failpoint.rs")
             {
                 out.extend(check_io_unwrap(f));
+            }
+            // Clock arithmetic on the serving/durability path must not be
+            // able to panic on underflow.
+            if self.path_has(f, "crates/serve/src") || self.path_has(f, "crates/wal/src") {
+                out.extend(check_instant_sub(f));
             }
             out.extend(check_hot_alloc(f));
             fields.extend(counter_fields(f));

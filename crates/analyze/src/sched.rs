@@ -24,11 +24,20 @@
 //!
 //! Writer steps per flush: `take` (reuse the held writable copy, reclaim the
 //! retired copy and replay its lag, or — when readers still hold it — abandon
-//! it and rebuild from the published value), `apply` (one op per step), and
-//! `publish` (swap the front slot, bump the generation, append to the flush
-//! log, retire the old front).  Reader steps per cycle: `acquire` (ref the
-//! front copy and record its value), `enumerate` (re-read the held copy and
-//! compare against the recorded value), `release`.
+//! it and rebuild from the published value; the batch is also appended to the
+//! durable `wal` here, mirroring WAL-before-apply in `shard.rs`), `apply`
+//! (one op per step), and `publish` (swap the front slot, bump the
+//! generation, append to the flush log, retire the old front).  Reader steps
+//! per cycle: `acquire` (ref the front copy and record its value),
+//! `enumerate` (re-read the held copy and compare against the recorded
+//! value), `release`.
+//!
+//! When `crashes > 0`, the scheduler may additionally kill the writer in the
+//! middle of a flush (after the batch is durable, before or after it is
+//! applied but before the protocol settles).  A crash drops the writer's
+//! writable and retired handles; the supervisor then runs a `recover` step
+//! that rebuilds state from the durable log and atomically republishes it as
+//! the next generation — the model of `heal_from_storage` in `shard.rs`.
 //!
 //! # Checked invariants
 //!
@@ -45,6 +54,10 @@
 //!    copy has been fully released.
 //! 4. **Reader-visible generation monotonicity** — consecutive snapshots
 //!    acquired by one reader never go backwards in generation.
+//! 5. **Durable–published agreement across restart** — every published value
+//!    (normal publish or crash recovery) equals the durable log exactly, and
+//!    the flush log stays gapless across a writer restart: no generation is
+//!    skipped or duplicated by the heal, and no durably-logged op is lost.
 //!
 //! # Exhaustiveness and the schedule count
 //!
@@ -60,7 +73,7 @@
 //! the model must be kept in sync with `shard.rs` by review (the module docs
 //! there point back here).  Self-tests keep the checker honest in the other
 //! direction: seeded protocol mutations (publish mid-batch, reclaim while
-//! held, generation skip) must each be caught.
+//! held, generation skip, skipped WAL replay on restart) must each be caught.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -76,6 +89,10 @@ pub struct SchedConfig {
     pub flushes: usize,
     /// Ops coalesced into each flush (each op is its own scheduled step).
     pub ops_per_flush: usize,
+    /// Writer crashes the scheduler may inject mid-flush (each crash is
+    /// followed by a supervisor recovery step that republishes from the
+    /// durable log).
+    pub crashes: usize,
     /// A deliberate protocol bug for checker self-tests.
     pub mutation: Option<Mutation>,
 }
@@ -87,6 +104,7 @@ impl Default for SchedConfig {
             reader_cycles: 2,
             flushes: 3,
             ops_per_flush: 2,
+            crashes: 1,
             mutation: None,
         }
     }
@@ -102,6 +120,10 @@ pub enum Mutation {
     ReclaimWhileHeld,
     /// Skip a generation number on the first publish.
     SkipGeneration,
+    /// Recover from a crash by republishing the *pre-crash* front value
+    /// instead of replaying the durable log — the heal silently drops the
+    /// WAL tail of the interrupted flush.
+    SkipWalReplay,
 }
 
 /// Result of a clean exhaustive run.
@@ -176,6 +198,9 @@ enum WPhase {
     },
     /// Publish the writable copy as the next generation.
     Publish,
+    /// (After a crash) supervisor heal: rebuild from the durable log and
+    /// republish it atomically as the next generation.
+    Recover,
     Done,
 }
 
@@ -190,6 +215,8 @@ struct WriterSt {
     next_op: u16,
     /// Ops the `PublishMidBatch` mutation still owes after its early publish.
     mid_pending: u8,
+    /// Writer crashes the scheduler may still inject.
+    crashes_left: u8,
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -198,6 +225,9 @@ struct State {
     front: CopyId,
     gen: u8,
     log: Vec<u8>,
+    /// The durable log: every op a flush has WAL-appended (at `take`, before
+    /// any apply — the model of WAL-before-ack in `shard.rs`).
+    wal: Vec<u16>,
     writer: WriterSt,
     readers: Vec<ReaderSt>,
 }
@@ -220,6 +250,7 @@ impl State {
             front: 0,
             gen: 0,
             log: Vec::new(),
+            wal: Vec::new(),
             writer: WriterSt {
                 phase: if cfg.flushes > 0 {
                     WPhase::Take
@@ -232,6 +263,7 @@ impl State {
                 flushes_left: cfg.flushes as u8,
                 next_op: 0,
                 mid_pending: 0,
+                crashes_left: cfg.crashes as u8,
             },
             readers: vec![
                 ReaderSt {
@@ -257,6 +289,34 @@ impl State {
 enum Action {
     Writer,
     Reader(usize),
+    /// Kill the writer mid-flush; the supervisor recovers on the next
+    /// writer step.
+    Crash,
+}
+
+/// The flush log must be exactly `1, 2, …` — gapless and duplicate-free,
+/// including entries appended by crash recovery.
+fn check_log_gapless(log: &[u8]) -> Result<(), String> {
+    for (i, &g) in log.iter().enumerate() {
+        if g as usize != i + 1 {
+            return Err(format!(
+                "flush log is not gapless: entry {i} records generation {g} (expected {})",
+                i + 1
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Every publish — normal or heal — must expose exactly the durable log.
+fn check_published_matches_wal(published: &[u16], wal: &[u16]) -> Result<(), String> {
+    if published != wal {
+        return Err(format!(
+            "published value {published:?} does not equal the durable log {wal:?} \
+             (a durably-logged op was lost or an undurable op became visible)"
+        ));
+    }
+    Ok(())
 }
 
 /// Applies `action` to a copy of `state`, checking every invariant the step
@@ -308,6 +368,11 @@ fn step(cfg: &SchedConfig, state: &State, action: Action) -> Result<(State, Stri
                         );
                     }
                 }
+                // The whole batch becomes durable before any op is applied
+                // (`log_batch` precedes `apply_batch` in `shard.rs`), so a
+                // crash at any later step can lose nothing acked.
+                let first = s.writer.next_op;
+                s.wal.extend(first..first + cfg.ops_per_flush as u16);
                 s.writer.phase = WPhase::Apply {
                     left: cfg.ops_per_flush as u8,
                 };
@@ -353,15 +418,8 @@ fn step(cfg: &SchedConfig, state: &State, action: Action) -> Result<(State, Stri
                 };
                 s.gen += bump;
                 s.log.push(s.gen);
-                for (i, &g) in s.log.iter().enumerate() {
-                    if g as usize != i + 1 {
-                        return Err(format!(
-                            "flush log is not gapless: entry {i} records generation {g} \
-                             (expected {})",
-                            i + 1
-                        ));
-                    }
-                }
+                check_log_gapless(&s.log)?;
+                check_published_matches_wal(&s.copies[w].val, &s.wal)?;
                 // The batch just published becomes catch-up lag for the
                 // retired copy.
                 let batch_len = cfg.ops_per_flush - s.writer.mid_pending as usize;
@@ -383,7 +441,67 @@ fn step(cfg: &SchedConfig, state: &State, action: Action) -> Result<(State, Stri
                     };
                 }
             }
+            WPhase::Recover => {
+                // Supervisor heal (`heal_from_storage`): rebuild the shard
+                // state from the durable log — or, under the `SkipWalReplay`
+                // mutation, from the stale pre-crash front — and republish
+                // it atomically as the next generation.  The old front is
+                // dropped entirely (no retire), and the writer gets a fresh
+                // writable copy rebuilt from the healed published value.
+                let healed_val = if cfg.mutation == Some(Mutation::SkipWalReplay) {
+                    s.copies[s.front as usize].val.clone()
+                } else {
+                    s.wal.clone()
+                };
+                s.copies.push(CopySt {
+                    val: healed_val,
+                    refs: 1, // the front slot's reference
+                });
+                let healed = (s.copies.len() - 1) as CopyId;
+                let old = s.front as usize;
+                s.copies[old].refs -= 1; // old front abandoned to its holders
+                s.front = healed;
+                s.gen += 1;
+                s.log.push(s.gen);
+                check_log_gapless(&s.log)?;
+                check_published_matches_wal(&s.copies[healed as usize].val, &s.wal)?;
+                let fresh = CopySt {
+                    val: s.copies[healed as usize].val.clone(),
+                    refs: 0,
+                };
+                s.copies.push(fresh);
+                s.writer.writable = Some((s.copies.len() - 1) as CopyId);
+                s.writer.next_op = s.wal.len() as u16;
+                // The interrupted flush's batch was durable, so the heal
+                // completes it: it counts as the flush it interrupted.
+                s.writer.flushes_left -= 1;
+                s.writer.phase = if s.writer.flushes_left > 0 {
+                    WPhase::Take
+                } else {
+                    WPhase::Done
+                };
+                label = format!(
+                    "writer: recover (republish durable log as generation {} -> copy {healed})",
+                    s.gen
+                );
+            }
         },
+        Action::Crash => {
+            // The writer thread dies mid-flush: its writable handle is
+            // dropped (never counted — nobody else could observe it) and its
+            // retired handle releases its reference.  Readers keep serving
+            // the published front; the supervisor recovers on the next
+            // writer step.
+            if let Some(r) = s.writer.retired.take() {
+                s.copies[r as usize].refs -= 1;
+            }
+            s.writer.writable = None;
+            s.writer.lag.clear();
+            s.writer.mid_pending = 0;
+            s.writer.crashes_left -= 1;
+            s.writer.phase = WPhase::Recover;
+            label = "writer: crash mid-flush (writable + retired handles dropped)".to_string();
+        }
         Action::Reader(i) => {
             let r = &mut s.readers[i];
             match r.phase.clone() {
@@ -433,6 +551,14 @@ fn enabled_actions(state: &State) -> Vec<Action> {
     let mut out = Vec::new();
     if state.writer.phase != WPhase::Done {
         out.push(Action::Writer);
+    }
+    // A crash may strike mid-flush: after the batch is durable (`take` ran)
+    // and before the flush settles.  Recovery itself is modeled as atomic —
+    // the real heal publishes with the front lock held.
+    if state.writer.crashes_left > 0
+        && matches!(state.writer.phase, WPhase::Apply { .. } | WPhase::Publish)
+    {
+        out.push(Action::Crash);
     }
     for (i, r) in state.readers.iter().enumerate() {
         if !(r.phase == RPhase::Idle && r.cycles_left == 0) {
@@ -538,6 +664,7 @@ mod tests {
             reader_cycles: 1,
             flushes: 1,
             ops_per_flush: 1,
+            crashes: 0,
             mutation: None,
         };
         let rep = check_all_interleavings(&cfg).expect("protocol must pass");
@@ -559,8 +686,13 @@ mod tests {
             ..SchedConfig::default()
         };
         let v = check_all_interleavings(&cfg).expect_err("mutation must be caught");
+        // The early publish exposes a value missing the durably-logged tail
+        // of its batch, so the durable-agreement invariant fires first; the
+        // immutability check backstops it on other schedules.
         assert!(
-            v.msg.contains("immutability") || v.msg.contains("observe"),
+            v.msg.contains("durable")
+                || v.msg.contains("immutability")
+                || v.msg.contains("observe"),
             "unexpected violation: {}",
             v.msg
         );
@@ -589,5 +721,41 @@ mod tests {
         };
         let v = check_all_interleavings(&cfg).expect_err("mutation must be caught");
         assert!(v.msg.contains("gapless"), "unexpected violation: {}", v.msg);
+    }
+
+    #[test]
+    fn crash_recovery_passes_with_no_generation_gap_and_no_durable_loss() {
+        // A tight crash-enabled bound: every schedule that kills the writer
+        // mid-flush must still terminate with the full gapless flush log and
+        // a published value equal to the durable log at every publish.
+        let cfg = SchedConfig {
+            readers: 1,
+            reader_cycles: 2,
+            flushes: 2,
+            ops_per_flush: 2,
+            crashes: 1,
+            mutation: None,
+        };
+        let rep = check_all_interleavings(&cfg).expect("crash recovery must preserve the protocol");
+        assert_eq!(rep.flushes_logged, 2);
+        assert!(rep.schedules > 0);
+    }
+
+    #[test]
+    fn skip_wal_replay_is_caught() {
+        // A heal that republishes the stale pre-crash front instead of
+        // replaying the WAL silently drops the interrupted flush's durable
+        // batch — the durable-agreement invariant must catch it.
+        let cfg = SchedConfig {
+            mutation: Some(Mutation::SkipWalReplay),
+            ..SchedConfig::default()
+        };
+        assert!(cfg.crashes > 0, "mutation only fires on a crash schedule");
+        let v = check_all_interleavings(&cfg).expect_err("mutation must be caught");
+        assert!(v.msg.contains("durable"), "unexpected violation: {}", v.msg);
+        assert!(
+            v.trace.iter().any(|s| s.contains("crash")),
+            "violating schedule must include the crash step: {v}"
+        );
     }
 }

@@ -6,8 +6,9 @@
 
 use std::path::{Path, PathBuf};
 use treenum_analyze::rules::{
-    check_hot_alloc, check_io_unwrap, check_lock_unwrap, check_map_imports, Diagnostic, SourceFile,
-    Workspace, RULE_ALLOC, RULE_COUNTER, RULE_IO, RULE_LOCK, RULE_MAP,
+    check_hot_alloc, check_instant_sub, check_io_unwrap, check_lock_unwrap, check_map_imports,
+    Diagnostic, SourceFile, Workspace, RULE_ALLOC, RULE_COUNTER, RULE_INSTANT, RULE_IO, RULE_LOCK,
+    RULE_MAP,
 };
 
 fn fixture(name: &str) -> SourceFile {
@@ -25,6 +26,7 @@ fn all_rules(file: &SourceFile) -> Vec<Diagnostic> {
     out.extend(check_lock_unwrap(file));
     out.extend(check_hot_alloc(file));
     out.extend(check_io_unwrap(file));
+    out.extend(check_instant_sub(file));
     out
 }
 
@@ -67,6 +69,20 @@ fn bad_io_unwrap_trips_exactly_the_io_rule() {
     assert!(diags[0].msg.contains("`create`"));
     assert!(diags[1].msg.contains("`write_all`"));
     assert!(diags[2].msg.contains("`sync_all`"));
+}
+
+#[test]
+fn bad_instant_sub_trips_exactly_the_instant_rule() {
+    let diags = all_rules(&fixture("bad_instant_sub.rs"));
+    assert_eq!(rules_of(&diags), [RULE_INSTANT], "diags: {diags:?}");
+    assert_eq!(
+        diags.len(),
+        3,
+        "the saturating twins and plain numeric `-` must not trip: {diags:?}"
+    );
+    assert_eq!(diags[0].line, 7, "deadline - now");
+    assert_eq!(diags[1].line, 11, "elapsed() - budget");
+    assert_eq!(diags[2].line, 15, "deadline - Instant::now()");
 }
 
 #[test]

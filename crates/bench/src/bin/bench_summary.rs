@@ -1,20 +1,24 @@
-//! Runs compact versions of experiments E1–E9/E12 and writes a JSON summary.
+//! Runs compact versions of experiments E1–E9/E12/E13 and writes a JSON
+//! summary.
 //!
 //! ```text
-//! bench_summary [--profile full|smoke|e2|e8|e9|e12] [--out PATH]
+//! bench_summary [--profile full|smoke|e2|e8|e9|e12|e13] [--out PATH]
 //!               [--check-e2 BASELINE.json] [--check-e8 BASELINE.json]
-//!               [--check-e9 BASELINE.json] [--tolerance FRACTION]
+//!               [--check-e9 BASELINE.json] [--check-e13 BASELINE.json]
+//!               [--tolerance FRACTION]
 //! ```
 //!
 //! The committed trajectory files at the repository root are produced with the
 //! `full` profile (`--out BENCH_baseline.json` before a perf change,
 //! `--out BENCH_after.json` after); CI runs the `smoke` profile to keep the
 //! bench code compiling and running, plus `--profile e2 --check-e2
-//! BENCH_after.json`, `--profile e8 --check-e8 BENCH_after.json` and
-//! `--profile e9 --check-e9 BENCH_after.json`, which exit non-zero when any
+//! BENCH_after.json`, `--profile e8 --check-e8 BENCH_after.json`,
+//! `--profile e9 --check-e9 BENCH_after.json` and `--profile e13
+//! --check-e13 BENCH_after.json`, which exit non-zero when any
 //! freshly measured p95 of the gated group (E2 per-answer delay / E8
 //! amortized per-edit batch latency / E9 snapshot-read delay under
-//! concurrent ingest) regresses more than the tolerance (default 0.25 = 25%)
+//! concurrent ingest / E13 read delay through writer-fault heal cycles)
+//! regresses more than the tolerance (default 0.25 = 25%)
 //! against the committed baseline.  The E8 gate re-measures any record the
 //! first pass flags (min of 3 runs) before reporting a regression — a
 //! genuine slowdown reproduces, a scheduling stall on the shared runner does
@@ -28,8 +32,8 @@ use criterion::Criterion;
 use std::path::{Path, PathBuf};
 use treenum_bench::summary::{run_summary, SummaryProfile};
 use treenum_bench::trajectory::{
-    check_e2_regression, check_e8_regression, check_e9_regression, e8_allowed_ratio,
-    GroupComparison, Trajectory,
+    check_e13_regression, check_e2_regression, check_e8_regression, check_e9_regression,
+    e8_allowed_ratio, GroupComparison, Trajectory,
 };
 use treenum_bench::{
     bench_alphabet, bench_tree, e8_strategies, measure_batch_apply, select_b_query,
@@ -42,6 +46,7 @@ fn main() {
     let mut check_e2: Option<PathBuf> = None;
     let mut check_e8: Option<PathBuf> = None;
     let mut check_e9: Option<PathBuf> = None;
+    let mut check_e13: Option<PathBuf> = None;
     let mut tolerance = 0.25f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +77,12 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("missing baseline path"));
                 check_e9 = Some(PathBuf::from(path));
+            }
+            "--check-e13" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing baseline path"));
+                check_e13 = Some(PathBuf::from(path));
             }
             "--tolerance" => {
                 let value = args.next().unwrap_or_else(|| usage("missing tolerance"));
@@ -121,6 +132,15 @@ fn main() {
         failed |= run_gate(
             "E9 read-delay p95",
             check_e9_regression,
+            &baseline_path,
+            &criterion,
+            tolerance,
+        );
+    }
+    if let Some(baseline_path) = check_e13 {
+        failed |= run_gate(
+            "E13 read-through-faults p95",
+            check_e13_regression,
             &baseline_path,
             &criterion,
             tolerance,
@@ -315,9 +335,10 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: bench_summary [--profile full|smoke|e2|e8|e9|e12] [--out PATH] \
+        "usage: bench_summary [--profile full|smoke|e2|e8|e9|e12|e13] [--out PATH] \
          [--check-e2 BASELINE.json] [--check-e8 BASELINE.json] \
-         [--check-e9 BASELINE.json] [--tolerance FRACTION]"
+         [--check-e9 BASELINE.json] [--check-e13 BASELINE.json] \
+         [--tolerance FRACTION]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

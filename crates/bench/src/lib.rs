@@ -696,6 +696,221 @@ pub fn run_e12(
     }
 }
 
+/// The E13 chaos-resilience experiment: what failure costs the *caller*.
+/// A durable one-shard [`treenum_serve::TreeServer`] serves `readers`
+/// snapshot-reader threads while the main thread pushes a deterministic edit
+/// stream through `ingest + flush` cycles; the `faulty` arm arms a
+/// [`treenum_serve::ChaosSchedule`] that panics the writer twice at evenly
+/// spaced batches — each fault forces a full `heal_from_storage` recovery
+/// (snapshot load + WAL replay + atomic republish) — while the `clean` arm
+/// runs the identical workload fault-free.
+///
+/// Record names (group `E13_chaos`):
+///
+/// * `read_{clean,faulty}_r<readers>/<n>` — per-answer snapshot-read delay
+///   sampled straight through the fault–recover cycles.  Gated by
+///   `--check-e13`: reads degrading under writer failure is exactly the
+///   regression the self-healing layer exists to prevent.
+/// * `ingest_{clean,faulty}/<n>` — caller-visible per-op ingest wall time,
+///   backpressure retries included.  Recorded, not gated (scheduler noise).
+/// * `ingest_available_ppm_{clean,faulty}/<n>` — first-try ingest
+///   availability in parts per million (`mean_ns` carries the ppm value,
+///   not a time).  Recorded, not gated.
+///
+/// The faulty arm asserts the heals actually happened, that the shard ends
+/// `Healthy`, and that no acked op was dropped — a bench that silently
+/// stopped injecting faults would otherwise keep reporting great numbers.
+pub fn run_e13(
+    c: &mut criterion::Criterion,
+    sizes: &[usize],
+    readers: usize,
+    answers: usize,
+    cycles: usize,
+) {
+    use std::ops::ControlFlow;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use treenum_enumeration::EnumScratch;
+    use treenum_serve::{
+        ChaosFault, ChaosSchedule, DurabilityConfig, RetryPolicy, ServeConfig, ShardHealth,
+        TreeServer,
+    };
+    use treenum_trees::edit::{EditFeed, EditOp};
+    use treenum_trees::generate::EditStream;
+    use treenum_wal::DiskFs;
+
+    const FLUSHES_PER_CYCLE: usize = 4;
+    const OPS_PER_FLUSH: usize = 32;
+
+    // The injected writer panics are caught by the shard supervisor; keep
+    // their backtraces out of the bench output (real panics still print).
+    static QUIET_CHAOS: std::sync::Once = std::sync::Once::new();
+    QUIET_CHAOS.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("chaos: "));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+
+    fn fresh_dir() -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("treenum-e13-{}-{n}", std::process::id()))
+    }
+
+    let (query, alphabet_len) = select_b_query();
+    let labels: Vec<Label> = bench_alphabet().labels().collect();
+    let plan = treenum_core::QueryPlan::for_query(&query, alphabet_len);
+    for &n in sizes {
+        let tree = bench_tree(n, TreeShape::Random, 17);
+        let mut feed = EditFeed::new(&tree, EditStream::skewed(labels.clone(), 14_000));
+        let ops: Vec<EditOp> = (0..cycles * FLUSHES_PER_CYCLE * OPS_PER_FLUSH)
+            .map(|_| feed.next_op())
+            .collect();
+        for (tag, faulty) in [("clean", false), ("faulty", true)] {
+            let dir = fresh_dir();
+            let durability = DurabilityConfig::new(&dir);
+            let chaos = faulty.then(|| {
+                // Two panics at each fault point: the supervisor's in-place
+                // rebuild retry absorbs a single panic, so `times: 2` is
+                // what forces the full storage heal every cycle.
+                let mut sched = ChaosSchedule::new();
+                for cycle in 1..=cycles {
+                    sched = sched.with(ChaosFault::PanicOnApply {
+                        batch: (cycle * FLUSHES_PER_CYCLE) as u64,
+                        times: 2,
+                    });
+                }
+                Arc::new(sched)
+            });
+            let server = Arc::new(
+                TreeServer::with_options(
+                    vec![tree.clone()],
+                    Arc::clone(&plan),
+                    ServeConfig::default(),
+                    Some((&durability, Arc::new(DiskFs))),
+                    chaos.clone(),
+                )
+                .expect("create durable chaos server"),
+            );
+
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut reader_handles = Vec::with_capacity(readers);
+            for _ in 0..readers {
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                reader_handles.push(std::thread::spawn(move || {
+                    let mut scratch = EnumScratch::new();
+                    let mut gaps: Vec<u64> = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = server.snapshot(0);
+                        let mut seen = 0usize;
+                        gaps.reserve(answers);
+                        let mut last = Instant::now();
+                        snap.for_each_with(&mut scratch, &mut |_a| {
+                            let now = Instant::now();
+                            gaps.push(now.saturating_duration_since(last).as_nanos() as u64);
+                            last = now;
+                            seen += 1;
+                            if seen >= answers {
+                                ControlFlow::Break(())
+                            } else {
+                                ControlFlow::Continue(())
+                            }
+                        });
+                        // Same open-loop pacing as E9 (see `e9_scenario`).
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    gaps
+                }));
+            }
+
+            // Generous budget: a retry must survive a full heal cycle, and
+            // giving up would fork the feed from the server's state.
+            let policy = RetryPolicy {
+                budget: Duration::from_secs(30),
+                ..RetryPolicy::default()
+            };
+            let mut attempts = 0u64;
+            let mut first_try = 0u64;
+            let mut ingest_samples = Vec::with_capacity(ops.len());
+            let ingest_start = Instant::now();
+            for (i, op) in ops.iter().enumerate() {
+                let t = Instant::now();
+                attempts += 1;
+                match server.ingest(0, *op) {
+                    Ok(()) => first_try += 1,
+                    Err(treenum_serve::ServeError::Backpressure) => {
+                        policy
+                            .run(|| server.ingest(0, *op))
+                            .expect("ingest must succeed within the retry budget");
+                    }
+                    Err(e) => panic!("unexpected ingest error: {e}"),
+                }
+                if (i + 1) % OPS_PER_FLUSH == 0 {
+                    server
+                        .flush(0)
+                        .expect("a durable shard never drops acked ops");
+                }
+                ingest_samples.push(t.elapsed().as_nanos() as u64);
+            }
+            let ingest_ns = ingest_start.elapsed().as_nanos() as u64;
+            stop.store(true, Ordering::Relaxed);
+            let mut gaps = Vec::new();
+            for h in reader_handles {
+                gaps.extend(h.join().expect("reader thread"));
+            }
+
+            let stats = server.shard_stats(0);
+            if let Some(chaos) = &chaos {
+                assert!(
+                    chaos.fired() >= cycles as u64,
+                    "chaos schedule must actually fire ({} < {cycles})",
+                    chaos.fired()
+                );
+                assert_eq!(stats.heals, cycles as u64, "every fault must heal");
+            }
+            assert_eq!(stats.health, ShardHealth::Healthy, "shard must end healthy");
+            assert_eq!(stats.ops_dropped_unacked, 0, "durable heals lose nothing");
+            drop(server);
+            std::fs::remove_dir_all(&dir).ok();
+
+            let read = record_from_samples("E13_chaos", format!("read_{tag}_r{readers}/{n}"), gaps);
+            let ingest =
+                record_from_samples("E13_chaos", format!("ingest_{tag}/{n}"), ingest_samples);
+            let avail_ppm = (first_try.saturating_mul(1_000_000) / attempts.max(1)) as u128;
+            eprintln!(
+                "E13 {tag} n={n}: read p95 {} ns p99 {} ns, ingest {} ns/op, \
+                 availability {:.4}%, {} heal(s), {} panic(s) caught",
+                read.p95_ns.unwrap_or(0),
+                read.p99_ns.unwrap_or(0),
+                ingest_ns / ops.len().max(1) as u64,
+                avail_ppm as f64 / 10_000.0,
+                stats.heals,
+                stats.panics_caught,
+            );
+            c.push_record(read);
+            c.push_record(ingest);
+            c.push_record(criterion::BenchRecord {
+                group: "E13_chaos".into(),
+                name: format!("ingest_available_ppm_{tag}/{n}"),
+                mean_ns: avail_ppm,
+                min_ns: avail_ppm,
+                p50_ns: None,
+                p95_ns: None,
+                p99_ns: None,
+            });
+        }
+    }
+}
+
 /// The E7 update-throughput experiment: three arms (single-variable query,
 /// marked-ancestor query, edit+enumerate round-trip) over long
 /// `balanced_mix` streams.  The single definition of the workload — the

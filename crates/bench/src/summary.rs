@@ -1,4 +1,4 @@
-//! Compact, machine-readable re-runs of experiments E1–E9 and E12.
+//! Compact, machine-readable re-runs of experiments E1–E9, E12 and E13.
 //!
 //! [`run_summary`] executes a scaled-down version of every experiment in
 //! `benches/` through the vendored criterion stub and leaves the measurements
@@ -64,6 +64,10 @@ pub struct SummaryProfile {
     pub e12_ops: usize,
     /// Repetitions (= samples) per E12 record.
     pub e12_reps: usize,
+    /// Tree sizes for E13 (serving through fault–recover cycles).
+    pub e13_sizes: Vec<usize>,
+    /// Fault–recover cycles injected per E13 faulty arm.
+    pub e13_cycles: usize,
     /// Per-benchmark warm-up budget.
     pub warm_up: Duration,
     /// Per-benchmark measurement budget.
@@ -98,6 +102,8 @@ impl SummaryProfile {
             e12_tails: vec![0, 256, 1024, 4096],
             e12_ops: 512,
             e12_reps: 5,
+            e13_sizes: vec![10_000],
+            e13_cycles: 6,
             warm_up: Duration::from_millis(200),
             measurement: Duration::from_millis(700),
             sample_size: 10,
@@ -125,6 +131,8 @@ impl SummaryProfile {
             e12_tails: vec![0, 32],
             e12_ops: 64,
             e12_reps: 2,
+            e13_sizes: vec![300],
+            e13_cycles: 2,
             warm_up: Duration::from_millis(10),
             measurement: Duration::from_millis(40),
             sample_size: 3,
@@ -192,8 +200,20 @@ impl SummaryProfile {
         }
     }
 
+    /// The chaos-serving experiment only, at the `full` sizes: the workload
+    /// behind CI's E13 read-through-faults p95 regression gate.  The record
+    /// names match the committed trajectory (same sizes, reader count and
+    /// fault cycles), so the comparison is apples to apples.
+    pub fn e13() -> Self {
+        SummaryProfile {
+            name: "e13",
+            experiments: Some(&["E13"]),
+            ..Self::full()
+        }
+    }
+
     /// Parses a profile name (`full` / `smoke` / `e2` / `e8` / `e9` /
-    /// `e12`).
+    /// `e12` / `e13`).
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "full" => Some(Self::full()),
@@ -202,6 +222,7 @@ impl SummaryProfile {
             "e8" => Some(Self::e8()),
             "e9" => Some(Self::e9()),
             "e12" => Some(Self::e12()),
+            "e13" => Some(Self::e13()),
             _ => None,
         }
     }
@@ -243,6 +264,9 @@ pub fn run_summary(c: &mut Criterion, profile: &SummaryProfile) {
     }
     if profile.runs("E12") {
         e12_recovery(c, profile);
+    }
+    if profile.runs("E13") {
+        e13_chaos(c, profile);
     }
 }
 
@@ -540,6 +564,10 @@ fn e8_batch_updates(c: &mut Criterion, p: &SummaryProfile) {
 
 fn e12_recovery(c: &mut Criterion, p: &SummaryProfile) {
     crate::run_e12(c, &p.e12_sizes, &p.e12_tails, p.e12_ops, p.e12_reps);
+}
+
+fn e13_chaos(c: &mut Criterion, p: &SummaryProfile) {
+    crate::run_e13(c, &p.e13_sizes, p.e9_readers, p.e2_answers, p.e13_cycles);
 }
 
 fn e9_serving(c: &mut Criterion, p: &SummaryProfile) {

@@ -241,6 +241,22 @@ pub fn check_e9_regression(
     check_group_regression_filtered(baseline, fresh, "E9_serving", "read_", tolerance)
 }
 
+/// The E13 gate: p95 snapshot-read delays of the `E13_chaos` group's
+/// `read_*` arms — the clean twin and, crucially, the `read_faulty_*` arm
+/// measured straight through writer-panic heal cycles.  Reads degrading
+/// under failure is the regression the self-healing serve layer exists to
+/// prevent, so that arm is held to the same bar as the fault-free one.  The
+/// `ingest_*` arms (per-op latency with retries, and the availability-ppm
+/// pseudo-records, which carry a fraction rather than a time) are recorded
+/// but not gated.
+pub fn check_e13_regression(
+    baseline: &Trajectory,
+    fresh: &[BenchRecord],
+    tolerance: f64,
+) -> Result<Vec<GroupComparison>, String> {
+    check_group_regression_filtered(baseline, fresh, "E13_chaos", "read_", tolerance)
+}
+
 /// The subset of JSON the trajectory files use.  Numbers are unsigned
 /// integers (all our fields are nanosecond counts).
 #[derive(Debug)]
@@ -644,6 +660,50 @@ mod tests {
         }];
         let cmp = check_e9_regression(&baseline, &slow, 0.5).unwrap();
         assert!(cmp[0].regressed);
+    }
+
+    #[test]
+    fn e13_gate_covers_read_arms_only() {
+        let base = concat!(
+            "{\"schema\":1,\"profile\":\"full\",\"benchmarks\":[",
+            "{\"group\":\"E13_chaos\",\"name\":\"read_faulty_r4/10000\",",
+            "\"mean_ns\":700,\"min_ns\":200,\"p50_ns\":600,\"p95_ns\":2000,\"p99_ns\":6000},",
+            "{\"group\":\"E13_chaos\",\"name\":\"ingest_faulty/10000\",",
+            "\"mean_ns\":9000,\"min_ns\":2000,\"p50_ns\":8000,\"p95_ns\":20000,\"p99_ns\":30000},",
+            "{\"group\":\"E13_chaos\",\"name\":\"ingest_available_ppm_faulty/10000\",",
+            "\"mean_ns\":998000,\"min_ns\":998000}",
+            "]}\n"
+        );
+        let baseline = Trajectory::parse(base).unwrap();
+        // Noisy ingest / availability records never trip the gate; a
+        // regressed read-through-faults arm does.
+        let fresh = vec![
+            BenchRecord {
+                group: "E13_chaos".into(),
+                name: "read_faulty_r4/10000".into(),
+                p95_ns: Some(2200),
+                ..BenchRecord::default()
+            },
+            BenchRecord {
+                group: "E13_chaos".into(),
+                name: "ingest_faulty/10000".into(),
+                p95_ns: Some(999_999),
+                ..BenchRecord::default()
+            },
+        ];
+        let cmp = check_e13_regression(&baseline, &fresh, 0.5).unwrap();
+        assert_eq!(cmp.len(), 1);
+        assert!(!cmp[0].regressed);
+        let slow = vec![BenchRecord {
+            p95_ns: Some(5000),
+            ..fresh[0].clone()
+        }];
+        let cmp = check_e13_regression(&baseline, &slow, 0.5).unwrap();
+        assert!(cmp[0].regressed);
+        // Dropping the faulty arm from the fresh run fails the gate: the
+        // chaos bench silently not running must not look like a pass.
+        let only_ingest = vec![fresh[1].clone()];
+        assert!(check_e13_regression(&baseline, &only_ingest, 0.5).is_err());
     }
 
     #[test]

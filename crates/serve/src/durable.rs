@@ -141,6 +141,29 @@ pub(crate) fn list_shard_dirs(storage: &dyn Storage, base: &Path) -> io::Result<
     Ok(ids)
 }
 
+/// Everything the writer's supervisor needs to re-run recovery at runtime:
+/// the storage handle, the shard directory, and the durability tuning.  The
+/// [`ShardDurability`] handle itself deliberately retains none of these —
+/// healing reopens the directory from scratch through the same
+/// [`recover_shard`] path a process restart would take, so runtime heals and
+/// crash recovery cannot drift apart.
+#[derive(Clone)]
+pub(crate) struct HealSource {
+    pub(crate) storage: Arc<dyn Storage>,
+    pub(crate) dir: PathBuf,
+    pub(crate) shard: usize,
+    pub(crate) cfg: DurabilityConfig,
+}
+
+impl HealSource {
+    /// Re-runs crash recovery against the shard's directory (newest intact
+    /// snapshot + WAL-tail replay).  `Err` / a quarantined report both mean
+    /// the heal failed and the shard must quarantine.
+    pub(crate) fn recover(&self) -> io::Result<RecoveredShard> {
+        recover_shard(&self.storage, &self.dir, self.shard, &self.cfg)
+    }
+}
+
 /// The writer thread's handle on one shard's durable state.
 pub(crate) struct ShardDurability {
     wal: Wal,
@@ -198,6 +221,16 @@ impl ShardDurability {
     /// `true` iff publishing `generation` crosses a snapshot boundary.
     pub(crate) fn snapshot_due(&self, generation: u64) -> bool {
         generation - self.last_snapshot_gen >= self.snapshot_every
+    }
+
+    /// Re-anchors the snapshot cadence at `generation`.  A runtime heal
+    /// keeps the writer's in-memory generation counter running (readers'
+    /// monotonicity contract) while [`recover_shard`] hands back a handle
+    /// anchored at generation 0; without rebasing, the very next publish
+    /// would look `generation` generations overdue.  Snapshot files are
+    /// keyed by `op_seq`, not generation, so this touches cadence only.
+    pub(crate) fn rebase_generation(&mut self, generation: u64) {
+        self.last_snapshot_gen = generation;
     }
 
     /// Persists `tree` as the snapshot covering everything logged so far,

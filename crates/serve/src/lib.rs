@@ -83,6 +83,24 @@
 //! returned [`RecoveryOutcome`].  See the `durable` module docs for the
 //! generation ↔ op-prefix contract.
 //!
+//! ## Self-healing and graceful degradation
+//!
+//! The writer thread runs under a supervisor: a panic inside a batch apply
+//! is caught, the batch is retried once on a rebuilt copy, and a second
+//! failure (or a WAL write error) triggers an **in-process heal** on a
+//! durable shard — rebuild from the newest snapshot + WAL replay, exactly
+//! the restart path, while reads keep serving the last published snapshot
+//! ([`ShardHealth::Recovering`]).  Only a failed heal is terminal
+//! ([`ShardHealth::Quarantined`]).  No *acked* op is ever lost; ops dropped
+//! before their ack are counted ([`ShardStats::ops_dropped_unacked`]) and
+//! reported to the covering barrier as [`ServeError::Degraded`].  Degraded
+//! operation is first-class: [`TreeServer::read_with_deadline`] bounds a
+//! read against a stalled publication, [`RetryPolicy`] retries
+//! backpressured ingest with jittered exponential backoff, and
+//! [`ServeConfig::shed_depth`] sheds load before the queue wedges.  The
+//! `chaos` module injects deterministic writer-thread faults to drive all
+//! of this under test.
+//!
 //! ```
 //! use treenum_serve::{ServeConfig, TreeServer};
 //! use treenum_trees::generate::{random_tree, EditStream, TreeShape};
@@ -108,19 +126,21 @@
 //! # let _ = answers;
 //! ```
 
+pub mod chaos;
 mod durable;
 mod lock;
 mod shard;
 mod stats;
 
+pub use chaos::{ChaosFault, ChaosSchedule};
 pub use durable::{DurabilityConfig, RecoveryOutcome, ShardRecovery};
 pub use shard::Snapshot;
-pub use stats::{FlushRecord, ServeStats, ShardStats};
+pub use stats::{FlushRecord, ServeStats, ShardHealth, ShardStats};
 pub use treenum_wal::SyncPolicy;
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
-use durable::{list_shard_dirs, recover_shard, shard_dir, ShardDurability};
-use lock::{lock_unpoisoned, read_unpoisoned};
+use durable::{list_shard_dirs, recover_shard, shard_dir, HealSource, ShardDurability};
+use lock::{lock_unpoisoned, read_unpoisoned, try_read_unpoisoned};
 use shard::{Ingest, ShardWriter, SnapInner};
 use stats::ShardMetrics;
 use std::io;
@@ -168,7 +188,20 @@ pub struct ServeConfig {
     /// before surfacing [`ServeError::Backpressure`] to the caller (who can
     /// retry, shed load, or route elsewhere — the queue never silently
     /// drops an op, and the wait never silently exceeds this bound).
+    ///
+    /// **Zero means fail-fast**: a full queue returns
+    /// [`ServeError::Backpressure`] immediately, with no sleep and no clock
+    /// read — a true non-blocking try.  Combine with [`RetryPolicy`] to put
+    /// the waiting (and its jitter) under the caller's control.
     pub ingest_timeout: Duration,
+    /// Load-shed threshold: when at least this many ops are already queued
+    /// (plus in flight inside `ingest`), further `ingest` calls fail with
+    /// [`ServeError::Backpressure`] **immediately**, without waiting
+    /// `ingest_timeout` — shedding at the door instead of stacking blocked
+    /// producers on a wedged queue.  Shed calls are counted in
+    /// [`ShardStats::load_shed`].  The default (`usize::MAX`) disables
+    /// shedding.
+    pub shed_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -184,6 +217,7 @@ impl Default for ServeConfig {
             max_latency: Duration::from_millis(1),
             reclaim_patience: Duration::from_millis(5),
             ingest_timeout: Duration::from_millis(250),
+            shed_depth: usize::MAX,
         }
     }
 }
@@ -230,10 +264,22 @@ pub enum ServeError {
     /// [`ServeConfig::ingest_timeout`].  The op was **not** enqueued; the
     /// caller may retry, shed load, or route to another shard.
     Backpressure,
-    /// The shard's durable log failed (at runtime or during recovery); the
-    /// shard serves its last good state read-only and rejects all writes.
+    /// The shard's durable state is confirmed unrecoverable (a failed heal,
+    /// or corruption found during recovery); the shard serves its last good
+    /// state read-only and rejects all writes.
     /// See [`ShardRecovery::quarantined`] and [`ShardStats::quarantined`].
     Quarantined,
+    /// A [`TreeServer::read_with_deadline`] could not acquire a snapshot
+    /// before its deadline (the publication lock stayed write-held — e.g. a
+    /// stalled writer).  No state was observed or changed.
+    DeadlineExceeded,
+    /// The barrier's window included in-flight ops that a fault forced the
+    /// shard to drop **before their ack** (counted in
+    /// [`ShardStats::ops_dropped_unacked`]).  The shard healed and is
+    /// accepting writes again; ops acked by *earlier* barriers are intact.
+    /// The caller knows exactly which ops are in doubt: those since its
+    /// last `Ok` ack — re-ingest them or reconcile against a snapshot.
+    Degraded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -246,11 +292,94 @@ impl std::fmt::Display for ServeError {
             ServeError::Quarantined => {
                 write!(f, "shard is quarantined after a durability failure")
             }
+            ServeError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "read deadline expired before a snapshot could be acquired"
+                )
+            }
+            ServeError::Degraded => {
+                write!(
+                    f,
+                    "shard dropped unacked in-flight ops while recovering from a fault"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Jittered-exponential-backoff retry over [`ServeError::Backpressure`],
+/// with a hard sleep budget.
+///
+/// Only `Backpressure` is retried — it is the one transient-by-contract
+/// error ([`TreeServer::ingest`] left the op un-enqueued and invites a
+/// retry).  `Quarantined`, `Degraded`, `Disconnected` and success all
+/// return immediately.  Jitter is deterministic from `seed` (same
+/// xorshift64* generator as the chaos schedule; no OS entropy), so a test
+/// can replay the exact same backoff sequence.
+///
+/// The budget bounds **sleeping**, tracked additively — the policy never
+/// subtracts clock readings (see the workspace `instant-sub` lint), and the
+/// time spent inside the operation itself is the caller's own.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// First backoff sleep (doubles each retry).
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Total sleep budget; once exhausted the last error is returned.
+    pub budget: Duration,
+    /// Jitter seed (deterministic; vary it per producer thread to decorrelate
+    /// their retries).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(10),
+            budget: Duration::from_millis(250),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Runs `op`, retrying [`ServeError::Backpressure`] with jittered
+    /// exponential backoff until it stops failing or the sleep budget runs
+    /// out (then the final `Backpressure` is returned).  Any other result —
+    /// `Ok` or a non-transient error — is returned immediately.
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T, ServeError>) -> Result<T, ServeError> {
+        let mut backoff = self.initial_backoff.max(Duration::from_micros(1));
+        let mut spent = Duration::ZERO;
+        let mut s = self.seed | 1;
+        loop {
+            match op() {
+                Err(ServeError::Backpressure) => {}
+                other => return other,
+            }
+            let remaining = self.budget.saturating_sub(spent);
+            if remaining.is_zero() {
+                return Err(ServeError::Backpressure);
+            }
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let r = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            // Uniform jitter over [backoff/2, backoff]: full-magnitude
+            // collisions stay rare without ever collapsing the wait to zero.
+            let half = (backoff.as_nanos() as u64) / 2;
+            let jittered = Duration::from_nanos(half + r % (half + 1));
+            let sleep = jittered.min(remaining);
+            std::thread::sleep(sleep);
+            spent = spent.saturating_add(sleep);
+            backoff = (backoff * 2).min(self.max_backoff);
+        }
+    }
+}
 
 struct ShardHandle {
     tx: Sender<Ingest>,
@@ -289,17 +418,60 @@ impl TreeServer {
 
     /// Builds a server over an explicit shared plan.
     pub fn with_plan(trees: Vec<UnrankedTree>, plan: Arc<QueryPlan>, config: ServeConfig) -> Self {
+        Self::with_options(trees, plan, config, None, None)
+            .expect("non-durable server construction cannot fail")
+    }
+
+    /// The fully general constructor: an explicit plan, optional durability
+    /// (a [`DurabilityConfig`] plus the [`Storage`] to put it on), and an
+    /// optional [`ChaosSchedule`] of injected writer-thread faults (test
+    /// harnesses only; `None` in production).
+    ///
+    /// Errors only when creating the durable shard directories fails; a
+    /// non-durable call (`durability: None`) is infallible.
+    pub fn with_options(
+        trees: Vec<UnrankedTree>,
+        plan: Arc<QueryPlan>,
+        config: ServeConfig,
+        durability: Option<(&DurabilityConfig, Arc<dyn Storage>)>,
+        chaos: Option<Arc<ChaosSchedule>>,
+    ) -> io::Result<Self> {
         assert!(!trees.is_empty(), "a server needs at least one shard");
         let config = config.validated();
         let shards = trees
             .into_iter()
-            .map(|tree| Self::spawn_shard(tree, &plan, config, None, false))
-            .collect();
-        TreeServer {
+            .enumerate()
+            .map(|(i, tree)| {
+                let (durable, heal) = match &durability {
+                    Some((cfg, storage)) => {
+                        let dir = shard_dir(&cfg.dir, i);
+                        let durable =
+                            ShardDurability::create(Arc::clone(storage), dir.clone(), cfg, &tree)?;
+                        let heal = HealSource {
+                            storage: Arc::clone(storage),
+                            dir,
+                            shard: i,
+                            cfg: (*cfg).clone(),
+                        };
+                        (Some(durable), Some(heal))
+                    }
+                    None => (None, None),
+                };
+                Ok(Self::spawn_shard(
+                    tree,
+                    &plan,
+                    config,
+                    durable,
+                    heal,
+                    chaos.clone(),
+                ))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(TreeServer {
             shards,
             plan,
             cfg: config,
-        }
+        })
     }
 
     /// Builds a **durable** server: one shard per tree, each with a
@@ -335,26 +507,7 @@ impl TreeServer {
         durability: &DurabilityConfig,
         storage: Arc<dyn Storage>,
     ) -> io::Result<Self> {
-        assert!(!trees.is_empty(), "a server needs at least one shard");
-        let config = config.validated();
-        let shards = trees
-            .into_iter()
-            .enumerate()
-            .map(|(i, tree)| {
-                let durable = ShardDurability::create(
-                    Arc::clone(&storage),
-                    shard_dir(&durability.dir, i),
-                    durability,
-                    &tree,
-                )?;
-                Ok(Self::spawn_shard(tree, &plan, config, Some(durable), false))
-            })
-            .collect::<io::Result<Vec<_>>>()?;
-        Ok(TreeServer {
-            shards,
-            plan,
-            cfg: config,
-        })
+        Self::with_options(trees, plan, config, Some((durability, storage)), None)
     }
 
     /// Rebuilds a durable server from what `durability.dir` holds on disk:
@@ -406,7 +559,8 @@ impl TreeServer {
         let mut shards = Vec::with_capacity(ids.len());
         let mut reports = Vec::with_capacity(ids.len());
         for id in ids {
-            let rec = recover_shard(&storage, &shard_dir(&durability.dir, id), id, durability)?;
+            let dir = shard_dir(&durability.dir, id);
+            let rec = recover_shard(&storage, &dir, id, durability)?;
             let quarantined = rec.report.quarantined.is_some();
             // The durable state = snapshot + WAL tail through one batch
             // repair (batch and sequential replay allocate identical
@@ -416,12 +570,21 @@ impl TreeServer {
                 published.apply_batch(&rec.replay);
             }
             let writable = TreeEnumerator::with_plan(published.tree().clone(), Arc::clone(&plan));
+            let heal = HealSource {
+                storage: Arc::clone(&storage),
+                dir,
+                shard: id,
+                cfg: durability.clone(),
+            };
             shards.push(Self::spawn_shard_recovered(
                 published,
                 writable,
                 &plan,
                 config,
                 rec.durability,
+                Some(heal),
+                None,
+                rec.report.ops_recovered,
                 quarantined,
             ));
             reports.push(rec.report);
@@ -436,26 +599,34 @@ impl TreeServer {
         ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn spawn_shard(
         tree: UnrankedTree,
         plan: &Arc<QueryPlan>,
         cfg: ServeConfig,
         durable: Option<ShardDurability>,
-        quarantined: bool,
+        heal: Option<HealSource>,
+        chaos: Option<Arc<ChaosSchedule>>,
     ) -> ShardHandle {
         // Two independent copies of the enumeration structure over the same
         // tree: one published, one writable (see `shard` module docs).
         let published = TreeEnumerator::with_plan(tree.clone(), Arc::clone(plan));
         let writable = TreeEnumerator::with_plan(tree, Arc::clone(plan));
-        Self::spawn_shard_recovered(published, writable, plan, cfg, durable, quarantined)
+        Self::spawn_shard_recovered(
+            published, writable, plan, cfg, durable, heal, chaos, 0, false,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn spawn_shard_recovered(
         published: TreeEnumerator,
         writable: TreeEnumerator,
         plan: &Arc<QueryPlan>,
         cfg: ServeConfig,
         durable: Option<ShardDurability>,
+        heal: Option<HealSource>,
+        chaos: Option<Arc<ChaosSchedule>>,
+        seq0: u64,
         quarantined: bool,
     ) -> ShardHandle {
         let front = Arc::new(RwLock::new(Arc::new(SnapInner {
@@ -468,6 +639,7 @@ impl TreeServer {
             .store(cfg.initial_batch as u64, Ordering::Relaxed);
         if quarantined {
             metrics.quarantined.store(true, Ordering::Release);
+            metrics.set_health(ShardHealth::Quarantined);
         }
         let (tx, rx) = bounded(cfg.queue_capacity);
         let writer = ShardWriter {
@@ -484,10 +656,16 @@ impl TreeServer {
             buf: Vec::new(),
             durable,
             quarantined,
+            heal,
+            chaos,
+            seq0,
+            applied_ops: 0,
+            batches: 0,
+            dropped_cycle: false,
         };
         let join = std::thread::Builder::new()
             .name("treenum-serve-shard".into())
-            .spawn(move || writer.run())
+            .spawn(move || writer.supervise())
             .expect("spawn shard writer thread");
         ShardHandle {
             tx,
@@ -514,18 +692,27 @@ impl TreeServer {
 
     /// Enqueues one edit op for `shard` (write-behind: returns as soon as
     /// the op is queued).  A full queue applies **explicit backpressure**:
-    /// the call waits up to [`ServeConfig::ingest_timeout`] for space, then
-    /// returns [`ServeError::Backpressure`] with the op *not* enqueued so
-    /// the caller can decide (retry, shed, reroute) instead of blocking
-    /// unboundedly.  A quarantined shard rejects ingest immediately.
+    /// the call waits up to [`ServeConfig::ingest_timeout`] for space (a
+    /// zero timeout is a true non-blocking try), then returns
+    /// [`ServeError::Backpressure`] with the op *not* enqueued so the
+    /// caller can decide (retry — see [`RetryPolicy`] — shed, reroute)
+    /// instead of blocking unboundedly.  A queue already at
+    /// [`ServeConfig::shed_depth`] sheds the op immediately.  A quarantined
+    /// shard rejects ingest immediately.
     pub fn ingest(&self, shard: usize, op: EditOp) -> Result<(), ServeError> {
         let h = &self.shards[shard];
         if h.metrics.quarantined.load(Ordering::Acquire) {
             return Err(ServeError::Quarantined);
         }
+        if h.metrics.queue_depth.load(Ordering::Relaxed) >= self.cfg.shed_depth as u64 {
+            h.metrics.load_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Backpressure);
+        }
         h.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
         let mut msg = Ingest::Op(op);
-        let deadline = Instant::now() + self.cfg.ingest_timeout;
+        // A zero timeout never reads the clock: one `try_send`, then out.
+        let deadline = (self.cfg.ingest_timeout > Duration::ZERO)
+            .then(|| Instant::now() + self.cfg.ingest_timeout);
         loop {
             match h.tx.try_send(msg) {
                 Ok(()) => {
@@ -537,7 +724,7 @@ impl TreeServer {
                     return Err(ServeError::Disconnected);
                 }
                 Err(TrySendError::Full(back)) => {
-                    if Instant::now() >= deadline {
+                    if deadline.is_none_or(|d| Instant::now() >= d) {
                         h.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         h.metrics
                             .backpressure_timeouts
@@ -565,6 +752,38 @@ impl TreeServer {
         h.metrics.reads.fetch_add(1, Ordering::Relaxed);
         let inner = Arc::clone(&read_unpoisoned(&h.front));
         Snapshot::from_inner(inner)
+    }
+
+    /// [`TreeServer::snapshot`] with a deadline: spins on non-blocking
+    /// acquisition attempts for up to `timeout` and returns
+    /// [`ServeError::DeadlineExceeded`] instead of parking behind a stalled
+    /// publication swap (the front lock is only ever write-held for the
+    /// duration of a pointer swap, so in a healthy shard the very first
+    /// attempt succeeds).  A zero timeout is a single non-blocking try.
+    ///
+    /// Health is orthogonal: a `Degraded`/`Recovering`/`Quarantined` shard
+    /// still serves its last published snapshot — only a *held lock* can
+    /// exceed the deadline.
+    pub fn read_with_deadline(
+        &self,
+        shard: usize,
+        timeout: Duration,
+    ) -> Result<Snapshot, ServeError> {
+        let h = &self.shards[shard];
+        let start = Instant::now();
+        loop {
+            if let Some(front) = try_read_unpoisoned(&h.front) {
+                h.metrics.reads.fetch_add(1, Ordering::Relaxed);
+                return Ok(Snapshot::from_inner(Arc::clone(&front)));
+            }
+            if start.elapsed() >= timeout {
+                h.metrics
+                    .deadline_reads_timed_out
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded);
+            }
+            std::thread::sleep(Duration::from_micros(25));
+        }
     }
 
     /// Barrier: waits until everything ingested into `shard` before this call
@@ -788,6 +1007,156 @@ mod tests {
         // drain).
         let log = server.flush_log(0);
         assert_eq!(log.iter().map(|r| r.size).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn zero_max_latency_does_not_panic_the_writer() {
+        // Regression: the coalescing deadline is `first_op + max_latency`,
+        // which with a zero latency is already in the past when the writer
+        // computes the remaining wait — a bare `deadline - now` would
+        // underflow and panic the writer thread.
+        let (query, mut sigma) = select_b();
+        let tree = random_tree(&mut sigma, 25, TreeShape::Random, 4);
+        let labels: Vec<_> = sigma.labels().collect();
+        let server = TreeServer::new(
+            vec![tree.clone()],
+            &query,
+            sigma.len(),
+            ServeConfig {
+                max_latency: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+        );
+        let mut feed = EditFeed::new(&tree, EditStream::skewed(labels, 2));
+        for op in feed.next_batch(24) {
+            server.ingest(0, op).unwrap();
+        }
+        server.flush(0).unwrap();
+        let stats = server.shard_stats(0);
+        assert_eq!(stats.edits_applied, 24);
+        assert_eq!(stats.panics_caught, 0);
+        assert_eq!(stats.health, ShardHealth::Healthy);
+    }
+
+    #[test]
+    fn zero_ingest_timeout_fails_fast_on_a_full_queue() {
+        let (query, mut sigma) = select_b();
+        let tree = random_tree(&mut sigma, 20, TreeShape::Random, 5);
+        let labels: Vec<_> = sigma.labels().collect();
+        let server = TreeServer::new(
+            vec![tree.clone()],
+            &query,
+            sigma.len(),
+            ServeConfig {
+                queue_capacity: 1,
+                ingest_timeout: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+        );
+        // Wedge the writer: a held snapshot plus enough ops keeps the queue
+        // occupied long enough for a non-blocking try to observe Full.
+        let mut feed = EditFeed::new(&tree, EditStream::balanced_mix(labels, 3));
+        let ops = feed.next_batch(64);
+        let mut saw_backpressure = false;
+        let start = Instant::now();
+        for &op in &ops {
+            match server.ingest(0, op) {
+                Ok(()) => {}
+                Err(ServeError::Backpressure) => {
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        // Fail-fast means no 250ms default wait anywhere: even 64 attempts
+        // against a capacity-1 queue come back well under the default
+        // single-op timeout.
+        assert!(start.elapsed() < Duration::from_millis(250));
+        if saw_backpressure {
+            assert!(server.shard_stats(0).backpressure_timeouts >= 1);
+        }
+    }
+
+    #[test]
+    fn shed_depth_rejects_before_waiting() {
+        let (query, mut sigma) = select_b();
+        let tree = random_tree(&mut sigma, 20, TreeShape::Random, 6);
+        let labels: Vec<_> = sigma.labels().collect();
+        let server = TreeServer::new(
+            vec![tree.clone()],
+            &query,
+            sigma.len(),
+            ServeConfig {
+                shed_depth: 0,
+                ..ServeConfig::default()
+            },
+        );
+        let mut feed = EditFeed::new(&tree, EditStream::skewed(labels, 7));
+        let op = feed.next_batch(1)[0];
+        let start = Instant::now();
+        assert_eq!(server.ingest(0, op), Err(ServeError::Backpressure));
+        // Shedding happens at the door — no ingest_timeout wait.
+        assert!(start.elapsed() < Duration::from_millis(100));
+        let stats = server.shard_stats(0);
+        assert_eq!(stats.load_shed, 1);
+        assert_eq!(stats.edits_ingested, 0);
+    }
+
+    #[test]
+    fn read_with_deadline_succeeds_instantly_on_a_healthy_shard() {
+        let (query, mut sigma) = select_b();
+        let tree = random_tree(&mut sigma, 15, TreeShape::Random, 9);
+        let server = TreeServer::new(vec![tree], &query, sigma.len(), ServeConfig::default());
+        let snap = server.read_with_deadline(0, Duration::ZERO).unwrap();
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(server.shard_stats(0).deadline_reads_timed_out, 0);
+    }
+
+    #[test]
+    fn retry_policy_retries_backpressure_within_budget() {
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(100),
+            budget: Duration::from_millis(50),
+            seed: 7,
+        };
+        let mut calls = 0;
+        let out = policy.run(|| {
+            calls += 1;
+            if calls < 4 {
+                Err(ServeError::Backpressure)
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out, Ok(4));
+
+        // Non-transient errors pass through without a retry.
+        let mut calls = 0;
+        let out: Result<(), _> = policy.run(|| {
+            calls += 1;
+            Err(ServeError::Quarantined)
+        });
+        assert_eq!(out, Err(ServeError::Quarantined));
+        assert_eq!(calls, 1);
+
+        // An exhausted budget surfaces the final Backpressure.
+        let exhausted = RetryPolicy {
+            budget: Duration::from_micros(200),
+            ..policy
+        };
+        let out: Result<(), _> = exhausted.run(|| Err(ServeError::Backpressure));
+        assert_eq!(out, Err(ServeError::Backpressure));
+    }
+
+    #[test]
+    fn all_healthy_reflects_every_shard() {
+        let (query, mut sigma) = select_b();
+        let t0 = random_tree(&mut sigma, 15, TreeShape::Random, 1);
+        let t1 = random_tree(&mut sigma, 15, TreeShape::Random, 2);
+        let server = TreeServer::new(vec![t0, t1], &query, sigma.len(), ServeConfig::default());
+        assert!(server.stats().all_healthy());
     }
 
     #[test]

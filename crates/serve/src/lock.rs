@@ -15,7 +15,9 @@
 //! `crates/serve/src`, so every lock acquisition in the serving layer is
 //! poison-tolerant by construction.
 
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{
+    Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError,
+};
 
 /// Locks `m`, recovering the guard if a previous holder panicked.
 pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -30,6 +32,18 @@ pub(crate) fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
 /// Write-locks `l`, recovering the guard if a previous holder panicked.
 pub(crate) fn write_unpoisoned<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Non-blocking read-lock attempt on `l`: `Some(guard)` when the lock was
+/// free (recovering from poison), `None` when a writer currently holds it.
+/// This is the deadline-read primitive — the caller decides how long to keep
+/// trying instead of parking on a stalled publication.
+pub(crate) fn try_read_unpoisoned<T>(l: &RwLock<T>) -> Option<RwLockReadGuard<'_, T>> {
+    match l.try_read() {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
 }
 
 #[cfg(test)]
@@ -62,5 +76,15 @@ mod tests {
         assert_eq!(read_unpoisoned(&l).len(), 3);
         write_unpoisoned(&l).push(4);
         assert_eq!(read_unpoisoned(&l).len(), 4);
+        assert_eq!(try_read_unpoisoned(&l).expect("free lock").len(), 4);
+    }
+
+    #[test]
+    fn try_read_yields_none_while_write_held() {
+        let l = RwLock::new(0u32);
+        let g = l.write().unwrap();
+        assert!(try_read_unpoisoned(&l).is_none());
+        drop(g);
+        assert!(try_read_unpoisoned(&l).is_some());
     }
 }

@@ -22,13 +22,34 @@
 //! writable copy from the published tree (O(n), counted in
 //! [`crate::ShardStats::rebuild_fallbacks`]), so ingest always makes
 //! progress.
+//!
+//! # Supervision and self-healing
+//!
+//! The writer thread never dies of a panic.  Each batch's `apply_batch` runs
+//! under a `catch_unwind` guard; a panic discards the (possibly torn)
+//! writable copy, rebuilds a fresh one from the published tree, and retries
+//! the batch **once**.  A second panic escalates: a durable shard heals from
+//! storage — the supervisor re-runs crash recovery (newest snapshot +
+//! WAL-tail replay, the exact restart path) and atomically re-admits the
+//! recovered state; since the batch hit the WAL *before* the apply, the heal
+//! loses nothing.  A non-durable shard drops the poison batch, counts its
+//! ops in [`crate::ShardStats::ops_dropped_unacked`], and reports the loss
+//! through a [`crate::ServeError::Degraded`] ack on the covering barrier.
+//! An outer `catch_unwind` net in [`ShardWriter::supervise`] catches panics
+//! from anywhere else in the loop (e.g. a lag replay) the same way.  Reads
+//! keep serving the last published snapshot through every rung of this
+//! ladder; only confirmed-unrecoverable storage quarantines the shard
+//! (terminally).  The health ladder is exported as
+//! [`crate::ShardHealth`].
 
-use crate::durable::ShardDurability;
+use crate::chaos::ChaosSchedule;
+use crate::durable::{HealSource, ShardDurability};
 use crate::lock::{read_unpoisoned, write_unpoisoned};
-use crate::stats::{FlushRecord, ShardMetrics};
+use crate::stats::{FlushRecord, ShardHealth, ShardMetrics};
 use crate::{ServeConfig, ServeError};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -165,6 +186,25 @@ pub(crate) struct ShardWriter {
     pub(crate) buf: Vec<EditOp>,
     /// WAL + snapshot persistence, when the server was built durable.
     pub(crate) durable: Option<ShardDurability>,
+    /// How to re-run recovery at runtime (durable shards only); `None`
+    /// means a fault that survives the in-place retry drops the batch
+    /// instead of healing.
+    pub(crate) heal: Option<HealSource>,
+    /// Thread-level fault injection (tests only; `None` in production).
+    pub(crate) chaos: Option<Arc<ChaosSchedule>>,
+    /// Durable op-sequence number already reflected in the published state
+    /// when this writer started (0 fresh; `ops_recovered` after recovery).
+    pub(crate) seq0: u64,
+    /// Ops applied and published by this writer incarnation, including heal
+    /// publishes — `seq0 + applied_ops` is the durable sequence number
+    /// behind the currently published state.
+    pub(crate) applied_ops: u64,
+    /// Flush attempts so far (the chaos schedule's batch key; an in-place
+    /// retry of a panicked batch keeps its number).
+    pub(crate) batches: u64,
+    /// Set when a fault dropped unacked ops since the last barrier; the next
+    /// ack reports [`ServeError::Degraded`] and clears it.
+    pub(crate) dropped_cycle: bool,
     /// Sticky failure state: the durable log failed (or recovery declared
     /// the shard unrecoverable), so the shard serves its last published
     /// snapshot read-only and rejects all ingest.
@@ -172,7 +212,43 @@ pub(crate) struct ShardWriter {
 }
 
 impl ShardWriter {
-    pub(crate) fn run(mut self) {
+    /// The writer thread's entry point: [`ShardWriter::run`] under an outer
+    /// panic net.  A panic that escapes the per-batch guard (a lag replay,
+    /// a torn invariant anywhere in the loop) is caught here; the supervisor
+    /// restores a coherent writable copy, drops the in-flight buffer as
+    /// unacked, heals from storage when it can, and re-enters the loop.
+    /// Reads never stop: the published snapshot is untouched throughout.
+    pub(crate) fn supervise(mut self) {
+        loop {
+            let normal_exit = catch_unwind(AssertUnwindSafe(|| self.run())).is_ok();
+            if normal_exit {
+                break;
+            }
+            self.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+            self.metrics.set_health(ShardHealth::Degraded);
+            // The unwound iteration may have been holding the writable copy
+            // (or consumed the retired one) when it died; rebuild from the
+            // published state so the protocol invariant "the writer holds
+            // the writable or the retired copy" is restored.
+            if self.write.is_none() && self.retired.is_none() {
+                self.rebuild_writable_from_front();
+            }
+            if self.quarantined {
+                // Nothing to heal; keep serving acks/reads read-only.
+                self.drop_buf_unacked();
+                self.metrics.set_health(ShardHealth::Quarantined);
+            } else if self.heal.is_some() {
+                // The buffer's logged prefix survives in the WAL; recovery
+                // re-applies it and only truly unlogged ops count as lost.
+                self.heal_from_storage("writer loop panicked");
+            } else {
+                self.drop_buf_unacked();
+                self.metrics.set_health(ShardHealth::Healthy);
+            }
+        }
+    }
+
+    fn run(&mut self) {
         loop {
             let first = match self.rx.recv() {
                 Ok(m) => m,
@@ -213,9 +289,14 @@ impl ShardWriter {
         }
     }
 
-    fn ack_value(&self) -> Result<u64, ServeError> {
+    fn ack_value(&mut self) -> Result<u64, ServeError> {
         if self.quarantined {
             Err(ServeError::Quarantined)
+        } else if std::mem::take(&mut self.dropped_cycle) {
+            // A fault dropped unacked ops since the last barrier: report the
+            // degradation on this ack (once) instead of pretending the
+            // barrier's prefix fully applied.
+            Err(ServeError::Degraded)
         } else {
             Ok(self.generation)
         }
@@ -256,7 +337,16 @@ impl ShardWriter {
                     if now >= deadline {
                         break;
                     }
-                    match self.rx.recv_timeout(deadline - now) {
+                    // `saturating_duration_since`, not `-`: `Instant`
+                    // subtraction panics on underflow, and a deadline that
+                    // passes between the check above and here (clock
+                    // adjustment, pre-emption) must mean "poll once", not
+                    // "crash the writer".  `treenum-analyze` rule
+                    // `instant-sub` bans the bare operator crate-wide.
+                    match self
+                        .rx
+                        .recv_timeout(deadline.saturating_duration_since(now))
+                    {
                         Ok(Ingest::Op(op)) => {
                             self.note_dequeued(1);
                             self.buf.push(op);
@@ -299,18 +389,25 @@ impl ShardWriter {
     /// On a durable shard the batch hits the write-ahead log (with the
     /// configured sync policy) *before* it is applied: a crash after this
     /// point replays the batch, a crash before it drops an unacked batch.
-    /// A WAL write error quarantines the shard — the buffered ops are
-    /// dropped un-acked and every subsequent barrier acks
-    /// [`ServeError::Quarantined`] — rather than acking ops that would not
-    /// survive a crash.
+    ///
+    /// Faults walk the supervision ladder instead of killing the shard:
+    ///
+    /// 1. a panic inside `apply_batch` discards the torn copy and retries
+    ///    the batch once on a fresh rebuild from the published tree;
+    /// 2. a second panic — or a WAL write error — heals from storage on a
+    ///    durable shard ([`ShardWriter::heal_from_storage`]), or drops the
+    ///    poison batch (counted, `Degraded`-acked) on a non-durable one;
+    /// 3. only a failed heal quarantines, terminally.
     fn flush_buf(&mut self) {
         if self.quarantined {
-            self.buf.clear();
+            self.drop_buf_unacked();
             return;
         }
         if self.buf.is_empty() {
             return;
         }
+        self.batches += 1;
+        let batch = self.batches;
         if let Some(durable) = &mut self.durable {
             match durable.log_batch(&self.buf) {
                 Ok(bytes) => {
@@ -320,31 +417,89 @@ impl ShardWriter {
                     self.metrics.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
                 }
                 Err(_) => {
-                    self.quarantined = true;
+                    // The batch is not (fully) durable and must not be acked.
+                    // Recovery from the directory tells us which prefix did
+                    // reach the log; a dead disk fails the heal and lands in
+                    // terminal quarantine.
                     self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.quarantined.store(true, Ordering::Release);
-                    self.buf.clear();
+                    self.metrics.set_health(ShardHealth::Degraded);
+                    self.heal_from_storage("WAL append failed");
                     return;
                 }
             }
         }
+        if self.try_apply_publish(batch) {
+            return;
+        }
+        // First apply panicked: the writable copy is torn and gone.  Rebuild
+        // from the published tree (the newest state — it subsumes any lag
+        // the lost copy owed) and retry the same batch once.
+        self.rebuild_writable_from_front();
+        if self.try_apply_publish(batch) {
+            return;
+        }
+        self.rebuild_writable_from_front();
+        if self.heal.is_some() {
+            // The batch is already in the WAL; recovery replays it, so a
+            // twice-panicking batch still applies (via the recovery path's
+            // applicability validation, which quarantines a genuinely
+            // inapplicable op instead of panicking a third time).
+            self.heal_from_storage("batch apply panicked twice");
+        } else {
+            // Non-durable: the batch is poison with nowhere to replay from.
+            // Drop it, report it, and keep serving.
+            self.drop_buf_unacked();
+            self.metrics.set_health(ShardHealth::Healthy);
+        }
+    }
+
+    /// One guarded attempt at the apply+publish half of a flush.  Returns
+    /// `false` iff `apply_batch` (or an injected chaos fault) panicked — the
+    /// writable copy is consumed either way.
+    fn try_apply_publish(&mut self, batch: u64) -> bool {
         // Time the whole flush cycle — reclaim of the writable copy, the
         // batch apply, and the publish swap — so the per-edit amortized
         // numbers in the flush log reflect the real cost of pushing one op
         // through the serving pipeline (E9's ingest arms read them).
         let start = Instant::now();
-        let mut engine = self.take_writable();
-        let before = engine.index_stats();
-        engine.apply_batch(&self.buf);
-        let after = engine.index_stats();
+        let engine = self.take_writable();
+        let chaos = self.chaos.clone();
+        let buf = &self.buf;
+        let applied = catch_unwind(AssertUnwindSafe(move || {
+            if let Some(c) = &chaos {
+                c.on_apply(batch);
+            }
+            let mut engine = engine;
+            let before = engine.index_stats();
+            engine.apply_batch(buf);
+            let after = engine.index_stats();
+            (engine, before, after)
+        }));
+        let (engine, before, after) = match applied {
+            Ok(t) => t,
+            Err(_) => {
+                self.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+                self.metrics.set_health(ShardHealth::Degraded);
+                return false;
+            }
+        };
         self.generation += 1;
         let snap = Arc::new(SnapInner {
             engine,
             generation: self.generation,
         });
         let published = Arc::clone(&snap);
-        let old = std::mem::replace(&mut *write_unpoisoned(&self.front), snap);
-        self.retired = Some(old);
+        {
+            let mut front = write_unpoisoned(&self.front);
+            if let Some(c) = &self.chaos {
+                // The stalled-writer fault: hold the publication swap (and
+                // with it the front lock) — blocking reads park here, which
+                // is exactly what `read_with_deadline` bounds.
+                c.on_publish(batch);
+            }
+            let old = std::mem::replace(&mut *front, snap);
+            self.retired = Some(old);
+        }
         let nanos = start.elapsed().as_nanos() as u64;
         self.lag.extend_from_slice(&self.buf);
         self.metrics
@@ -369,7 +524,11 @@ impl ShardWriter {
                 .store(self.window as u64, Ordering::Relaxed);
         }
         self.metrics.record_flush(rec);
+        self.applied_ops += self.buf.len() as u64;
         self.buf.clear();
+        // A successful apply+publish always lands the shard back in
+        // `Healthy` — including the retry rung of the ladder.
+        self.metrics.set_health(ShardHealth::Healthy);
         // Snapshot persistence rides the publication-generation boundary:
         // the tree just published is exactly the state as of the WAL
         // offset, so the snapshot's op_seq ↔ tree pairing needs no extra
@@ -389,6 +548,143 @@ impl ShardWriter {
                 }
             }
         }
+        true
+    }
+
+    /// Replaces whatever writable/retired state the writer holds with a
+    /// fresh O(n) rebuild from the published tree.  Used after a fault tore
+    /// the writable copy: the published tree is the newest coherent state,
+    /// so it subsumes any catch-up lag the lost copy owed.
+    fn rebuild_writable_from_front(&mut self) {
+        self.metrics
+            .rebuild_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        self.retired = None;
+        self.lag.clear();
+        let tree = read_unpoisoned(&self.front).engine.tree().clone();
+        self.write = Some(TreeEnumerator::with_plan(tree, Arc::clone(&self.plan)));
+    }
+
+    /// Counts and drops the coalescing buffer as unacked loss, arming the
+    /// `Degraded` ack for the covering barrier.
+    fn drop_buf_unacked(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        self.metrics
+            .ops_dropped_unacked
+            .fetch_add(self.buf.len() as u64, Ordering::Relaxed);
+        self.dropped_cycle = true;
+        self.buf.clear();
+    }
+
+    /// Rebuilds the shard from its durable directory at runtime — the same
+    /// newest-snapshot + WAL-tail-replay path a process restart takes — and
+    /// atomically re-admits the recovered state.  Reads serve the last
+    /// published snapshot throughout (`Recovering`); the published front is
+    /// swapped exactly once, to the recovered state, with a flush-log record
+    /// covering the newly visible ops so the generation ↔ op-prefix audit
+    /// trail stays intact.  A failed heal (dead storage, confirmed corrupt
+    /// log) is the one road into terminal quarantine.
+    fn heal_from_storage(&mut self, why: &str) {
+        let Some(src) = self.heal.clone() else {
+            self.quarantine_now(why);
+            return;
+        };
+        self.metrics.set_health(ShardHealth::Recovering);
+        let start = Instant::now();
+        // Release the old handle's file descriptors/segment state before
+        // recovery reopens the directory.
+        self.durable = None;
+        let rec = match src.recover() {
+            Ok(rec) => rec,
+            Err(e) => {
+                self.quarantine_now(&format!("{why}; heal failed: {e}"));
+                return;
+            }
+        };
+        if let Some(reason) = &rec.report.quarantined {
+            self.quarantine_now(&format!("{why}; heal found unrecoverable state: {reason}"));
+            return;
+        }
+        let mut healed = TreeEnumerator::with_plan(rec.base_tree, Arc::clone(&self.plan));
+        if !rec.replay.is_empty() {
+            healed.apply_batch(&rec.replay);
+        }
+        let durable_seq = rec.report.ops_recovered;
+        let visible_seq = self.seq0 + self.applied_ops;
+        // Ops of the in-flight buffer that reached the WAL before the fault
+        // are part of the recovered state; only the unlogged suffix is lost.
+        let recovered_from_buf = durable_seq.saturating_sub(visible_seq) as usize;
+        let lost = self.buf.len().saturating_sub(recovered_from_buf);
+        if lost > 0 {
+            self.metrics
+                .ops_dropped_unacked
+                .fetch_add(lost as u64, Ordering::Relaxed);
+            self.dropped_cycle = true;
+        }
+        self.buf.clear();
+        let new_visible = durable_seq.saturating_sub(visible_seq);
+        if new_visible > 0 {
+            // The durable state is ahead of the published one: publish it as
+            // the next generation, with a flush record sized to the newly
+            // visible ops (audit trail: generation g ↔ first g records).
+            self.generation += 1;
+            let snap = Arc::new(SnapInner {
+                engine: healed,
+                generation: self.generation,
+            });
+            let writable =
+                TreeEnumerator::with_plan(snap.engine.tree().clone(), Arc::clone(&self.plan));
+            {
+                let mut front = write_unpoisoned(&self.front);
+                // Abandon the old front to its holders entirely (drop both
+                // the slot's and any retired handle's reference).
+                let _old = std::mem::replace(&mut *front, snap);
+            }
+            self.retired = None;
+            self.lag.clear();
+            self.write = Some(writable);
+            self.metrics
+                .generation
+                .store(self.generation, Ordering::Release);
+            self.metrics.record_flush(FlushRecord {
+                size: new_visible as usize,
+                nanos: start.elapsed().as_nanos() as u64,
+                window: self.window,
+                spine_deduped: 0,
+                spine_dirty: 0,
+            });
+            self.applied_ops += new_visible;
+        } else {
+            // Published state already equals the durable state; the healed
+            // engine simply becomes the fresh writable copy.
+            self.retired = None;
+            self.lag.clear();
+            self.write = Some(healed);
+        }
+        self.durable = rec.durability;
+        if let Some(d) = &mut self.durable {
+            // Recovery anchors its handle at generation 0; this writer's
+            // generation counter keeps running, so re-anchor the snapshot
+            // cadence (snapshot files are op_seq-keyed — cadence only).
+            d.rebase_generation(self.generation);
+        }
+        // Recovery persisted a fresh snapshot of the recovered state.
+        self.metrics
+            .snapshots_persisted
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.heals.fetch_add(1, Ordering::Relaxed);
+        self.metrics.set_health(ShardHealth::Healthy);
+    }
+
+    /// Terminal quarantine: count the in-flight buffer as unacked loss, mark
+    /// the metrics (before any ack can be sent), and stop accepting writes.
+    fn quarantine_now(&mut self, _reason: &str) {
+        self.quarantined = true;
+        self.drop_buf_unacked();
+        self.metrics.quarantined.store(true, Ordering::Release);
+        self.metrics.set_health(ShardHealth::Quarantined);
     }
 
     /// Obtains the writable copy: the held one, the reclaimed-and-caught-up

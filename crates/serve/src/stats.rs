@@ -2,8 +2,61 @@
 //! per-flush log, and the [`ServeStats`] snapshot surface.
 
 use crate::lock::lock_unpoisoned;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
+
+/// The per-shard health state machine of the self-healing serve layer.
+///
+/// Transitions (driven by the shard's writer/supervisor thread):
+///
+/// ```text
+/// Healthy ──panic/WAL error──▶ Degraded ──heal starts──▶ Recovering
+///    ▲                            │                          │
+///    └──────retry or heal succeeds┴──────────────────────────┘
+///                                                            │
+///                       confirmed unrecoverable corruption ──▶ Quarantined (terminal)
+/// ```
+///
+/// `Quarantined` is reached only when the durable state is confirmed
+/// unrecoverable (dead storage, corrupt log) — every transient fault ends
+/// back in `Healthy`.  Reads are served from the last published snapshot in
+/// **every** state; only ingest acceptance varies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ShardHealth {
+    /// Normal operation: ingest accepted, batches applying and publishing.
+    #[default]
+    Healthy,
+    /// A fault was observed (writer panic, WAL error) and the shard is
+    /// between the fault and its resolution; reads still serve the last
+    /// published snapshot, and in-flight ops may be reported as dropped.
+    Degraded,
+    /// The supervisor is rebuilding the writer from the newest snapshot +
+    /// WAL replay; reads keep serving the last published snapshot.
+    Recovering,
+    /// Terminal: the durable state is unrecoverable.  The shard serves its
+    /// last good state read-only and rejects all ingest.
+    Quarantined,
+}
+
+impl ShardHealth {
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            ShardHealth::Healthy => 0,
+            ShardHealth::Degraded => 1,
+            ShardHealth::Recovering => 2,
+            ShardHealth::Quarantined => 3,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Self {
+        match v {
+            1 => ShardHealth::Degraded,
+            2 => ShardHealth::Recovering,
+            3 => ShardHealth::Quarantined,
+            _ => ShardHealth::Healthy,
+        }
+    }
+}
 
 /// One ingest flush, as recorded by a shard's writer thread.
 ///
@@ -68,10 +121,19 @@ pub(crate) struct ShardMetrics {
     pub snapshot_errors: AtomicU64,
     pub backpressure_timeouts: AtomicU64,
     pub quarantined: AtomicBool,
+    pub health: AtomicU8,
+    pub panics_caught: AtomicU64,
+    pub heals: AtomicU64,
+    pub ops_dropped_unacked: AtomicU64,
+    pub load_shed: AtomicU64,
+    pub deadline_reads_timed_out: AtomicU64,
     pub flush_log: Mutex<Vec<FlushRecord>>,
 }
 
 impl ShardMetrics {
+    pub(crate) fn set_health(&self, h: ShardHealth) {
+        self.health.store(h.as_u8(), Ordering::Release);
+    }
     pub(crate) fn record_flush(&self, rec: FlushRecord) {
         self.applied.fetch_add(rec.size as u64, Ordering::Relaxed);
         self.spine_deduped
@@ -103,6 +165,12 @@ impl ShardMetrics {
             snapshot_errors: self.snapshot_errors.load(Ordering::Relaxed),
             backpressure_timeouts: self.backpressure_timeouts.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Acquire),
+            health: ShardHealth::from_u8(self.health.load(Ordering::Acquire)),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            heals: self.heals.load(Ordering::Relaxed),
+            ops_dropped_unacked: self.ops_dropped_unacked.load(Ordering::Relaxed),
+            load_shed: self.load_shed.load(Ordering::Relaxed),
+            deadline_reads_timed_out: self.deadline_reads_timed_out.load(Ordering::Relaxed),
         }
     }
 }
@@ -160,8 +228,29 @@ pub struct ShardStats {
     pub backpressure_timeouts: u64,
     /// The shard is quarantined: it serves its last good state read-only and
     /// rejects ingest, because its durable log failed or recovery found it
-    /// corrupt beyond repair.
+    /// corrupt beyond repair.  Equivalent to `health == Quarantined`; kept as
+    /// a plain flag for dashboards that predate the health state machine.
     pub quarantined: bool,
+    /// The shard's current position in the self-healing state machine.
+    pub health: ShardHealth,
+    /// Writer-thread panics caught by the supervisor (per-batch guard or the
+    /// outer safety net).  Each one either healed or quarantined the shard.
+    pub panics_caught: u64,
+    /// Successful runtime heals: the writer was rebuilt from the newest
+    /// snapshot + WAL replay and re-admitted.
+    pub heals: u64,
+    /// In-flight (never acknowledged) ops dropped by a fault.  Acked ops are
+    /// never counted here — losing one is a bug, not a statistic.  The
+    /// barrier covering a dropping cycle acks
+    /// [`crate::ServeError::Degraded`] so the loss is reported, not silent.
+    pub ops_dropped_unacked: u64,
+    /// Ingest attempts rejected immediately because the queue depth was at or
+    /// above [`crate::ServeConfig::shed_depth`].
+    pub load_shed: u64,
+    /// [`crate::TreeServer::read_with_deadline`] calls that gave up waiting
+    /// for a parked publication and returned
+    /// [`crate::ServeError::DeadlineExceeded`].
+    pub deadline_reads_timed_out: u64,
 }
 
 impl ShardStats {
@@ -202,5 +291,10 @@ impl ServeStats {
     /// Total snapshots handed out across shards.
     pub fn reads(&self) -> u64 {
         self.shards.iter().map(|s| s.reads).sum()
+    }
+
+    /// `true` iff every shard is [`ShardHealth::Healthy`].
+    pub fn all_healthy(&self) -> bool {
+        self.shards.iter().all(|s| s.health == ShardHealth::Healthy)
     }
 }

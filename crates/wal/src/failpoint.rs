@@ -29,6 +29,7 @@ use crate::storage::{DiskFs, Storage, WalFile};
 use std::io::{self, Read, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 /// What happens at the armed write step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +53,13 @@ struct FaultState {
     writes: u64,
     /// Whether the armed fault has fired.
     triggered: bool,
+    /// Every `sync` sleeps this long before completing (slow-fsync fault:
+    /// the write path crawls but nothing is lost or corrupted).
+    slow_sync: Option<Duration>,
+    /// Every `write_atomic` step sleeps this long (slow snapshot
+    /// persistence — widens the recovery window for reads-during-heal
+    /// tests).  Appends are unaffected.
+    slow_atomic: Option<Duration>,
 }
 
 /// A [`Storage`] that injects one deterministic fault (see the module docs).
@@ -78,6 +86,8 @@ impl FailpointFs {
                 dead: false,
                 writes: 0,
                 triggered: false,
+                slow_sync: None,
+                slow_atomic: None,
             })),
         }
     }
@@ -91,8 +101,27 @@ impl FailpointFs {
                 dead: false,
                 writes: 0,
                 triggered: false,
+                slow_sync: None,
+                slow_atomic: None,
             })),
         }
+    }
+
+    /// Slow-fsync fault: every `sync` sleeps `delay` before completing.
+    /// Nothing is lost or corrupted — this models a saturated or degraded
+    /// disk, where the cost shows up as write-path latency (E13's
+    /// slow-fsync arm) rather than as an error.
+    pub fn with_slow_sync(self, delay: Duration) -> Self {
+        self.lock().slow_sync = Some(delay);
+        self
+    }
+
+    /// Slow snapshot persistence: every `write_atomic` step sleeps `delay`.
+    /// WAL appends are unaffected.  Used to widen the in-process heal
+    /// window so tests can observe reads served *during* recovery.
+    pub fn with_slow_atomic(self, delay: Duration) -> Self {
+        self.lock().slow_atomic = Some(delay);
+        self
     }
 
     /// Total write steps attempted so far.
@@ -107,6 +136,15 @@ impl FailpointFs {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Sleeps the configured `write_atomic` slowdown, if any (outside the
+    /// state lock).
+    fn slow_atomic_step(&self) {
+        let slow = self.lock().slow_atomic;
+        if let Some(delay) = slow {
+            std::thread::sleep(delay);
+        }
     }
 
     /// Advances the write-step counter; returns what this step must do.
@@ -180,8 +218,17 @@ impl WalFile for FailpointFile {
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        if self.fs.lock().dead {
-            return Err(dead_err());
+        let slow = {
+            let st = self.fs.lock();
+            if st.dead {
+                return Err(dead_err());
+            }
+            st.slow_sync
+        };
+        // Sleep outside the state lock so a slow fsync stalls only this
+        // writer, not every clone sharing the fault state.
+        if let Some(delay) = slow {
+            std::thread::sleep(delay);
         }
         self.inner.sync_data()
     }
@@ -225,6 +272,7 @@ impl Storage for FailpointFs {
                 .unwrap_or_default()
                 .join(name)
         };
+        self.slow_atomic_step();
         match self.step() {
             StepOutcome::Pass => std::fs::write(&tmp, bytes)?,
             StepOutcome::Kill | StepOutcome::Dead => return Err(dead_err()),
@@ -236,6 +284,7 @@ impl Storage for FailpointFs {
         }
         // Step 2: the rename.  A kill here leaves the temp file behind —
         // recovery must ignore `.tmp` files.
+        self.slow_atomic_step();
         match self.step() {
             StepOutcome::Pass | StepOutcome::BitFlip => std::fs::rename(&tmp, path),
             StepOutcome::Kill | StepOutcome::Truncate | StepOutcome::Dead => Err(dead_err()),
@@ -321,6 +370,36 @@ mod tests {
         assert!(fs.write_atomic(&path, b"payload").is_err());
         let names = fs.list(&dir).unwrap();
         assert_eq!(names, vec!["snap.tmp".to_owned()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_sync_delays_but_loses_nothing() {
+        let dir = temp_dir("slowsync");
+        let fs = FailpointFs::counting().with_slow_sync(Duration::from_millis(10));
+        let path = dir.join("log");
+        let mut f = fs.open_append(&path).unwrap();
+        f.append(b"data").unwrap();
+        let start = std::time::Instant::now();
+        f.sync().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        assert_eq!(fs.read(&path).unwrap(), b"data");
+        assert!(!fs.triggered());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_atomic_delays_both_steps_and_appends_stay_fast() {
+        let dir = temp_dir("slowatomic");
+        let fs = FailpointFs::counting().with_slow_atomic(Duration::from_millis(5));
+        let mut f = fs.open_append(&dir.join("log")).unwrap();
+        let start = std::time::Instant::now();
+        f.append(b"quick").unwrap();
+        assert!(start.elapsed() < Duration::from_millis(5));
+        let start = std::time::Instant::now();
+        fs.write_atomic(&dir.join("snap"), b"payload").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(10)); // 2 steps x 5ms
+        assert_eq!(fs.read(&dir.join("snap")).unwrap(), b"payload");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -9,8 +9,9 @@
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use treenum::automata::queries;
-use treenum::serve::{ServeConfig, TreeServer};
+use treenum::serve::{RetryPolicy, ServeConfig, TreeServer};
 use treenum::trees::generate::{random_tree, TreeShape};
 use treenum::trees::valuation::Var;
 use treenum::trees::{Alphabet, EditFeed, EditStream, Label};
@@ -63,7 +64,11 @@ pub fn main() {
     }
 
     // One writer per shard: shard 0 takes a hot-subtree skewed stream (high
-    // spine sharing — the window should grow), shard 1 a bursty one.
+    // spine sharing — the window should grow), shard 1 a bursty one.  A
+    // saturated producer is expected to see `Backpressure` when the queue
+    // fills (e.g. while the shard writer pays an O(n) reclaim-fallback
+    // rebuild on a small machine); `RetryPolicy` is the sanctioned answer —
+    // jittered exponential backoff until the queue drains.
     let mut writers = Vec::new();
     for (shard, make) in [
         (
@@ -74,10 +79,17 @@ pub fn main() {
     ] {
         let server = Arc::clone(&server);
         let mut feed = EditFeed::new(&docs[shard], make(labels.clone(), 7 + shard as u64));
+        let retry = RetryPolicy {
+            budget: Duration::from_secs(10),
+            seed: 7 + shard as u64,
+            ..RetryPolicy::default()
+        };
         writers.push(std::thread::spawn(move || {
             for _ in 0..40 {
                 for op in feed.next_batch(64) {
-                    server.ingest(shard, op).expect("shard accepts writes");
+                    retry
+                        .run(|| server.ingest(shard, op))
+                        .expect("shard accepts writes");
                 }
             }
         }));

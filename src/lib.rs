@@ -5,7 +5,7 @@
 //! Efficient Updates"* (Amarilli, Bourhis, Mengel, Niewerth — PODS 2019).
 //!
 //! See `README.md` for a guided tour and crate map, and `EXPERIMENTS.md` for the
-//! benchmark catalogue (E1–E12).
+//! benchmark catalogue (E1–E13).
 
 pub use treenum_automata as automata;
 pub use treenum_balance as balance;
