@@ -1,0 +1,229 @@
+//! Intra-doc markdown link checker: CI fails on dangling references.
+//!
+//! The workspace's architecture documentation (README, DESIGN, EXPERIMENTS,
+//! ROADMAP) cross-links aggressively — `[DESIGN.md](DESIGN.md)`,
+//! `[E11](EXPERIMENTS.md#e11--query-registry--snapshot-multiplexing)` — and a
+//! rename or a reshuffled heading silently strands those links; `rustdoc -D
+//! warnings` only covers *rustdoc* links.  This module scans the tracked
+//! documents for inline `[text](target)` links and reports:
+//!
+//! * **relative file targets** whose file does not exist (resolved against
+//!   the linking document's directory), and
+//! * **heading anchors** (`file.md#anchor` or bare `#anchor`) that match no
+//!   heading of the target markdown file, under GitHub's slugification
+//!   (lowercase; spaces to `-`; punctuation dropped).
+//!
+//! External links (`http://`, `https://`, `mailto:`) are out of scope — the
+//! checker must be hermetic — and fenced code blocks are skipped, so example
+//! snippets can show link syntax without being checked.  Run with
+//! `cargo run --release -p treenum-analyze -- --doc-links`.
+
+use crate::rules::Diagnostic;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule name under which dangling links are reported.
+pub const RULE_DOC_LINKS: &str = "doc-links";
+
+/// The documents the checker covers, relative to the workspace root.
+/// Missing files are skipped (not every checkout carries every doc).
+pub const TRACKED_DOCS: [&str; 5] = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+];
+
+/// One inline markdown link found in a document.
+#[derive(Clone, Debug)]
+pub struct DocLink {
+    /// Document the link appears in (as given, root-relative).
+    pub file: PathBuf,
+    /// 1-based line of the `[`.
+    pub line: u32,
+    /// The raw `(...)` target.
+    pub target: String,
+}
+
+/// Extracts inline `[text](target)` links from markdown `content`, skipping
+/// fenced code blocks and inline code spans.  Reference-style links and
+/// autolinks are not used in this workspace and are ignored.
+pub fn extract_links(file: &Path, content: &str) -> Vec<DocLink> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (i, raw) in content.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let line = strip_code_spans(raw);
+        let bytes = line.as_bytes();
+        let mut j = 0;
+        while j < bytes.len() {
+            if bytes[j] == b'[' {
+                // Find the matching `]` (no nesting in our docs), then `(`.
+                if let Some(close) = line[j + 1..].find(']').map(|k| j + 1 + k) {
+                    if bytes.get(close + 1) == Some(&b'(') {
+                        if let Some(end) = line[close + 2..].find(')').map(|k| close + 2 + k) {
+                            let target = line[close + 2..end].trim();
+                            // `[x](url "title")` — strip the title part.
+                            let target = target.split_whitespace().next().unwrap_or("");
+                            if !target.is_empty() {
+                                out.push(DocLink {
+                                    file: file.to_path_buf(),
+                                    line: (i + 1) as u32,
+                                    target: target.to_owned(),
+                                });
+                            }
+                            j = end + 1;
+                            continue;
+                        }
+                    }
+                    j = close + 1;
+                    continue;
+                }
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Replaces `` `...` `` inline code spans with spaces so link syntax inside
+/// them is not collected.
+fn strip_code_spans(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_span = false;
+    for c in line.chars() {
+        if c == '`' {
+            in_span = !in_span;
+            out.push(' ');
+        } else if in_span {
+            out.push(' ');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// GitHub-style heading slug: lowercase, spaces/tabs to `-`, keep only
+/// alphanumerics and `-`/`_`.
+pub fn slugify(heading: &str) -> String {
+    let mut out = String::with_capacity(heading.len());
+    for c in heading.trim().chars() {
+        if c.is_alphanumeric() || c == '_' || c == '-' {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+        } else if c == ' ' || c == '\t' {
+            out.push('-');
+        }
+    }
+    out
+}
+
+/// The anchor slugs of every heading in markdown `content` (fenced code
+/// blocks skipped; duplicate headings get GitHub's `-1`, `-2`… suffixes).
+pub fn heading_anchors(content: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut in_fence = false;
+    for raw in content.lines() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !trimmed.starts_with('#') {
+            continue;
+        }
+        let text = trimmed.trim_start_matches('#');
+        if !text.starts_with(' ') && !text.is_empty() {
+            continue; // `#foo` is not a heading
+        }
+        let base = slugify(text);
+        let n = seen.entry(base.clone()).or_insert(0);
+        out.push(if *n == 0 {
+            base.clone()
+        } else {
+            format!("{base}-{}", *n)
+        });
+        *n += 1;
+    }
+    out
+}
+
+/// Checks every [`TRACKED_DOCS`] document under `root`; returns one
+/// [`Diagnostic`] per dangling link.  I/O errors on *reading an existing
+/// file* propagate; absent tracked docs are skipped.
+pub fn check_doc_links(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    let mut anchor_cache: HashMap<PathBuf, Option<Vec<String>>> = HashMap::new();
+    for doc in TRACKED_DOCS {
+        let path = root.join(doc);
+        if !path.is_file() {
+            continue;
+        }
+        let content = std::fs::read_to_string(&path)?;
+        let doc_dir = path.parent().unwrap_or(root).to_path_buf();
+        for link in extract_links(Path::new(doc), &content) {
+            if link.target.starts_with("http://")
+                || link.target.starts_with("https://")
+                || link.target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (file_part, anchor) = match link.target.split_once('#') {
+                Some((f, a)) => (f, Some(a)),
+                None => (link.target.as_str(), None),
+            };
+            let target_path = if file_part.is_empty() {
+                path.clone()
+            } else {
+                doc_dir.join(file_part)
+            };
+            if !target_path.exists() {
+                out.push(Diagnostic {
+                    rule: RULE_DOC_LINKS,
+                    file: link.file.clone(),
+                    line: link.line,
+                    msg: format!(
+                        "link target `{}` does not exist (resolved to {})",
+                        link.target,
+                        target_path.display()
+                    ),
+                });
+                continue;
+            }
+            let Some(anchor) = anchor else { continue };
+            if target_path.extension().and_then(|e| e.to_str()) != Some("md") {
+                continue;
+            }
+            let anchors = anchor_cache.entry(target_path.clone()).or_insert_with(|| {
+                std::fs::read_to_string(&target_path)
+                    .ok()
+                    .map(|c| heading_anchors(&c))
+            });
+            let Some(anchors) = anchors else { continue };
+            if !anchors.iter().any(|a| a == anchor) {
+                out.push(Diagnostic {
+                    rule: RULE_DOC_LINKS,
+                    file: link.file.clone(),
+                    line: link.line,
+                    msg: format!(
+                        "anchor `#{anchor}` matches no heading of {}",
+                        target_path.display()
+                    ),
+                });
+            }
+        }
+    }
+    Ok(out)
+}

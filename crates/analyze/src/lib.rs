@@ -12,9 +12,17 @@
 //!   left-right snapshot publication protocol of `treenum-serve`.  Run with
 //!   `cargo run --release -p treenum-analyze -- --sched`.
 //!
-//! Both exit non-zero on violations, so CI can gate on them; see the
+//! Plus a third, smaller pillar for the *documentation*:
+//!
+//! * [`doclinks`] — an intra-doc markdown link checker over the tracked
+//!   architecture documents (README, DESIGN, EXPERIMENTS, ROADMAP), so a
+//!   renamed file or reshuffled heading fails CI instead of stranding a
+//!   reader.  Run with `cargo run --release -p treenum-analyze -- --doc-links`.
+//!
+//! All exit non-zero on violations, so CI can gate on them; see the
 //! "Correctness tooling" section of the repo README.
 
+pub mod doclinks;
 pub mod lexer;
 pub mod rules;
 pub mod sched;

@@ -3,13 +3,15 @@
 //! ```text
 //! treenum-analyze --workspace            # run the lint rules, exit 1 on violations
 //! treenum-analyze --sched                # exhaustively check the left-right protocol
-//! treenum-analyze --workspace --sched    # both
+//! treenum-analyze --doc-links            # check markdown docs for dangling links
+//! treenum-analyze --workspace --sched    # combine freely
 //!     --root <dir>                       # workspace root (default: auto-detect)
 //!     --report <file>                    # also write the report to a file
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use treenum_analyze::doclinks::check_doc_links;
 use treenum_analyze::rules::Workspace;
 use treenum_analyze::sched::{check_all_interleavings, SchedConfig};
 
@@ -35,6 +37,7 @@ fn detect_root(explicit: Option<PathBuf>) -> PathBuf {
 fn main() -> ExitCode {
     let mut run_workspace = false;
     let mut run_sched = false;
+    let mut run_doc_links = false;
     let mut root: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -42,12 +45,13 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--workspace" => run_workspace = true,
             "--sched" => run_sched = true,
+            "--doc-links" => run_doc_links = true,
             "--root" => root = args.next().map(PathBuf::from),
             "--report" => report_path = args.next().map(PathBuf::from),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: treenum-analyze [--workspace] [--sched] [--root <dir>] \
-                     [--report <file>]"
+                    "usage: treenum-analyze [--workspace] [--sched] [--doc-links] \
+                     [--root <dir>] [--report <file>]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -57,8 +61,11 @@ fn main() -> ExitCode {
             }
         }
     }
-    if !run_workspace && !run_sched {
-        eprintln!("treenum-analyze: nothing to do; pass --workspace and/or --sched (see --help)");
+    if !run_workspace && !run_sched && !run_doc_links {
+        eprintln!(
+            "treenum-analyze: nothing to do; pass --workspace, --sched and/or --doc-links \
+             (see --help)"
+        );
         return ExitCode::FAILURE;
     }
 
@@ -88,6 +95,32 @@ fn main() -> ExitCode {
                 report.push_str(&format!("{d}\n"));
             }
             report.push_str(&format!("lint: {} violation(s)\n", diags.len()));
+        }
+    }
+
+    if run_doc_links {
+        let root = detect_root(root.clone());
+        match check_doc_links(&root) {
+            Ok(diags) if diags.is_empty() => {
+                report.push_str(&format!(
+                    "doc-links: no dangling links under {}\n",
+                    root.display()
+                ));
+            }
+            Ok(diags) => {
+                failed = true;
+                for d in &diags {
+                    report.push_str(&format!("{d}\n"));
+                }
+                report.push_str(&format!("doc-links: {} dangling link(s)\n", diags.len()));
+            }
+            Err(e) => {
+                eprintln!(
+                    "treenum-analyze: failed to read docs under {}: {e}",
+                    root.display()
+                );
+                return ExitCode::FAILURE;
+            }
         }
     }
 

@@ -582,7 +582,7 @@ pub fn check_instant_sub(file: &SourceFile) -> Vec<Diagnostic> {
 }
 
 /// The counter structs whose public fields rule [`RULE_COUNTER`] tracks.
-pub const COUNTER_STRUCTS: [&str; 3] = ["EnumStats", "IndexStats", "ShardStats"];
+pub const COUNTER_STRUCTS: [&str; 4] = ["EnumStats", "IndexStats", "RegistryStats", "ShardStats"];
 
 /// A public field of one of the [`COUNTER_STRUCTS`].
 #[derive(Clone, Debug)]

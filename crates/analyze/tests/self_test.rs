@@ -5,6 +5,7 @@
 //! protocol mutations: the lint is only trustworthy if it provably fires.
 
 use std::path::{Path, PathBuf};
+use treenum_analyze::doclinks::{check_doc_links, heading_anchors, slugify, RULE_DOC_LINKS};
 use treenum_analyze::rules::{
     check_hot_alloc, check_instant_sub, check_io_unwrap, check_lock_unwrap, check_map_imports,
     Diagnostic, SourceFile, Workspace, RULE_ALLOC, RULE_COUNTER, RULE_INSTANT, RULE_IO, RULE_LOCK,
@@ -105,6 +106,52 @@ fn counter_rule_flags_exactly_the_uncovered_field() {
         "must flag the uncovered field, got: {}",
         diags[0].msg
     );
+}
+
+#[test]
+fn doc_links_flags_exactly_the_dangling_links() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("doc_ws");
+    let diags = check_doc_links(&root).expect("fixture docs must read");
+    assert_eq!(rules_of(&diags), [RULE_DOC_LINKS], "diags: {diags:?}");
+    assert_eq!(
+        diags.len(),
+        2,
+        "good links, external links, fenced and inline-code links must not trip: {diags:?}"
+    );
+    assert!(diags[0].msg.contains("MISSING.md"), "got: {}", diags[0].msg);
+    assert!(
+        diags[1].msg.contains("#no-such-heading"),
+        "got: {}",
+        diags[1].msg
+    );
+}
+
+#[test]
+fn heading_slugs_follow_github_rules() {
+    assert_eq!(
+        slugify("Query registry & snapshot multiplexing"),
+        "query-registry--snapshot-multiplexing"
+    );
+    assert_eq!(
+        slugify("  Left-Right Publication  "),
+        "left-right-publication"
+    );
+    let anchors = heading_anchors("# A b\n\n## A b\n\n```\n# fenced\n```\n## C-d!\n");
+    assert_eq!(anchors, ["a-b", "a-b-1", "c-d"]);
+}
+
+/// The tracked docs of the real workspace must have no dangling links — the
+/// same check CI runs via `--doc-links`.
+#[test]
+fn real_workspace_docs_are_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap();
+    let diags = check_doc_links(root).expect("workspace docs must read");
+    assert!(diags.is_empty(), "dangling doc links:\n{diags:#?}");
 }
 
 /// The real workspace must be clean — this is the same check CI runs via the

@@ -1,11 +1,11 @@
-//! Runs compact versions of experiments E1–E9/E12/E13 and writes a JSON
+//! Runs compact versions of experiments E1–E9/E11/E12/E13 and writes a JSON
 //! summary.
 //!
 //! ```text
-//! bench_summary [--profile full|smoke|e2|e8|e9|e12|e13] [--out PATH]
+//! bench_summary [--profile full|smoke|e2|e8|e9|e11|e12|e13] [--out PATH]
 //!               [--check-e2 BASELINE.json] [--check-e8 BASELINE.json]
-//!               [--check-e9 BASELINE.json] [--check-e13 BASELINE.json]
-//!               [--tolerance FRACTION]
+//!               [--check-e9 BASELINE.json] [--check-e11 BASELINE.json]
+//!               [--check-e13 BASELINE.json] [--tolerance FRACTION]
 //! ```
 //!
 //! The committed trajectory files at the repository root are produced with the
@@ -13,16 +13,19 @@
 //! `--out BENCH_after.json` after); CI runs the `smoke` profile to keep the
 //! bench code compiling and running, plus `--profile e2 --check-e2
 //! BENCH_after.json`, `--profile e8 --check-e8 BENCH_after.json`,
-//! `--profile e9 --check-e9 BENCH_after.json` and `--profile e13
-//! --check-e13 BENCH_after.json`, which exit non-zero when any
-//! freshly measured p95 of the gated group (E2 per-answer delay / E8
-//! amortized per-edit batch latency / E9 snapshot-read delay under
-//! concurrent ingest / E13 read delay through writer-fault heal cycles)
+//! `--profile e9 --check-e9 BENCH_after.json`, `--profile e11 --check-e11
+//! BENCH_after.json` and `--profile e13 --check-e13 BENCH_after.json`,
+//! which exit non-zero when any freshly measured p95 of the gated group (E2
+//! per-answer delay / E8 amortized per-edit batch latency / E9 snapshot-read
+//! delay under concurrent ingest / E11 multiplexed read delay across
+//! registered queries / E13 read delay through writer-fault heal cycles)
 //! regresses more than the tolerance (default 0.25 = 25%)
-//! against the committed baseline.  The E8 gate re-measures any record the
-//! first pass flags (min of 3 runs) before reporting a regression — a
-//! genuine slowdown reproduces, a scheduling stall on the shared runner does
-//! not.  Every requested gate runs and prints its comparisons before the
+//! against the committed baseline.  The E11 gate additionally holds the
+//! fresh q=16 arm to within 1.5× the fresh q=1 arm's read p95 — the
+//! snapshot-multiplexing contract — independent of the baseline.  The E8
+//! and E11 gates re-measure any record the first pass flags (best of 3 /
+//! best of 2 extra runs) before reporting a regression — a genuine slowdown
+//! reproduces, a scheduling stall on the shared runner does not.  Every requested gate runs and prints its comparisons before the
 //! process exits, so one run shows every regression.  The `e12` profile
 //! records the crash-recovery group only; splice its `E12_recovery` records
 //! into `BENCH_after.json` rather than re-recording the gated groups.
@@ -32,11 +35,11 @@ use criterion::Criterion;
 use std::path::{Path, PathBuf};
 use treenum_bench::summary::{run_summary, SummaryProfile};
 use treenum_bench::trajectory::{
-    check_e13_regression, check_e2_regression, check_e8_regression, check_e9_regression,
-    e8_allowed_ratio, GroupComparison, Trajectory,
+    check_e11_regression, check_e13_regression, check_e2_regression, check_e8_regression,
+    check_e9_regression, e8_allowed_ratio, GroupComparison, Trajectory, E11_MULTIPLEX_SLACK,
 };
 use treenum_bench::{
-    bench_alphabet, bench_tree, e8_strategies, measure_batch_apply, select_b_query,
+    bench_alphabet, bench_tree, e8_strategies, measure_batch_apply, run_e11, select_b_query,
 };
 use treenum_trees::generate::TreeShape;
 
@@ -46,6 +49,7 @@ fn main() {
     let mut check_e2: Option<PathBuf> = None;
     let mut check_e8: Option<PathBuf> = None;
     let mut check_e9: Option<PathBuf> = None;
+    let mut check_e11: Option<PathBuf> = None;
     let mut check_e13: Option<PathBuf> = None;
     let mut tolerance = 0.25f64;
     let mut args = std::env::args().skip(1);
@@ -77,6 +81,12 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("missing baseline path"));
                 check_e9 = Some(PathBuf::from(path));
+            }
+            "--check-e11" => {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| usage("missing baseline path"));
+                check_e11 = Some(PathBuf::from(path));
             }
             "--check-e13" => {
                 let path = args
@@ -136,6 +146,9 @@ fn main() {
             &criterion,
             tolerance,
         );
+    }
+    if let Some(baseline_path) = check_e11 {
+        failed |= run_e11_gate(&baseline_path, &criterion, &profile, tolerance);
     }
     if let Some(baseline_path) = check_e13 {
         failed |= run_gate(
@@ -330,15 +343,181 @@ fn remeasure_e8(name: &str, profile: &SummaryProfile, runs: usize) -> Option<u12
     best
 }
 
+/// Like `run_gate` for the E11 checker, with the E8 gate's flake discipline:
+/// any comparison the first pass flags is re-measured before a regression is
+/// reported.  Trajectory rows (`read_q<q>_r<r>/<n>`) re-run their arm twice
+/// and are re-judged on the smallest p95; the cross-arm multiplexing row
+/// (`read_q<q>_vs_q1/<n>`) re-runs the `q = 1` and `q = <q>` arms *together*
+/// twice and is re-judged on the best paired ratio, so both sides of the
+/// ratio see the same machine state.  A genuine multiplexing regression
+/// (per-query republication is a Q× cost) reproduces; a scheduler tail that
+/// landed in one arm's p95 does not.
+fn run_e11_gate(
+    baseline_path: &Path,
+    criterion: &Criterion,
+    profile: &SummaryProfile,
+    tolerance: f64,
+) -> bool {
+    let label = "E11 multiplexed read p95";
+    let baseline = match Trajectory::load(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return true;
+        }
+    };
+    let comparisons = match check_e11_regression(&baseline, criterion.records(), tolerance) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return true;
+        }
+    };
+    let mut regressed = false;
+    for c in &comparisons {
+        let mut baseline_p95 = c.baseline_p95_ns;
+        let mut fresh_p95 = c.fresh_p95_ns;
+        let mut ratio = c.ratio;
+        let mut flagged = c.regressed;
+        if flagged {
+            eprintln!(
+                "{label} {}: first pass {:.2}x — re-measuring (best of 2)",
+                c.name, c.ratio
+            );
+            let cross = c.name.contains("_vs_q1");
+            let remeasured = if cross {
+                // Re-judge the pair on the best ratio; the q1 side of that
+                // attempt replaces the reference so the printed numbers stay
+                // one measurement, not a min-of-mins across attempts.
+                remeasure_e11_pair(&c.name, profile, 2)
+            } else {
+                remeasure_e11_arm(&c.name, profile, 2).map(|p95| (c.baseline_p95_ns, p95))
+            };
+            match remeasured {
+                Some((reference, p95)) => {
+                    baseline_p95 = reference;
+                    fresh_p95 = p95;
+                    ratio = p95 as f64 / reference as f64;
+                    let bar = if cross {
+                        E11_MULTIPLEX_SLACK
+                    } else {
+                        1.0 + tolerance
+                    };
+                    flagged = ratio > bar;
+                }
+                None => eprintln!(
+                    "warning: cannot re-measure {} (unrecognized record name); \
+                     keeping the first-pass verdict",
+                    c.name
+                ),
+            }
+        }
+        eprintln!(
+            "{label} {}: baseline {} ns, now {} ns ({:.2}x){}",
+            c.name,
+            baseline_p95,
+            fresh_p95,
+            ratio,
+            if flagged { "  REGRESSION" } else { "" }
+        );
+        regressed |= flagged;
+    }
+    if regressed {
+        eprintln!(
+            "error: {label} regressed against {} (confirmed by re-measurement)",
+            baseline_path.display()
+        );
+        return true;
+    }
+    eprintln!(
+        "{label} check passed ({} records within tolerance of {})",
+        comparisons.len(),
+        baseline_path.display()
+    );
+    false
+}
+
+/// Re-runs the E11 arm behind one `read_q<q>_r<r>/<n>` record `runs` times
+/// (same seeds and budgets as the recorded pass) and returns the smallest
+/// read p95 (ns).  Returns `None` when the name doesn't parse.
+fn remeasure_e11_arm(name: &str, profile: &SummaryProfile, runs: usize) -> Option<u128> {
+    let (q, rest) = parse_e11_name(name, "_r")?;
+    let (readers, n) = rest.split_once('/')?;
+    let readers: usize = readers.parse().ok()?;
+    let n: usize = n.parse().ok()?;
+    let mut best: Option<u128> = None;
+    for _ in 0..runs {
+        let mut scratch = Criterion::default();
+        run_e11(
+            &mut scratch,
+            &[n],
+            &[q],
+            readers,
+            profile.e2_answers,
+            profile.warm_up,
+            profile.measurement * 3,
+        );
+        let p95 = scratch
+            .records()
+            .iter()
+            .find(|r| r.name == name)
+            .and_then(|r| r.p95_ns)?;
+        best = Some(best.map_or(p95, |b| b.min(p95)));
+    }
+    best
+}
+
+/// Re-runs the `q = 1` and `q = <q>` arms behind one `read_q<q>_vs_q1/<n>`
+/// comparison together, `runs` times, and returns the `(q1_p95, q_p95)`
+/// pair of the attempt with the smallest cross-arm ratio.  Both arms of
+/// each attempt run back to back in one `run_e11` invocation, so the ratio
+/// always compares measurements taken under the same machine state.
+fn remeasure_e11_pair(name: &str, profile: &SummaryProfile, runs: usize) -> Option<(u128, u128)> {
+    let (q, rest) = parse_e11_name(name, "_vs_q1/")?;
+    let n: usize = rest.parse().ok()?;
+    let readers = profile.e9_readers;
+    let mut best: Option<(u128, u128)> = None;
+    for _ in 0..runs {
+        let mut scratch = Criterion::default();
+        run_e11(
+            &mut scratch,
+            &[n],
+            &[1, q],
+            readers,
+            profile.e2_answers,
+            profile.warm_up,
+            profile.measurement * 3,
+        );
+        let p95_of = |arm_q: usize| {
+            scratch
+                .records()
+                .iter()
+                .find(|r| r.name == format!("read_q{arm_q}_r{readers}/{n}"))
+                .and_then(|r| r.p95_ns)
+        };
+        let pair = (p95_of(1)?, p95_of(q)?);
+        let ratio = |(a, b): (u128, u128)| b as f64 / a as f64;
+        best = Some(best.map_or(pair, |b| if ratio(pair) < ratio(b) { pair } else { b }));
+    }
+    best
+}
+
+/// Splits `read_q<q><sep>…` into the `q` arm and whatever follows `sep`.
+fn parse_e11_name<'a>(name: &'a str, sep: &str) -> Option<(usize, &'a str)> {
+    let rest = name.strip_prefix("read_q")?;
+    let (q, rest) = rest.split_once(sep)?;
+    Some((q.parse().ok()?, rest))
+}
+
 fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: bench_summary [--profile full|smoke|e2|e8|e9|e12|e13] [--out PATH] \
+        "usage: bench_summary [--profile full|smoke|e2|e8|e9|e11|e12|e13] [--out PATH] \
          [--check-e2 BASELINE.json] [--check-e8 BASELINE.json] \
-         [--check-e9 BASELINE.json] [--check-e13 BASELINE.json] \
-         [--tolerance FRACTION]"
+         [--check-e9 BASELINE.json] [--check-e11 BASELINE.json] \
+         [--check-e13 BASELINE.json] [--tolerance FRACTION]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -550,6 +550,290 @@ fn e9_ingest_record(
     rec
 }
 
+/// Distinct non-primary queries over the benchmark alphabet, used by the E11
+/// multi-query arms.  The primary `select_b` query is *not* in the list, so
+/// `primary + distinct_queries(q - 1)` yields `q` pairwise-distinct plans
+/// (every entry has its own `TranslationKey`, so none is a plan-cache alias
+/// of another).
+pub fn distinct_queries(count: usize) -> Vec<StepwiseTva> {
+    let sigma = bench_alphabet();
+    let len = sigma.len();
+    let a = sigma.get("a").unwrap();
+    let b = sigma.get("b").unwrap();
+    let m = sigma.get("m").unwrap();
+    let s = sigma.get("s").unwrap();
+    let mut out: Vec<StepwiseTva> = vec![queries::exists_label(len, a)];
+    out.extend([a, m, s].map(|l| queries::select_label(len, l, Var(0))));
+    out.extend([b, m, s].map(|l| queries::exists_label(len, l)));
+    out.extend([a, b, m, s].map(|l| queries::has_child_with_label(len, l, Var(0))));
+    out.push(queries::kth_child_from_end(len, 2, a, Var(0)));
+    out.push(queries::kth_child_from_end(len, 3, a, Var(0)));
+    out.push(queries::marked_ancestor(len, m, s, Var(0)));
+    out.push(queries::ancestor_descendant(len, a, Var(0), b, Var(1)));
+    assert!(
+        count <= out.len(),
+        "E11 supports at most {} queries besides the primary",
+        out.len()
+    );
+    out.truncate(count);
+    out
+}
+
+/// The E11 query-registry experiment: snapshot-read delay and admission
+/// latency of a [`treenum_serve::TreeServer`] serving `q` **distinct**
+/// registered queries from multiplexed snapshots, under live skewed ingest.
+///
+/// For each `q` in `qs`, one shard runs the E9 serving discipline (paced
+/// readers with their own scratch, a feeder retrying backpressure), except
+/// that the extra `q - 1` queries are registered *at runtime against the
+/// live ingest stream* and each reader round-robins over all registered
+/// query ids via [`treenum_serve::Snapshot::query`] — every read of every
+/// query comes off one shared generation-stamped snapshot.
+///
+/// Record names (group `E11_registry`):
+///
+/// * `read_q<q>_r<readers>/<n>` — per-answer snapshot-read delay of the
+///   **primary** query, pooled across readers.  Every reader alternates:
+///   even turns read (and record) the primary, odd turns sweep the other
+///   `q - 1` registered queries round-robin (read, never recorded).  The
+///   recorded work *and its cadence* are therefore identical across arms —
+///   the interleaved sweep over the other queries is the treatment, the
+///   primary is the probe.  Gated by `--check-e11`, which also holds the
+///   fresh `q = 16` arm to within [`trajectory::E11_MULTIPLEX_SLACK`]× the
+///   fresh `q = 1` arm's p95 — the multiplexing contract is precisely that
+///   a query's reads do not degrade as others register.
+/// * `admission_q<q>/<n>` — wall time of one [`treenum_serve::TreeServer::register`]
+///   round trip during live ingest, sampled over repeated
+///   register/deregister probe cycles.  The first cycle compiles (a plan
+///   cache miss, visible in the max); steady state is a cache hit plus one
+///   attach barrier.  Recorded, not gated: the attach rides the bounded
+///   ingest queue behind every already-queued op, so under a saturating
+///   feeder the number is essentially `queue_capacity / ingest throughput`
+///   — a queue-fairness bound, not a code path worth a percentile gate.
+///
+/// The run asserts the multiplexing invariants on the shard's own counters:
+/// `generation == flushes` (one publication covers all queries), membership
+/// changes account for exactly the size-0 flush records, and the
+/// data-publication count of every `q > 1` arm stays within 2× + slack of
+/// the `q = 1` arm — publications are deadline-driven, never Q-driven.
+pub fn run_e11(
+    c: &mut criterion::Criterion,
+    sizes: &[usize],
+    qs: &[usize],
+    readers: usize,
+    answers: usize,
+    warm_up: std::time::Duration,
+    measurement: std::time::Duration,
+) {
+    use std::ops::ControlFlow;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    use treenum_enumeration::EnumScratch;
+    use treenum_serve::{QueryId, ServeConfig, TreeServer};
+    use treenum_trees::edit::EditFeed;
+    use treenum_trees::generate::EditStream;
+
+    const ADMISSION_PROBES: usize = 8;
+
+    let (query, alphabet_len) = select_b_query();
+    let labels: Vec<Label> = bench_alphabet().labels().collect();
+    for &n in sizes {
+        let tree = bench_tree(n, TreeShape::Random, 17);
+        let mut pubs_q1: Option<u64> = None;
+        for &q in qs {
+            assert!(q >= 1, "an arm serves at least the primary query");
+            // A shorter queue than the E9 default: an admission probe's attach
+            // waits behind every queued op, so with a saturating feeder the
+            // queue depth *is* the admission latency.  256 keeps the probe
+            // bounded by a fraction of a second per registered query without
+            // ever idling the writer.
+            let config = ServeConfig {
+                queue_capacity: 256,
+                ..ServeConfig::default()
+            };
+            let server = Arc::new(TreeServer::new(
+                vec![tree.clone()],
+                &query,
+                alphabet_len,
+                config,
+            ));
+            let stop = Arc::new(AtomicBool::new(false));
+            let recording = Arc::new(AtomicBool::new(false));
+
+            // Live skewed ingest, exactly the E9 feeder discipline (retry on
+            // explicit backpressure — dropping an op would fork the feed's
+            // shadow tree from the server's state).
+            let feeder = {
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                let mut feed = EditFeed::new(&tree, EditStream::skewed(labels.clone(), 11_000));
+                std::thread::spawn(move || {
+                    'feed: while !stop.load(Ordering::Relaxed) {
+                        for op in feed.next_batch(64) {
+                            loop {
+                                match server.ingest(0, op) {
+                                    Ok(()) => break,
+                                    Err(treenum_serve::ServeError::Backpressure) => {
+                                        if stop.load(Ordering::Relaxed) {
+                                            break 'feed;
+                                        }
+                                    }
+                                    Err(_) => break 'feed,
+                                }
+                            }
+                        }
+                    }
+                })
+            };
+
+            // Runtime registration against the live stream — the path E11
+            // exists to measure.  The attach rides the ingest queue, so
+            // ingest never stops.
+            let mut ids = vec![QueryId::PRIMARY];
+            for extra in &distinct_queries(q - 1) {
+                let reg = server
+                    .register(extra, alphabet_len)
+                    .expect("register under live ingest");
+                ids.push(reg.id);
+            }
+
+            let mut reader_handles = Vec::with_capacity(readers);
+            for r in 0..readers {
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                let recording = Arc::clone(&recording);
+                let ids = ids.clone();
+                reader_handles.push(std::thread::spawn(move || {
+                    let mut scratch = EnumScratch::new();
+                    let mut gaps: Vec<u64> = Vec::new();
+                    let mut turn = r; // decorrelate the reader rotations
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = server.snapshot(0);
+                        // Even turns read (and record) the primary; odd turns
+                        // sweep the other registered queries round-robin
+                        // (read, never recorded).  Identical recorded work
+                        // and cadence in every arm — the sweep is the
+                        // treatment, the primary is the probe.
+                        let probe_turn = turn % 2 == 0;
+                        let id = if probe_turn || ids.len() == 1 {
+                            ids[0]
+                        } else {
+                            ids[1 + (turn / 2) % (ids.len() - 1)]
+                        };
+                        turn += 1;
+                        let Ok(view) = snap.query(id) else { continue };
+                        let mut seen = 0usize;
+                        if probe_turn && recording.load(Ordering::Relaxed) {
+                            gaps.reserve(answers);
+                            let mut last = Instant::now();
+                            view.for_each_with(&mut scratch, &mut |_a| {
+                                let now = Instant::now();
+                                gaps.push(now.saturating_duration_since(last).as_nanos() as u64);
+                                last = now;
+                                seen += 1;
+                                if seen >= answers {
+                                    ControlFlow::Break(())
+                                } else {
+                                    ControlFlow::Continue(())
+                                }
+                            });
+                        } else {
+                            view.for_each_with(&mut scratch, &mut |_a| {
+                                seen += 1;
+                                if seen >= answers {
+                                    ControlFlow::Break(())
+                                } else {
+                                    ControlFlow::Continue(())
+                                }
+                            });
+                        }
+                        // Same open-loop pacing as E9 (see `e9_scenario`).
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    gaps
+                }));
+            }
+
+            std::thread::sleep(warm_up);
+            recording.store(true, Ordering::Relaxed);
+            std::thread::sleep(measurement);
+            recording.store(false, Ordering::Relaxed);
+
+            // Admission probes while ingest keeps running: register a query
+            // none of the arms uses, then deregister it, repeatedly.  Cycle 1
+            // compiles; steady state is a plan-cache hit + attach barrier.
+            let probe = queries::kth_child_from_end(alphabet_len, 4, label("a"), Var(0));
+            let mut admission_samples = Vec::with_capacity(ADMISSION_PROBES);
+            for _ in 0..ADMISSION_PROBES {
+                let t = Instant::now();
+                let reg = server
+                    .register(&probe, alphabet_len)
+                    .expect("probe register");
+                admission_samples.push(t.elapsed().as_nanos() as u64);
+                server.deregister(reg.id).expect("probe deregister");
+            }
+
+            stop.store(true, Ordering::Relaxed);
+            feeder.join().expect("feeder thread");
+            let mut gaps = Vec::new();
+            for h in reader_handles {
+                gaps.extend(h.join().expect("reader thread"));
+            }
+            let _ = server.flush(0);
+
+            // Counter-verified multiplexing invariants — a bench that stopped
+            // multiplexing would otherwise keep reporting great numbers.
+            let stats = server.shard_stats(0);
+            assert_eq!(
+                stats.generation, stats.flushes,
+                "one publication per generation, shared by all {q} queries"
+            );
+            let membership = server.flush_log(0).iter().filter(|r| r.size == 0).count() as u64;
+            assert_eq!(
+                membership,
+                stats.queries_attached + stats.queries_detached,
+                "membership changes are the only size-0 publications"
+            );
+            assert_eq!(stats.queries_served, q, "probes must all be detached");
+            let data_pubs = stats.generation - membership;
+            if q == 1 {
+                pubs_q1 = Some(data_pubs);
+            } else if let Some(base) = pubs_q1 {
+                assert!(
+                    data_pubs <= base.saturating_mul(2) + 8,
+                    "data publications must not scale with Q \
+                     (q={q}: {data_pubs}, q=1: {base})"
+                );
+            }
+            let reg_stats = server.stats().registry;
+            assert_eq!(reg_stats.registrations as usize, q - 1 + ADMISSION_PROBES);
+            assert_eq!(reg_stats.deregistrations as usize, ADMISSION_PROBES);
+            assert!(
+                reg_stats.plan_hits >= (ADMISSION_PROBES - 1) as u64,
+                "steady-state probe admissions must hit the plan cache"
+            );
+
+            let read =
+                record_from_samples("E11_registry", format!("read_q{q}_r{readers}/{n}"), gaps);
+            let admission = record_from_samples(
+                "E11_registry",
+                format!("admission_q{q}/{n}"),
+                admission_samples,
+            );
+            eprintln!(
+                "E11 q={q} n={n}: read p95 {} ns, admission p50 {} ns (max {} ns, first \
+                 compile included), {data_pubs} data publication(s)",
+                read.p95_ns.unwrap_or(0),
+                admission.p50_ns.unwrap_or(0),
+                admission.p99_ns.unwrap_or(0),
+            );
+            c.push_record(read);
+            c.push_record(admission);
+        }
+    }
+}
+
 /// The E12 crash-recovery experiment: wall-clock recovery time of a durable
 /// [`treenum_serve::TreeServer`] as a function of WAL tail length (= the age
 /// of the newest snapshot in ops), plus the caller-visible per-op overhead

@@ -1,4 +1,4 @@
-//! Compact, machine-readable re-runs of experiments E1–E9, E12 and E13.
+//! Compact, machine-readable re-runs of experiments E1–E9, E11, E12 and E13.
 //!
 //! [`run_summary`] executes a scaled-down version of every experiment in
 //! `benches/` through the vendored criterion stub and leaves the measurements
@@ -56,6 +56,11 @@ pub struct SummaryProfile {
     pub e9_sizes: Vec<usize>,
     /// Concurrent snapshot-reader threads for E9.
     pub e9_readers: usize,
+    /// Tree sizes for E11 (query registry & snapshot multiplexing).
+    pub e11_sizes: Vec<usize>,
+    /// Registered-query counts for the E11 arms (each arm serves the primary
+    /// plus `q - 1` distinct runtime-registered queries).
+    pub e11_qs: Vec<usize>,
     /// Tree sizes for E12 (crash recovery).
     pub e12_sizes: Vec<usize>,
     /// WAL tail lengths (snapshot ages, in ops) for the E12 recovery arms.
@@ -98,6 +103,8 @@ impl SummaryProfile {
             e8_ks: vec![1, 8, 64, 256],
             e9_sizes: vec![10_000, 40_000],
             e9_readers: 4,
+            e11_sizes: vec![10_000],
+            e11_qs: vec![1, 4, 16],
             e12_sizes: vec![10_000],
             e12_tails: vec![0, 256, 1024, 4096],
             e12_ops: 512,
@@ -127,6 +134,8 @@ impl SummaryProfile {
             e8_ks: vec![4],
             e9_sizes: vec![300],
             e9_readers: 2,
+            e11_sizes: vec![300],
+            e11_qs: vec![1, 16],
             e12_sizes: vec![300],
             e12_tails: vec![0, 32],
             e12_ops: 64,
@@ -186,6 +195,21 @@ impl SummaryProfile {
         }
     }
 
+    /// The query-registry experiment only, at the `full` sizes but with a
+    /// reduced measurement budget: the workload behind CI's E11 multiplexed
+    /// read-delay p95 gate.  The record names match the committed trajectory
+    /// (same sizes, reader and query counts), so the comparison is apples to
+    /// apples.
+    pub fn e11() -> Self {
+        SummaryProfile {
+            name: "e11",
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(400),
+            experiments: Some(&["E11"]),
+            ..Self::full()
+        }
+    }
+
     /// The crash-recovery experiment only, at the `full` sizes: measures
     /// recovery time and the durability tax without paying for the full
     /// sweep.  Its records are *spliced into* `BENCH_after.json` (run with
@@ -213,7 +237,7 @@ impl SummaryProfile {
     }
 
     /// Parses a profile name (`full` / `smoke` / `e2` / `e8` / `e9` /
-    /// `e12` / `e13`).
+    /// `e11` / `e12` / `e13`).
     pub fn by_name(name: &str) -> Option<Self> {
         match name {
             "full" => Some(Self::full()),
@@ -221,6 +245,7 @@ impl SummaryProfile {
             "e2" => Some(Self::e2()),
             "e8" => Some(Self::e8()),
             "e9" => Some(Self::e9()),
+            "e11" => Some(Self::e11()),
             "e12" => Some(Self::e12()),
             "e13" => Some(Self::e13()),
             _ => None,
@@ -261,6 +286,9 @@ pub fn run_summary(c: &mut Criterion, profile: &SummaryProfile) {
     }
     if profile.runs("E9") {
         e9_serving(c, profile);
+    }
+    if profile.runs("E11") {
+        e11_registry(c, profile);
     }
     if profile.runs("E12") {
         e12_recovery(c, profile);
@@ -560,6 +588,20 @@ fn e7_update_throughput(c: &mut Criterion, p: &SummaryProfile) {
 
 fn e8_batch_updates(c: &mut Criterion, p: &SummaryProfile) {
     crate::run_e8(c, &p.e8_sizes, &p.e8_ks, p.warm_up, p.measurement);
+}
+
+fn e11_registry(c: &mut Criterion, p: &SummaryProfile) {
+    // Same extended window as E9: the multi-query arms must see enough flush
+    // cycles for the membership/publication counters to be meaningful.
+    crate::run_e11(
+        c,
+        &p.e11_sizes,
+        &p.e11_qs,
+        p.e9_readers,
+        p.e2_answers,
+        p.warm_up,
+        p.measurement * 3,
+    );
 }
 
 fn e12_recovery(c: &mut Criterion, p: &SummaryProfile) {

@@ -22,5 +22,6 @@ pub mod plan;
 pub mod words;
 
 pub use engine::{EnumerationStats, TreeEnumerator};
-pub use plan::QueryPlan;
+pub use plan::{PlanAdmission, PlanCache, PlanCacheStats, QueryPlan};
+pub use treenum_balance::TranslationKey;
 pub use words::WordEnumerator;

@@ -138,6 +138,13 @@ pub struct IndexStats {
 /// entries parallel to the circuit's box arena (`BoxId` is an arena slot index,
 /// so `slots[b.index()]` is the entry of box `b`).  No hashing on the per-answer
 /// or per-edit path.
+///
+/// The index is strictly per-circuit (and hence per-query): when several
+/// queries are evaluated over one tree — the serving layer's multiplexed
+/// snapshots — each query's engine owns its own circuit and its own
+/// `EnumIndex`, and they coexist without sharing mutable state.  Dropping a
+/// query's engine (deregistration) drops exactly that query's index slab;
+/// the others are untouched.
 #[derive(Clone, Debug, Default)]
 pub struct EnumIndex {
     slots: Vec<Option<BoxIndex>>,

@@ -103,6 +103,11 @@ fn group_hash(vars: VarSet, token: u32) -> usize {
 /// A scratch is not tied to a circuit: the same value can serve successive
 /// enumerations of an evolving [`treenum_circuits::Circuit`] (that is how
 /// `TreeEnumerator` uses it across `apply`/re-enumeration cycles).  It is
+/// not tied to a *query* either — the pools hold plain buffers keyed by
+/// nothing, so one scratch can drive engines compiled from entirely
+/// different automata back to back (the serving layer's multiplexed
+/// snapshots rely on this: a reader paging several registered queries on
+/// one snapshot carries a single scratch across all of them).  It is
 /// cheap to create but only pays off when reused — the pools are empty at
 /// birth and fill up during the first (warm-up) run.
 #[derive(Debug, Default)]

@@ -34,6 +34,62 @@
 //! copy), so the quartic query translation is paid once per query, not per
 //! shard.
 //!
+//! ## Query registry & snapshot multiplexing
+//!
+//! A server is not limited to the query it was constructed with.
+//! [`TreeServer::register`] admits a new automaton (and
+//! [`TreeServer::register_spanner`] a word automaton) **at runtime**:
+//! the plan comes from an LRU-bounded per-server plan cache
+//! ([`treenum_core::PlanCache`], keyed by the canonical
+//! [`treenum_core::TranslationKey`]; capacity
+//! [`ServeConfig::plan_cache_capacity`]), and the attach rides each shard's
+//! ordinary ingest queue — ingest never stops.  Every published generation is
+//! then **multiplexed** across all registered queries: a snapshot carries one
+//! engine per query under a single `Arc`/refcount, so publication work is
+//! independent of the number of queries (counter-verified:
+//! [`ShardStats::generation`] equals [`ShardStats::flushes`] no matter how
+//! many queries are attached).  Per-query reads go through
+//! [`Snapshot::query`], which also offers pinned-generation cursor pagination
+//! ([`QueryReader::page`]).  [`TreeServer::deregister`] drops the per-query
+//! index state deterministically at the detach point; the primary query
+//! ([`QueryId::PRIMARY`]) is pinned for the server's lifetime.
+//!
+//! ```
+//! use treenum_serve::{ServeConfig, TreeServer};
+//! use treenum_trees::generate::{random_tree, TreeShape};
+//! use treenum_trees::valuation::Var;
+//! use treenum_trees::Alphabet;
+//! use treenum_automata::queries;
+//!
+//! let mut sigma = Alphabet::from_names(["a", "b"]);
+//! let a = sigma.get("a").unwrap();
+//! let b = sigma.get("b").unwrap();
+//! let tree = random_tree(&mut sigma, 50, TreeShape::Random, 7);
+//! let server = TreeServer::new(
+//!     vec![tree],
+//!     &queries::select_label(sigma.len(), b, Var(0)),
+//!     sigma.len(),
+//!     ServeConfig::default(),
+//! );
+//!
+//! // Register a second query without stopping ingest.
+//! let reg = server
+//!     .register(&queries::exists_label(sigma.len(), a), sigma.len())
+//!     .unwrap();
+//! let snap = server.snapshot(0);
+//! assert!(snap.generation() >= reg.visible_at[0]);
+//!
+//! // Read both queries from ONE multiplexed snapshot, then paginate.
+//! let primary = snap.assignments();
+//! let reader = snap.query(reg.id).unwrap();
+//! let page = reader.page(None, 8).unwrap();
+//! # let _ = (primary, page);
+//!
+//! // Deregister: the id is dead from the next generation on.
+//! server.deregister(reg.id).unwrap();
+//! assert!(server.snapshot(0).query(reg.id).is_err());
+//! ```
+//!
 //! ## Left-right protocol invariants
 //!
 //! The read/write protocol (two engine copies per shard; see the `shard`
@@ -129,29 +185,33 @@
 pub mod chaos;
 mod durable;
 mod lock;
+mod registry;
 mod shard;
 mod stats;
 
 pub use chaos::{ChaosFault, ChaosSchedule};
 pub use durable::{DurabilityConfig, RecoveryOutcome, ShardRecovery};
-pub use shard::Snapshot;
-pub use stats::{FlushRecord, ServeStats, ShardHealth, ShardStats};
+pub use registry::{QueryId, QueryRegistration};
+pub use shard::{Page, PageCursor, QueryReader, Snapshot};
+pub use stats::{FlushRecord, RegistryStats, ServeStats, ShardHealth, ShardStats};
 pub use treenum_wal::SyncPolicy;
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use durable::{list_shard_dirs, recover_shard, shard_dir, HealSource, ShardDurability};
 use lock::{lock_unpoisoned, read_unpoisoned, try_read_unpoisoned};
+use registry::RegistryInner;
 use shard::{Ingest, ShardWriter, SnapInner};
 use stats::ShardMetrics;
 use std::io;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use treenum_automata::StepwiseTva;
+use treenum_automata::{StepwiseTva, Wva};
 use treenum_core::{QueryPlan, TreeEnumerator};
 use treenum_trees::edit::EditOp;
 use treenum_trees::unranked::UnrankedTree;
+use treenum_trees::Label;
 use treenum_wal::storage::{DiskFs, Storage};
 
 /// Tuning knobs of the serving layer (per shard).
@@ -202,6 +262,13 @@ pub struct ServeConfig {
     /// [`ShardStats::load_shed`].  The default (`usize::MAX`) disables
     /// shedding.
     pub shed_depth: usize,
+    /// Capacity of the server's LRU plan cache used by
+    /// [`TreeServer::register`] (in plans; clamped to at least 1).  A re-
+    /// registration of an evicted query recompiles and readmits — identity is
+    /// preserved because the cache key is the canonical
+    /// [`treenum_core::TranslationKey`], not the id.  Admission traffic is
+    /// visible in [`RegistryStats`].
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -218,6 +285,7 @@ impl Default for ServeConfig {
             reclaim_patience: Duration::from_millis(5),
             ingest_timeout: Duration::from_millis(250),
             shed_depth: usize::MAX,
+            plan_cache_capacity: 32,
         }
     }
 }
@@ -250,6 +318,7 @@ impl ServeConfig {
         }
         self.max_batch = self.max_batch.max(self.min_batch);
         self.initial_batch = self.initial_batch.clamp(self.min_batch, self.max_batch);
+        self.plan_cache_capacity = self.plan_cache_capacity.max(1);
         self
     }
 }
@@ -280,6 +349,18 @@ pub enum ServeError {
     /// The caller knows exactly which ops are in doubt: those since its
     /// last `Ok` ack — re-ingest them or reconcile against a snapshot.
     Degraded,
+    /// The [`QueryId`] is not registered on this server (never was, was
+    /// deregistered, or the snapshot predates its attach) — or it is
+    /// [`QueryId::PRIMARY`] passed to [`TreeServer::deregister`], which is
+    /// pinned for the server's lifetime.  Ids are never reused, so this can
+    /// never alias a different query.
+    UnknownQuery,
+    /// A [`PageCursor`] was presented to a snapshot at a different
+    /// generation than the one it was minted at.  Cursor positions are only
+    /// meaningful within one immutable snapshot; re-read page 1 on the new
+    /// generation (or keep the original [`Snapshot`] alive to finish the
+    /// scan — pinning the generation is exactly what snapshots are for).
+    StaleCursor,
 }
 
 impl std::fmt::Display for ServeError {
@@ -302,6 +383,15 @@ impl std::fmt::Display for ServeError {
                 write!(
                     f,
                     "shard dropped unacked in-flight ops while recovering from a fault"
+                )
+            }
+            ServeError::UnknownQuery => {
+                write!(f, "query id is not registered on this server")
+            }
+            ServeError::StaleCursor => {
+                write!(
+                    f,
+                    "page cursor was minted at a different snapshot generation"
                 )
             }
         }
@@ -389,15 +479,18 @@ struct ShardHandle {
 }
 
 /// The sharded serving facade: one independently updatable tree (and one
-/// writer thread) per shard, one shared [`QueryPlan`] across all of them.
+/// writer thread) per shard, one shared [`QueryPlan`] per registered query
+/// across all of them.
 ///
 /// Shards are the unit of both distribution and write ordering: ops ingested
 /// into one shard are applied in ingestion order; different shards are
-/// completely independent.  See the crate docs for the read/write protocol.
+/// completely independent.  See the crate docs for the read/write protocol
+/// and for the query registry ([`TreeServer::register`]).
 pub struct TreeServer {
     shards: Vec<ShardHandle>,
     plan: Arc<QueryPlan>,
     cfg: ServeConfig,
+    registry: Mutex<RegistryInner>,
 }
 
 impl TreeServer {
@@ -471,6 +564,7 @@ impl TreeServer {
             shards,
             plan,
             cfg: config,
+            registry: Mutex::new(RegistryInner::new(config.plan_cache_capacity)),
         })
     }
 
@@ -594,6 +688,7 @@ impl TreeServer {
                 shards,
                 plan,
                 cfg: config,
+                registry: Mutex::new(RegistryInner::new(config.plan_cache_capacity)),
             },
             RecoveryOutcome { shards: reports },
         ))
@@ -630,13 +725,14 @@ impl TreeServer {
         quarantined: bool,
     ) -> ShardHandle {
         let front = Arc::new(RwLock::new(Arc::new(SnapInner {
-            engine: published,
+            engines: vec![(QueryId::PRIMARY, published)],
             generation: 0,
         })));
         let metrics = Arc::new(ShardMetrics::default());
         metrics
             .window
             .store(cfg.initial_batch as u64, Ordering::Relaxed);
+        metrics.queries_served.store(1, Ordering::Relaxed);
         if quarantined {
             metrics.quarantined.store(true, Ordering::Release);
             metrics.set_health(ShardHealth::Quarantined);
@@ -647,8 +743,8 @@ impl TreeServer {
             front: Arc::clone(&front),
             metrics: Arc::clone(&metrics),
             cfg,
-            plan: Arc::clone(plan),
-            write: Some(writable),
+            plans: vec![(QueryId::PRIMARY, Arc::clone(plan))],
+            write: Some(vec![(QueryId::PRIMARY, writable)]),
             retired: None,
             lag: Vec::new(),
             generation: 0,
@@ -685,9 +781,153 @@ impl TreeServer {
         (key % self.shards.len() as u64) as usize
     }
 
-    /// The shared per-query plan.
+    /// The plan of the primary query ([`QueryId::PRIMARY`] — the one the
+    /// server was constructed with).
     pub fn plan(&self) -> &Arc<QueryPlan> {
         &self.plan
+    }
+
+    /// Registers `query` on every shard at runtime, without stopping ingest.
+    ///
+    /// The plan is admitted through the server's LRU plan cache (compiled via
+    /// the shared `translate_stepwise_cached` path on a miss; see
+    /// [`ServeConfig::plan_cache_capacity`]), then attached to each shard in
+    /// turn by a control message on the shard's ordinary ingest queue: the
+    /// attach is ordered after every op enqueued before it, and the shard
+    /// publishes one membership-only generation whose snapshot — and every
+    /// later one — carries the new query.  The returned
+    /// [`QueryRegistration`] holds the never-reused [`QueryId`], the
+    /// per-shard visibility generations, and the admission cost
+    /// (`cache_hit` / `compile_ns`).
+    ///
+    /// Shards are attached left to right; if shard `s` rejects the attach
+    /// (e.g. [`ServeError::Quarantined`]), the already-attached prefix
+    /// `0..s` is rolled back with detaches and the error is returned — a
+    /// failed registration is all-or-nothing (the burned id is never
+    /// visible).
+    ///
+    /// `base_alphabet_len` is the number of labels of the underlying
+    /// alphabet, exactly as for [`TreeServer::new`].
+    pub fn register(
+        &self,
+        query: &StepwiseTva,
+        base_alphabet_len: usize,
+    ) -> Result<QueryRegistration, ServeError> {
+        let (id, admission) = {
+            let mut reg = lock_unpoisoned(&self.registry);
+            let admission = reg.cache.admit(query, base_alphabet_len);
+            (reg.allocate(), admission)
+        };
+        let mut visible_at = Vec::with_capacity(self.shards.len());
+        for (s, h) in self.shards.iter().enumerate() {
+            match Self::control(h, |ack| {
+                Ingest::Attach(id, Arc::clone(&admission.plan), ack)
+            }) {
+                Ok(generation) => visible_at.push(generation),
+                Err(e) => {
+                    // Roll back the attached prefix so a failed registration
+                    // leaves no shard serving the burned id.
+                    for rolled in &self.shards[..s] {
+                        let _ = Self::control(rolled, |ack| Ingest::Detach(id, ack));
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        lock_unpoisoned(&self.registry).note_registered(id);
+        Ok(QueryRegistration {
+            id,
+            visible_at,
+            cache_hit: admission.cache_hit,
+            compile_ns: admission.compile_ns,
+        })
+    }
+
+    /// [`TreeServer::register`] for a **word automaton** (document spanner):
+    /// encodes `wva` as a stepwise tree automaton over the standard word
+    /// encoding — the same encoding [`treenum_core::WordEnumerator`] uses,
+    /// with a fresh root label `letters` on top of the `letters`-ary word
+    /// alphabet — and registers that.  Word shards must therefore hold
+    /// word-encoded trees (right-comb spines) for the answers to be
+    /// meaningful.
+    pub fn register_spanner(
+        &self,
+        wva: &Wva,
+        letters: usize,
+    ) -> Result<QueryRegistration, ServeError> {
+        let stepwise = wva.to_stepwise(Label(letters as u32));
+        self.register(&stepwise, letters + 1)
+    }
+
+    /// Deregisters a runtime-registered query from every shard: each shard
+    /// drops the query's writable engine at the detach point and publishes
+    /// the narrowed membership, so snapshots from that generation on report
+    /// [`ServeError::UnknownQuery`] for `id`.  Snapshots acquired *before*
+    /// the detach keep serving the query until they are dropped (snapshot
+    /// immutability); the last such drop releases the query's index state.
+    ///
+    /// Passing [`QueryId::PRIMARY`] or an id that is not currently
+    /// registered returns [`ServeError::UnknownQuery`].  The registry entry
+    /// is removed even if a quarantined shard rejects its detach (the first
+    /// shard error is returned; quarantined shards froze their membership
+    /// with the rest of their last-good state).
+    pub fn deregister(&self, id: QueryId) -> Result<(), ServeError> {
+        {
+            let mut reg = lock_unpoisoned(&self.registry);
+            if id == QueryId::PRIMARY || !reg.active.contains(&id) {
+                return Err(ServeError::UnknownQuery);
+            }
+            reg.active.retain(|&q| q != id);
+            reg.deregistrations += 1;
+        }
+        let mut first_err = None;
+        for h in &self.shards {
+            if let Err(e) = Self::control(h, |ack| Ingest::Detach(id, ack)) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The currently registered query ids, in registration order (index 0 is
+    /// always [`QueryId::PRIMARY`]).
+    pub fn registered_queries(&self) -> Vec<QueryId> {
+        lock_unpoisoned(&self.registry).active.clone()
+    }
+
+    /// Admission-side counters of the query registry (registration traffic
+    /// and plan-cache behaviour); the per-shard serving side is in
+    /// [`ShardStats`].
+    pub fn registry_stats(&self) -> RegistryStats {
+        let reg = lock_unpoisoned(&self.registry);
+        let cache = reg.cache.stats();
+        RegistryStats {
+            registered: reg.active.len(),
+            peak_registered: reg.peak,
+            registrations: reg.registrations,
+            deregistrations: reg.deregistrations,
+            plan_hits: cache.hits,
+            plan_misses: cache.misses,
+            plan_evictions: cache.evictions,
+            compile_ns_total: cache.compile_ns_total,
+            max_compile_ns: cache.max_compile_ns,
+        }
+    }
+
+    /// Sends one membership control message to a shard and waits for the
+    /// writer's ack (the publication generation at which the change is
+    /// visible).
+    fn control(
+        h: &ShardHandle,
+        make: impl FnOnce(Sender<Result<u64, ServeError>>) -> Ingest,
+    ) -> Result<u64, ServeError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        h.tx.send(make(ack_tx))
+            .map_err(|_| ServeError::Disconnected)?;
+        ack_rx.recv().map_err(|_| ServeError::Disconnected)?
     }
 
     /// Enqueues one edit op for `shard` (write-behind: returns as soon as
@@ -813,10 +1053,11 @@ impl TreeServer {
         self.shards[shard].metrics.stats()
     }
 
-    /// Current counters of every shard.
+    /// Current counters of every shard, plus the registry's admission side.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
             shards: self.shards.iter().map(|h| h.metrics.stats()).collect(),
+            registry: self.registry_stats(),
         }
     }
 

@@ -1,0 +1,115 @@
+//! The query registry: runtime admission of automaton/spanner queries into a
+//! live [`crate::TreeServer`].
+//!
+//! Registration compiles the query through the shared
+//! `translate_stepwise_cached` path into an `Arc<QueryPlan>` — served from an
+//! LRU-bounded [`treenum_core::PlanCache`] keyed by the canonical
+//! [`treenum_core::TranslationKey`] fingerprint — and *attaches* it to every
+//! shard without stopping ingest: the attach rides the shard's ordinary
+//! ingest queue, so it is ordered after everything enqueued before it, and
+//! the shard publishes one membership-only generation whose snapshot carries
+//! the new query.  From then on every published generation is **multiplexed**
+//! across all registered queries: Q concurrent queries share one snapshot
+//! refcount per publication instead of Q republications.
+//!
+//! Deregistration is the mirror image: the writer drops its per-query engine
+//! at the detach point and publishes the narrowed membership; the last
+//! reader-visible copy of the query's index state is released when the final
+//! snapshot pinning it is dropped and the retired copy is reclaimed.
+
+use treenum_core::PlanCache;
+
+/// Identity of one registered query on a [`crate::TreeServer`].
+///
+/// Ids are handed out by [`crate::TreeServer::register`] in registration
+/// order and are never reused, so a stale id from a deregistered query can
+/// only yield [`crate::ServeError::UnknownQuery`] — never alias a newer
+/// query.  Registering the same automaton twice yields two distinct ids
+/// (sharing one cached plan); deregistration is per-id.
+///
+/// ```
+/// use treenum_serve::QueryId;
+/// assert_eq!(QueryId::PRIMARY.raw(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(u64);
+
+impl QueryId {
+    /// The query the server was constructed with.  It anchors the shard
+    /// (its engine is the representative for [`crate::Snapshot::tree`],
+    /// flush-log sharing signals, and snapshot persistence), so it is pinned
+    /// for the server's lifetime: deregistering it reports
+    /// [`crate::ServeError::UnknownQuery`].
+    pub const PRIMARY: QueryId = QueryId(0);
+
+    pub(crate) fn new(raw: u64) -> Self {
+        QueryId(raw)
+    }
+
+    /// The numeric registration index (0 = the primary query).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query#{}", self.0)
+    }
+}
+
+/// Receipt of a successful [`crate::TreeServer::register`] call.
+///
+/// `visible_at[s]` is shard `s`'s publication generation at the attach
+/// point: every snapshot of that shard at a generation `>= visible_at[s]`
+/// carries the query (take one and call [`crate::Snapshot::query`]).
+#[derive(Clone, Debug)]
+pub struct QueryRegistration {
+    /// The registry-assigned identity of the new query.
+    pub id: QueryId,
+    /// Per-shard generation from which the query is readable.
+    pub visible_at: Vec<u64>,
+    /// `true` iff the plan was already resident in the registry's LRU plan
+    /// cache (no compile was run for this registration).
+    pub cache_hit: bool,
+    /// Wall-clock nanoseconds the admission spent compiling (0 on a cache
+    /// hit) — the "admission latency" numerator of the E11 experiment.
+    pub compile_ns: u64,
+}
+
+/// Registry state behind the server's mutex: id allocation, the active-query
+/// list, and the LRU plan cache.
+pub(crate) struct RegistryInner {
+    next: u64,
+    pub(crate) active: Vec<QueryId>,
+    pub(crate) cache: PlanCache,
+    pub(crate) registrations: u64,
+    pub(crate) deregistrations: u64,
+    pub(crate) peak: usize,
+}
+
+impl RegistryInner {
+    pub(crate) fn new(plan_cache_capacity: usize) -> Self {
+        RegistryInner {
+            next: 1,
+            active: vec![QueryId::PRIMARY],
+            cache: PlanCache::new(plan_cache_capacity),
+            registrations: 0,
+            deregistrations: 0,
+            peak: 1,
+        }
+    }
+
+    /// Allocates the next never-reused query id.
+    pub(crate) fn allocate(&mut self) -> QueryId {
+        let id = QueryId::new(self.next);
+        self.next += 1;
+        id
+    }
+
+    pub(crate) fn note_registered(&mut self, id: QueryId) {
+        self.active.push(id);
+        self.registrations += 1;
+        self.peak = self.peak.max(self.active.len());
+    }
+}

@@ -3,17 +3,31 @@
 //!
 //! # Left-right publication
 //!
-//! A shard owns **two** structurally independent [`TreeEnumerator`]s over the
-//! same logical tree.  At any instant one of them is *published* (readers
-//! clone an `Arc` to it and enumerate without any lock held) and the other is
-//! *writable* (the ingest thread applies coalesced batches to it).  A flush
-//! applies the batch to the writable copy, publishes it with a bumped
-//! generation, and retires the previously published copy; the next flush
-//! reclaims the retired copy once the last reader drops it, catches it up by
+//! A shard owns **two** structurally independent engine sets over the same
+//! logical tree — one [`TreeEnumerator`] per registered query on each side.
+//! At any instant one set is *published* (readers clone an `Arc` to it and
+//! enumerate without any lock held) and the other is *writable* (the ingest
+//! thread applies coalesced batches to every engine in it).  A flush applies
+//! the batch to each writable engine, publishes the whole set with **one**
+//! bumped generation behind **one** `Arc` (snapshot multiplexing: Q
+//! registered queries share one refcount per publication, not Q
+//! republications), and retires the previously published set; the next flush
+//! reclaims the retired set once the last reader drops it, catches it up by
 //! replaying the batches it missed, and writes into it.  Readers therefore
 //! never block the writer's *apply* work, and the writer never mutates
 //! anything a reader can observe — every snapshot is a complete, immutable
 //! structure at one generation.
+//!
+//! # Query attach/detach
+//!
+//! Registry control messages ([`Ingest::Attach`]/[`Ingest::Detach`]) ride
+//! the same ingest queue as edit ops, so they are ordered after everything
+//! enqueued before them and never stop ingest.  The writer flushes its
+//! coalescing buffer, adjusts the query membership on the writable set
+//! (building the new query's engine from the current tree, or dropping the
+//! detached one), and publishes a membership-only generation — a size-0
+//! flush-log record, keeping the gapless-generation audit trail intact.
+//! The ack carries the generation from which the new membership is visible.
 //!
 //! The only writer-side wait is the reclaim of the retired copy, which
 //! ordinary transient readers release within one enumeration.  A reader that
@@ -45,6 +59,7 @@
 use crate::chaos::ChaosSchedule;
 use crate::durable::{HealSource, ShardDurability};
 use crate::lock::{read_unpoisoned, write_unpoisoned};
+use crate::registry::QueryId;
 use crate::stats::{FlushRecord, ShardHealth, ShardMetrics};
 use crate::{ServeConfig, ServeError};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
@@ -59,11 +74,29 @@ use treenum_trees::edit::EditOp;
 use treenum_trees::unranked::UnrankedTree;
 use treenum_trees::valuation::Assignment;
 
-/// The published copy of a shard: an immutable enumeration structure at one
-/// generation.
+/// One side's engines: a [`TreeEnumerator`] per registered query, in attach
+/// order.  Index 0 is always the pinned primary query
+/// ([`QueryId::PRIMARY`]) — it anchors the shared tree and the flush-log
+/// sharing signal.
+pub(crate) type EngineSet = Vec<(QueryId, TreeEnumerator)>;
+
+/// The published copy of a shard: one immutable enumeration structure per
+/// registered query, all at one generation, all behind one `Arc`.
 pub(crate) struct SnapInner {
-    pub(crate) engine: TreeEnumerator,
+    pub(crate) engines: EngineSet,
     pub(crate) generation: u64,
+}
+
+impl SnapInner {
+    /// The primary query's engine (the set is never empty — the primary is
+    /// pinned for the server's lifetime).
+    pub(crate) fn primary(&self) -> &TreeEnumerator {
+        &self.engines[0].1
+    }
+
+    fn engine(&self, id: QueryId) -> Option<&TreeEnumerator> {
+        self.engines.iter().find(|(q, _)| *q == id).map(|(_, e)| e)
+    }
 }
 
 /// A snapshot-consistent read handle to one shard.
@@ -82,7 +115,8 @@ impl std::fmt::Debug for Snapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Snapshot")
             .field("generation", &self.inner.generation)
-            .field("tree_size", &self.inner.engine.tree().len())
+            .field("tree_size", &self.inner.primary().tree().len())
+            .field("queries", &self.inner.engines.len())
             .finish()
     }
 }
@@ -98,58 +132,253 @@ impl Snapshot {
         self.inner.generation
     }
 
-    /// The snapshot's tree.
+    /// The snapshot's tree (shared by every registered query's engine).
     pub fn tree(&self) -> &UnrankedTree {
-        self.inner.engine.tree()
+        self.inner.primary().tree()
     }
 
-    /// Structural statistics of the snapshot's enumeration structure.
+    /// Structural statistics of the **primary** query's enumeration
+    /// structure.
     pub fn stats(&self) -> EnumerationStats {
-        self.inner.engine.stats()
+        self.inner.primary().stats()
     }
 
-    /// Enumerates every satisfying assignment (see
+    /// Enumerates every satisfying assignment of the **primary** query (see
     /// [`TreeEnumerator::for_each`]).  Concurrent readers of the *same*
     /// snapshot contend on its one pooled scratch; readers that care about
     /// steady-state delay should bring their own via
-    /// [`Snapshot::for_each_with`].
+    /// [`Snapshot::for_each_with`].  For any other registered query go
+    /// through [`Snapshot::query`].
     pub fn for_each(&self, sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>) {
-        self.inner.engine.for_each(sink)
+        self.inner.primary().for_each(sink)
     }
 
     /// [`Snapshot::for_each`] with a caller-owned [`EnumScratch`], the
     /// allocation-free path for a reader thread that enumerates many
-    /// snapshots: the scratch's pools carry over from snapshot to snapshot,
-    /// so the per-answer loop stays allocation-free in steady state no matter
-    /// how many reader threads share the shard.
+    /// snapshots: the scratch's pools carry over from snapshot to snapshot —
+    /// and from query to query — so the per-answer loop stays
+    /// allocation-free in steady state no matter how many reader threads
+    /// share the shard.
     pub fn for_each_with(
         &self,
         scratch: &mut EnumScratch,
         sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>,
     ) {
-        self.inner.engine.for_each_with(scratch, sink)
+        self.inner.primary().for_each_with(scratch, sink)
     }
 
-    /// Collects all satisfying assignments.
+    /// Collects all satisfying assignments of the primary query.
     pub fn assignments(&self) -> Vec<Assignment> {
-        self.inner.engine.assignments()
+        self.inner.primary().assignments()
     }
 
-    /// Counts the satisfying assignments by enumerating them.
+    /// Counts the primary query's satisfying assignments by enumerating
+    /// them.
     pub fn count(&self) -> usize {
-        self.inner.engine.count()
+        self.inner.primary().count()
     }
 
-    /// The first `k` assignments (the early-termination path).
+    /// The first `k` assignments of the primary query (the early-termination
+    /// path).
     pub fn first_k(&self, k: usize) -> Vec<Assignment> {
-        self.inner.engine.first_k(k)
+        self.inner.primary().first_k(k)
     }
 
-    /// Full internal consistency check of the snapshot's enumeration
-    /// structure (test support; expensive).
-    pub fn check_consistency(&self) {
-        self.inner.engine.check_consistency()
+    /// The queries this snapshot serves, in attach order (index 0 is always
+    /// [`QueryId::PRIMARY`]).  Membership is part of the immutable snapshot:
+    /// a query registered after this snapshot was published does not appear
+    /// here, and one deregistered after stays readable through this handle.
+    pub fn queries(&self) -> Vec<QueryId> {
+        self.inner.engines.iter().map(|(q, _)| *q).collect()
     }
+
+    /// A read handle onto one registered query of this snapshot, or
+    /// [`ServeError::UnknownQuery`] if `id` is not part of this snapshot's
+    /// membership (not yet attached at this generation, or already
+    /// detached).
+    ///
+    /// The returned reader borrows the snapshot, so everything it
+    /// enumerates — including [`QueryReader::page_with`] cursors — is pinned
+    /// to this snapshot's generation.
+    pub fn query(&self, id: QueryId) -> Result<QueryReader<'_>, ServeError> {
+        match self.inner.engine(id) {
+            Some(engine) => Ok(QueryReader {
+                engine,
+                generation: self.inner.generation,
+            }),
+            None => Err(ServeError::UnknownQuery),
+        }
+    }
+
+    /// Full internal consistency check of every registered query's
+    /// enumeration structure (test support; expensive).
+    pub fn check_consistency(&self) {
+        for (_, engine) in &self.inner.engines {
+            engine.check_consistency()
+        }
+    }
+}
+
+/// A borrowed read handle onto one registered query of a [`Snapshot`].
+///
+/// Obtained from [`Snapshot::query`]; lives only as long as the snapshot, so
+/// every read — and every pagination cursor — is pinned to one generation.
+#[derive(Clone, Copy)]
+pub struct QueryReader<'a> {
+    engine: &'a TreeEnumerator,
+    generation: u64,
+}
+
+impl QueryReader<'_> {
+    /// The pinned generation every read through this handle observes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Enumerates every satisfying assignment of this query (the pooled
+    /// scratch path; see [`Snapshot::for_each`] for the contention caveat).
+    pub fn for_each(&self, sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>) {
+        self.engine.for_each(sink)
+    }
+
+    /// [`QueryReader::for_each`] with a caller-owned [`EnumScratch`].  One
+    /// scratch serves engines of *different* queries equally well — its
+    /// pools are structure-agnostic — so a reader thread cycling over all
+    /// registered queries stays allocation-free in steady state.
+    pub fn for_each_with(
+        &self,
+        scratch: &mut EnumScratch,
+        sink: &mut dyn FnMut(Assignment) -> ControlFlow<()>,
+    ) {
+        self.engine.for_each_with(scratch, sink)
+    }
+
+    /// Collects all satisfying assignments of this query.
+    pub fn assignments(&self) -> Vec<Assignment> {
+        self.engine.assignments()
+    }
+
+    /// Counts this query's satisfying assignments by enumerating them.
+    pub fn count(&self) -> usize {
+        self.engine.count()
+    }
+
+    /// The first `k` assignments of this query (the early-termination path).
+    pub fn first_k(&self, k: usize) -> Vec<Assignment> {
+        self.engine.first_k(k)
+    }
+
+    /// One page of up to `k` assignments starting at `cursor` (`None` for
+    /// the first page), using the engine's pooled scratch.  See
+    /// [`QueryReader::page_with`] for the cursor contract.
+    pub fn page(&self, cursor: Option<PageCursor>, k: usize) -> Result<Page, ServeError> {
+        let position = self.cursor_position(cursor)?;
+        let mut answers = Vec::new();
+        let mut more = false;
+        let mut seen = 0usize;
+        self.engine
+            .for_each(&mut |a| Self::page_step(&mut seen, position, k, &mut answers, &mut more, a));
+        Ok(self.page_from(position, answers, more))
+    }
+
+    /// [`QueryReader::page`] with a caller-owned [`EnumScratch`].
+    ///
+    /// Cursor contract: a [`PageCursor`] is valid only against snapshots at
+    /// the **same generation** it was produced at — enumeration order is
+    /// deterministic for a fixed structure, so re-reading the same pinned
+    /// generation resumes exactly where the previous page stopped, no matter
+    /// how many flushes the shard published in between.  A cursor presented
+    /// at any other generation fails with [`ServeError::StaleCursor`]
+    /// (positions are not comparable across structure changes).  Skipping to
+    /// the cursor costs `O(position)` answers of enumeration plus `O(k)` for
+    /// the page, per the paper's linear-delay regime.
+    pub fn page_with(
+        &self,
+        scratch: &mut EnumScratch,
+        cursor: Option<PageCursor>,
+        k: usize,
+    ) -> Result<Page, ServeError> {
+        let position = self.cursor_position(cursor)?;
+        let mut answers = Vec::new();
+        let mut more = false;
+        let mut seen = 0usize;
+        self.engine.for_each_with(scratch, &mut |a| {
+            Self::page_step(&mut seen, position, k, &mut answers, &mut more, a)
+        });
+        Ok(self.page_from(position, answers, more))
+    }
+
+    fn cursor_position(&self, cursor: Option<PageCursor>) -> Result<usize, ServeError> {
+        match cursor {
+            Some(c) if c.generation != self.generation => Err(ServeError::StaleCursor),
+            Some(c) => Ok(c.position),
+            None => Ok(0),
+        }
+    }
+
+    fn page_step(
+        seen: &mut usize,
+        position: usize,
+        k: usize,
+        answers: &mut Vec<Assignment>,
+        more: &mut bool,
+        a: Assignment,
+    ) -> ControlFlow<()> {
+        if *seen < position {
+            *seen += 1;
+            return ControlFlow::Continue(());
+        }
+        if answers.len() < k {
+            answers.push(a);
+            ControlFlow::Continue(())
+        } else {
+            // A (k+1)-th answer exists: the page is full but not final.
+            *more = true;
+            ControlFlow::Break(())
+        }
+    }
+
+    fn page_from(&self, position: usize, answers: Vec<Assignment>, more: bool) -> Page {
+        let next = more.then_some(PageCursor {
+            generation: self.generation,
+            position: position + answers.len(),
+        });
+        Page { answers, next }
+    }
+}
+
+/// Resume point of a paginated read, pinned to one snapshot generation.
+///
+/// Produced by [`QueryReader::page`]/[`QueryReader::page_with`]; feed it back
+/// to a reader **at the same generation** to fetch the next page.  See
+/// [`QueryReader::page_with`] for the stability contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PageCursor {
+    generation: u64,
+    position: usize,
+}
+
+impl PageCursor {
+    /// The generation this cursor is valid against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// How many answers precede the next page.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+/// One page of a paginated per-query read.
+#[derive(Clone, Debug)]
+pub struct Page {
+    /// Up to `k` assignments, in the engine's deterministic enumeration
+    /// order.
+    pub answers: Vec<Assignment>,
+    /// Cursor for the next page, or `None` when this page ended the
+    /// enumeration.
+    pub next: Option<PageCursor>,
 }
 
 /// Messages on a shard's ingest queue.
@@ -162,6 +391,14 @@ pub(crate) enum Ingest {
     /// an `Ok` ack means every op before it is applied, published, and — on
     /// a durable shard — synced per the [`treenum_wal::SyncPolicy`]).
     Flush(Sender<Result<u64, ServeError>>),
+    /// Registry control: attach a new query's plan.  Ordered like a barrier
+    /// (everything enqueued before it is applied first); the ack carries the
+    /// membership-only generation from which the query is readable.
+    Attach(QueryId, Arc<QueryPlan>, Sender<Result<u64, ServeError>>),
+    /// Registry control: drop a query's writer-side engine and publish the
+    /// narrowed membership; the ack carries the generation from which the
+    /// query is gone.
+    Detach(QueryId, Sender<Result<u64, ServeError>>),
     /// Drain, apply, and exit the writer thread.
     Shutdown,
 }
@@ -172,9 +409,13 @@ pub(crate) struct ShardWriter {
     pub(crate) front: Arc<RwLock<Arc<SnapInner>>>,
     pub(crate) metrics: Arc<ShardMetrics>,
     pub(crate) cfg: ServeConfig,
-    pub(crate) plan: Arc<QueryPlan>,
-    /// The writable copy, when this side holds it.
-    pub(crate) write: Option<TreeEnumerator>,
+    /// Authoritative query membership (plan per registered query, attach
+    /// order, primary first).  Engine sets are reconciled against this list
+    /// whenever they change hands, so attach/detach drift between the two
+    /// sides resolves at the next reclaim.
+    pub(crate) plans: Vec<(QueryId, Arc<QueryPlan>)>,
+    /// The writable engine set, when this side holds it.
+    pub(crate) write: Option<EngineSet>,
     /// The previously published copy, awaiting reclaim.
     pub(crate) retired: Option<Arc<SnapInner>>,
     /// Batches applied to the published lineage that the retired copy has
@@ -256,23 +497,27 @@ impl ShardWriter {
                 Err(_) => break,
             };
             let mut acks: Vec<Sender<Result<u64, ServeError>>> = Vec::new();
+            let mut controls: Vec<Ingest> = Vec::new();
             let mut shutdown = false;
             match first {
                 Ingest::Op(op) => {
                     self.note_dequeued(1);
                     self.buf.push(op);
-                    shutdown = self.coalesce(&mut acks);
+                    shutdown = self.coalesce(&mut acks, &mut controls);
                 }
                 Ingest::Flush(ack) => acks.push(ack),
                 Ingest::Shutdown => break,
+                ctl => controls.push(ctl),
             }
-            if !acks.is_empty() {
-                // A barrier demands everything enqueued before it; drain the
-                // queue completely (this may exceed the window — barriers are
-                // explicit requests for completeness, not latency).
-                shutdown |= self.drain_pending(&mut acks);
+            if !acks.is_empty() || !controls.is_empty() {
+                // A barrier (or a registry control, which is ordered like
+                // one) demands everything enqueued before it; drain the
+                // queue completely (this may exceed the window — barriers
+                // are explicit requests for completeness, not latency).
+                shutdown |= self.drain_pending(&mut acks, &mut controls);
             }
             self.flush_buf();
+            self.apply_controls(controls);
             for ack in acks {
                 let _ = ack.send(self.ack_value());
             }
@@ -282,10 +527,29 @@ impl ShardWriter {
         }
         // Apply any ops that raced in with the shutdown.
         let mut acks = Vec::new();
-        self.drain_pending(&mut acks);
+        let mut controls = Vec::new();
+        self.drain_pending(&mut acks, &mut controls);
         self.flush_buf();
+        self.apply_controls(controls);
         for ack in acks {
             let _ = ack.send(self.ack_value());
+        }
+    }
+
+    /// Processes queued attach/detach controls, in arrival order, acking
+    /// each with the generation its membership change became visible at.
+    fn apply_controls(&mut self, controls: Vec<Ingest>) {
+        for ctl in controls {
+            match ctl {
+                Ingest::Attach(id, plan, ack) => {
+                    let _ = ack.send(self.handle_attach(id, plan));
+                }
+                Ingest::Detach(id, ack) => {
+                    let _ = ack.send(self.handle_detach(id));
+                }
+                // Only controls are queued here (see `coalesce`).
+                _ => {}
+            }
         }
     }
 
@@ -318,8 +582,13 @@ impl ShardWriter {
 
     /// Gathers ops into `buf` until the adaptive window is full or the
     /// bounded-staleness deadline passes.  Returns `true` on shutdown; a
-    /// queued barrier stops coalescing early (its ack lands in `acks`).
-    fn coalesce(&mut self, acks: &mut Vec<Sender<Result<u64, ServeError>>>) -> bool {
+    /// queued barrier or registry control stops coalescing early (its
+    /// ack/message lands in `acks`/`controls`).
+    fn coalesce(
+        &mut self,
+        acks: &mut Vec<Sender<Result<u64, ServeError>>>,
+        controls: &mut Vec<Ingest>,
+    ) -> bool {
         let deadline = Instant::now() + self.cfg.max_latency;
         while self.buf.len() < self.window {
             match self.rx.try_recv() {
@@ -332,6 +601,10 @@ impl ShardWriter {
                     return false;
                 }
                 Some(Ingest::Shutdown) => return true,
+                Some(ctl @ (Ingest::Attach(..) | Ingest::Detach(..))) => {
+                    controls.push(ctl);
+                    return false;
+                }
                 None => {
                     let now = Instant::now();
                     if now >= deadline {
@@ -356,6 +629,10 @@ impl ShardWriter {
                             return false;
                         }
                         Ok(Ingest::Shutdown) => return true,
+                        Ok(ctl @ (Ingest::Attach(..) | Ingest::Detach(..))) => {
+                            controls.push(ctl);
+                            return false;
+                        }
                         Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
                             break;
                         }
@@ -368,7 +645,11 @@ impl ShardWriter {
 
     /// Non-blocking drain of everything currently queued.  Returns `true` on
     /// shutdown.
-    fn drain_pending(&mut self, acks: &mut Vec<Sender<Result<u64, ServeError>>>) -> bool {
+    fn drain_pending(
+        &mut self,
+        acks: &mut Vec<Sender<Result<u64, ServeError>>>,
+        controls: &mut Vec<Ingest>,
+    ) -> bool {
         while let Some(msg) = self.rx.try_recv() {
             match msg {
                 Ingest::Op(op) => {
@@ -377,6 +658,7 @@ impl ShardWriter {
                 }
                 Ingest::Flush(ack) => acks.push(ack),
                 Ingest::Shutdown => return true,
+                ctl => controls.push(ctl),
             }
         }
         false
@@ -455,27 +737,34 @@ impl ShardWriter {
 
     /// One guarded attempt at the apply+publish half of a flush.  Returns
     /// `false` iff `apply_batch` (or an injected chaos fault) panicked — the
-    /// writable copy is consumed either way.
+    /// writable engine set is consumed either way.
     fn try_apply_publish(&mut self, batch: u64) -> bool {
-        // Time the whole flush cycle — reclaim of the writable copy, the
-        // batch apply, and the publish swap — so the per-edit amortized
-        // numbers in the flush log reflect the real cost of pushing one op
-        // through the serving pipeline (E9's ingest arms read them).
+        // Time the whole flush cycle — reclaim of the writable set, the
+        // batch apply to every registered query's engine, and the publish
+        // swap — so the per-edit amortized numbers in the flush log reflect
+        // the real cost of pushing one op through the serving pipeline
+        // (E9's ingest arms read them).
         let start = Instant::now();
-        let engine = self.take_writable();
+        let engines = self.take_writable();
         let chaos = self.chaos.clone();
         let buf = &self.buf;
         let applied = catch_unwind(AssertUnwindSafe(move || {
             if let Some(c) = &chaos {
                 c.on_apply(batch);
             }
-            let mut engine = engine;
-            let before = engine.index_stats();
-            engine.apply_batch(buf);
-            let after = engine.index_stats();
-            (engine, before, after)
+            let mut engines = engines;
+            // The sharing signal comes from the primary engine: every
+            // engine sees the same ops on the same tree, so its ratio is
+            // representative and the adaptive window stays independent of
+            // how many queries are registered.
+            let before = engines[0].1.index_stats();
+            for (_, engine) in engines.iter_mut() {
+                engine.apply_batch(buf);
+            }
+            let after = engines[0].1.index_stats();
+            (engines, before, after)
         }));
-        let (engine, before, after) = match applied {
+        let (engines, before, after) = match applied {
             Ok(t) => t,
             Err(_) => {
                 self.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
@@ -483,9 +772,41 @@ impl ShardWriter {
                 return false;
             }
         };
+        let rec = FlushRecord {
+            size: self.buf.len(),
+            // Filled in by `publish_engines` (it owns the end of the timed
+            // region).
+            nanos: 0,
+            window: self.window,
+            spine_deduped: after.spine_nodes_deduped - before.spine_nodes_deduped,
+            spine_dirty: after.batch_dirty_nodes - before.batch_dirty_nodes,
+        };
+        self.publish_engines(engines, rec, batch, start);
+        self.lag.extend_from_slice(&self.buf);
+        self.applied_ops += self.buf.len() as u64;
+        self.buf.clear();
+        true
+    }
+
+    /// Publishes `engines` as the next generation — **one** pointer swap and
+    /// **one** `Arc` no matter how many queries the set multiplexes —
+    /// retiring the old front, recording `rec` (with the timed region closed
+    /// here) as the generation's audit-trail entry, and driving the adaptive
+    /// window when the record carries a sharing signal.  Also the snapshot
+    /// persistence point: the tree just published is exactly the state at
+    /// the WAL offset, so the op_seq ↔ tree pairing needs no extra
+    /// synchronisation (snapshot failure is non-fatal — the WAL still
+    /// covers everything since the last good snapshot).
+    fn publish_engines(
+        &mut self,
+        engines: EngineSet,
+        mut rec: FlushRecord,
+        batch: u64,
+        start: Instant,
+    ) {
         self.generation += 1;
         let snap = Arc::new(SnapInner {
-            engine,
+            engines,
             generation: self.generation,
         });
         let published = Arc::clone(&snap);
@@ -500,18 +821,10 @@ impl ShardWriter {
             let old = std::mem::replace(&mut *front, snap);
             self.retired = Some(old);
         }
-        let nanos = start.elapsed().as_nanos() as u64;
-        self.lag.extend_from_slice(&self.buf);
+        rec.nanos = start.elapsed().as_nanos() as u64;
         self.metrics
             .generation
             .store(self.generation, Ordering::Release);
-        let rec = FlushRecord {
-            size: self.buf.len(),
-            nanos,
-            window: self.window,
-            spine_deduped: after.spine_nodes_deduped - before.spine_nodes_deduped,
-            spine_dirty: after.batch_dirty_nodes - before.batch_dirty_nodes,
-        };
         if self.cfg.adaptive && rec.size >= 2 {
             let ratio = rec.sharing_ratio();
             if ratio >= self.cfg.grow_sharing {
@@ -524,19 +837,12 @@ impl ShardWriter {
                 .store(self.window as u64, Ordering::Relaxed);
         }
         self.metrics.record_flush(rec);
-        self.applied_ops += self.buf.len() as u64;
-        self.buf.clear();
         // A successful apply+publish always lands the shard back in
         // `Healthy` — including the retry rung of the ladder.
         self.metrics.set_health(ShardHealth::Healthy);
-        // Snapshot persistence rides the publication-generation boundary:
-        // the tree just published is exactly the state as of the WAL
-        // offset, so the snapshot's op_seq ↔ tree pairing needs no extra
-        // synchronisation.  Snapshot failure is non-fatal — the WAL still
-        // covers everything since the last good snapshot.
         if let Some(durable) = &mut self.durable {
             if durable.snapshot_due(self.generation) {
-                match durable.persist_snapshot(self.generation, published.engine.tree()) {
+                match durable.persist_snapshot(self.generation, published.primary().tree()) {
                     Ok(()) => {
                         self.metrics
                             .snapshots_persisted
@@ -548,21 +854,120 @@ impl ShardWriter {
                 }
             }
         }
-        true
+    }
+
+    /// Attaches `plan` as query `id`: flush already happened (controls are
+    /// processed after `flush_buf`), so the writable set is current; the new
+    /// engine is built from the shared tree and the widened membership is
+    /// published as a size-0 generation.  Idempotent on a duplicate id.
+    fn handle_attach(&mut self, id: QueryId, plan: Arc<QueryPlan>) -> Result<u64, ServeError> {
+        if self.quarantined {
+            return Err(ServeError::Quarantined);
+        }
+        if self.plans.iter().any(|(q, _)| *q == id) {
+            return Ok(self.generation);
+        }
+        let start = Instant::now();
+        self.plans.push((id, plan));
+        // `take_writable` reconciles against `plans`, building the new
+        // query's engine from the current tree.
+        let engines = self.take_writable();
+        self.publish_membership(engines, start);
+        self.metrics
+            .queries_attached
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .queries_served
+            .store(self.plans.len() as u64, Ordering::Relaxed);
+        Ok(self.generation)
+    }
+
+    /// Detaches query `id`: the writer-side engine drops here (that is the
+    /// deterministic part of deregistration), the narrowed membership is
+    /// published as a size-0 generation, and the last reader-visible copy is
+    /// released when the final snapshot pinning it drops and the retired set
+    /// is reclaimed.  The pinned primary and unknown ids are rejected with
+    /// [`ServeError::UnknownQuery`].
+    fn handle_detach(&mut self, id: QueryId) -> Result<u64, ServeError> {
+        if self.quarantined {
+            return Err(ServeError::Quarantined);
+        }
+        if id == QueryId::PRIMARY || !self.plans.iter().any(|(q, _)| *q == id) {
+            return Err(ServeError::UnknownQuery);
+        }
+        let start = Instant::now();
+        self.plans.retain(|(q, _)| *q != id);
+        // Reconciliation inside `take_writable` drops the detached engine.
+        let engines = self.take_writable();
+        self.publish_membership(engines, start);
+        self.metrics
+            .queries_detached
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .queries_served
+            .store(self.plans.len() as u64, Ordering::Relaxed);
+        Ok(self.generation)
+    }
+
+    /// Publishes a membership-only generation: zero ops, so the size-0
+    /// flush record keeps the audit trail (`op prefix = sum of the first g
+    /// sizes`) exact, and `lag` is untouched — the freshly retired front is
+    /// behind by membership only, which reconciliation (not op replay)
+    /// repairs at the next reclaim.
+    fn publish_membership(&mut self, engines: EngineSet, start: Instant) {
+        let rec = FlushRecord {
+            size: 0,
+            nanos: 0,
+            window: self.window,
+            spine_deduped: 0,
+            spine_dirty: 0,
+        };
+        self.publish_engines(engines, rec, self.batches, start);
+    }
+
+    /// One engine per registered query, each a fresh O(n) build over (a
+    /// clone of) `tree`, in the authoritative membership order.
+    fn build_engines(&self, tree: &UnrankedTree) -> EngineSet {
+        self.plans
+            .iter()
+            .map(|(id, plan)| {
+                (
+                    *id,
+                    TreeEnumerator::with_plan(tree.clone(), Arc::clone(plan)),
+                )
+            })
+            .collect()
+    }
+
+    /// Aligns an engine set with the authoritative query membership
+    /// (`self.plans`): drops engines of queries detached since the set was
+    /// last current, and builds engines — from the set's shared tree — for
+    /// queries attached since.  Because every attach/detach publishes
+    /// immediately, a stale set is at most one membership step behind and
+    /// owes no op replay for the new engines.
+    fn reconcile(&self, engines: &mut EngineSet) {
+        engines.retain(|(q, _)| self.plans.iter().any(|(p, _)| p == q));
+        for (id, plan) in &self.plans {
+            if !engines.iter().any(|(q, _)| q == id) {
+                // Non-empty: the primary query is never detached.
+                let tree = engines[0].1.tree().clone();
+                engines.push((*id, TreeEnumerator::with_plan(tree, Arc::clone(plan))));
+            }
+        }
     }
 
     /// Replaces whatever writable/retired state the writer holds with a
-    /// fresh O(n) rebuild from the published tree.  Used after a fault tore
-    /// the writable copy: the published tree is the newest coherent state,
-    /// so it subsumes any catch-up lag the lost copy owed.
+    /// fresh O(n·Q) rebuild from the published tree.  Used after a fault
+    /// tore the writable set: the published tree is the newest coherent
+    /// state, so it subsumes any catch-up lag the lost set owed.
     fn rebuild_writable_from_front(&mut self) {
         self.metrics
             .rebuild_fallbacks
             .fetch_add(1, Ordering::Relaxed);
         self.retired = None;
         self.lag.clear();
-        let tree = read_unpoisoned(&self.front).engine.tree().clone();
-        self.write = Some(TreeEnumerator::with_plan(tree, Arc::clone(&self.plan)));
+        let tree = read_unpoisoned(&self.front).primary().tree().clone();
+        self.write = Some(self.build_engines(&tree));
     }
 
     /// Counts and drops the coalescing buffer as unacked loss, arming the
@@ -607,9 +1012,21 @@ impl ShardWriter {
             self.quarantine_now(&format!("{why}; heal found unrecoverable state: {reason}"));
             return;
         }
-        let mut healed = TreeEnumerator::with_plan(rec.base_tree, Arc::clone(&self.plan));
+        // Replay onto the primary engine, then fan the healed tree out to
+        // every other registered query (their engines are derived state —
+        // same tree, different circuit/index — so one replay suffices).
+        let (primary_id, primary_plan) = (self.plans[0].0, Arc::clone(&self.plans[0].1));
+        let mut primary = TreeEnumerator::with_plan(rec.base_tree, primary_plan);
         if !rec.replay.is_empty() {
-            healed.apply_batch(&rec.replay);
+            primary.apply_batch(&rec.replay);
+        }
+        let healed_tree = primary.tree().clone();
+        let mut healed: EngineSet = vec![(primary_id, primary)];
+        for (id, plan) in self.plans.iter().skip(1) {
+            healed.push((
+                *id,
+                TreeEnumerator::with_plan(healed_tree.clone(), Arc::clone(plan)),
+            ));
         }
         let durable_seq = rec.report.ops_recovered;
         let visible_seq = self.seq0 + self.applied_ops;
@@ -631,11 +1048,10 @@ impl ShardWriter {
             // visible ops (audit trail: generation g ↔ first g records).
             self.generation += 1;
             let snap = Arc::new(SnapInner {
-                engine: healed,
+                engines: healed,
                 generation: self.generation,
             });
-            let writable =
-                TreeEnumerator::with_plan(snap.engine.tree().clone(), Arc::clone(&self.plan));
+            let writable = self.build_engines(&healed_tree);
             {
                 let mut front = write_unpoisoned(&self.front);
                 // Abandon the old front to its holders entirely (drop both
@@ -658,7 +1074,7 @@ impl ShardWriter {
             self.applied_ops += new_visible;
         } else {
             // Published state already equals the durable state; the healed
-            // engine simply becomes the fresh writable copy.
+            // engine set simply becomes the fresh writable set.
             self.retired = None;
             self.lag.clear();
             self.write = Some(healed);
@@ -687,12 +1103,14 @@ impl ShardWriter {
         self.metrics.set_health(ShardHealth::Quarantined);
     }
 
-    /// Obtains the writable copy: the held one, the reclaimed-and-caught-up
-    /// retired one, or (after bounded patience) a fresh O(n) rebuild from the
-    /// published tree.
-    fn take_writable(&mut self) -> TreeEnumerator {
-        if let Some(engine) = self.write.take() {
-            return engine;
+    /// Obtains the writable engine set: the held one, the
+    /// reclaimed-and-caught-up retired one, or (after bounded patience) a
+    /// fresh O(n·Q) rebuild from the published tree.  Whatever the source,
+    /// the returned set is reconciled against the current query membership.
+    fn take_writable(&mut self) -> EngineSet {
+        if let Some(mut engines) = self.write.take() {
+            self.reconcile(&mut engines);
+            return engines;
         }
         let mut retired = self
             .retired
@@ -702,12 +1120,15 @@ impl ShardWriter {
         loop {
             match Arc::try_unwrap(retired) {
                 Ok(inner) => {
-                    let mut engine = inner.engine;
+                    let mut engines = inner.engines;
                     if !self.lag.is_empty() {
-                        engine.apply_batch(&self.lag);
+                        for (_, engine) in engines.iter_mut() {
+                            engine.apply_batch(&self.lag);
+                        }
                         self.lag.clear();
                     }
-                    return engine;
+                    self.reconcile(&mut engines);
+                    return engines;
                 }
                 Err(arc) => {
                     if Instant::now() >= patience {
@@ -717,9 +1138,9 @@ impl ShardWriter {
                             .rebuild_fallbacks
                             .fetch_add(1, Ordering::Relaxed);
                         drop(arc);
-                        let tree = read_unpoisoned(&self.front).engine.tree().clone();
+                        let tree = read_unpoisoned(&self.front).primary().tree().clone();
                         self.lag.clear();
-                        return TreeEnumerator::with_plan(tree, Arc::clone(&self.plan));
+                        return self.build_engines(&tree);
                     }
                     self.metrics.reclaim_waits.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(std::time::Duration::from_micros(50));

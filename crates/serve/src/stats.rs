@@ -127,6 +127,10 @@ pub(crate) struct ShardMetrics {
     pub ops_dropped_unacked: AtomicU64,
     pub load_shed: AtomicU64,
     pub deadline_reads_timed_out: AtomicU64,
+    pub queries_attached: AtomicU64,
+    pub queries_detached: AtomicU64,
+    /// Gauge: current registered-query membership (starts at 1, the primary).
+    pub queries_served: AtomicU64,
     pub flush_log: Mutex<Vec<FlushRecord>>,
 }
 
@@ -171,6 +175,9 @@ impl ShardMetrics {
             ops_dropped_unacked: self.ops_dropped_unacked.load(Ordering::Relaxed),
             load_shed: self.load_shed.load(Ordering::Relaxed),
             deadline_reads_timed_out: self.deadline_reads_timed_out.load(Ordering::Relaxed),
+            queries_attached: self.queries_attached.load(Ordering::Relaxed),
+            queries_detached: self.queries_detached.load(Ordering::Relaxed),
+            queries_served: self.queries_served.load(Ordering::Relaxed) as usize,
         }
     }
 }
@@ -251,6 +258,18 @@ pub struct ShardStats {
     /// for a parked publication and returned
     /// [`crate::ServeError::DeadlineExceeded`].
     pub deadline_reads_timed_out: u64,
+    /// Queries attached to this shard at runtime (each attach published one
+    /// membership-only generation; the construction-time primary is not
+    /// counted).
+    pub queries_attached: u64,
+    /// Queries detached from this shard at runtime (each detach dropped the
+    /// writer-side engine and published one membership-only generation).
+    pub queries_detached: u64,
+    /// Gauge: queries the writer currently maintains engines for, including
+    /// the primary.  Snapshot publications stay **one per flush** regardless
+    /// of this number — the multiplexing invariant E11 verifies via
+    /// `generation == flushes`.
+    pub queries_served: usize,
 }
 
 impl ShardStats {
@@ -275,11 +294,44 @@ impl ShardStats {
     }
 }
 
+/// A point-in-time view of the query registry's counters.
+///
+/// Registration admissions go through an LRU-bounded plan cache keyed by the
+/// canonical `TranslationKey` fingerprint; the `plan_*`/`compile_*` fields
+/// are its lifetime admission statistics (see
+/// [`treenum_core::PlanCacheStats`]).  Obtained from
+/// [`crate::TreeServer::registry_stats`] or as [`ServeStats::registry`].
+#[derive(Clone, Copy, Debug, Default)]
+#[non_exhaustive]
+pub struct RegistryStats {
+    /// Currently registered queries, including the pinned primary.
+    pub registered: usize,
+    /// High-water mark of `registered` over the server's lifetime.
+    pub peak_registered: usize,
+    /// Successful [`crate::TreeServer::register`] calls.
+    pub registrations: u64,
+    /// Successful [`crate::TreeServer::deregister`] calls.
+    pub deregistrations: u64,
+    /// Plan admissions served from a resident cached plan (no compile).
+    pub plan_hits: u64,
+    /// Plan admissions that compiled (translation + skeleton derivation).
+    pub plan_misses: u64,
+    /// Cached plans evicted to keep the cache within
+    /// [`crate::ServeConfig::plan_cache_capacity`].
+    pub plan_evictions: u64,
+    /// Total wall-clock nanoseconds spent compiling plans on admission.
+    pub compile_ns_total: u64,
+    /// Slowest single plan compile observed on admission.
+    pub max_compile_ns: u64,
+}
+
 /// A point-in-time view of every shard's counters.
 #[derive(Clone, Debug, Default)]
 pub struct ServeStats {
     /// Per-shard stats, indexed by shard id.
     pub shards: Vec<ShardStats>,
+    /// Server-wide query-registry counters.
+    pub registry: RegistryStats,
 }
 
 impl ServeStats {
